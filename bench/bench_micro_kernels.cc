@@ -1,0 +1,145 @@
+// Google-benchmark micro-kernels for the cost components the paper's
+// complexity analysis discusses (§3): support initialization (naive
+// Σ deg² intersection vs O(m^1.5) forward listing), hash-based edge
+// membership (Algorithm 2, Step 8), the bin-sorted peel itself, and core
+// decomposition as the O(m) baseline structure.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "kcore/kcore.h"
+#include "triangle/triangle.h"
+#include "truss/cohen.h"
+#include "truss/edge_map.h"
+#include "truss/improved.h"
+
+namespace {
+
+truss::Graph MakeGraph(int64_t kind, int64_t edges) {
+  switch (kind) {
+    case 0:  // flat-degree Erdős–Rényi
+      return truss::gen::ErdosRenyiGnm(
+          static_cast<truss::VertexId>(edges / 8), edges, 1234);
+    case 1:  // power-law Barabási–Albert
+      return truss::gen::BarabasiAlbert(
+          static_cast<truss::VertexId>(edges / 5), 5, 1234);
+    default:  // hub-heavy R-MAT
+      return truss::gen::RMat(16, edges, 0.6, 0.18, 0.12, 1234);
+  }
+}
+
+const char* KindName(int64_t kind) {
+  return kind == 0 ? "ER" : kind == 1 ? "BA" : "RMAT";
+}
+
+void BM_SupportInitForward(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::ComputeEdgeSupports(g));
+  }
+  state.SetLabel(KindName(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SupportInitForward)
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Args({2, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SupportInitNaive(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::ComputeEdgeSupportsNaive(g));
+  }
+  state.SetLabel(KindName(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SupportInitNaive)
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Args({2, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TriangleCount(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::CountTriangles(g));
+  }
+  state.SetLabel(KindName(state.range(0)));
+}
+BENCHMARK(BM_TriangleCount)
+    ->Args({0, 50000})
+    ->Args({0, 200000})
+    ->Args({1, 50000})
+    ->Args({1, 200000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EdgeMapFind(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(1, 100000);
+  const truss::EdgeMap map(g);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const truss::Edge e = g.edge(static_cast<truss::EdgeId>(
+        i++ % g.num_edges()));
+    benchmark::DoNotOptimize(map.Find(e.u, e.v));
+    benchmark::DoNotOptimize(map.Find(e.u, e.v + 1));  // usually a miss
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EdgeMapFind);
+
+void BM_BinarySearchFind(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(1, 100000);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const truss::Edge e = g.edge(static_cast<truss::EdgeId>(
+        i++ % g.num_edges()));
+    benchmark::DoNotOptimize(g.FindEdge(e.u, e.v));
+    benchmark::DoNotOptimize(g.FindEdge(e.u, e.v + 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BinarySearchFind);
+
+void BM_ImprovedTruss(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::ImprovedTrussDecomposition(g));
+  }
+  state.SetLabel(KindName(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ImprovedTruss)
+    ->Args({0, 50000})
+    ->Args({1, 50000})
+    ->Args({2, 50000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CohenTruss(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::CohenTrussDecomposition(g));
+  }
+  state.SetLabel(KindName(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CohenTruss)
+    ->Args({0, 50000})
+    ->Args({1, 50000})
+    ->Args({2, 50000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoreDecompose(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::DecomposeCores(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CoreDecompose)->Arg(50000)->Arg(200000)->Arg(800000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

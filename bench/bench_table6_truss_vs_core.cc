@@ -1,0 +1,61 @@
+// Regenerates paper Table 6: the kmax-truss T vs the cmax-core C —
+// vertex/edge counts, kmax vs cmax, and clustering coefficients.
+//
+// The paper's claims to reproduce: T is (much) smaller than C, kmax ≤
+// cmax + 1, and CC(T) is far higher than CC(C) — i.e., triangle-based
+// cohesion finds genuinely tight clusters where degree-based cohesion finds
+// merely well-connected ones.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "graph/stats.h"
+#include "kcore/kcore.h"
+#include "truss/improved.h"
+
+int main() {
+  const char* kDatasets[] = {"Amazon", "Wiki", "Skitter", "Blog",
+                             "LJ",     "BTC",  "Web"};
+
+  std::printf("== Table 6: kmax-truss T vs cmax-core C ==\n\n");
+  truss::TablePrinter table({"dataset", "V_T/V_C", "E_T/E_C", "kmax/cmax",
+                             "CC_T/CC_C"});
+
+  for (const char* name : kDatasets) {
+    const truss::Graph& g = truss::bench::GetDataset(name);
+
+    const truss::TrussDecompositionResult truss_r =
+        truss::ImprovedTrussDecomposition(g);
+    const truss::Subgraph t =
+        truss::ExtractKTruss(g, truss_r, truss_r.kmax);
+
+    const truss::CoreDecomposition cores = truss::DecomposeCores(g);
+    const truss::Subgraph c = truss::ExtractKCore(g, cores, cores.cmax);
+
+    char vt_vc[64], et_ec[64], k_c[64], cc[64];
+    std::snprintf(vt_vc, sizeof(vt_vc), "%s/%s",
+                  truss::FormatCount(t.graph.num_vertices()).c_str(),
+                  truss::FormatCount(c.graph.num_vertices()).c_str());
+    std::snprintf(et_ec, sizeof(et_ec), "%s/%s",
+                  truss::FormatCount(t.graph.num_edges()).c_str(),
+                  truss::FormatCount(c.graph.num_edges()).c_str());
+    std::snprintf(k_c, sizeof(k_c), "%u/%u", truss_r.kmax, cores.cmax);
+    std::snprintf(cc, sizeof(cc), "%.2f/%.2f",
+                  truss::AverageClusteringCoefficient(t.graph),
+                  truss::AverageClusteringCoefficient(c.graph));
+    table.AddRow({name, vt_vc, et_ec, k_c, cc});
+  }
+  table.Print();
+  std::printf(
+      "\npaper (original data):\n"
+      "  Amazon  5K/33K    55K/442K   11/10    0.99/0.72\n"
+      "  Wiki    237/700   32K/147K   53/131   0.64/0.42\n"
+      "  Skitter 185/222   16K/33K    68/111   0.95/0.71\n"
+      "  Blog    49/387    2K/54K     49/86    1.00/0.52\n"
+      "  LJ      383/395   146K/155K  362/372  1.00/0.99\n"
+      "  BTC     653/1295  10K/838K   7/641    0.45/0.00002\n"
+      "  Web     498/862   82K/148K   166/165  1.00/0.59\n"
+      "(shape: T smaller than C, kmax ≤ cmax+1, CC_T >> CC_C)\n");
+  return 0;
+}

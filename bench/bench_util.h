@@ -1,0 +1,59 @@
+// Shared helpers for the table-reproduction bench binaries.
+
+#ifndef TRUSS_BENCH_BENCH_UTIL_H_
+#define TRUSS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/timer.h"
+#include "datasets/datasets.h"
+#include "graph/graph.h"
+#include "truss/external.h"
+
+namespace truss::bench {
+
+/// Generates (and memoizes per process) a registry dataset.
+inline const Graph& GetDataset(const std::string& name) {
+  static std::map<std::string, Graph>* cache = new std::map<std::string, Graph>;
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    WallTimer timer;
+    std::fprintf(stderr, "[bench] generating %s ...", name.c_str());
+    Graph g = datasets::DatasetByName(name).generate();
+    std::fprintf(stderr, " %u vertices, %u edges (%s)\n", g.num_vertices(),
+                 g.num_edges(), FormatDuration(timer.Seconds()).c_str());
+    it = cache->emplace(name, std::move(g)).first;
+  }
+  return it->second;
+}
+
+/// Fresh scratch directory under /tmp for one bench binary.
+inline std::string BenchDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "truss_bench" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// "73.2x" style ratio formatting.
+inline std::string Ratio(double numerator, double denominator) {
+  if (denominator <= 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", numerator / denominator);
+  return buf;
+}
+
+/// Memory budget that makes a graph "not fit": roughly two thirds of the
+/// in-memory structure footprint, with a floor so tiny graphs still take
+/// the single-part fast path.
+inline uint64_t ExternalBudgetFor(const Graph& g) {
+  const uint64_t structures = static_cast<uint64_t>(g.num_edges()) * 48;
+  return std::max<uint64_t>(16ull << 20, structures * 2 / 3);
+}
+
+}  // namespace truss::bench
+
+#endif  // TRUSS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Extracting the "heart of the network" with the top-down algorithm (§6).
+//
+// Many applications only need the top-t k-trusses — the most cohesive core
+// of a network. This example builds a social-network-like graph whose dense
+// heart is hidden in a power-law periphery, asks the top-down algorithm for
+// the top-3 classes only, and shows that it never touches most of the graph
+// (candidate subgraphs stay small), unlike a full bottom-up decomposition.
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "io/env.h"
+#include "truss/bottom_up.h"
+#include "truss/top_down.h"
+
+int main() {
+  // Power-law periphery + two planted communities: a 24-clique "board" and
+  // an 18-clique "team".
+  truss::Graph g = truss::gen::BarabasiAlbert(20000, 4, /*seed=*/41);
+  g = truss::gen::PlantClique(g, 24, /*seed=*/42);
+  g = truss::gen::PlantClique(g, 18, /*seed=*/43);
+  std::printf("social network: %u vertices, %u edges\n\n", g.num_vertices(),
+              g.num_edges());
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "truss_example_bb").string();
+  std::filesystem::remove_all(dir);
+
+  truss::ExternalConfig cfg;
+  cfg.memory_budget_bytes = 1 << 20;
+  cfg.top_t = 3;
+
+  truss::io::Env env(dir);
+  truss::ExternalStats td_stats;
+  truss::WallTimer timer;
+  auto top = truss::TopDownTopClasses(env, g, cfg, &td_stats);
+  if (!top.ok()) {
+    std::fprintf(stderr, "top-down failed: %s\n",
+                 top.status().ToString().c_str());
+    return 1;
+  }
+  const double td_seconds = timer.Seconds();
+
+  std::map<uint32_t, uint64_t> class_sizes;
+  for (const auto& rec : top.value()) {
+    if (rec.truss >= 3) ++class_sizes[rec.truss];
+  }
+  std::printf("top-down (t = %d) found kmax = %u in %s\n", cfg.top_t,
+              td_stats.kmax, truss::FormatDuration(td_seconds).c_str());
+  for (auto it = class_sizes.rbegin(); it != class_sizes.rend(); ++it) {
+    std::printf("  %3u-class: %llu edges\n", it->first,
+                static_cast<unsigned long long>(it->second));
+  }
+  std::printf("  block I/O: %llu\n\n",
+              static_cast<unsigned long long>(td_stats.io.total_blocks()));
+
+  // Reference: the bottom-up algorithm must classify everything.
+  truss::ExternalConfig full_cfg = cfg;
+  full_cfg.top_t = -1;
+  truss::ExternalStats bu_stats;
+  timer.Reset();
+  auto full = truss::BottomUpDecompose(env, g, full_cfg, &bu_stats);
+  if (!full.ok()) {
+    std::fprintf(stderr, "bottom-up failed: %s\n",
+                 full.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bottom-up (all classes) took %s, block I/O %llu\n",
+              truss::FormatDuration(timer.Seconds()).c_str(),
+              static_cast<unsigned long long>(bu_stats.io.total_blocks()));
+  std::printf("=> for top-t queries the top-down walk classified %llu edges "
+              "instead of %u\n",
+              static_cast<unsigned long long>(
+                  td_stats.classified_edges - td_stats.phi2_edges),
+              g.num_edges());
+  return 0;
+}

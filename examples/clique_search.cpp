@@ -1,0 +1,64 @@
+// k-truss as a maximum-clique heuristic (§7.4).
+//
+// The paper observes that a clique of c vertices must lie inside the
+// c-truss, and that kmax bounds the maximum clique size far more tightly
+// than cmax + 1. This example hides a 14-clique in a 100K-edge power-law
+// graph and compares maximum-clique search under no pruning, k-core
+// pruning, and k-truss pruning: all three find the same clique, but the
+// truss-pruned search explores a dramatically smaller subgraph.
+
+#include <cstdio>
+
+#include "clique/clique.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+
+int main() {
+  truss::Graph g = truss::gen::BarabasiAlbert(25000, 4, /*seed=*/71);
+  g = truss::gen::PlantClique(g, 14, /*seed=*/72);
+
+  // Embed a dense random block (500 vertices, avg degree ~48): it drives
+  // the core numbers far above any truss number — random blocks are nearly
+  // triangle-free relative to their density — so the cmax+1 clique bound
+  // becomes much looser than kmax, which is exactly the paper's point.
+  {
+    const truss::Graph dense = truss::gen::ErdosRenyiGnm(500, 12000, 73);
+    std::vector<truss::Edge> shifted;
+    shifted.reserve(dense.num_edges());
+    for (const truss::Edge& e : dense.edges()) {
+      shifted.push_back(truss::Edge{e.u + 1000, e.v + 1000});
+    }
+    g = truss::gen::AddEdges(g, shifted);
+  }
+  std::printf(
+      "graph: %u vertices, %u edges (planted 14-clique + dense block)\n\n",
+      g.num_vertices(), g.num_edges());
+
+  struct Mode {
+    const char* name;
+    truss::CliquePruning pruning;
+  };
+  const Mode modes[] = {
+      {"no pruning", truss::CliquePruning::kNone},
+      {"k-core pruning", truss::CliquePruning::kCore},
+      {"k-truss pruning", truss::CliquePruning::kTruss},
+  };
+
+  std::printf("%-18s %8s %12s %16s %12s\n", "mode", "omega", "bound",
+              "searched edges", "time");
+  for (const Mode& mode : modes) {
+    truss::WallTimer timer;
+    const truss::MaxCliqueResult r = truss::MaximumClique(g, mode.pruning);
+    std::printf("%-18s %8zu %12u %16llu %12s\n", mode.name, r.clique.size(),
+                r.initial_bound,
+                static_cast<unsigned long long>(r.searched_edges),
+                truss::FormatDuration(timer.Seconds()).c_str());
+  }
+
+  const truss::MaxCliqueResult best =
+      truss::MaximumClique(g, truss::CliquePruning::kTruss);
+  std::printf("\nmaximum clique (%zu vertices): ", best.clique.size());
+  for (const truss::VertexId v : best.clique) std::printf("%u ", v);
+  std::printf("\n");
+  return best.clique.size() >= 14 ? 0 : 1;
+}

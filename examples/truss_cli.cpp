@@ -1,0 +1,174 @@
+// trussdec: a command-line truss-decomposition tool over the public API.
+//
+// Usage:
+//   truss_cli --input FILE.txt [--algo improved|cohen|bottomup|topdown]
+//             [--budget-mb N] [--top-t T] [--truss K] [--communities K]
+//   truss_cli --dataset NAME [...]          (registry stand-in by name)
+//
+// Reads a SNAP-format edge list (or a registry dataset), runs the chosen
+// algorithm, and prints the k-class profile; optionally extracts one
+// k-truss or its communities.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/timer.h"
+#include "datasets/datasets.h"
+#include "graph/stats.h"
+#include "graph/text_io.h"
+#include "io/env.h"
+#include "truss/bottom_up.h"
+#include "truss/cohen.h"
+#include "truss/communities.h"
+#include "truss/improved.h"
+#include "truss/top_down.h"
+
+namespace {
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--input FILE | --dataset NAME) [--algo improved|cohen|"
+      "bottomup|topdown] [--budget-mb N] [--top-t T] [--truss K] "
+      "[--communities K]\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, dataset, algo = "improved";
+  uint64_t budget_mb = 256;
+  int top_t = -1;
+  uint32_t extract_truss = 0, communities_k = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      input = next();
+    } else if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--algo") {
+      algo = next();
+    } else if (arg == "--budget-mb") {
+      budget_mb = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--top-t") {
+      top_t = std::atoi(next());
+    } else if (arg == "--truss") {
+      extract_truss = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--communities") {
+      communities_k = static_cast<uint32_t>(std::atoi(next()));
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (input.empty() == dataset.empty()) {  // exactly one source required
+    Usage(argv[0]);
+    return 2;
+  }
+
+  // Load the graph.
+  truss::Graph g;
+  if (!input.empty()) {
+    auto loaded = truss::ReadSnapEdgeList(input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded.value().graph);
+  } else {
+    g = truss::datasets::DatasetByName(dataset).generate();
+  }
+  const truss::DegreeStats deg = truss::ComputeDegreeStats(g);
+  std::printf("graph: %u vertices, %u edges, dmax %u, dmed %u\n",
+              g.num_vertices(), g.num_edges(), deg.max, deg.median);
+
+  // Decompose.
+  truss::WallTimer timer;
+  truss::TrussDecompositionResult result;
+  if (algo == "improved") {
+    result = truss::ImprovedTrussDecomposition(g);
+  } else if (algo == "cohen") {
+    result = truss::CohenTrussDecomposition(g);
+  } else if (algo == "bottomup" || algo == "topdown") {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "truss_cli").string();
+    std::filesystem::remove_all(dir);
+    truss::io::Env env(dir);
+    truss::ExternalConfig cfg;
+    cfg.memory_budget_bytes = budget_mb << 20;
+    truss::ExternalStats stats;
+    if (algo == "topdown" && top_t > 0) {
+      cfg.top_t = top_t;
+      auto records = truss::TopDownTopClasses(env, g, cfg, &stats);
+      if (!records.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     records.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("top-%d classes in %s (kmax %u, %llu blocks I/O):\n", top_t,
+                  truss::FormatDuration(timer.Seconds()).c_str(), stats.kmax,
+                  static_cast<unsigned long long>(stats.io.total_blocks()));
+      std::map<uint32_t, uint64_t> sizes;
+      for (const auto& rec : records.value()) ++sizes[rec.truss];
+      for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+        std::printf("  phi_%-4u %llu edges\n", it->first,
+                    static_cast<unsigned long long>(it->second));
+      }
+      return 0;
+    }
+    auto res = algo == "bottomup" ? truss::BottomUpDecompose(env, g, cfg, &stats)
+                                  : truss::TopDownDecompose(env, g, cfg, &stats);
+    if (!res.ok()) {
+      std::fprintf(stderr, "error: %s\n", res.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(res.value());
+    std::printf("external run: %llu blocks I/O, %u lower-bounding iterations\n",
+                static_cast<unsigned long long>(stats.io.total_blocks()),
+                stats.lower_bound_iterations);
+  } else {
+    Usage(argv[0]);
+    return 2;
+  }
+  std::printf("decomposed with '%s' in %s; kmax = %u\n", algo.c_str(),
+              truss::FormatDuration(timer.Seconds()).c_str(), result.kmax);
+
+  std::printf("\nk-class profile:\n");
+  for (const auto& [k, count] : result.ClassSizes()) {
+    std::printf("  phi_%-4u %llu edges\n", k,
+                static_cast<unsigned long long>(count));
+  }
+
+  if (extract_truss >= 3) {
+    const truss::Subgraph t = truss::ExtractKTruss(g, result, extract_truss);
+    std::printf("\n%u-truss: %u vertices, %u edges, CC %.3f\n", extract_truss,
+                t.graph.num_vertices(), t.graph.num_edges(),
+                truss::AverageClusteringCoefficient(t.graph));
+  }
+  if (communities_k >= 3) {
+    const auto communities =
+        truss::KTrussCommunities(g, result, communities_k);
+    std::printf("\n%u-truss communities: %zu\n", communities_k,
+                communities.size());
+    for (size_t i = 0; i < communities.size() && i < 10; ++i) {
+      std::printf("  #%zu: %zu vertices, %llu edges\n", i,
+                  communities[i].vertices.size(),
+                  static_cast<unsigned long long>(communities[i].edges));
+    }
+    if (communities.size() > 10) std::printf("  ...\n");
+  }
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "clique/clique.h"
+
+#include <algorithm>
+
+#include "kcore/kcore.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+
+namespace truss {
+
+namespace {
+
+// Sorted-vector intersection helper.
+std::vector<VertexId> Intersect(const std::vector<VertexId>& sorted,
+                                const Graph& g, VertexId v) {
+  std::vector<VertexId> out;
+  const auto adj = g.neighbors(v);
+  size_t i = 0, j = 0;
+  while (i < sorted.size() && j < adj.size()) {
+    if (sorted[i] < adj[j].neighbor) {
+      ++i;
+    } else if (sorted[i] > adj[j].neighbor) {
+      ++j;
+    } else {
+      out.push_back(sorted[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+// Classic Bron–Kerbosch with pivoting. P and X are sorted vertex lists.
+struct BkEnumerator {
+  const Graph& g;
+  size_t limit;
+  std::vector<std::vector<VertexId>>* out;
+  std::vector<VertexId> r;
+  bool done = false;
+
+  void Recurse(std::vector<VertexId> p, std::vector<VertexId> x) {
+    if (done) return;
+    if (p.empty() && x.empty()) {
+      out->push_back(r);
+      std::sort(out->back().begin(), out->back().end());
+      if (out->size() >= limit) done = true;
+      return;
+    }
+    // Pivot: the vertex of P ∪ X with the most neighbors in P minimizes the
+    // branching set P \ nb(pivot).
+    VertexId pivot = kInvalidVertex;
+    size_t best = 0;
+    for (const auto& set : {p, x}) {
+      for (const VertexId v : set) {
+        const size_t cnt = Intersect(p, g, v).size();
+        if (pivot == kInvalidVertex || cnt > best) {
+          pivot = v;
+          best = cnt;
+        }
+      }
+    }
+    std::vector<VertexId> candidates;
+    if (pivot == kInvalidVertex) {
+      candidates = p;
+    } else {
+      const std::vector<VertexId> covered = Intersect(p, g, pivot);
+      std::set_difference(p.begin(), p.end(), covered.begin(), covered.end(),
+                          std::back_inserter(candidates));
+    }
+    for (const VertexId v : candidates) {
+      if (done) return;
+      r.push_back(v);
+      Recurse(Intersect(p, g, v), Intersect(x, g, v));
+      r.pop_back();
+      // Move v from P to X.
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+    }
+  }
+};
+
+// Degeneracy order = reverse core-decomposition peel order; iterating the
+// outer Bron–Kerbosch level along it keeps candidate sets small [17].
+std::vector<VertexId> DegeneracyOrder(const Graph& g) {
+  // Re-peel using the core numbers: sort by (core, degree, id) gives a valid
+  // degeneracy-like order that is simpler than replaying the exact peel and
+  // equally effective for pivot-BK seeding.
+  const CoreDecomposition cores = DecomposeCores(g);
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (cores.core[a] != cores.core[b]) return cores.core[a] < cores.core[b];
+    if (g.degree(a) != g.degree(b)) return g.degree(a) < g.degree(b);
+    return a < b;
+  });
+  return order;
+}
+
+// Branch and bound: does `g` contain a clique of size ≥ target?
+// Returns it via *found; counts expanded nodes in *nodes.
+bool FindCliqueOfSize(const Graph& g, uint32_t target,
+                      std::vector<VertexId>* found, uint64_t* nodes) {
+  std::vector<VertexId> r;
+
+  // Recursive lambda over sorted candidate sets.
+  const std::function<bool(std::vector<VertexId>)> recurse =
+      [&](std::vector<VertexId> p) -> bool {
+    ++(*nodes);
+    if (r.size() >= target) {
+      *found = r;
+      std::sort(found->begin(), found->end());
+      return true;
+    }
+    if (r.size() + p.size() < target) return false;  // bound
+    while (!p.empty()) {
+      if (r.size() + p.size() < target) return false;
+      const VertexId v = p.back();
+      p.pop_back();
+      r.push_back(v);
+      if (recurse(Intersect(p, g, v))) return true;
+      r.pop_back();
+    }
+    return false;
+  };
+
+  std::vector<VertexId> all;
+  all.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) + 1 >= target) all.push_back(v);
+  }
+  return recurse(std::move(all));
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> MaximalCliques(const Graph& g,
+                                                  size_t limit) {
+  std::vector<std::vector<VertexId>> out;
+  if (g.num_vertices() == 0 || limit == 0) return out;
+
+  const std::vector<VertexId> order = DegeneracyOrder(g);
+  std::vector<uint32_t> rank(g.num_vertices());
+  for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+
+  BkEnumerator bk{g, limit, &out, {}, false};
+  for (const VertexId v : order) {
+    if (bk.done) break;
+    // Later-ranked neighbors are candidates, earlier-ranked are excluded.
+    std::vector<VertexId> p, x;
+    for (const AdjEntry& a : g.neighbors(v)) {
+      if (rank[a.neighbor] > rank[v]) {
+        p.push_back(a.neighbor);
+      } else {
+        x.push_back(a.neighbor);
+      }
+    }
+    std::sort(p.begin(), p.end());
+    std::sort(x.begin(), x.end());
+    bk.r = {v};
+    bk.Recurse(std::move(p), std::move(x));
+  }
+  return out;
+}
+
+MaxCliqueResult MaximumClique(const Graph& g, CliquePruning pruning) {
+  MaxCliqueResult result;
+  if (g.num_edges() == 0) {
+    if (g.num_vertices() > 0) result.clique = {0};
+    result.initial_bound = g.num_vertices() > 0 ? 1 : 0;
+    return result;
+  }
+
+  // Establish the size bound and the pruned search space per candidate size.
+  CoreDecomposition cores;
+  TrussDecompositionResult truss;
+  uint32_t bound = 0;
+  switch (pruning) {
+    case CliquePruning::kNone:
+      bound = g.num_vertices();
+      break;
+    case CliquePruning::kCore:
+      cores = DecomposeCores(g);
+      bound = cores.cmax + 1;  // a clique of size s is in the (s-1)-core
+      break;
+    case CliquePruning::kTruss:
+      truss = ImprovedTrussDecomposition(g);
+      bound = truss.kmax;  // a clique of size s is in the s-truss
+      break;
+  }
+  result.initial_bound = bound;
+
+  for (uint32_t s = bound; s >= 2; --s) {
+    // Restrict the search space to where a size-s clique must live.
+    Subgraph sub;
+    const Graph* space = &g;
+    switch (pruning) {
+      case CliquePruning::kNone:
+        break;
+      case CliquePruning::kCore:
+        sub = ExtractKCore(g, cores, s - 1);
+        space = &sub.graph;
+        break;
+      case CliquePruning::kTruss:
+        sub = ExtractKTruss(g, truss, s);
+        space = &sub.graph;
+        break;
+    }
+    if (space->num_vertices() < s) continue;
+
+    std::vector<VertexId> found;
+    if (FindCliqueOfSize(*space, s, &found, &result.nodes_explored)) {
+      result.searched_edges = space->num_edges();
+      if (space == &g) {
+        result.clique = found;
+      } else {
+        for (const VertexId v : found) {
+          result.clique.push_back(sub.vertex_to_parent[v]);
+        }
+        std::sort(result.clique.begin(), result.clique.end());
+      }
+      return result;
+    }
+  }
+  // No edge-based clique found (unreachable when m > 0: any edge is a
+  // 2-clique).
+  TRUSS_CHECK(false);
+  return result;
+}
+
+}  // namespace truss

@@ -1,0 +1,50 @@
+// Maximal/maximum clique search with k-truss / k-core pruning (§7.4).
+//
+// The paper argues the k-truss is a sharper clique-search heuristic than the
+// k-core: a clique of c vertices lies inside the c-truss and inside the
+// (c-1)-core, and kmax is a (much) tighter upper bound on the maximum clique
+// size than cmax + 1. MaximumClique exploits that: candidate sizes are tried
+// from the bound downward, searching only the s-truss (resp. (s-1)-core)
+// for a clique of size s. The searcher itself is Bron–Kerbosch with pivoting
+// over a degeneracy ordering [7, 17].
+
+#ifndef TRUSS_CLIQUE_CLIQUE_H_
+#define TRUSS_CLIQUE_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace truss {
+
+/// Enumerates maximal cliques (each as a sorted vertex list) via
+/// Bron–Kerbosch with pivoting over a degeneracy ordering. Stops after
+/// `limit` cliques when given.
+std::vector<std::vector<VertexId>> MaximalCliques(const Graph& g,
+                                                  size_t limit = SIZE_MAX);
+
+/// Pruning strategy for MaximumClique.
+enum class CliquePruning {
+  kNone,   // plain branch-and-bound on the whole graph
+  kCore,   // search the (s-1)-core for a clique of size s (cmax+1 bound)
+  kTruss,  // search the s-truss for a clique of size s (kmax bound)
+};
+
+struct MaxCliqueResult {
+  std::vector<VertexId> clique;  // vertices of one maximum clique, sorted
+  /// Upper bound used to start the search (kmax, cmax+1, or n).
+  uint32_t initial_bound = 0;
+  /// Branch-and-bound nodes expanded (work measure for the §7.4 claim).
+  uint64_t nodes_explored = 0;
+  /// Edges of the subgraph actually searched at the successful size.
+  uint64_t searched_edges = 0;
+};
+
+/// Finds a maximum clique. Exact for all pruning modes; the modes differ
+/// only in how much of the graph the search must touch.
+MaxCliqueResult MaximumClique(const Graph& g, CliquePruning pruning);
+
+}  // namespace truss
+
+#endif  // TRUSS_CLIQUE_CLIQUE_H_

@@ -1,0 +1,53 @@
+// Project-wide assertion and utility macros.
+//
+// TRUSS_CHECK* macros are enabled in all build types: truss decomposition is
+// an exact algorithm and silent invariant violations would corrupt results,
+// so we prefer fail-fast semantics (see DESIGN.md "Key design decisions").
+
+#ifndef TRUSS_COMMON_MACROS_H_
+#define TRUSS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Usable in any build type.
+#define TRUSS_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "TRUSS_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TRUSS_CHECK_OP(op, a, b)                                            \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::fprintf(stderr,                                                  \
+                   "TRUSS_CHECK failed at %s:%d: %s %s %s (values %lld "    \
+                   "vs %lld)\n",                                            \
+                   __FILE__, __LINE__, #a, #op, #b,                         \
+                   static_cast<long long>(a), static_cast<long long>(b));   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TRUSS_CHECK_EQ(a, b) TRUSS_CHECK_OP(==, a, b)
+#define TRUSS_CHECK_NE(a, b) TRUSS_CHECK_OP(!=, a, b)
+#define TRUSS_CHECK_LT(a, b) TRUSS_CHECK_OP(<, a, b)
+#define TRUSS_CHECK_LE(a, b) TRUSS_CHECK_OP(<=, a, b)
+#define TRUSS_CHECK_GT(a, b) TRUSS_CHECK_OP(>, a, b)
+#define TRUSS_CHECK_GE(a, b) TRUSS_CHECK_OP(>=, a, b)
+
+// Marks a status-returning expression whose failure is fatal.
+#define TRUSS_CHECK_OK(expr)                                                \
+  do {                                                                      \
+    const ::truss::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                        \
+      std::fprintf(stderr, "TRUSS_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, _st.message().c_str());              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // TRUSS_COMMON_MACROS_H_

@@ -1,0 +1,4 @@
+#include "common/memory_tracker.h"
+
+// Header-only logic today; this translation unit pins the library target and
+// reserves a home for future out-of-line additions.

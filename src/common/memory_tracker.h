@@ -1,0 +1,65 @@
+// Deterministic memory accounting for the in-memory algorithm comparison
+// (paper Table 3 reports peak memory of TD-inmem vs TD-inmem+).
+//
+// Rather than sample process RSS (noisy, allocator-dependent), algorithms
+// register the byte footprint of the structures they hold; the tracker keeps
+// a running total and a high-water mark. This gives bit-reproducible numbers
+// that reflect the structures the paper's complexity analysis talks about
+// (graph, support array, sorted edge array / queue, hash table).
+
+#ifndef TRUSS_COMMON_MEMORY_TRACKER_H_
+#define TRUSS_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace truss {
+
+/// Accumulates the live-byte total and peak across Add/Release calls.
+class MemoryTracker {
+ public:
+  /// Registers `bytes` of newly allocated structure memory.
+  void Add(uint64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Registers that `bytes` of structure memory were freed.
+  void Release(uint64_t bytes) {
+    bytes = bytes > current_ ? current_ : bytes;
+    current_ -= bytes;
+  }
+
+  uint64_t current_bytes() const { return current_; }
+  uint64_t peak_bytes() const { return peak_; }
+
+  void Reset() { current_ = peak_ = 0; }
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t peak_ = 0;
+};
+
+/// RAII registration of a fixed-size structure with a tracker.
+/// Tolerates a null tracker so instrumentation is zero-cost when unused.
+class ScopedMemory {
+ public:
+  ScopedMemory(MemoryTracker* tracker, uint64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_ != nullptr) tracker_->Add(bytes_);
+  }
+  ~ScopedMemory() {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+  }
+
+  ScopedMemory(const ScopedMemory&) = delete;
+  ScopedMemory& operator=(const ScopedMemory&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  uint64_t bytes_;
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_MEMORY_TRACKER_H_

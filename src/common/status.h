@@ -1,0 +1,118 @@
+// Lightweight Status / Result<T> error propagation (RocksDB-style).
+//
+// Core algorithm code never throws; fallible operations (file I/O, parsing)
+// return Status or Result<T> so callers decide how to react.
+
+#ifndef TRUSS_COMMON_STATUS_H_
+#define TRUSS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace truss {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error indicator. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {    // NOLINT(runtime/explicit)
+    TRUSS_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  T& value() {
+    TRUSS_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const {
+    TRUSS_CHECK(ok());
+    return std::get<T>(value_);
+  }
+
+  T&& MoveValue() {
+    TRUSS_CHECK(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define TRUSS_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::truss::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_STATUS_H_

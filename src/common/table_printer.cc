@@ -1,0 +1,64 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace truss {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TRUSS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TRUSS_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, char pad) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      // First column left-aligned (labels), the rest right-aligned (numbers).
+      const size_t fill = widths[c] - row[c].size();
+      if (c == 0) {
+        line += row[c];
+        line.append(fill, pad);
+      } else {
+        line.append(fill, pad);
+        line += row[c];
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_, ' ');
+  std::vector<std::string> dashes;
+  dashes.reserve(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    dashes.emplace_back(widths[c], '-');
+  }
+  out += render_row(dashes, '-');
+  for (const auto& row : rows_) out += render_row(row, ' ');
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace truss

@@ -1,0 +1,36 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables; this helper keeps
+// their output format uniform (header row, separator, right-aligned cells).
+
+#ifndef TRUSS_COMMON_TABLE_PRINTER_H_
+#define TRUSS_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace truss {
+
+/// Collects rows of string cells and renders them as an aligned table.
+class TablePrinter {
+ public:
+  /// `headers` defines the column count; rows must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one data row. Aborts if the cell count differs from the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (headers, separator, rows) with 2-space gutters.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,59 @@
+#include "common/timer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace truss {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  constexpr uint64_t kKB = 1024;
+  constexpr uint64_t kMB = kKB * 1024;
+  constexpr uint64_t kGB = kMB * 1024;
+  if (bytes >= kGB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB",
+                  static_cast<double>(bytes) / static_cast<double>(kGB));
+  } else if (bytes >= kMB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(kMB));
+  } else if (bytes >= kKB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB",
+                  static_cast<double>(bytes) / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t count) {
+  char buf[64];
+  if (count >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fG",
+                  static_cast<double>(count) / 1e9);
+  } else if (count >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fM",
+                  static_cast<double>(count) / 1e6);
+  } else if (count >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fK",
+                  static_cast<double>(count) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, count);
+  }
+  return buf;
+}
+
+}  // namespace truss

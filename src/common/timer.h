@@ -1,0 +1,44 @@
+// Wall-clock timing utilities used by benchmarks and examples.
+
+#ifndef TRUSS_COMMON_TIMER_H_
+#define TRUSS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace truss {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration like "1.23 s" / "45.6 ms" for human-readable tables.
+std::string FormatDuration(double seconds);
+
+/// Formats a byte count like "1.5 GB" / "317 KB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a count with K/M/G suffixes like the paper's Table 2.
+std::string FormatCount(uint64_t count);
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_TIMER_H_

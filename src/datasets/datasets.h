@@ -1,0 +1,50 @@
+// Registry of the nine evaluation datasets (paper Table 2) and their
+// synthetic stand-ins.
+//
+// The paper evaluates on SNAP/Yahoo/BTC graphs that are not available
+// offline; each entry here pairs the paper-reported statistics with a
+// deterministic generator whose structural knobs (degree skew, clustering,
+// kmax via planted cliques, relative scale ordering) mimic the original.
+// Absolute sizes are scaled down so the full benchmark suite runs on one
+// machine in minutes — EXPERIMENTS.md documents paper-vs-measured values.
+
+#ifndef TRUSS_DATASETS_DATASETS_H_
+#define TRUSS_DATASETS_DATASETS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace truss::datasets {
+
+struct DatasetSpec {
+  std::string name;
+  /// What the stand-in mimics and how.
+  std::string description;
+  /// True for LJ/BTC/Web — the paper's targets for the external algorithms.
+  bool large = false;
+
+  // Paper-reported Table 2 values, for side-by-side output.
+  uint64_t paper_vertices = 0;
+  uint64_t paper_edges = 0;
+  uint32_t paper_dmax = 0;
+  uint32_t paper_dmed = 0;
+  uint32_t paper_kmax = 0;
+
+  /// Deterministic generator of the scaled synthetic stand-in.
+  std::function<Graph()> generate;
+};
+
+/// All nine datasets in the paper's Table 2 order:
+/// P2P, HEP, Amazon, Wiki, Skitter, Blog, LJ, BTC, Web.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Lookup by name; aborts on unknown names (programmer error).
+const DatasetSpec& DatasetByName(const std::string& name);
+
+}  // namespace truss::datasets
+
+#endif  // TRUSS_DATASETS_DATASETS_H_

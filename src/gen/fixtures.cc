@@ -1,0 +1,110 @@
+#include "gen/fixtures.h"
+
+#include <unordered_map>
+
+#include "graph/types.h"
+
+namespace truss::gen {
+
+namespace {
+
+// Vertex ids for the Figure 2 example: a=0, b=1, ..., l=11.
+enum : VertexId { A, B, C, D, E, F, G_, H, I, J, K, L };
+
+}  // namespace
+
+std::string Figure2Fixture::VertexName(VertexId v) {
+  TRUSS_CHECK_LT(v, 12u);
+  return std::string(1, static_cast<char>('a' + v));
+}
+
+Figure2Fixture Figure2Graph() {
+  // Example 2 enumerates the classes explicitly:
+  //   Φ2 = {(i,k)}
+  //   Φ3 = {(d,g),(d,k),(d,l),(e,f),(e,g),(f,g),(g,h),(g,k),(g,l)}
+  //   Φ4 = {(f,h),(f,i),(f,j),(h,i),(h,j),(i,j)}
+  //   Φ5 = the clique {a,b,c,d,e}
+  struct Labeled {
+    Edge e;
+    uint32_t truss;
+  };
+  const std::vector<Labeled> labeled = {
+      {MakeEdge(I, K), 2},
+      {MakeEdge(D, G_), 3}, {MakeEdge(D, K), 3},  {MakeEdge(D, L), 3},
+      {MakeEdge(E, F), 3},  {MakeEdge(E, G_), 3}, {MakeEdge(F, G_), 3},
+      {MakeEdge(G_, H), 3}, {MakeEdge(G_, K), 3}, {MakeEdge(G_, L), 3},
+      {MakeEdge(F, H), 4},  {MakeEdge(F, I), 4},  {MakeEdge(F, J), 4},
+      {MakeEdge(H, I), 4},  {MakeEdge(H, J), 4},  {MakeEdge(I, J), 4},
+      {MakeEdge(A, B), 5},  {MakeEdge(A, C), 5},  {MakeEdge(A, D), 5},
+      {MakeEdge(A, E), 5},  {MakeEdge(B, C), 5},  {MakeEdge(B, D), 5},
+      {MakeEdge(B, E), 5},  {MakeEdge(C, D), 5},  {MakeEdge(C, E), 5},
+      {MakeEdge(D, E), 5},
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(labeled.size());
+  std::unordered_map<Edge, uint32_t, EdgeHash> truss_of;
+  for (const Labeled& le : labeled) {
+    edges.push_back(le.e);
+    truss_of.emplace(le.e, le.truss);
+  }
+
+  Figure2Fixture fx;
+  fx.graph = Graph::FromEdges(std::move(edges), 12);
+  fx.expected_truss.resize(fx.graph.num_edges());
+  for (EdgeId id = 0; id < fx.graph.num_edges(); ++id) {
+    fx.expected_truss[id] = truss_of.at(fx.graph.edge(id));
+  }
+  fx.expected_kmax = 5;
+  return fx;
+}
+
+std::vector<std::vector<VertexId>> ManagerFourTrussCliques() {
+  // The paper's cliques use 1-based manager numbers; subtract 1.
+  return {
+      {3, 7, 9, 17},    // {4, 8, 10, 18}
+      {3, 7, 17, 20},   // {4, 8, 18, 21}
+      {4, 9, 17, 18},   // {5, 10, 18, 19}
+      {6, 13, 17, 20},  // {7, 14, 18, 21}
+      {9, 14, 17, 18},  // {10, 15, 18, 19}
+  };
+}
+
+Graph ManagerAdviceGraph() {
+  // 1-based edge list; the dense core is exactly the union of the five
+  // 4-cliques above, and the periphery attaches the remaining managers with
+  // degree ≤ 4 and at most one triangle per edge so no additional 4-truss
+  // edges arise. Manager 1 has degree 2 and drops from the 3-core.
+  static const std::pair<int, int> kEdges1Based[] = {
+      // Clique-union core (22 edges).
+      {4, 8},   {4, 10},  {4, 18},  {8, 10},  {8, 18},  {10, 18},
+      {4, 21},  {8, 21},  {18, 21},
+      {5, 10},  {5, 18},  {5, 19},  {10, 19}, {18, 19},
+      {7, 14},  {7, 18},  {7, 21},  {14, 18}, {14, 21},
+      {10, 15}, {15, 18}, {15, 19},
+      // Periphery (24 edges). Manager 1's two advisors are deliberately
+      // non-adjacent (local CC 0), so dropping 1 from the 3-core raises the
+      // average clustering coefficient as in Example 1.
+      {1, 4},   {1, 19},
+      {2, 3},   {2, 21},  {2, 20},
+      {3, 6},   {3, 21},
+      {5, 6},   {6, 19},
+      {9, 10},  {9, 11},  {9, 15},
+      {10, 11}, {11, 12},
+      {12, 13}, {12, 14},
+      {13, 14}, {13, 16},
+      {7, 16},  {16, 17},
+      {7, 17},  {17, 20},
+      {15, 20}, {19, 20},
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(std::size(kEdges1Based));
+  for (const auto& [a, b] : kEdges1Based) {
+    edges.push_back(MakeEdge(static_cast<VertexId>(a - 1),
+                             static_cast<VertexId>(b - 1)));
+  }
+  return Graph::FromEdges(std::move(edges), 21);
+}
+
+}  // namespace truss::gen

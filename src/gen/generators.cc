@@ -1,0 +1,293 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace truss::gen {
+
+namespace {
+
+// Number of distinct unordered pairs over n vertices.
+uint64_t MaxEdges(VertexId n) {
+  return static_cast<uint64_t>(n) * (n - 1) / 2;
+}
+
+}  // namespace
+
+Graph ErdosRenyiGnm(VertexId n, uint64_t m, uint64_t seed) {
+  TRUSS_CHECK_GE(n, 2u);
+  TRUSS_CHECK_LE(m, MaxEdges(n));
+  Rng rng(seed);
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    const VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (a == b) continue;
+    const Edge e = MakeEdge(a, b);
+    if (seen.insert(e).second) edges.push_back(e);
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph ErdosRenyiGnp(VertexId n, double p, uint64_t seed) {
+  TRUSS_CHECK_GE(n, 2u);
+  TRUSS_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  if (p > 0.0) {
+    // Geometric skipping over the linearized pair index (Batagelj & Brandes).
+    const double log1mp = std::log(1.0 - p);
+    uint64_t idx = 0;
+    const uint64_t total = MaxEdges(n);
+    while (true) {
+      // Draw skip ~ Geometric(p).
+      const double r = rng.NextDouble();
+      const uint64_t skip =
+          p >= 1.0 ? 0
+                   : static_cast<uint64_t>(std::log(1.0 - r) / log1mp);
+      idx += skip;
+      if (idx >= total) break;
+      // Decode pair index -> (u, v). Row u holds pairs (u, u+1..n-1).
+      // Find u via the quadratic formula on cumulative row sizes.
+      const double nn = static_cast<double>(n);
+      const double x = static_cast<double>(idx);
+      VertexId u = static_cast<VertexId>(
+          nn - 2 -
+          std::floor(std::sqrt(-8.0 * x + 4.0 * nn * (nn - 1) - 7) / 2.0 -
+                     0.5));
+      // Guard against floating point off-by-one.
+      auto row_start = [&](VertexId r) {
+        return static_cast<uint64_t>(r) * n - static_cast<uint64_t>(r) * (r + 1) / 2;
+      };
+      while (u > 0 && row_start(u) > idx) --u;
+      while (row_start(u + 1) <= idx) ++u;
+      const VertexId v = static_cast<VertexId>(u + 1 + (idx - row_start(u)));
+      edges.push_back(Edge{u, v});
+      ++idx;
+    }
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, uint64_t seed) {
+  TRUSS_CHECK_GE(edges_per_vertex, 1u);
+  TRUSS_CHECK_GT(n, edges_per_vertex);
+  Rng rng(seed);
+
+  // Repeated-endpoints implementation: sampling a uniform element of the
+  // endpoint multiset is equivalent to degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  std::vector<Edge> edges;
+  const VertexId m0 = edges_per_vertex + 1;  // initial clique
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      edges.push_back(Edge{u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<Edge, EdgeHash> seen(edges.begin(), edges.end());
+  for (VertexId u = m0; u < n; ++u) {
+    uint32_t attached = 0;
+    while (attached < edges_per_vertex) {
+      const VertexId t = endpoints[rng.Uniform(endpoints.size())];
+      if (t == u) continue;
+      const Edge e = MakeEdge(u, t);
+      if (!seen.insert(e).second) continue;
+      edges.push_back(e);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+      ++attached;
+    }
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph RMat(uint32_t scale, uint64_t target_edges, double a, double b,
+           double c, uint64_t seed) {
+  TRUSS_CHECK_LE(scale, 28u);
+  const double d = 1.0 - a - b - c;
+  TRUSS_CHECK(d >= 0.0);
+  const VertexId n = static_cast<VertexId>(1u) << scale;
+  TRUSS_CHECK_LE(target_edges, MaxEdges(n));
+  Rng rng(seed);
+
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(target_edges * 2);
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+  // Rejection loop; duplicates and self-loops are re-drawn, which slightly
+  // flattens the core of the distribution but keeps exactly target_edges.
+  while (edges.size() < target_edges) {
+    VertexId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    const Edge e = MakeEdge(u, v);
+    if (seen.insert(e).second) edges.push_back(e);
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph WattsStrogatz(VertexId n, uint32_t k, double beta, uint64_t seed) {
+  TRUSS_CHECK_GE(n, 3u);
+  TRUSS_CHECK_GE(k, 1u);
+  TRUSS_CHECK_LT(2 * k, n);
+  Rng rng(seed);
+
+  std::unordered_set<Edge, EdgeHash> seen;
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      seen.insert(MakeEdge(u, (u + j) % n));
+    }
+  }
+  // Rewire each lattice edge's far endpoint with probability beta.
+  std::vector<Edge> lattice(seen.begin(), seen.end());
+  std::sort(lattice.begin(), lattice.end());
+  for (const Edge& e : lattice) {
+    if (!rng.Bernoulli(beta)) continue;
+    seen.erase(e);
+    VertexId w;
+    Edge replacement;
+    do {
+      w = static_cast<VertexId>(rng.Uniform(n));
+    } while (w == e.u || (replacement = MakeEdge(e.u, w), seen.count(replacement) > 0));
+    seen.insert(replacement);
+  }
+  std::vector<Edge> edges(seen.begin(), seen.end());
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph PlantedCommunities(uint32_t communities, uint32_t community_size,
+                         double p_in, uint64_t inter_edges, uint64_t seed) {
+  TRUSS_CHECK_GE(communities, 1u);
+  TRUSS_CHECK_GE(community_size, 2u);
+  Rng rng(seed);
+  const VertexId n = communities * community_size;
+
+  std::unordered_set<Edge, EdgeHash> seen;
+  std::vector<Edge> edges;
+  for (uint32_t cidx = 0; cidx < communities; ++cidx) {
+    const VertexId base = cidx * community_size;
+    for (VertexId i = 0; i < community_size; ++i) {
+      for (VertexId j = i + 1; j < community_size; ++j) {
+        if (rng.Bernoulli(p_in)) {
+          const Edge e{base + i, base + j};
+          if (seen.insert(e).second) edges.push_back(e);
+        }
+      }
+    }
+  }
+  uint64_t added = 0;
+  while (added < inter_edges) {
+    const VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    const VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (a == b || a / community_size == b / community_size) continue;
+    const Edge e = MakeEdge(a, b);
+    if (seen.insert(e).second) {
+      edges.push_back(e);
+      ++added;
+    }
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph PlantClique(const Graph& base, uint32_t clique_size, uint64_t seed) {
+  TRUSS_CHECK_LE(clique_size, base.num_vertices());
+  Rng rng(seed);
+  // Floyd's algorithm for a uniform size-k subset of 0..n-1.
+  std::unordered_set<VertexId> chosen;
+  const VertexId n = base.num_vertices();
+  for (VertexId j = n - clique_size; j < n; ++j) {
+    VertexId t = static_cast<VertexId>(rng.Uniform(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<VertexId> members(chosen.begin(), chosen.end());
+  std::sort(members.begin(), members.end());
+
+  std::vector<Edge> edges(base.edges().begin(), base.edges().end());
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      edges.push_back(Edge{members[i], members[j]});
+    }
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph AddEdges(const Graph& g, const std::vector<Edge>& extra) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  VertexId n = g.num_vertices();
+  for (const Edge& e : extra) {
+    edges.push_back(MakeEdge(e.u, e.v));
+    n = std::max(n, static_cast<VertexId>(std::max(e.u, e.v) + 1));
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph Complete(VertexId n) {
+  std::vector<Edge> edges;
+  edges.reserve(MaxEdges(n));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph Cycle(VertexId n) {
+  TRUSS_CHECK_GE(n, 3u);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (VertexId u = 0; u < n; ++u) edges.push_back(MakeEdge(u, (u + 1) % n));
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph Path(VertexId n) {
+  TRUSS_CHECK_GE(n, 2u);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (VertexId u = 0; u + 1 < n; ++u) edges.push_back(Edge{u, u + 1});
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph Star(VertexId n) {
+  TRUSS_CHECK_GE(n, 2u);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+Graph Grid(VertexId rows, VertexId cols) {
+  TRUSS_CHECK_GE(rows, 1u);
+  TRUSS_CHECK_GE(cols, 1u);
+  std::vector<Edge> edges;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back(Edge{id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph::FromEdges(std::move(edges), rows * cols);
+}
+
+}  // namespace truss::gen

@@ -1,0 +1,77 @@
+// Synthetic graph generators.
+//
+// These substitute for the paper's real-world datasets (see DESIGN.md §2):
+// Erdős–Rényi for flat-degree networks, Barabási–Albert and R-MAT for
+// power-law networks, Watts–Strogatz for high-clustering networks, and
+// planted cliques/communities to control kmax (a planted c-clique forces
+// kmax ≥ c because every edge of K_c has support c-2 inside it). Small
+// deterministic shapes (complete/cycle/star/grid) support unit tests.
+//
+// All generators are deterministic functions of their explicit seed.
+
+#ifndef TRUSS_GEN_GENERATORS_H_
+#define TRUSS_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace truss::gen {
+
+/// G(n, m): exactly `m` distinct edges sampled uniformly among the C(n,2)
+/// possible pairs. `m` must not exceed C(n,2).
+Graph ErdosRenyiGnm(VertexId n, uint64_t m, uint64_t seed);
+
+/// G(n, p): each pair independently an edge with probability p. Uses
+/// geometric skipping, O(m) expected time.
+Graph ErdosRenyiGnp(VertexId n, double p, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: starts from a small seed clique,
+/// then each new vertex attaches to `edges_per_vertex` existing vertices
+/// chosen proportionally to degree. Produces a power-law degree tail.
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, uint64_t seed);
+
+/// R-MAT / Kronecker-style recursive generator (used widely to mimic web and
+/// social graphs). Generates `target_edges` distinct undirected edges over
+/// 2^scale vertices with quadrant probabilities (a, b, c, implicit d).
+Graph RMat(uint32_t scale, uint64_t target_edges, double a, double b,
+           double c, uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side rewired with probability beta. High clustering coefficient.
+Graph WattsStrogatz(VertexId n, uint32_t k, double beta, uint64_t seed);
+
+/// Planted-community graph: `communities` groups of `community_size` vertices
+/// wired internally with probability p_in, plus `inter_edges` random
+/// cross-community edges. Yields strong k-trusses inside communities.
+Graph PlantedCommunities(uint32_t communities, uint32_t community_size,
+                         double p_in, uint64_t inter_edges, uint64_t seed);
+
+/// Returns `base` with an additional clique planted on `clique_size`
+/// distinct random vertices. Guarantees kmax(result) ≥ clique_size.
+Graph PlantClique(const Graph& base, uint32_t clique_size, uint64_t seed);
+
+/// Union of `g` and extra explicit edges.
+Graph AddEdges(const Graph& g, const std::vector<Edge>& extra);
+
+// --- small deterministic shapes for tests -------------------------------
+
+/// Complete graph K_n. kmax(K_n) = n (every edge in n-2 triangles).
+Graph Complete(VertexId n);
+
+/// Cycle C_n (n ≥ 3). Triangle-free for n > 3, so kmax = 2.
+Graph Cycle(VertexId n);
+
+/// Path P_n (n-1 edges). kmax = 2.
+Graph Path(VertexId n);
+
+/// Star S_n: one hub, n-1 leaves. Triangle-free, kmax = 2.
+Graph Star(VertexId n);
+
+/// rows×cols grid graph. Triangle-free, kmax = 2.
+Graph Grid(VertexId rows, VertexId cols);
+
+}  // namespace truss::gen
+
+#endif  // TRUSS_GEN_GENERATORS_H_

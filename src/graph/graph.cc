@@ -1,0 +1,86 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace truss {
+
+Graph Graph::FromEdges(std::vector<Edge> edges, VertexId num_vertices) {
+  // Normalize: sort lexicographically and drop duplicates. EdgeId order is
+  // therefore the lexicographic order of (u, v) pairs.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  VertexId n = num_vertices;
+  for (const Edge& e : edges) {
+    TRUSS_CHECK_LT(e.u, e.v);
+    if (e.v + 1 > n) n = e.v + 1;
+  }
+
+  Graph g;
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+
+  // Two-pass CSR construction: count degrees, prefix-sum, then fill slots.
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t v = 1; v < g.offsets_.size(); ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  g.adj_.resize(g.offsets_.back());
+
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adj_[cursor[e.u]++] = AdjEntry{e.v, id};
+    g.adj_[cursor[e.v]++] = AdjEntry{e.u, id};
+  }
+
+  // Filling in ascending EdgeId order yields neighbor lists sorted by
+  // neighbor ID automatically for the `u` side (edges sorted by (u, v)), but
+  // not for the `v` side, so sort each list explicitly.
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [](const AdjEntry& a, const AdjEntry& b) {
+      return a.neighbor < b.neighbor;
+    });
+  }
+  return g;
+}
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  if (u == v || u >= num_vertices() || v >= num_vertices()) {
+    return kInvalidEdge;
+  }
+  // Search the shorter adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const AdjEntry& a, VertexId target) { return a.neighbor < target; });
+  if (it != adj.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+uint64_t Graph::SizeBytes() const {
+  return offsets_.size() * sizeof(uint64_t) + adj_.size() * sizeof(AdjEntry) +
+         edges_.size() * sizeof(Edge);
+}
+
+void GraphBuilder::AddEdge(VertexId a, VertexId b) {
+  if (a == b) return;
+  pending_.push_back(MakeEdge(a, b));
+  const VertexId hi = std::max(a, b);
+  if (hi + 1 > num_vertices_) num_vertices_ = hi + 1;
+}
+
+Graph GraphBuilder::Build() {
+  Graph g = Graph::FromEdges(std::move(pending_), num_vertices_);
+  pending_.clear();
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace truss

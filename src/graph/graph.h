@@ -1,0 +1,109 @@
+// Immutable in-memory graph in CSR (compressed sparse row) form, plus the
+// mutable builder that constructs it.
+//
+// Matches the paper's storage model (§2): undirected, unweighted, simple;
+// adjacency lists sorted in ascending order of neighbor ID. Every edge has a
+// dense EdgeId assigned in lexicographic (u, v) order of its normalized form,
+// so algorithms keep per-edge state in flat vectors indexed by EdgeId.
+
+#ifndef TRUSS_GRAPH_GRAPH_H_
+#define TRUSS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace truss {
+
+/// Immutable undirected simple graph. Construct via GraphBuilder or
+/// Graph::FromEdges.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Builds a graph from an edge list. Self-loops are rejected by MakeEdge;
+  /// parallel edges are deduplicated. `num_vertices` may exceed the largest
+  /// endpoint + 1 to include isolated vertices; pass 0 to infer it.
+  static Graph FromEdges(std::vector<Edge> edges, VertexId num_vertices = 0);
+
+  /// Number of vertices n (IDs are 0..n-1).
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m.
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// The paper's |G| = n + m.
+  uint64_t PaperSize() const {
+    return static_cast<uint64_t>(num_vertices()) + num_edges();
+  }
+
+  /// Degree of vertex v.
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Adjacency list of v, sorted by ascending neighbor ID.
+  std::span<const AdjEntry> neighbors(VertexId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Endpoints of edge id `e` in normalized (u < v) form.
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// All edges, sorted lexicographically; EdgeId i is edges()[i].
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Finds the edge id joining u and v via binary search on the sorted
+  /// adjacency of the lower-degree endpoint; returns kInvalidEdge if absent.
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  bool HasEdge(VertexId u, VertexId v) const {
+    return FindEdge(u, v) != kInvalidEdge;
+  }
+
+  /// Total number of directed adjacency slots (2m).
+  size_t adjacency_size() const { return adj_.size(); }
+
+  /// Approximate heap footprint of this graph in bytes.
+  uint64_t SizeBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  // offsets_[v]..offsets_[v+1] delimit v's slice of adj_.
+  std::vector<uint64_t> offsets_;
+  std::vector<AdjEntry> adj_;
+  std::vector<Edge> edges_;
+};
+
+/// Accumulates edges, then produces a normalized Graph. Duplicate edges and
+/// both orientations of the same pair collapse into one undirected edge.
+class GraphBuilder {
+ public:
+  /// `num_vertices` is a lower bound; AddEdge grows it as needed.
+  explicit GraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds the undirected edge {a, b}. Silently ignores self-loops (a == b),
+  /// matching how network datasets with noisy rows are normally ingested.
+  void AddEdge(VertexId a, VertexId b);
+
+  /// Number of edge insertions accepted so far (before deduplication).
+  size_t pending_edges() const { return pending_.size(); }
+
+  /// Builds the graph. The builder is left empty and reusable.
+  Graph Build();
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> pending_;
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_GRAPH_GRAPH_H_

@@ -1,0 +1,85 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace truss {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<uint32_t> degrees(n);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.degree(v);
+    stats.max = std::max(stats.max, degrees[v]);
+    total += degrees[v];
+  }
+  auto mid = degrees.begin() + (n - 1) / 2;
+  std::nth_element(degrees.begin(), mid, degrees.end());
+  stats.median = *mid;
+  stats.mean = static_cast<double>(total) / n;
+  return stats;
+}
+
+double LocalClusteringCoefficient(const Graph& g, VertexId v) {
+  const uint32_t deg = g.degree(v);
+  if (deg < 2) return 0.0;
+
+  // Count edges among v's neighbors via sorted-adjacency intersection.
+  uint64_t links = 0;
+  const auto adj = g.neighbors(v);
+  for (size_t i = 0; i < adj.size(); ++i) {
+    for (size_t j = i + 1; j < adj.size(); ++j) {
+      if (g.HasEdge(adj[i].neighbor, adj[j].neighbor)) ++links;
+    }
+  }
+  const double possible = 0.5 * deg * (deg - 1);
+  return static_cast<double>(links) / possible;
+}
+
+double AverageClusteringCoefficient(const Graph& g, bool include_low_degree) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+
+  double sum = 0.0;
+  uint64_t counted = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) < 2) {
+      if (include_low_degree) ++counted;  // contributes 0
+      continue;
+    }
+    sum += LocalClusteringCoefficient(g, v);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+uint64_t CountConnectedComponents(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack;
+  uint64_t components = 0;
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    ++components;
+    visited[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const AdjEntry& a : g.neighbors(v)) {
+        if (!visited[a.neighbor]) {
+          visited[a.neighbor] = true;
+          stack.push_back(a.neighbor);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace truss

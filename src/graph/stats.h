@@ -1,0 +1,43 @@
+// Structural statistics: degree summaries, clustering coefficients,
+// connected components.
+//
+// These feed Table 2 (dataset statistics), Table 6 (CC of the kmax-truss vs
+// the cmax-core), and Example 1 (CC of G vs 3-core vs 4-truss).
+
+#ifndef TRUSS_GRAPH_STATS_H_
+#define TRUSS_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace truss {
+
+/// Degree summary of a graph.
+struct DegreeStats {
+  uint32_t max = 0;
+  uint32_t median = 0;
+  double mean = 0.0;
+};
+
+/// Computes max / median / mean degree. Median uses the lower middle element
+/// of the sorted degree sequence (matching the paper's integer d_med).
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// Local clustering coefficient of v: triangles(v) / C(deg(v), 2).
+/// Returns 0 for vertices of degree < 2.
+double LocalClusteringCoefficient(const Graph& g, VertexId v);
+
+/// Watts–Strogatz average clustering coefficient [33]: the mean of local
+/// coefficients. When `include_low_degree` is true (the networkx convention,
+/// used throughout the repo), vertices of degree < 2 contribute 0; otherwise
+/// they are excluded from the average.
+double AverageClusteringCoefficient(const Graph& g,
+                                    bool include_low_degree = true);
+
+/// Number of connected components (isolated vertices count as components).
+uint64_t CountConnectedComponents(const Graph& g);
+
+}  // namespace truss
+
+#endif  // TRUSS_GRAPH_STATS_H_

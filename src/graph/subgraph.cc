@@ -1,0 +1,166 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace truss {
+
+namespace {
+
+// Sorted, deduplicated copy of a vertex list.
+std::vector<VertexId> SortedUnique(std::span<const VertexId> vertices) {
+  std::vector<VertexId> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+Subgraph InducedSubgraph(const Graph& g, std::span<const VertexId> vertices) {
+  const std::vector<VertexId> verts = SortedUnique(vertices);
+
+  std::unordered_map<VertexId, VertexId> to_local;
+  to_local.reserve(verts.size());
+  for (VertexId i = 0; i < verts.size(); ++i) to_local.emplace(verts[i], i);
+
+  std::vector<Edge> local_edges;
+  std::vector<EdgeId> edge_to_parent;
+  for (VertexId local_u = 0; local_u < verts.size(); ++local_u) {
+    const VertexId u = verts[local_u];
+    for (const AdjEntry& a : g.neighbors(u)) {
+      if (a.neighbor <= u) continue;  // visit each parent edge once, from u<v
+      auto it = to_local.find(a.neighbor);
+      if (it == to_local.end()) continue;
+      local_edges.push_back(MakeEdge(local_u, it->second));
+      edge_to_parent.push_back(a.edge);
+    }
+  }
+
+  // Graph::FromEdges sorts edges; sort the parent map the same way so that
+  // local EdgeId i still corresponds to edge_to_parent[i].
+  std::vector<size_t> order(local_edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return local_edges[a] < local_edges[b];
+  });
+  std::vector<Edge> sorted_edges(local_edges.size());
+  std::vector<EdgeId> sorted_map(local_edges.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_edges[i] = local_edges[order[i]];
+    sorted_map[i] = edge_to_parent[order[i]];
+  }
+
+  Subgraph out;
+  out.graph = Graph::FromEdges(std::move(sorted_edges),
+                               static_cast<VertexId>(verts.size()));
+  out.vertex_to_parent = verts;
+  out.edge_to_parent = std::move(sorted_map);
+  return out;
+}
+
+Subgraph SubgraphFromEdges(const Graph& g, std::span<const EdgeId> edge_ids) {
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(edge_ids.size() * 2);
+  for (EdgeId id : edge_ids) {
+    endpoints.push_back(g.edge(id).u);
+    endpoints.push_back(g.edge(id).v);
+  }
+  const std::vector<VertexId> verts = SortedUnique(endpoints);
+
+  std::unordered_map<VertexId, VertexId> to_local;
+  to_local.reserve(verts.size());
+  for (VertexId i = 0; i < verts.size(); ++i) to_local.emplace(verts[i], i);
+
+  // Deduplicate edge ids, then translate endpoints.
+  std::vector<EdgeId> ids(edge_ids.begin(), edge_ids.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::vector<Edge> local_edges;
+  local_edges.reserve(ids.size());
+  for (EdgeId id : ids) {
+    const Edge& e = g.edge(id);
+    local_edges.push_back(MakeEdge(to_local.at(e.u), to_local.at(e.v)));
+  }
+
+  // Parent edge ids are sorted, and translating preserves lexicographic
+  // order because the vertex renumbering verts→local is monotone.
+  Subgraph out;
+  out.graph = Graph::FromEdges(std::move(local_edges),
+                               static_cast<VertexId>(verts.size()));
+  out.vertex_to_parent = verts;
+  out.edge_to_parent = std::move(ids);
+  TRUSS_CHECK_EQ(out.graph.num_edges(), out.edge_to_parent.size());
+  return out;
+}
+
+NeighborhoodSubgraph ExtractNeighborhoodSubgraph(
+    const Graph& g, std::span<const VertexId> internal_vertices) {
+  const std::vector<VertexId> internal = SortedUnique(internal_vertices);
+
+  // Collect external frontier: neighbors of U outside U.
+  std::vector<VertexId> external;
+  for (VertexId u : internal) {
+    for (const AdjEntry& a : g.neighbors(u)) {
+      if (!std::binary_search(internal.begin(), internal.end(), a.neighbor)) {
+        external.push_back(a.neighbor);
+      }
+    }
+  }
+  std::sort(external.begin(), external.end());
+  external.erase(std::unique(external.begin(), external.end()),
+                 external.end());
+
+  // Local numbering: internal vertices first (ascending), then external.
+  std::unordered_map<VertexId, VertexId> to_local;
+  to_local.reserve(internal.size() + external.size());
+  std::vector<VertexId> vertex_to_parent;
+  vertex_to_parent.reserve(internal.size() + external.size());
+  for (VertexId u : internal) {
+    to_local.emplace(u, static_cast<VertexId>(vertex_to_parent.size()));
+    vertex_to_parent.push_back(u);
+  }
+  for (VertexId u : external) {
+    to_local.emplace(u, static_cast<VertexId>(vertex_to_parent.size()));
+    vertex_to_parent.push_back(u);
+  }
+
+  // ENS(U) = edges with at least one endpoint in U (Definition 4).
+  std::vector<Edge> local_edges;
+  std::vector<EdgeId> edge_to_parent;
+  for (VertexId u : internal) {
+    for (const AdjEntry& a : g.neighbors(u)) {
+      const bool nb_internal = std::binary_search(
+          internal.begin(), internal.end(), a.neighbor);
+      // Emit each edge once: internal-internal edges from the smaller
+      // endpoint; internal-external edges from the internal endpoint.
+      if (nb_internal && a.neighbor < u) continue;
+      local_edges.push_back(MakeEdge(to_local.at(u), to_local.at(a.neighbor)));
+      edge_to_parent.push_back(a.edge);
+    }
+  }
+
+  std::vector<size_t> order(local_edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return local_edges[a] < local_edges[b];
+  });
+  std::vector<Edge> sorted_edges(local_edges.size());
+  std::vector<EdgeId> sorted_map(local_edges.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_edges[i] = local_edges[order[i]];
+    sorted_map[i] = edge_to_parent[order[i]];
+  }
+
+  NeighborhoodSubgraph out;
+  out.sub.graph =
+      Graph::FromEdges(std::move(sorted_edges),
+                       static_cast<VertexId>(vertex_to_parent.size()));
+  out.sub.vertex_to_parent = std::move(vertex_to_parent);
+  out.sub.edge_to_parent = std::move(sorted_map);
+  out.internal_vertex_count = static_cast<VertexId>(internal.size());
+  return out;
+}
+
+}  // namespace truss

@@ -1,0 +1,61 @@
+// Subgraph extraction with mappings back to the parent graph.
+//
+// Used pervasively: the k-truss / k-class subgraphs (Definition 2/3), the
+// neighborhood subgraphs NS(U) of the external algorithms (Definition 4),
+// and the max-core / max-truss comparisons of §7.4.
+
+#ifndef TRUSS_GRAPH_SUBGRAPH_H_
+#define TRUSS_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace truss {
+
+/// A subgraph re-indexed with compact local IDs, plus the local→parent maps.
+struct Subgraph {
+  Graph graph;
+  /// vertex_to_parent[local v] = parent vertex id. Sorted ascending.
+  std::vector<VertexId> vertex_to_parent;
+  /// edge_to_parent[local e] = parent edge id.
+  std::vector<EdgeId> edge_to_parent;
+};
+
+/// Induced subgraph G[U]: vertices U and every parent edge with both
+/// endpoints in U. Duplicate vertices in `vertices` are tolerated.
+Subgraph InducedSubgraph(const Graph& g, std::span<const VertexId> vertices);
+
+/// Subgraph formed by an edge subset: its vertex set is exactly the set of
+/// endpoints of `edge_ids` (Definition 2 builds k-trusses this way: the
+/// subgraph formed by the union of k-classes).
+Subgraph SubgraphFromEdges(const Graph& g, std::span<const EdgeId> edge_ids);
+
+/// Neighborhood subgraph NS(U) (Definition 4): vertices U ∪ nb(U); edges
+/// {(u,v) ∈ E : u ∈ U}. Local vertex IDs are assigned with all of U first
+/// (so `internal_vertex_count` prefix-classifies internality); edges whose
+/// both endpoints lie in U are the internal edges.
+struct NeighborhoodSubgraph {
+  Subgraph sub;
+  /// Local vertex ids < internal_vertex_count are internal (members of U).
+  VertexId internal_vertex_count = 0;
+
+  /// True iff local vertex id is internal.
+  bool IsInternalVertex(VertexId local_v) const {
+    return local_v < internal_vertex_count;
+  }
+  /// True iff the local edge has both endpoints internal.
+  bool IsInternalEdge(EdgeId local_e) const {
+    const Edge& e = sub.graph.edge(local_e);
+    return IsInternalVertex(e.u) && IsInternalVertex(e.v);
+  }
+};
+
+/// Extracts NS(U) from an in-memory graph. `U` may contain duplicates.
+NeighborhoodSubgraph ExtractNeighborhoodSubgraph(
+    const Graph& g, std::span<const VertexId> internal_vertices);
+
+}  // namespace truss
+
+#endif  // TRUSS_GRAPH_SUBGRAPH_H_

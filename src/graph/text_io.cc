@@ -1,0 +1,71 @@
+#include "graph/text_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <unordered_map>
+
+namespace truss {
+
+Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+
+  std::unordered_map<uint64_t, VertexId> compact;
+  std::vector<uint64_t> original_id;
+  GraphBuilder builder;
+
+  auto intern = [&](uint64_t label) {
+    auto [it, inserted] =
+        compact.emplace(label, static_cast<VertexId>(original_id.size()));
+    if (inserted) original_id.push_back(label);
+    return it->second;
+  };
+
+  char line[512];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0' || *p == '#') continue;  // blank or comment
+
+    unsigned long long a = 0, b = 0;
+    if (std::sscanf(p, "%llu %llu", &a, &b) != 2) {
+      std::fclose(f);
+      return Status::Corruption("malformed row " + std::to_string(line_no) +
+                                " in " + path);
+    }
+    if (a == b) continue;  // drop self-loops, as the simple-graph model does
+    // Sequence the interning so compact ids follow first-seen order
+    // (function-argument evaluation order would be unspecified).
+    const VertexId ua = intern(a);
+    const VertexId ub = intern(b);
+    builder.AddEdge(ua, ub);
+  }
+  std::fclose(f);
+
+  LoadedGraph out;
+  out.graph = builder.Build();
+  out.original_id = std::move(original_id);
+  return out;
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "# Undirected edge list: %u vertices, %u edges\n",
+               g.num_vertices(), g.num_edges());
+  for (const Edge& e : g.edges()) {
+    std::fprintf(f, "%u %u\n", e.u, e.v);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("error closing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace truss

@@ -1,0 +1,35 @@
+// SNAP-style text edge-list ingestion and export.
+//
+// The paper's datasets come from snap.stanford.edu in whitespace-separated
+// "u v" rows with '#' comment lines. Vertex IDs in such files are arbitrary;
+// we compact them to 0..n-1 and return the mapping.
+
+#ifndef TRUSS_GRAPH_TEXT_IO_H_
+#define TRUSS_GRAPH_TEXT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace truss {
+
+/// Result of parsing a text edge list.
+struct LoadedGraph {
+  Graph graph;
+  /// original_id[compact v] = the vertex label used in the file.
+  std::vector<uint64_t> original_id;
+};
+
+/// Reads a SNAP-format edge list ('#'-comments, "u v" rows; directed rows are
+/// collapsed to undirected simple edges). Fails with IOError / Corruption on
+/// unreadable files or malformed rows.
+Result<LoadedGraph> ReadSnapEdgeList(const std::string& path);
+
+/// Writes `g` as a text edge list (one "u v" row per edge, u < v).
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace truss
+
+#endif  // TRUSS_GRAPH_TEXT_IO_H_

@@ -1,0 +1,61 @@
+// Fundamental vertex/edge types shared by every module.
+//
+// The paper (§2) works with undirected, unweighted simple graphs whose
+// adjacency lists are sorted by vertex ID. We represent an undirected edge as
+// a normalized pair (u < v) and give every edge a dense EdgeId so per-edge
+// algorithm state (support, truss number, bounds) lives in flat arrays.
+
+#ifndef TRUSS_GRAPH_TYPES_H_
+#define TRUSS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace truss {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// An undirected edge stored with u < v (normalized form).
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Builds a normalized edge from an unordered endpoint pair.
+/// Endpoints must differ (the graph model has no self-loops).
+inline Edge MakeEdge(VertexId a, VertexId b) {
+  TRUSS_CHECK_NE(a, b);
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+/// Hash functor for Edge, for use in unordered containers.
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    // Pack into 64 bits then finalize with a SplitMix64-style mixer.
+    uint64_t z = (static_cast<uint64_t>(e.u) << 32) | e.v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+/// One adjacency-list slot: the neighbor and the id of the connecting edge.
+struct AdjEntry {
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_GRAPH_TYPES_H_

@@ -1,0 +1,84 @@
+// On-disk record formats used by the external-memory truss algorithms.
+//
+// The shrinking input graph G of the lower-bounding stage (Algorithm 3) is a
+// file of GEdgeRecord sorted by (u, v); the classified working graph Gnew of
+// the decomposition stages is a file of GnewRecord. Records are fixed-size
+// PODs written through BlockWriter, so scan(N) block accounting is exact.
+
+#ifndef TRUSS_IO_EDGE_RECORDS_H_
+#define TRUSS_IO_EDGE_RECORDS_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace truss::io {
+
+/// Edge of the shrinking graph G during lower/upper bounding.
+/// `sup_acc` accumulates exact triangle credits across iterations (DESIGN.md
+/// §3.1); `phi_lb` is the best known truss-number lower bound φ(e).
+struct GEdgeRecord {
+  VertexId u = 0;
+  VertexId v = 0;
+  uint32_t sup_acc = 0;
+  uint32_t phi_lb = 2;
+
+  friend bool operator==(const GEdgeRecord&, const GEdgeRecord&) = default;
+};
+
+/// Edge of Gnew. `label` is φ(e) for the bottom-up algorithm and the exact
+/// support sup(e) for the top-down algorithm. `aux` is unused by bottom-up;
+/// top-down stores the upper bound ψ(e). `cls` is the assigned truss class
+/// (0 while unknown) — only the top-down algorithm keeps classified edges
+/// around (Procedure 8, Steps 7-9).
+struct GnewRecord {
+  VertexId u = 0;
+  VertexId v = 0;
+  uint32_t label = 0;
+  uint32_t aux = 0;
+  uint32_t cls = 0;
+
+  friend bool operator==(const GnewRecord&, const GnewRecord&) = default;
+};
+
+/// Support/bound delta spilled while processing one partition part and
+/// merge-joined into G at the end of an iteration.
+struct DeltaRecord {
+  VertexId u = 0;
+  VertexId v = 0;
+  uint32_t sup_delta = 0;
+  uint32_t phi_cand = 0;
+};
+
+/// Final classification output: one record per original edge.
+struct ClassRecord {
+  VertexId u = 0;
+  VertexId v = 0;
+  uint32_t truss = 0;
+};
+
+/// Lexicographic (u, v) comparators shared by the external sorts.
+struct ByEdgeLess {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+/// One (endpoint, support) incidence emitted per edge side during the
+/// upper-bounding stage (Procedure 6); grouping by vertex yields the
+/// support multiset from which the per-vertex h-index profile is computed.
+struct IncidenceRecord {
+  VertexId vertex = 0;
+  uint32_t sup = 0;
+};
+
+struct ByVertexSupLess {
+  bool operator()(const IncidenceRecord& a, const IncidenceRecord& b) const {
+    return a.vertex != b.vertex ? a.vertex < b.vertex : a.sup < b.sup;
+  }
+};
+
+}  // namespace truss::io
+
+#endif  // TRUSS_IO_EDGE_RECORDS_H_

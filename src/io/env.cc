@@ -1,0 +1,168 @@
+#include "io/env.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+namespace truss::io {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- reader --
+
+BlockReader::BlockReader(std::FILE* f, size_t block_size, IoStats* stats)
+    : file_(f), stats_(stats), buffer_(block_size) {}
+
+BlockReader::~BlockReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool BlockReader::Fill() {
+  if (eof_) return false;
+  limit_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+  pos_ = 0;
+  if (limit_ == 0) {
+    eof_ = true;
+    return false;
+  }
+  ++stats_->block_reads;
+  stats_->bytes_read += limit_;
+  return true;
+}
+
+size_t BlockReader::Read(void* out, size_t n) {
+  char* dst = static_cast<char*>(out);
+  size_t total = 0;
+  while (total < n) {
+    if (pos_ == limit_ && !Fill()) break;
+    const size_t take = std::min(n - total, limit_ - pos_);
+    std::memcpy(dst + total, buffer_.data() + pos_, take);
+    pos_ += take;
+    total += take;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- writer --
+
+BlockWriter::BlockWriter(std::FILE* f, size_t block_size, IoStats* stats)
+    : file_(f), stats_(stats), buffer_(block_size) {}
+
+BlockWriter::~BlockWriter() {
+  // Flush-and-close on destruction so error paths that unwind past a writer
+  // do not lose buffered data or leak the handle. Errors are swallowed
+  // here; callers that care about write durability must call Close().
+  if (file_ != nullptr) {
+    FlushBlock();
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void BlockWriter::FlushBlock() {
+  if (pos_ == 0) return;
+  const size_t wrote = std::fwrite(buffer_.data(), 1, pos_, file_);
+  TRUSS_CHECK_EQ(wrote, pos_);
+  ++stats_->block_writes;
+  stats_->bytes_written += pos_;
+  pos_ = 0;
+}
+
+void BlockWriter::Write(const void* data, size_t n) {
+  const char* src = static_cast<const char*>(data);
+  size_t total = 0;
+  while (total < n) {
+    const size_t take = std::min(n - total, buffer_.size() - pos_);
+    std::memcpy(buffer_.data() + pos_, src + total, take);
+    pos_ += take;
+    total += take;
+    if (pos_ == buffer_.size()) FlushBlock();
+  }
+}
+
+Status BlockWriter::Close() {
+  FlushBlock();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed");
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- env --
+
+Env::Env(std::string root_dir, size_t block_size)
+    : root_(std::move(root_dir)), block_size_(block_size) {
+  TRUSS_CHECK_GE(block_size_, 64u);
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  TRUSS_CHECK(!ec);
+}
+
+Env::~Env() = default;
+
+std::string Env::FullPath(const std::string& name) const {
+  return (fs::path(root_) / name).string();
+}
+
+Result<std::unique_ptr<BlockReader>> Env::OpenReader(const std::string& name) {
+  std::FILE* f = std::fopen(FullPath(name).c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + name);
+  }
+  return std::unique_ptr<BlockReader>(
+      new BlockReader(f, block_size_, &stats_));
+}
+
+Result<std::unique_ptr<BlockWriter>> Env::OpenWriter(const std::string& name) {
+  std::FILE* f = std::fopen(FullPath(name).c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + name);
+  }
+  ++stats_.files_created;
+  created_.push_back(name);
+  return std::unique_ptr<BlockWriter>(
+      new BlockWriter(f, block_size_, &stats_));
+}
+
+bool Env::FileExists(const std::string& name) const {
+  std::error_code ec;
+  return fs::exists(FullPath(name), ec);
+}
+
+Result<uint64_t> Env::FileSize(const std::string& name) const {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(FullPath(name), ec);
+  if (ec) return Status::IOError("cannot stat " + name);
+  return size;
+}
+
+Status Env::DeleteFile(const std::string& name) {
+  std::error_code ec;
+  if (!fs::remove(FullPath(name), ec) || ec) {
+    return Status::IOError("cannot delete " + name);
+  }
+  ++stats_.files_deleted;
+  return Status::OK();
+}
+
+Status Env::RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(FullPath(from), FullPath(to), ec);
+  if (ec) return Status::IOError("cannot rename " + from + " -> " + to);
+  created_.push_back(to);
+  return Status::OK();
+}
+
+std::string Env::TempName(const std::string& prefix) {
+  return prefix + "." + std::to_string(temp_counter_++) + ".tmp";
+}
+
+void Env::CleanupAll() {
+  for (const std::string& name : created_) {
+    std::error_code ec;
+    fs::remove(FullPath(name), ec);
+  }
+  created_.clear();
+}
+
+}  // namespace truss::io

@@ -1,0 +1,169 @@
+// Counting file environment implementing the paper's I/O model (§2, [2]).
+//
+// All disk traffic of the external-memory algorithms flows through an Env so
+// that cost is measured in block transfers: reading/writing N bytes costs
+// ⌈N/B⌉ I/Os (scan(N) = Θ(N/B)). BlockReader/BlockWriter are sequential,
+// buffered streams whose buffer is exactly one block; every buffer fill or
+// flush increments the shared IoStats. The design follows the RocksDB Env
+// idiom: algorithms receive an Env and never touch the filesystem directly,
+// which also centralizes temp-file management for tests.
+
+#ifndef TRUSS_IO_ENV_H_
+#define TRUSS_IO_ENV_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace truss::io {
+
+/// Cumulative I/O counters, shared by all streams of an Env.
+struct IoStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t block_reads = 0;
+  uint64_t block_writes = 0;
+  uint64_t files_created = 0;
+  uint64_t files_deleted = 0;
+
+  uint64_t total_blocks() const { return block_reads + block_writes; }
+
+  IoStats& operator+=(const IoStats& o) {
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    block_reads += o.block_reads;
+    block_writes += o.block_writes;
+    files_created += o.files_created;
+    files_deleted += o.files_deleted;
+    return *this;
+  }
+};
+
+/// Per-field difference `end - start`, for attributing I/O to one phase.
+inline IoStats DiffStats(const IoStats& end, const IoStats& start) {
+  IoStats d;
+  d.bytes_read = end.bytes_read - start.bytes_read;
+  d.bytes_written = end.bytes_written - start.bytes_written;
+  d.block_reads = end.block_reads - start.block_reads;
+  d.block_writes = end.block_writes - start.block_writes;
+  d.files_created = end.files_created - start.files_created;
+  d.files_deleted = end.files_deleted - start.files_deleted;
+  return d;
+}
+
+class Env;  // forward declaration for the stream constructors
+
+/// Sequential block-buffered reader. Obtain via Env::OpenReader.
+class BlockReader {
+ public:
+  ~BlockReader();
+
+  /// Reads up to `n` bytes into `out`; returns the count actually read
+  /// (0 at end of file).
+  size_t Read(void* out, size_t n);
+
+  /// Reads exactly sizeof(T) bytes into a trivially copyable record.
+  /// Returns false cleanly at end of file; aborts on a torn record.
+  template <typename T>
+  bool ReadRecord(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t got = Read(out, sizeof(T));
+    if (got == 0) return false;
+    TRUSS_CHECK_EQ(got, sizeof(T));
+    return true;
+  }
+
+ private:
+  friend class Env;
+  BlockReader(std::FILE* f, size_t block_size, IoStats* stats);
+
+  bool Fill();
+
+  std::FILE* file_;
+  IoStats* stats_;
+  std::vector<char> buffer_;
+  size_t pos_ = 0;
+  size_t limit_ = 0;
+  bool eof_ = false;
+};
+
+/// Sequential block-buffered writer. Obtain via Env::OpenWriter.
+class BlockWriter {
+ public:
+  ~BlockWriter();
+
+  void Write(const void* data, size_t n);
+
+  template <typename T>
+  void WriteRecord(const T& rec) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write(&rec, sizeof(T));
+  }
+
+  /// Flushes the final partial block and closes the file, reporting any
+  /// error. The destructor also flushes and closes, but silently; call
+  /// Close() whenever write durability matters.
+  Status Close();
+
+ private:
+  friend class Env;
+  BlockWriter(std::FILE* f, size_t block_size, IoStats* stats);
+
+  void FlushBlock();
+
+  std::FILE* file_;
+  IoStats* stats_;
+  std::vector<char> buffer_;
+  size_t pos_ = 0;
+};
+
+/// File environment rooted at a directory, with a single block size B.
+class Env {
+ public:
+  /// Creates (or reuses) `root_dir` as the working directory.
+  /// `block_size` is B of the I/O model.
+  explicit Env(std::string root_dir, size_t block_size = 64 * 1024);
+  ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  size_t block_size() const { return block_size_; }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  /// Opens `name` (relative to the root) for sequential reading.
+  Result<std::unique_ptr<BlockReader>> OpenReader(const std::string& name);
+
+  /// Opens `name` for writing (truncates).
+  Result<std::unique_ptr<BlockWriter>> OpenWriter(const std::string& name);
+
+  bool FileExists(const std::string& name) const;
+  Result<uint64_t> FileSize(const std::string& name) const;
+  Status DeleteFile(const std::string& name);
+  Status RenameFile(const std::string& from, const std::string& to);
+
+  /// Returns a unique file name with the given prefix (not yet created).
+  std::string TempName(const std::string& prefix);
+
+  /// Absolute path of a file name under this Env's root.
+  std::string FullPath(const std::string& name) const;
+
+  /// Deletes every file under the root that was created via this Env.
+  void CleanupAll();
+
+ private:
+  std::string root_;
+  size_t block_size_;
+  IoStats stats_;
+  uint64_t temp_counter_ = 0;
+  std::vector<std::string> created_;
+};
+
+}  // namespace truss::io
+
+#endif  // TRUSS_IO_ENV_H_

@@ -1,0 +1,101 @@
+#include "kcore/kcore.h"
+
+#include <algorithm>
+
+namespace truss {
+
+std::vector<VertexId> CoreDecomposition::CoreVertices(uint32_t k) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+CoreDecomposition DecomposeCores(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  CoreDecomposition result;
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bin-sort vertices by degree: vert[] holds vertices ordered by current
+  // degree, pos[] the position of each vertex, bin_start[d] the first
+  // position of degree-d vertices.
+  uint32_t max_deg = 0;
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  std::vector<uint64_t> bin_start(max_deg + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin_start[deg[v] + 1];
+  for (uint32_t d = 1; d <= max_deg + 1; ++d) bin_start[d] += bin_start[d - 1];
+
+  std::vector<VertexId> vert(n);
+  std::vector<uint64_t> pos(n);
+  {
+    std::vector<uint64_t> cursor(bin_start.begin(), bin_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    result.core[v] = deg[v];
+    result.cmax = std::max(result.cmax, deg[v]);
+    for (const AdjEntry& a : g.neighbors(v)) {
+      const VertexId u = a.neighbor;
+      if (deg[u] <= deg[v]) continue;  // already peeled or peels at same level
+      // Swap u with the first vertex of its bin, shrink the bin by one.
+      const uint32_t du = deg[u];
+      const uint64_t pu = pos[u];
+      const uint64_t pw = bin_start[du];
+      const VertexId w = vert[pw];
+      if (u != w) {
+        std::swap(vert[pu], vert[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin_start[du];
+      --deg[u];
+    }
+  }
+  return result;
+}
+
+Subgraph ExtractKCore(const Graph& g, const CoreDecomposition& cores,
+                      uint32_t k) {
+  const std::vector<VertexId> verts = cores.CoreVertices(k);
+  return InducedSubgraph(g, verts);
+}
+
+std::vector<VertexId> NaiveKCoreVertices(const Graph& g, uint32_t k) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> alive(n, true);
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.degree(v);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && deg[v] < k) {
+        alive[v] = false;
+        changed = true;
+        for (const AdjEntry& a : g.neighbors(v)) {
+          if (alive[a.neighbor]) --deg[a.neighbor];
+        }
+      }
+    }
+  }
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace truss

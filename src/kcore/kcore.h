@@ -1,0 +1,43 @@
+// k-core decomposition (Seidman [28]) via the O(m) bin-sort peeling of
+// Batagelj & Zaversnik [5].
+//
+// The paper uses k-core both conceptually (a k-truss is a (k-1)-core, §1)
+// and experimentally (§7.4 compares the kmax-truss with the cmax-core,
+// Table 6). The sorted-bin structure here is also the blueprint for the
+// improved truss decomposition's sorted edge array (Algorithm 2).
+
+#ifndef TRUSS_KCORE_KCORE_H_
+#define TRUSS_KCORE_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+
+namespace truss {
+
+/// Core numbers of every vertex plus the maximum core number cmax.
+struct CoreDecomposition {
+  /// core[v] = largest k such that v belongs to the k-core.
+  std::vector<uint32_t> core;
+  uint32_t cmax = 0;
+
+  /// Vertices of the k-core (core number ≥ k).
+  std::vector<VertexId> CoreVertices(uint32_t k) const;
+};
+
+/// Computes all core numbers in O(m) time / O(n) extra space.
+CoreDecomposition DecomposeCores(const Graph& g);
+
+/// Extracts the k-core as an induced subgraph with parent mappings.
+Subgraph ExtractKCore(const Graph& g, const CoreDecomposition& cores,
+                      uint32_t k);
+
+/// Definition-level oracle used by tests: iteratively deletes vertices of
+/// degree < k and returns the surviving vertex set.
+std::vector<VertexId> NaiveKCoreVertices(const Graph& g, uint32_t k);
+
+}  // namespace truss
+
+#endif  // TRUSS_KCORE_KCORE_H_

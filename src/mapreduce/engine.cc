@@ -1,0 +1,82 @@
+#include "mapreduce/engine.h"
+
+#include "io/external_sort.h"
+
+namespace truss::mr {
+
+namespace {
+
+struct KeyLess {
+  bool operator()(const KeyedRec& x, const KeyedRec& y) const {
+    return x.key < y.key;
+  }
+};
+
+}  // namespace
+
+Status Engine::Run(const std::vector<std::string>& inputs,
+                   const std::vector<MapFn>& mappers, const ReduceFn& reducer,
+                   const std::string& output) {
+  TRUSS_CHECK_EQ(inputs.size(), mappers.size());
+
+  // Map phase: stream every input through its mapper, spilling keyed output.
+  const std::string spill = env_.TempName("mr_spill");
+  {
+    auto writer_res = env_.OpenWriter(spill);
+    TRUSS_RETURN_IF_ERROR(writer_res.status());
+    auto writer = writer_res.MoveValue();
+    const EmitFn emit = [&](uint64_t key, const MrRec& value) {
+      writer->WriteRecord(KeyedRec{key, value});
+      ++stats_.map_output_records;
+      stats_.shuffle_bytes += sizeof(KeyedRec);
+    };
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      auto reader = env_.OpenReader(inputs[i]);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      MrRec rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        ++stats_.map_input_records;
+        mappers[i](rec, emit);
+      }
+    }
+    TRUSS_RETURN_IF_ERROR(writer->Close());
+  }
+
+  // Shuffle phase: a real external sort by key.
+  const std::string sorted = env_.TempName("mr_sorted");
+  TRUSS_RETURN_IF_ERROR((io::ExternalSort<KeyedRec, KeyLess>(
+      env_, spill, sorted, KeyLess{}, options_.memory_budget_bytes)));
+  TRUSS_RETURN_IF_ERROR(env_.DeleteFile(spill));
+
+  // Reduce phase: stream sorted groups through the reducer.
+  {
+    auto reader = env_.OpenReader(sorted);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    auto writer_res = env_.OpenWriter(output);
+    TRUSS_RETURN_IF_ERROR(writer_res.status());
+    auto writer = writer_res.MoveValue();
+    const auto emit_out = [&](const MrRec& rec) { writer->WriteRecord(rec); };
+
+    KeyedRec rec;
+    bool have = reader.value()->ReadRecord(&rec);
+    std::vector<MrRec> group;
+    while (have) {
+      const uint64_t key = rec.key;
+      group.clear();
+      while (have && rec.key == key) {
+        group.push_back(rec.value);
+        have = reader.value()->ReadRecord(&rec);
+      }
+      ++stats_.reduce_groups;
+      reducer(key, group, emit_out);
+    }
+    TRUSS_RETURN_IF_ERROR(writer->Close());
+  }
+  TRUSS_RETURN_IF_ERROR(env_.DeleteFile(sorted));
+
+  ++stats_.rounds;
+  stats_.simulated_latency_seconds += options_.per_round_latency_seconds;
+  return Status::OK();
+}
+
+}  // namespace truss::mr

@@ -1,0 +1,93 @@
+// Single-machine MapReduce runtime simulator.
+//
+// Substitutes for the 20-node Hadoop cluster of the paper's TD-MR baseline
+// (§7.2, [16]); see DESIGN.md §2.3. Each round materializes the map output,
+// shuffles it with a real external sort through the counting Env, and
+// streams sorted groups through the reducer — the actual data movement a
+// Hadoop round performs, minus cluster scheduling. Scheduling cost is
+// modeled, not waited out: `per_round_latency_seconds` accumulates into
+// Stats::simulated_latency_seconds so benches can report Hadoop-adjusted
+// times without sleeping.
+//
+// All values flow as fixed 16-byte MrRec payloads keyed by uint64; rounds
+// assign field meanings. Joins are expressed as multi-input rounds (one
+// mapper per input, a shared reducer).
+
+#ifndef TRUSS_MAPREDUCE_ENGINE_H_
+#define TRUSS_MAPREDUCE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+
+namespace truss::mr {
+
+/// Generic 16-byte value record; each round interprets the fields.
+struct MrRec {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  uint32_t tag = 0;
+};
+
+/// Keyed record flowing through the shuffle.
+struct KeyedRec {
+  uint64_t key = 0;
+  MrRec value;
+};
+
+struct EngineOptions {
+  /// Memory budget for the shuffle's external sort.
+  uint64_t memory_budget_bytes = 64ull << 20;
+  /// Modeled scheduling latency charged per round (Hadoop-era job startup);
+  /// accumulated in stats, never slept.
+  double per_round_latency_seconds = 0.0;
+};
+
+struct EngineStats {
+  uint64_t rounds = 0;
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t reduce_groups = 0;
+  uint64_t shuffle_bytes = 0;
+  double simulated_latency_seconds = 0.0;
+};
+
+/// The runtime. One Engine instance accumulates stats across rounds.
+class Engine {
+ public:
+  Engine(io::Env* env, EngineOptions options)
+      : env_(*env), options_(options) {}
+
+  using EmitFn = std::function<void(uint64_t key, const MrRec& value)>;
+  /// Mapper: called once per input record with an emitter.
+  using MapFn = std::function<void(const MrRec& rec, const EmitFn& emit)>;
+  /// Reducer: called once per key group with all values and an emitter for
+  /// output records (written to the round's output file).
+  using ReduceFn = std::function<void(uint64_t key,
+                                      const std::vector<MrRec>& values,
+                                      const std::function<void(const MrRec&)>&
+                                          emit)>;
+
+  /// Runs one round: inputs[i] is mapped by mappers[i]; the merged keyed
+  /// stream is shuffled and reduced into `output`.
+  Status Run(const std::vector<std::string>& inputs,
+             const std::vector<MapFn>& mappers, const ReduceFn& reducer,
+             const std::string& output);
+
+  const EngineStats& stats() const { return stats_; }
+  io::Env& env() { return env_; }
+
+ private:
+  io::Env& env_;
+  EngineOptions options_;
+  EngineStats stats_;
+};
+
+}  // namespace truss::mr
+
+#endif  // TRUSS_MAPREDUCE_ENGINE_H_

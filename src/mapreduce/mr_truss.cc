@@ -1,0 +1,302 @@
+#include "mapreduce/mr_truss.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace truss::mr {
+
+namespace {
+
+// Value tags distinguishing record roles inside join rounds.
+enum : uint32_t {
+  kTagDegree = 1,
+  kTagEdge = 2,
+  kTagTriad = 3,
+  kTagCount = 4,
+};
+
+uint64_t PackEdge(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// One peeling iteration at support threshold `threshold` (= k-2): runs the
+// seven-round pipeline over `edges_in` (MrRec{a=u, b=v}) and writes the
+// surviving edges to `edges_out`. Dropped edges are appended to `dropped`.
+Status PeelIteration(Engine& engine, const std::string& edges_in,
+                     const std::string& edges_out, uint32_t threshold,
+                     std::vector<Edge>* dropped) {
+  io::Env& env = engine.env();
+
+  // R1: vertex degrees. edge -> (u,1),(v,1); reduce counts.
+  const std::string deg_file = env.TempName("mr_deg");
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {edges_in},
+      {[](const MrRec& e, const Engine::EmitFn& emit) {
+        emit(e.a, MrRec{});
+        emit(e.b, MrRec{});
+      }},
+      [](uint64_t key, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        out(MrRec{static_cast<uint32_t>(key),
+                  static_cast<uint32_t>(vals.size()), 0, kTagDegree});
+      },
+      deg_file));
+
+  // R2a: join degrees onto edge endpoints. Emits one annotated half per
+  // endpoint: {u, v, deg(vertex), tag = which endpoint}.
+  const std::string half_file = env.TempName("mr_half");
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {deg_file, edges_in},
+      {[](const MrRec& d, const Engine::EmitFn& emit) { emit(d.a, d); },
+       [](const MrRec& e, const Engine::EmitFn& emit) {
+         emit(e.a, MrRec{e.a, e.b, 0, kTagEdge});
+         emit(e.b, MrRec{e.a, e.b, 1, kTagEdge});
+       }},
+      [](uint64_t, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        uint32_t deg = 0;
+        for (const MrRec& v : vals) {
+          if (v.tag == kTagDegree) deg = v.b;
+        }
+        for (const MrRec& v : vals) {
+          if (v.tag == kTagEdge) out(MrRec{v.a, v.b, deg, v.c});
+        }
+      },
+      half_file));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(deg_file));
+
+  // R2b: combine the two halves into {u, v, du, dv}.
+  const std::string ann_file = env.TempName("mr_ann");
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {half_file},
+      {[](const MrRec& h, const Engine::EmitFn& emit) {
+        emit(PackEdge(h.a, h.b), h);
+      }},
+      [](uint64_t, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        uint32_t du = 0, dv = 0;
+        for (const MrRec& v : vals) {
+          // tag here is the endpoint index set in R2a's edge mapper.
+          if (v.tag == 0) du = v.c;
+          if (v.tag == 1) dv = v.c;
+        }
+        out(MrRec{vals[0].a, vals[0].b, du, dv});
+      },
+      ann_file));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(half_file));
+
+  // R3: open triads. Each edge is keyed by its lower-degree endpoint (ties
+  // by id — Cohen's trick to bound reducer fan-out); the reducer pairs up
+  // the opposite endpoints.
+  const std::string triad_file = env.TempName("mr_triad");
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {ann_file},
+      {[](const MrRec& e, const Engine::EmitFn& emit) {
+        const uint32_t du = e.c, dv = e.tag;
+        const bool u_center = du != dv ? du < dv : e.a < e.b;
+        if (u_center) {
+          emit(e.a, MrRec{e.b, 0, 0, kTagEdge});
+        } else {
+          emit(e.b, MrRec{e.a, 0, 0, kTagEdge});
+        }
+      }},
+      [](uint64_t key, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        const uint32_t center = static_cast<uint32_t>(key);
+        for (size_t i = 0; i < vals.size(); ++i) {
+          for (size_t j = i + 1; j < vals.size(); ++j) {
+            const VertexId x = std::min(vals[i].a, vals[j].a);
+            const VertexId y = std::max(vals[i].a, vals[j].a);
+            out(MrRec{x, y, center, kTagTriad});
+          }
+        }
+      },
+      triad_file));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(ann_file));
+
+  // R4: close triads against real edges -> triangles {a, b, c}.
+  const std::string tri_file = env.TempName("mr_tri");
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {triad_file, edges_in},
+      {[](const MrRec& t, const Engine::EmitFn& emit) {
+         emit(PackEdge(t.a, t.b), t);
+       },
+       [](const MrRec& e, const Engine::EmitFn& emit) {
+         emit(PackEdge(e.a, e.b), MrRec{e.a, e.b, 0, kTagEdge});
+       }},
+      [](uint64_t, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        bool closed = false;
+        for (const MrRec& v : vals) {
+          if (v.tag == kTagEdge) closed = true;
+        }
+        if (!closed) return;
+        for (const MrRec& v : vals) {
+          if (v.tag == kTagTriad) out(MrRec{v.a, v.b, v.c, 0});
+        }
+      },
+      tri_file));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(triad_file));
+
+  // R5: per-edge support. Triangles contribute 1 to each of their three
+  // edges; bare edges contribute 0 so zero-support edges keep a record.
+  const std::string sup_file = env.TempName("mr_sup");
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {tri_file, edges_in},
+      {[](const MrRec& t, const Engine::EmitFn& emit) {
+         const VertexId a = t.a, b = t.b, c = t.c;
+         emit(PackEdge(a, b), MrRec{0, 0, 1, kTagCount});
+         emit(PackEdge(std::min(a, c), std::max(a, c)),
+              MrRec{0, 0, 1, kTagCount});
+         emit(PackEdge(std::min(b, c), std::max(b, c)),
+              MrRec{0, 0, 1, kTagCount});
+       },
+       [](const MrRec& e, const Engine::EmitFn& emit) {
+         emit(PackEdge(e.a, e.b), MrRec{0, 0, 0, kTagEdge});
+       }},
+      [](uint64_t key, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        bool is_edge = false;
+        uint32_t sup = 0;
+        for (const MrRec& v : vals) {
+          if (v.tag == kTagEdge) is_edge = true;
+          if (v.tag == kTagCount) sup += v.c;
+        }
+        // Triads may reference non-edges only before R4's join; here every
+        // count group must belong to a real edge.
+        if (is_edge) {
+          out(MrRec{static_cast<uint32_t>(key >> 32),
+                    static_cast<uint32_t>(key & 0xffffffffu), sup, 0});
+        }
+      },
+      sup_file));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(tri_file));
+
+  // R6: filter. Edges with sup < threshold are dropped (collected on the
+  // driver side); survivors form the next iteration's edge file.
+  TRUSS_RETURN_IF_ERROR(engine.Run(
+      {sup_file},
+      {[](const MrRec& s, const Engine::EmitFn& emit) {
+        emit(PackEdge(s.a, s.b), s);
+      }},
+      [threshold, dropped](uint64_t, const std::vector<MrRec>& vals,
+                           const std::function<void(const MrRec&)>& out) {
+        const MrRec& s = vals[0];
+        if (s.c < threshold) {
+          dropped->push_back(Edge{s.a, s.b});
+        } else {
+          out(MrRec{s.a, s.b, 0, 0});
+        }
+      },
+      edges_out));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(sup_file));
+  return Status::OK();
+}
+
+Status WriteEdgesFile(io::Env& env, const Graph& g, const std::string& name) {
+  auto writer = env.OpenWriter(name);
+  TRUSS_RETURN_IF_ERROR(writer.status());
+  for (const Edge& e : g.edges()) {
+    writer.value()->WriteRecord(MrRec{e.u, e.v, 0, 0});
+  }
+  return writer.value()->Close();
+}
+
+}  // namespace
+
+Result<TrussDecompositionResult> MapReduceTrussDecomposition(
+    io::Env& env, const Graph& g, const MrTrussOptions& options,
+    MrTrussStats* stats) {
+  WallTimer timer;
+  Engine engine(&env, options.engine);
+
+  TrussDecompositionResult result;
+  result.truss_number.assign(g.num_edges(), 0);
+
+  std::string current = env.TempName("mr_edges");
+  TRUSS_RETURN_IF_ERROR(WriteEdgesFile(env, g, current));
+  uint64_t remaining = g.num_edges();
+  uint32_t peel_iterations = 0;
+
+  uint32_t k = 3;
+  while (remaining > 0) {
+    // Iterate the pipeline at threshold k-2 until the fix-point T_k.
+    while (true) {
+      std::vector<Edge> dropped;
+      const std::string next = env.TempName("mr_edges");
+      TRUSS_RETURN_IF_ERROR(
+          PeelIteration(engine, current, next, k - 2, &dropped));
+      TRUSS_RETURN_IF_ERROR(env.DeleteFile(current));
+      current = next;
+      ++peel_iterations;
+      if (dropped.empty()) break;
+      remaining -= dropped.size();
+      for (const Edge& e : dropped) {
+        const EdgeId id = g.FindEdge(e.u, e.v);
+        TRUSS_CHECK_NE(id, kInvalidEdge);
+        // Dropped while peeling toward T_k means not in T_k: ϕ(e) = k-1.
+        result.truss_number[id] = k - 1;
+      }
+    }
+    if (remaining > 0) ++k;
+  }
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(current));
+
+  result.RecomputeKmax();
+  if (stats != nullptr) {
+    stats->engine = engine.stats();
+    stats->kmax = result.kmax;
+    stats->peel_iterations = peel_iterations;
+    stats->seconds = timer.Seconds();
+  }
+  return result;
+}
+
+Result<std::vector<EdgeId>> MapReduceKTruss(io::Env& env, const Graph& g,
+                                            uint32_t k,
+                                            const MrTrussOptions& options,
+                                            MrTrussStats* stats) {
+  TRUSS_CHECK_GE(k, 2u);
+  WallTimer timer;
+  Engine engine(&env, options.engine);
+
+  std::string current = env.TempName("mr_edges");
+  TRUSS_RETURN_IF_ERROR(WriteEdgesFile(env, g, current));
+  uint32_t peel_iterations = 0;
+
+  while (true) {
+    std::vector<Edge> dropped;
+    const std::string next = env.TempName("mr_edges");
+    TRUSS_RETURN_IF_ERROR(
+        PeelIteration(engine, current, next, k - 2, &dropped));
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(current));
+    current = next;
+    ++peel_iterations;
+    if (dropped.empty()) break;
+  }
+
+  std::vector<EdgeId> truss_edges;
+  {
+    auto reader = env.OpenReader(current);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    MrRec rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      const EdgeId id = g.FindEdge(rec.a, rec.b);
+      TRUSS_CHECK_NE(id, kInvalidEdge);
+      truss_edges.push_back(id);
+    }
+  }
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(current));
+  std::sort(truss_edges.begin(), truss_edges.end());
+
+  if (stats != nullptr) {
+    stats->engine = engine.stats();
+    stats->kmax = k;
+    stats->peel_iterations = peel_iterations;
+    stats->seconds = timer.Seconds();
+  }
+  return truss_edges;
+}
+
+}  // namespace truss::mr

@@ -1,0 +1,51 @@
+// TD-MR: Cohen's MapReduce truss algorithm [16], the baseline of the
+// paper's Table 4.
+//
+// Per peeling iteration the pipeline runs seven MapReduce rounds:
+//   R1  vertex degrees            R2a attach degree to edge endpoints
+//   R2b combine endpoint halves   R3  open triads from low-degree endpoints
+//   R4  triad ⋈ edge → triangles  R5  per-edge triangle counts
+//   R6  drop edges with sup < k-2
+// and iterates until no edge is dropped (the fix-point is T_k); the full
+// decomposition repeats this for k = 3, 4, … until the graph is exhausted.
+// The repeated whole-graph triangle enumeration is precisely why the paper
+// finds MapReduce unsuited to truss decomposition — the round counts and
+// shuffle volumes reported by the stats reproduce that behavior.
+
+#ifndef TRUSS_MAPREDUCE_MR_TRUSS_H_
+#define TRUSS_MAPREDUCE_MR_TRUSS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "mapreduce/engine.h"
+#include "truss/result.h"
+
+namespace truss::mr {
+
+struct MrTrussOptions {
+  EngineOptions engine;
+};
+
+struct MrTrussStats {
+  EngineStats engine;
+  uint32_t kmax = 0;
+  /// Total peeling iterations (each costs 7 rounds).
+  uint32_t peel_iterations = 0;
+  double seconds = 0.0;
+};
+
+/// Full truss decomposition of `g` via iterated MapReduce peeling.
+Result<TrussDecompositionResult> MapReduceTrussDecomposition(
+    io::Env& env, const Graph& g, const MrTrussOptions& options,
+    MrTrussStats* stats = nullptr);
+
+/// Computes the edge ids of the single k-truss T_k of `g`.
+Result<std::vector<EdgeId>> MapReduceKTruss(io::Env& env, const Graph& g,
+                                            uint32_t k,
+                                            const MrTrussOptions& options,
+                                            MrTrussStats* stats = nullptr);
+
+}  // namespace truss::mr
+
+#endif  // TRUSS_MAPREDUCE_MR_TRUSS_H_

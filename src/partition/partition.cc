@@ -1,0 +1,197 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace truss::partition {
+
+namespace {
+
+uint64_t Weight(const std::vector<uint32_t>& degree, VertexId v) {
+  return static_cast<uint64_t>(degree[v]) + 1;
+}
+
+// Packs `order` greedily into consecutive parts under the weight cap.
+PartitionResult PackInOrder(const std::vector<uint32_t>& degree,
+                            const std::vector<VertexId>& order,
+                            uint64_t max_weight) {
+  PartitionResult result;
+  result.part_of.assign(degree.size(), PartitionResult::kNoPart);
+
+  std::vector<VertexId> current;
+  uint64_t current_weight = 0;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    for (const VertexId v : current) {
+      result.part_of[v] = static_cast<uint32_t>(result.parts.size());
+    }
+    result.parts.push_back(std::move(current));
+    current.clear();
+    current_weight = 0;
+  };
+
+  for (const VertexId v : order) {
+    const uint64_t w = Weight(degree, v);
+    if (!current.empty() && current_weight + w > max_weight) flush();
+    current.push_back(v);
+    current_weight += w;
+  }
+  flush();
+  return result;
+}
+
+std::vector<VertexId> ActiveVertices(const std::vector<uint32_t>& degree) {
+  std::vector<VertexId> active;
+  for (VertexId v = 0; v < degree.size(); ++v) {
+    if (degree[v] > 0) active.push_back(v);
+  }
+  return active;
+}
+
+PartitionResult SequentialPartition(const std::vector<uint32_t>& degree,
+                                    uint64_t max_weight) {
+  return PackInOrder(degree, ActiveVertices(degree), max_weight);
+}
+
+PartitionResult RandomizedPartition(const std::vector<uint32_t>& degree,
+                                    uint64_t max_weight, uint64_t seed) {
+  std::vector<VertexId> order = ActiveVertices(degree);
+  // Order by a keyed hash: a seeded pseudo-random permutation without
+  // needing to materialize RNG state per vertex.
+  std::sort(order.begin(), order.end(), [seed](VertexId a, VertexId b) {
+    SplitMix64 ha(seed ^ (static_cast<uint64_t>(a) << 1));
+    SplitMix64 hb(seed ^ (static_cast<uint64_t>(b) << 1));
+    const uint64_t ka = ha.Next(), kb = hb.Next();
+    return ka != kb ? ka < kb : a < b;
+  });
+  return PackInOrder(degree, order, max_weight);
+}
+
+PartitionResult DominatingSetPartition(const std::vector<uint32_t>& degree,
+                                       const EdgeScanFn& scan_edges,
+                                       uint64_t max_weight) {
+  const size_t n = degree.size();
+  // dominator[v] = the seed vertex that covers v (or v itself).
+  std::vector<VertexId> dominator(n, kInvalidVertex);
+
+  // One scan grouped by u: if u is still uncovered when its group starts,
+  // u becomes a seed and covers itself and all scanned neighbors. Neighbors
+  // v > u get covered here; any vertex left uncovered at its own group
+  // becomes a seed. Isolated-in-scan leftovers seed themselves below.
+  scan_edges([&](VertexId u, VertexId v) {
+    if (dominator[u] == kInvalidVertex) dominator[u] = u;  // u seeds itself
+    if (dominator[u] == u && dominator[v] == kInvalidVertex) {
+      dominator[v] = u;  // covered by seed u
+    }
+  });
+
+  std::vector<VertexId> active = ActiveVertices(degree);
+  for (const VertexId v : active) {
+    if (dominator[v] == kInvalidVertex) dominator[v] = v;
+  }
+
+  // Group vertices by dominator to form clusters, then first-fit pack
+  // clusters (in decreasing weight) into parts. Clusters heavier than the
+  // cap are split by sequential packing inside the cluster.
+  std::sort(active.begin(), active.end(), [&](VertexId a, VertexId b) {
+    return dominator[a] != dominator[b] ? dominator[a] < dominator[b]
+                                        : a < b;
+  });
+
+  struct Cluster {
+    uint64_t weight = 0;
+    std::vector<VertexId> members;
+  };
+  std::vector<Cluster> clusters;
+  for (size_t i = 0; i < active.size();) {
+    Cluster c;
+    const VertexId dom = dominator[active[i]];
+    while (i < active.size() && dominator[active[i]] == dom) {
+      c.members.push_back(active[i]);
+      c.weight += Weight(degree, active[i]);
+      ++i;
+    }
+    clusters.push_back(std::move(c));
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.weight > b.weight;
+            });
+
+  PartitionResult result;
+  result.part_of.assign(n, PartitionResult::kNoPart);
+  std::vector<uint64_t> part_weight;
+  auto new_part = [&]() {
+    result.parts.emplace_back();
+    part_weight.push_back(0);
+    return result.parts.size() - 1;
+  };
+  auto assign = [&](size_t part, VertexId v) {
+    result.parts[part].push_back(v);
+    part_weight[part] += Weight(degree, v);
+    result.part_of[v] = static_cast<uint32_t>(part);
+  };
+
+  for (const Cluster& c : clusters) {
+    if (c.weight > max_weight) {
+      // Split oversize cluster sequentially.
+      size_t part = new_part();
+      for (const VertexId v : c.members) {
+        if (part_weight[part] > 0 &&
+            part_weight[part] + Weight(degree, v) > max_weight) {
+          part = new_part();
+        }
+        assign(part, v);
+      }
+      continue;
+    }
+    // First-fit over existing parts.
+    size_t target = SIZE_MAX;
+    for (size_t p = 0; p < result.parts.size(); ++p) {
+      if (part_weight[p] + c.weight <= max_weight) {
+        target = p;
+        break;
+      }
+    }
+    if (target == SIZE_MAX) target = new_part();
+    for (const VertexId v : c.members) assign(target, v);
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kSequential:
+      return "sequential";
+    case Strategy::kDominatingSet:
+      return "dominating-set";
+    case Strategy::kRandomized:
+      return "randomized";
+  }
+  return "unknown";
+}
+
+PartitionResult PartitionVertices(const std::vector<uint32_t>& degree,
+                                  const EdgeScanFn& scan_edges,
+                                  const Options& options) {
+  TRUSS_CHECK_GT(options.max_part_weight, 0u);
+  switch (options.strategy) {
+    case Strategy::kSequential:
+      return SequentialPartition(degree, options.max_part_weight);
+    case Strategy::kDominatingSet:
+      return DominatingSetPartition(degree, scan_edges,
+                                    options.max_part_weight);
+    case Strategy::kRandomized:
+      return RandomizedPartition(degree, options.max_part_weight,
+                                 options.seed);
+  }
+  TRUSS_CHECK(false);
+  return {};
+}
+
+}  // namespace truss::partition

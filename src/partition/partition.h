@@ -1,0 +1,71 @@
+// Vertex partitioners for the external-memory algorithms (§5.1, [13]).
+//
+// Algorithm 3 partitions the vertex set of the (shrinking) graph into parts
+// P_1..P_p such that each neighborhood subgraph NS(P_i) fits in the memory
+// budget. Following Chu & Cheng's triangle-listing partitioners we provide:
+//
+//  * kSequential   — pack vertices in ID order; fast, no iteration-count
+//                    guarantee.
+//  * kDominatingSet — greedily build a dominating set from one edge scan,
+//                    cluster every vertex with its dominator, then bin-pack
+//                    clusters; O(n) memory, O(m/M) iterations.
+//  * kRandomized   — pack vertices in seeded pseudo-random order; O(m/M)
+//                    iterations with high probability and no extra memory.
+//
+// Part capacity is expressed in weight units with weight(v) = deg(v) + 1,
+// which upper-bounds |NS(P_i)| ≥ |ENS(P_i)| + |P_i| contributions of P_i.
+
+#ifndef TRUSS_PARTITION_PARTITION_H_
+#define TRUSS_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace truss::partition {
+
+enum class Strategy {
+  kSequential,
+  kDominatingSet,
+  kRandomized,
+};
+
+/// Human-readable strategy name for logs and bench tables.
+const char* StrategyName(Strategy s);
+
+struct Options {
+  Strategy strategy = Strategy::kSequential;
+  /// Maximum Σ (deg(v)+1) per part. A single vertex heavier than this still
+  /// gets its own part (the caller's overflow path handles oversized NS).
+  uint64_t max_part_weight = 0;
+  /// Seed for kRandomized.
+  uint64_t seed = 42;
+};
+
+/// Invokes the inner callback once per edge (u < v), grouped by ascending u.
+/// Abstracts over disk-resident edge files so the dominating-set strategy
+/// can run from a single sequential scan.
+using EdgeScanFn =
+    std::function<void(const std::function<void(VertexId, VertexId)>&)>;
+
+struct PartitionResult {
+  static constexpr uint32_t kNoPart = UINT32_MAX;
+
+  std::vector<std::vector<VertexId>> parts;
+  /// part_of[v] = index into parts, or kNoPart for inactive (degree-0)
+  /// vertices.
+  std::vector<uint32_t> part_of;
+};
+
+/// Partitions every vertex with degree[v] > 0 into parts of bounded weight.
+/// `scan_edges` is only invoked by the dominating-set strategy.
+PartitionResult PartitionVertices(const std::vector<uint32_t>& degree,
+                                  const EdgeScanFn& scan_edges,
+                                  const Options& options);
+
+}  // namespace truss::partition
+
+#endif  // TRUSS_PARTITION_PARTITION_H_

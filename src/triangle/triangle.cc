@@ -1,0 +1,88 @@
+#include "triangle/triangle.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace truss {
+
+OrientedAdjacency::OrientedAdjacency(const Graph& g) {
+  const VertexId n = g.num_vertices();
+
+  // Rank by (degree, id) ascending: rank_[v] = position of v in that order.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const uint32_t da = g.degree(a), db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  rank_.resize(n);
+  for (uint32_t r = 0; r < n; ++r) rank_[order[r]] = r;
+
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t out_deg = 0;
+    for (const AdjEntry& a : g.neighbors(v)) {
+      if (rank_[a.neighbor] > rank_[v]) ++out_deg;
+    }
+    offsets_[v + 1] = offsets_[v] + out_deg;
+  }
+  entries_.resize(offsets_.back());
+
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const AdjEntry& a : g.neighbors(v)) {
+      if (rank_[a.neighbor] > rank_[v]) {
+        entries_[cursor[v]++] = Entry{rank_[a.neighbor], a.neighbor, a.edge};
+      }
+    }
+    auto begin = entries_.begin() + static_cast<ptrdiff_t>(offsets_[v]);
+    auto end = entries_.begin() + static_cast<ptrdiff_t>(offsets_[v + 1]);
+    std::sort(begin, end,
+              [](const Entry& x, const Entry& y) { return x.rank < y.rank; });
+  }
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  uint64_t count = 0;
+  ForEachTriangle(g, [&](VertexId, VertexId, VertexId, EdgeId, EdgeId,
+                         EdgeId) { ++count; });
+  return count;
+}
+
+std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
+  std::vector<uint32_t> sup(g.num_edges(), 0);
+  ForEachTriangle(g, [&](VertexId, VertexId, VertexId, EdgeId e1, EdgeId e2,
+                         EdgeId e3) {
+    ++sup[e1];
+    ++sup[e2];
+    ++sup[e3];
+  });
+  return sup;
+}
+
+std::vector<uint32_t> ComputeEdgeSupportsNaive(const Graph& g) {
+  std::vector<uint32_t> sup(g.num_edges(), 0);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    const auto nb_u = g.neighbors(e.u);
+    const auto nb_v = g.neighbors(e.v);
+    // Sorted-merge intersection |nb(u) ∩ nb(v)|.
+    size_t i = 0, j = 0;
+    uint32_t common = 0;
+    while (i < nb_u.size() && j < nb_v.size()) {
+      if (nb_u[i].neighbor < nb_v[j].neighbor) {
+        ++i;
+      } else if (nb_u[i].neighbor > nb_v[j].neighbor) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    sup[id] = common;
+  }
+  return sup;
+}
+
+}  // namespace truss

@@ -1,0 +1,88 @@
+// In-memory triangle counting and listing.
+//
+// Implements the degree-ordered "forward" algorithm (Schank [27]; Latapy
+// [20]): orient every edge from its lower-ranked endpoint to its
+// higher-ranked endpoint, where rank orders vertices by (degree, id)
+// ascending; every out-neighborhood then has size O(√m) and intersecting the
+// out-lists of an edge's endpoints lists each triangle exactly once, for
+// O(m^1.5) total work — the lower-bound complexity the paper's Theorem 1
+// matches. Support initialization for both in-memory truss algorithms (§3)
+// and the local computations of the external algorithms (§5, §6) run on it.
+
+#ifndef TRUSS_TRIANGLE_TRIANGLE_H_
+#define TRUSS_TRIANGLE_TRIANGLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace truss {
+
+/// Degree-ordered orientation of a graph: each vertex's out-list holds only
+/// higher-ranked neighbors, sorted by rank.
+class OrientedAdjacency {
+ public:
+  struct Entry {
+    uint32_t rank;    // rank of `vertex`
+    VertexId vertex;  // out-neighbor
+    EdgeId edge;      // id of the connecting edge in the source graph
+  };
+
+  explicit OrientedAdjacency(const Graph& g);
+
+  std::span<const Entry> out(VertexId v) const {
+    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+  }
+
+  uint32_t rank(VertexId v) const { return rank_[v]; }
+
+ private:
+  std::vector<uint32_t> rank_;
+  std::vector<uint64_t> offsets_;
+  std::vector<Entry> entries_;
+};
+
+/// Enumerates every triangle of `g` exactly once. The callback receives the
+/// three corner vertices and the ids of the three edges:
+///   cb(u, v, w, e_uv, e_uw, e_vw)
+/// with rank(u) < rank(v) < rank(w).
+template <typename TriangleCallback>
+void ForEachTriangle(const Graph& g, TriangleCallback&& cb) {
+  const OrientedAdjacency oriented(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto out_u = oriented.out(u);
+    for (const auto& uv : out_u) {
+      const VertexId v = uv.vertex;
+      const auto out_v = oriented.out(v);
+      // Two-pointer intersection over rank-sorted out-lists.
+      size_t i = 0, j = 0;
+      while (i < out_u.size() && j < out_v.size()) {
+        if (out_u[i].rank < out_v[j].rank) {
+          ++i;
+        } else if (out_u[i].rank > out_v[j].rank) {
+          ++j;
+        } else {
+          cb(u, v, out_u[i].vertex, uv.edge, out_u[i].edge, out_v[j].edge);
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+/// Total number of triangles |△G|.
+uint64_t CountTriangles(const Graph& g);
+
+/// Per-edge supports sup(e) (Definition 1), indexed by EdgeId.
+std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
+
+/// Naive O(Σ deg²) support computation via per-edge neighbor-list
+/// intersection — the initialization step the paper's Algorithm 1 describes
+/// literally (Steps 2-3). Kept as a test oracle and micro-bench baseline.
+std::vector<uint32_t> ComputeEdgeSupportsNaive(const Graph& g);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRIANGLE_TRIANGLE_H_

@@ -1,0 +1,471 @@
+#include "truss/bottom_up.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/timer.h"
+#include "io/edge_records.h"
+#include "io/external_sort.h"
+#include "triangle/triangle.h"
+#include "truss/edge_map.h"
+#include "truss/external_util.h"
+#include "truss/lower_bound.h"
+
+namespace truss {
+
+namespace {
+
+// Procedure 5 (in-memory): peels Φ_k out of the candidate subgraph H.
+// H arrives as (u,v)-sorted GnewRecords; `in_uk` marks internal vertices.
+// Classified edges are appended to `class_out` (ClassRecord, truss = k) and
+// to `stage_out` (sorted order restored by the caller before subtraction).
+uint64_t BottomUpProcedureInMemory(const std::vector<io::GnewRecord>& h_records,
+                                   const std::vector<uint8_t>& in_uk,
+                                   uint32_t k, io::BlockWriter* class_out,
+                                   io::BlockWriter* stage_out) {
+  const LocalGraphView local(h_records);
+  const Graph& h = local.graph();
+  const EdgeId m = h.num_edges();
+
+  std::vector<uint32_t> sup = ComputeEdgeSupports(h);
+  const EdgeMap edge_map(h);
+  std::vector<uint8_t> removed(m, 0);
+  std::vector<uint8_t> queued(m, 0);
+  std::vector<uint8_t> internal(m, 0);
+  for (EdgeId le = 0; le < m; ++le) {
+    internal[le] =
+        (in_uk[h_records[le].u] != 0 && in_uk[h_records[le].v] != 0) ? 1 : 0;
+  }
+
+  std::deque<EdgeId> queue;
+  for (EdgeId le = 0; le < m; ++le) {
+    if (internal[le] != 0 && sup[le] + 2 <= k) {
+      queue.push_back(le);
+      queued[le] = 1;
+    }
+  }
+
+  std::vector<EdgeId> classified;
+  while (!queue.empty()) {
+    const EdgeId le = queue.front();
+    queue.pop_front();
+    queued[le] = 0;
+    if (removed[le] != 0) continue;
+    removed[le] = 1;
+    classified.push_back(le);
+
+    // Invalidate every live triangle through the removed edge.
+    const Edge e = h.edge(le);
+    VertexId a = e.u, b = e.v;
+    if (h.degree(a) > h.degree(b)) std::swap(a, b);
+    for (const AdjEntry& adj : h.neighbors(a)) {
+      const EdgeId aw = adj.edge;
+      if (removed[aw] != 0) continue;
+      const EdgeId bw = edge_map.Find(b, adj.neighbor);
+      if (bw == kInvalidEdge || removed[bw] != 0) continue;
+      for (const EdgeId f : {aw, bw}) {
+        --sup[f];
+        if (internal[f] != 0 && sup[f] + 2 <= k && queued[f] == 0 &&
+            removed[f] == 0) {
+          queue.push_back(f);
+          queued[f] = 1;
+        }
+      }
+    }
+  }
+
+  // Emit in record order so the stage file stays (u,v)-sorted.
+  std::sort(classified.begin(), classified.end());
+  for (const EdgeId le : classified) {
+    const io::ClassRecord rec{h_records[le].u, h_records[le].v, k};
+    class_out->WriteRecord(rec);
+    stage_out->WriteRecord(rec);
+  }
+  return classified.size();
+}
+
+// Procedure 9 (H exceeds the budget): partitioned peeling passes. Each pass
+// loads every NS(P_i) of the current H; edges internal to both the part and
+// U_k have exact supports there and are peeled locally. When a pass removes
+// nothing, an exact-support certification pass (ComputeExactSupports) either
+// proves every remaining internal edge survives level k or yields more
+// removals. `h_file` is consumed.
+Result<uint64_t> BottomUpProcedureExternal(
+    io::Env& env, std::string h_file, VertexId n, const ExternalConfig& cfg,
+    const std::vector<uint8_t>& in_uk, uint32_t k,
+    io::BlockWriter* class_out, io::BlockWriter* stage_out,
+    ExternalStats* stats) {
+  const uint64_t max_weight = BudgetToWeight(cfg.memory_budget_bytes);
+  uint64_t total_classified = 0;
+
+  // Removes the (sorted) edges of `removed_sorted` from h_file.
+  const auto subtract = [&](const std::vector<Edge>& removed_sorted)
+      -> Status {
+    const std::string next = env.TempName("p9_h");
+    auto reader = env.OpenReader(h_file);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    auto writer = env.OpenWriter(next);
+    TRUSS_RETURN_IF_ERROR(writer.status());
+    size_t cursor = 0;
+    io::GnewRecord rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      while (cursor < removed_sorted.size() &&
+             (removed_sorted[cursor].u < rec.u ||
+              (removed_sorted[cursor].u == rec.u &&
+               removed_sorted[cursor].v < rec.v))) {
+        ++cursor;
+      }
+      if (cursor < removed_sorted.size() &&
+          removed_sorted[cursor].u == rec.u &&
+          removed_sorted[cursor].v == rec.v) {
+        continue;  // classified this pass
+      }
+      writer.value()->WriteRecord(rec);
+    }
+    TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(h_file));
+    h_file = next;
+    return Status::OK();
+  };
+
+  const auto emit = [&](VertexId u, VertexId v) {
+    const io::ClassRecord rec{u, v, k};
+    class_out->WriteRecord(rec);
+    stage_out->WriteRecord(rec);
+  };
+
+  while (true) {
+    std::vector<uint32_t> degrees;
+    uint64_t m_h = 0;
+    TRUSS_RETURN_IF_ERROR(
+        ScanDegrees<io::GnewRecord>(env, h_file, n, &degrees, &m_h));
+    if (m_h == 0) break;
+
+    partition::Options opts;
+    // Always randomize here: a deterministic strategy would co-locate the
+    // same vertex pairs every pass, so cross-part edges could only ever be
+    // classified through the expensive certification path.
+    opts.strategy = partition::Strategy::kRandomized;
+    opts.max_part_weight = max_weight;
+    opts.seed = cfg.seed + total_classified * 31 + m_h;
+    const partition::PartitionResult part = partition::PartitionVertices(
+        degrees, MakeEdgeScanFn<io::GnewRecord>(env, h_file), opts);
+    const size_t p = part.parts.size();
+
+    // Distribute H over part buckets.
+    std::vector<std::string> buckets(p);
+    {
+      std::vector<std::unique_ptr<io::BlockWriter>> writers(p);
+      for (size_t i = 0; i < p; ++i) {
+        buckets[i] = env.TempName("p9_bucket");
+        auto w = env.OpenWriter(buckets[i]);
+        TRUSS_RETURN_IF_ERROR(w.status());
+        writers[i] = w.MoveValue();
+      }
+      auto reader = env.OpenReader(h_file);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        const uint32_t pa = part.part_of[rec.u];
+        const uint32_t pb = part.part_of[rec.v];
+        writers[pa]->WriteRecord(rec);
+        if (pb != pa) writers[pb]->WriteRecord(rec);
+      }
+      for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
+    }
+
+    std::vector<Edge> pass_removed;
+    for (size_t i = 0; i < p; ++i) {
+      auto records_res = ReadAllRecords<io::GnewRecord>(env, buckets[i]);
+      TRUSS_RETURN_IF_ERROR_RESULT(records_res);
+      const std::vector<io::GnewRecord> records = records_res.MoveValue();
+      TRUSS_RETURN_IF_ERROR(env.DeleteFile(buckets[i]));
+      if (records.empty()) continue;
+      ++stats->parts_processed;
+
+      const LocalGraphView local(records);
+      const Graph& f = local.graph();
+      const EdgeId m = f.num_edges();
+      std::vector<uint32_t> sup = ComputeEdgeSupports(f);
+      const EdgeMap edge_map(f);
+      std::vector<uint8_t> removed(m, 0);
+      std::vector<uint8_t> queued(m, 0);
+      // Peelable: both endpoints in this part (exact support within H) and
+      // both in U_k (eligible for Φ_k).
+      std::vector<uint8_t> peelable(m, 0);
+      for (EdgeId le = 0; le < m; ++le) {
+        const VertexId u = records[le].u, v = records[le].v;
+        peelable[le] = (part.part_of[u] == i && part.part_of[v] == i &&
+                        in_uk[u] != 0 && in_uk[v] != 0)
+                           ? 1
+                           : 0;
+      }
+
+      std::deque<EdgeId> queue;
+      for (EdgeId le = 0; le < m; ++le) {
+        if (peelable[le] != 0 && sup[le] + 2 <= k) {
+          queue.push_back(le);
+          queued[le] = 1;
+        }
+      }
+      std::vector<EdgeId> classified_local;
+      while (!queue.empty()) {
+        const EdgeId le = queue.front();
+        queue.pop_front();
+        queued[le] = 0;
+        if (removed[le] != 0) continue;
+        removed[le] = 1;
+        classified_local.push_back(le);
+        const Edge e = f.edge(le);
+        VertexId a = e.u, b = e.v;
+        if (f.degree(a) > f.degree(b)) std::swap(a, b);
+        for (const AdjEntry& adj : f.neighbors(a)) {
+          const EdgeId aw = adj.edge;
+          if (removed[aw] != 0) continue;
+          const EdgeId bw = edge_map.Find(b, adj.neighbor);
+          if (bw == kInvalidEdge || removed[bw] != 0) continue;
+          for (const EdgeId g : {aw, bw}) {
+            --sup[g];
+            if (peelable[g] != 0 && sup[g] + 2 <= k && queued[g] == 0 &&
+                removed[g] == 0) {
+              queue.push_back(g);
+              queued[g] = 1;
+            }
+          }
+        }
+      }
+      std::sort(classified_local.begin(), classified_local.end());
+      for (const EdgeId le : classified_local) {
+        emit(records[le].u, records[le].v);
+        pass_removed.push_back(Edge{records[le].u, records[le].v});
+      }
+    }
+
+    if (!pass_removed.empty()) {
+      std::sort(pass_removed.begin(), pass_removed.end());
+      total_classified += pass_removed.size();
+      TRUSS_RETURN_IF_ERROR(subtract(pass_removed));
+      continue;
+    }
+
+    // Stalled: no part-internal removals. Certify with exact supports of
+    // the (now static) H; classify any under-supported U_k-internal edge.
+    auto sup_file_res = ComputeExactSupports(env, h_file, n, cfg);
+    TRUSS_RETURN_IF_ERROR_RESULT(sup_file_res);
+    const std::string sup_file = sup_file_res.MoveValue();
+
+    std::vector<Edge> certified_removals;
+    {
+      auto h_reader = env.OpenReader(h_file);
+      TRUSS_RETURN_IF_ERROR(h_reader.status());
+      auto s_reader = env.OpenReader(sup_file);
+      TRUSS_RETURN_IF_ERROR(s_reader.status());
+      io::GnewRecord hrec;
+      io::GEdgeRecord srec;
+      while (h_reader.value()->ReadRecord(&hrec)) {
+        TRUSS_CHECK(s_reader.value()->ReadRecord(&srec));
+        TRUSS_CHECK_EQ(srec.u, hrec.u);
+        TRUSS_CHECK_EQ(srec.v, hrec.v);
+        if (in_uk[hrec.u] != 0 && in_uk[hrec.v] != 0 && srec.sup_acc + 2 <= k) {
+          certified_removals.push_back(Edge{hrec.u, hrec.v});
+        }
+      }
+    }
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(sup_file));
+
+    if (certified_removals.empty()) break;  // every internal edge survives k
+    for (const Edge& e : certified_removals) emit(e.u, e.v);
+    total_classified += certified_removals.size();
+    TRUSS_RETURN_IF_ERROR(subtract(certified_removals));
+  }
+
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(h_file));
+  return total_classified;
+}
+
+// Removes the edges of `stage_sorted` (a (u,v)-sorted ClassRecord file) from
+// the sorted Gnew file, replacing *gnew_file with the filtered copy.
+Status SubtractStage(io::Env& env, std::string* gnew_file,
+                     const std::string& stage_sorted) {
+  const std::string next = env.TempName("gnew");
+  auto g_reader = env.OpenReader(*gnew_file);
+  TRUSS_RETURN_IF_ERROR(g_reader.status());
+  auto s_reader = env.OpenReader(stage_sorted);
+  TRUSS_RETURN_IF_ERROR(s_reader.status());
+  auto writer = env.OpenWriter(next);
+  TRUSS_RETURN_IF_ERROR(writer.status());
+
+  io::ClassRecord removed;
+  bool have_removed = s_reader.value()->ReadRecord(&removed);
+  io::GnewRecord rec;
+  while (g_reader.value()->ReadRecord(&rec)) {
+    while (have_removed &&
+           (removed.u < rec.u || (removed.u == rec.u && removed.v < rec.v))) {
+      have_removed = s_reader.value()->ReadRecord(&removed);
+    }
+    if (have_removed && removed.u == rec.u && removed.v == rec.v) continue;
+    writer.value()->WriteRecord(rec);
+  }
+  TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(*gnew_file));
+  *gnew_file = next;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
+                                            const std::string& graph_file,
+                                            VertexId num_vertices,
+                                            const ExternalConfig& config,
+                                            const std::string& classes_out) {
+  WallTimer timer;
+  const io::IoStats start_io = env.stats();
+  ExternalStats stats;
+
+  auto class_writer_res = env.OpenWriter(classes_out);
+  TRUSS_RETURN_IF_ERROR(class_writer_res.status());
+  auto class_writer = class_writer_res.MoveValue();
+
+  // Stage 1: lower bounding + Φ2 extraction.
+  auto lb_res = RunLowerBounding(env, graph_file, num_vertices, config,
+                                 BoundMode::kPhiLowerBound,
+                                 class_writer.get());
+  TRUSS_RETURN_IF_ERROR_RESULT(lb_res);
+  const LowerBoundingOutput lb = lb_res.MoveValue();
+  stats.lower_bound_iterations = lb.iterations;
+  stats.parts_processed = lb.parts_processed;
+  stats.phi2_edges = lb.phi2_edges;
+  stats.classified_edges = lb.phi2_edges;
+  if (lb.phi2_edges > 0) stats.kmax = 2;
+
+  std::string gnew = lb.gnew_file;
+  uint64_t gnew_edges = lb.gnew_edges;
+  uint32_t k = 3;
+
+  while (gnew_edges > 0) {
+    // Scan 1: U_k = endpoints of unfinished edges with φ(e) ≤ k
+    // (Algorithm 4, Step 3); also the smallest label for level skipping.
+    std::vector<uint8_t> in_uk(num_vertices, 0);
+    bool any = false;
+    uint32_t min_label = UINT32_MAX;
+    {
+      auto reader = env.OpenReader(gnew);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        min_label = std::min(min_label, rec.label);
+        if (rec.label <= k) {
+          in_uk[rec.u] = 1;
+          in_uk[rec.v] = 1;
+          any = true;
+        }
+      }
+    }
+    if (!any) {
+      // All remaining lower bounds exceed k: Φ_k..Φ_{min_label - 1} are
+      // empty, jump directly (equivalent to the paper's k+1 stepping).
+      k = min_label;
+      continue;
+    }
+
+    // Scan 2: measure H = NS(U_k).
+    uint64_t h_edges = 0;
+    {
+      auto reader = env.OpenReader(gnew);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) ++h_edges;
+      }
+    }
+    ++stats.candidate_subgraphs;
+
+    const std::string stage_file = env.TempName("stage");
+    auto stage_writer_res = env.OpenWriter(stage_file);
+    TRUSS_RETURN_IF_ERROR(stage_writer_res.status());
+    auto stage_writer = stage_writer_res.MoveValue();
+
+    uint64_t classified_now = 0;
+    if (h_edges * kBytesPerEdgeInMemory <= config.memory_budget_bytes) {
+      // Scan 3: extract H into memory and run Procedure 5.
+      std::vector<io::GnewRecord> h_records;
+      h_records.reserve(h_edges);
+      auto reader = env.OpenReader(gnew);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) h_records.push_back(rec);
+      }
+      classified_now = BottomUpProcedureInMemory(
+          h_records, in_uk, k, class_writer.get(), stage_writer.get());
+    } else {
+      // Scan 3': spill H to disk and run Procedure 9.
+      ++stats.candidate_overflows;
+      const std::string h_file = env.TempName("p9_h");
+      {
+        auto reader = env.OpenReader(gnew);
+        TRUSS_RETURN_IF_ERROR(reader.status());
+        auto writer = env.OpenWriter(h_file);
+        TRUSS_RETURN_IF_ERROR(writer.status());
+        io::GnewRecord rec;
+        while (reader.value()->ReadRecord(&rec)) {
+          if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) {
+            writer.value()->WriteRecord(rec);
+          }
+        }
+        TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+      }
+      auto classified_res =
+          BottomUpProcedureExternal(env, h_file, num_vertices, config, in_uk,
+                                    k, class_writer.get(), stage_writer.get(),
+                                    &stats);
+      TRUSS_RETURN_IF_ERROR_RESULT(classified_res);
+      classified_now = classified_res.value();
+    }
+    TRUSS_RETURN_IF_ERROR(stage_writer->Close());
+
+    if (classified_now > 0) {
+      // Procedure 9 appends per-pass groups, each sorted but not globally;
+      // restore global order before the merge-subtraction.
+      const std::string stage_sorted = env.TempName("stage_sorted");
+      TRUSS_RETURN_IF_ERROR((io::ExternalSort<io::ClassRecord, io::ByEdgeLess>(
+          env, stage_file, stage_sorted, io::ByEdgeLess{},
+          config.memory_budget_bytes)));
+      TRUSS_RETURN_IF_ERROR(SubtractStage(env, &gnew, stage_sorted));
+      TRUSS_RETURN_IF_ERROR(env.DeleteFile(stage_sorted));
+      gnew_edges -= classified_now;
+      stats.classified_edges += classified_now;
+      stats.kmax = std::max(stats.kmax, k);
+    }
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(stage_file));
+    ++k;
+  }
+
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(gnew));
+  TRUSS_RETURN_IF_ERROR(class_writer->Close());
+  stats.seconds = timer.Seconds();
+  stats.io = io::DiffStats(env.stats(), start_io);
+  return stats;
+}
+
+Result<TrussDecompositionResult> BottomUpDecompose(io::Env& env,
+                                                   const Graph& g,
+                                                   const ExternalConfig& config,
+                                                   ExternalStats* stats) {
+  const std::string graph_file = env.TempName("graph");
+  TRUSS_RETURN_IF_ERROR(WriteGraphFile(env, g, graph_file));
+  const std::string classes_file = env.TempName("classes");
+  auto stats_res = BottomUpDecomposeFile(env, graph_file, g.num_vertices(),
+                                         config, classes_file);
+  TRUSS_RETURN_IF_ERROR_RESULT(stats_res);
+  if (stats != nullptr) *stats = stats_res.value();
+
+  auto result = LoadClassesAsDecomposition(env, classes_file, g);
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(classes_file));
+  return result;
+}
+
+}  // namespace truss

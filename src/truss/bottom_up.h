@@ -1,0 +1,43 @@
+// TD-bottomup: the I/O-efficient bottom-up truss decomposition
+// (paper Algorithm 4 with Procedure 5, and Procedure 9 when a candidate
+// subgraph exceeds the memory budget).
+//
+// Stage 1 (LowerBounding, Algorithm 3) prunes Φ2 and annotates every
+// remaining edge with a truss-number lower bound φ(e). Stage 2 walks k
+// upward: the candidate vertex set U_k = {v : ∃e=(u,v) ∈ Gnew, φ(e) ≤ k}
+// is collected in one scan of Gnew, the candidate subgraph H = NS(U_k) is
+// extracted in a second scan, Φ_k is peeled out of H (in memory when H
+// fits, by partitioned passes otherwise), and Φ_k is removed from Gnew
+// before moving to k+1.
+
+#ifndef TRUSS_TRUSS_BOTTOM_UP_H_
+#define TRUSS_TRUSS_BOTTOM_UP_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "io/env.h"
+#include "truss/external.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// Runs the full bottom-up decomposition over `graph_file` (a (u,v)-sorted
+/// GEdgeRecord file; consumed). Writes one ClassRecord per edge to
+/// `classes_out` and returns execution statistics.
+Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
+                                            const std::string& graph_file,
+                                            VertexId num_vertices,
+                                            const ExternalConfig& config,
+                                            const std::string& classes_out);
+
+/// Convenience wrapper: ships `g` through the Env, runs the external
+/// algorithm, and projects the classes back onto `g`'s edge ids (used by
+/// tests and benchmarks, where the reference graph fits in memory anyway).
+Result<TrussDecompositionResult> BottomUpDecompose(
+    io::Env& env, const Graph& g, const ExternalConfig& config,
+    ExternalStats* stats = nullptr);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_BOTTOM_UP_H_

@@ -1,0 +1,89 @@
+#include "truss/cohen.h"
+
+#include <deque>
+
+#include "triangle/triangle.h"
+
+namespace truss {
+
+TrussDecompositionResult CohenTrussDecomposition(const Graph& g,
+                                                 MemoryTracker* tracker) {
+  const EdgeId m = g.num_edges();
+  TrussDecompositionResult result;
+  result.truss_number.assign(m, 0);
+  if (m == 0) return result;
+
+  std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+  std::vector<bool> removed(m, false);
+  std::vector<bool> queued(m, false);
+
+  const ScopedMemory mem(
+      tracker, g.SizeBytes() + m * sizeof(uint32_t) /* sup */ +
+                   m / 4 /* removed+queued bitmaps */ +
+                   m * sizeof(EdgeId) /* queue worst case */);
+
+  EdgeId remaining = m;
+  uint32_t k = 3;
+  std::deque<EdgeId> queue;
+
+  // Seed the queue for the current k with all under-supported edges.
+  auto seed_queue = [&]() {
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!removed[e] && !queued[e] && sup[e] < k - 2) {
+        queue.push_back(e);
+        queued[e] = true;
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    seed_queue();
+    while (!queue.empty()) {
+      const EdgeId eid = queue.front();
+      queue.pop_front();
+      queued[eid] = false;
+      if (removed[eid]) continue;
+
+      // Edges removed while processing level k are not in T_k, hence their
+      // truss number is k-1.
+      result.truss_number[eid] = k - 1;
+      removed[eid] = true;
+      --remaining;
+
+      // W = nb(u) ∩ nb(v) over live edges only (Algorithm 1, Step 5);
+      // for each △uvw, downgrade the other two edges (Steps 6-7).
+      const Edge e = g.edge(eid);
+      const auto nb_u = g.neighbors(e.u);
+      const auto nb_v = g.neighbors(e.v);
+      size_t i = 0, j = 0;
+      while (i < nb_u.size() && j < nb_v.size()) {
+        if (nb_u[i].neighbor < nb_v[j].neighbor) {
+          ++i;
+        } else if (nb_u[i].neighbor > nb_v[j].neighbor) {
+          ++j;
+        } else {
+          const EdgeId uw = nb_u[i].edge;
+          const EdgeId vw = nb_v[j].edge;
+          if (!removed[uw] && !removed[vw]) {
+            for (const EdgeId f : {uw, vw}) {
+              --sup[f];
+              if (sup[f] < k - 2 && !queued[f]) {
+                queue.push_back(f);
+                queued[f] = true;
+              }
+            }
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+    // Everything left survives level k: it is (at least) the k-truss.
+    if (remaining > 0) ++k;
+  }
+
+  result.RecomputeKmax();
+  return result;
+}
+
+}  // namespace truss

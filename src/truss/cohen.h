@@ -1,0 +1,27 @@
+// TD-inmem: Cohen's in-memory truss decomposition (paper Algorithm 1, [15]).
+//
+// For each k starting at 3, repeatedly removes an edge e = (u, v) with
+// sup(e) < k-2, recomputing W = nb(u) ∩ nb(v) by sorted-list intersection in
+// O(deg(u) + deg(v)) per removal — the step whose Σ_v deg(v)² total cost the
+// improved Algorithm 2 eliminates. Kept as the baseline for Table 3.
+//
+// Per §3.1 we adopt the two concessions the paper itself makes for this
+// baseline: supports are initialized with the fast triangle counter, and
+// removal is implicit (a deleted-mark, not adjacency surgery).
+
+#ifndef TRUSS_TRUSS_COHEN_H_
+#define TRUSS_TRUSS_COHEN_H_
+
+#include "common/memory_tracker.h"
+#include "graph/graph.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// Runs Algorithm 1. `tracker` (optional) records peak structure memory.
+TrussDecompositionResult CohenTrussDecomposition(
+    const Graph& g, MemoryTracker* tracker = nullptr);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_COHEN_H_

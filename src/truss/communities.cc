@@ -1,0 +1,105 @@
+#include "truss/communities.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/subgraph.h"
+
+namespace truss {
+
+namespace {
+
+// Union-find over a dense id space.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<const TrussCommunity*> TrussHierarchy::AtLevel(uint32_t k) const {
+  std::vector<const TrussCommunity*> out;
+  for (const TrussCommunity& c : communities) {
+    if (c.k == k) out.push_back(&c);
+  }
+  return out;
+}
+
+const TrussCommunity* TrussHierarchy::DeepestCommunityOf(VertexId v) const {
+  const TrussCommunity* best = nullptr;
+  for (const TrussCommunity& c : communities) {
+    if ((best == nullptr || c.k > best->k) &&
+        std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+std::vector<TrussCommunity> KTrussCommunities(
+    const Graph& g, const TrussDecompositionResult& r, uint32_t k) {
+  TRUSS_CHECK_EQ(r.truss_number.size(), g.num_edges());
+
+  // Union endpoints of every T_k edge, then group by representative.
+  UnionFind uf(g.num_vertices());
+  std::vector<uint8_t> touched(g.num_vertices(), 0);
+  std::vector<uint64_t> edge_count;  // indexed later per component
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (r.truss_number[e] < k) continue;
+    const Edge edge = g.edge(e);
+    uf.Union(edge.u, edge.v);
+    touched[edge.u] = touched[edge.v] = 1;
+  }
+
+  std::unordered_map<uint32_t, size_t> component_of_root;
+  std::vector<TrussCommunity> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (touched[v] == 0) continue;
+    const uint32_t root = uf.Find(v);
+    auto [it, inserted] = component_of_root.emplace(root, out.size());
+    if (inserted) {
+      out.emplace_back();
+      out.back().k = k;
+    }
+    out[it->second].vertices.push_back(v);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (r.truss_number[e] < k) continue;
+    const uint32_t root = uf.Find(g.edge(e).u);
+    ++out[component_of_root.at(root)].edges;
+  }
+  // Vertices were appended in ascending order already; normalize ordering of
+  // the communities themselves by smallest member.
+  std::sort(out.begin(), out.end(),
+            [](const TrussCommunity& a, const TrussCommunity& b) {
+              return a.vertices.front() < b.vertices.front();
+            });
+  return out;
+}
+
+TrussHierarchy BuildTrussHierarchy(const Graph& g,
+                                   const TrussDecompositionResult& r) {
+  TrussHierarchy h;
+  for (uint32_t k = 3; k <= r.kmax; ++k) {
+    std::vector<TrussCommunity> level = KTrussCommunities(g, r, k);
+    for (TrussCommunity& c : level) h.communities.push_back(std::move(c));
+  }
+  return h;
+}
+
+}  // namespace truss

@@ -1,0 +1,53 @@
+// Truss-based community structure.
+//
+// The paper motivates k-trusses as "hierarchical subgraphs that represent
+// the cores of a network at different levels of granularity" (§1), suitable
+// for community detection, visualization and fingerprinting. This module
+// materializes that view: the connected components of each k-truss are the
+// level-k communities, and every edge's community chain is nested along k
+// (T_k ⊇ T_{k+1} implies each level-(k+1) community lies inside exactly one
+// level-k community).
+
+#ifndef TRUSS_TRUSS_COMMUNITIES_H_
+#define TRUSS_TRUSS_COMMUNITIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// One connected component of a k-truss.
+struct TrussCommunity {
+  uint32_t k = 0;
+  std::vector<VertexId> vertices;  // sorted parent vertex ids
+  uint64_t edges = 0;
+};
+
+/// The communities of every level 3..kmax.
+struct TrussHierarchy {
+  /// All communities, ordered by (k, smallest member vertex).
+  std::vector<TrussCommunity> communities;
+
+  /// Communities of one level.
+  std::vector<const TrussCommunity*> AtLevel(uint32_t k) const;
+
+  /// The largest k whose truss contains vertex v, and the community there.
+  /// Returns nullptr if v is in no 3-truss.
+  const TrussCommunity* DeepestCommunityOf(VertexId v) const;
+};
+
+/// Builds the full hierarchy from a decomposition. O(Σ_k |T_k|) time.
+TrussHierarchy BuildTrussHierarchy(const Graph& g,
+                                   const TrussDecompositionResult& r);
+
+/// Connected components of a single k-truss: each edge-induced component as
+/// a community. Lighter than building the full hierarchy.
+std::vector<TrussCommunity> KTrussCommunities(
+    const Graph& g, const TrussDecompositionResult& r, uint32_t k);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_COMMUNITIES_H_

@@ -1,0 +1,65 @@
+// Shared configuration and statistics for the I/O-efficient decompositions
+// (§4): the bottom-up algorithm (Algorithms 3/4, Procedures 5/9) and the
+// top-down algorithm (Procedure 6, Algorithm 7, Procedures 8/10).
+
+#ifndef TRUSS_TRUSS_EXTERNAL_H_
+#define TRUSS_TRUSS_EXTERNAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/env.h"
+#include "partition/partition.h"
+
+namespace truss {
+
+/// Tuning knobs of the external algorithms. The memory budget plays the role
+/// of M in the paper's I/O model: candidate subgraphs and partition parts
+/// are sized against it, and exceeding it triggers the partition-based
+/// overflow procedures (9/10).
+struct ExternalConfig {
+  /// Simulated main-memory size M in bytes.
+  uint64_t memory_budget_bytes = 256ull << 20;
+  /// Partitioning strategy for neighborhood subgraphs.
+  partition::Strategy strategy = partition::Strategy::kSequential;
+  /// Seed for randomized partitioning.
+  uint64_t seed = 42;
+  /// Top-down only: number of top classes to compute; -1 = all classes.
+  int32_t top_t = -1;
+  /// Emit per-stage progress lines on stderr.
+  bool verbose = false;
+};
+
+/// Execution counters reported by both external algorithms.
+struct ExternalStats {
+  uint32_t lower_bound_iterations = 0;
+  uint64_t parts_processed = 0;
+  /// Candidate subgraphs H extracted (one per k-stage, plus overflow passes).
+  uint64_t candidate_subgraphs = 0;
+  /// Candidate subgraphs that exceeded the budget (Procedure 9/10 taken).
+  uint64_t candidate_overflows = 0;
+  /// Number of edges classified into Φ2 during lower bounding.
+  uint64_t phi2_edges = 0;
+  /// Total edges classified (equals m when running to completion).
+  uint64_t classified_edges = 0;
+  uint32_t kmax = 0;
+  /// I/O performed, in the Env's block units.
+  io::IoStats io;
+  double seconds = 0.0;
+};
+
+/// Approximate bytes of in-memory structure per edge when a candidate
+/// subgraph or partition part is materialized (local CSR + edge array +
+/// per-edge algorithm state). Used to convert the byte budget into the
+/// partitioners' weight units and to decide whether H fits.
+inline constexpr uint64_t kBytesPerEdgeInMemory = 48;
+
+/// Converts a byte budget into partition weight units (deg+1 sums).
+inline uint64_t BudgetToWeight(uint64_t budget_bytes) {
+  const uint64_t units = budget_bytes / kBytesPerEdgeInMemory;
+  return units == 0 ? 1 : units;
+}
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_EXTERNAL_H_

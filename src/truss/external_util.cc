@@ -1,0 +1,54 @@
+#include "truss/external_util.h"
+
+namespace truss {
+
+Status WriteGraphFile(io::Env& env, const Graph& g, const std::string& file) {
+  auto writer = env.OpenWriter(file);
+  TRUSS_RETURN_IF_ERROR(writer.status());
+  // Graph::edges() is already sorted lexicographically.
+  for (const Edge& e : g.edges()) {
+    io::GEdgeRecord rec;
+    rec.u = e.u;
+    rec.v = e.v;
+    rec.sup_acc = 0;
+    rec.phi_lb = 2;
+    writer.value()->WriteRecord(rec);
+  }
+  return writer.value()->Close();
+}
+
+Result<TrussDecompositionResult> LoadClassesAsDecomposition(
+    io::Env& env, const std::string& classes_file, const Graph& g) {
+  auto reader = env.OpenReader(classes_file);
+  TRUSS_RETURN_IF_ERROR(reader.status());
+
+  TrussDecompositionResult result;
+  result.truss_number.assign(g.num_edges(), 0);
+
+  io::ClassRecord rec;
+  uint64_t count = 0;
+  while (reader.value()->ReadRecord(&rec)) {
+    const EdgeId id = g.FindEdge(rec.u, rec.v);
+    if (id == kInvalidEdge) {
+      return Status::Corruption("class record for unknown edge (" +
+                                std::to_string(rec.u) + "," +
+                                std::to_string(rec.v) + ")");
+    }
+    if (result.truss_number[id] != 0) {
+      return Status::Corruption("edge classified twice: (" +
+                                std::to_string(rec.u) + "," +
+                                std::to_string(rec.v) + ")");
+    }
+    result.truss_number[id] = rec.truss;
+    ++count;
+  }
+  if (count != g.num_edges()) {
+    return Status::Corruption(
+        "decomposition incomplete: " + std::to_string(count) + " of " +
+        std::to_string(g.num_edges()) + " edges classified");
+  }
+  result.RecomputeKmax();
+  return result;
+}
+
+}  // namespace truss

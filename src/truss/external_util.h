@@ -1,0 +1,148 @@
+// Plumbing shared by the external-memory truss algorithms: moving graphs
+// between the in-memory Graph type and Env record files, and building local
+// (in-memory) graphs for partition parts and candidate subgraphs.
+
+#ifndef TRUSS_TRUSS_EXTERNAL_UTIL_H_
+#define TRUSS_TRUSS_EXTERNAL_UTIL_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "io/edge_records.h"
+#include "io/env.h"
+#include "partition/partition.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// Writes `g` as a GEdgeRecord file (sorted by (u, v), sup_acc = 0,
+/// phi_lb = 2) named `file` under `env`. This is the on-disk input format of
+/// the external algorithms.
+Status WriteGraphFile(io::Env& env, const Graph& g, const std::string& file);
+
+/// Reads a ClassRecord file and projects it onto `g`'s edge ids.
+/// Fails if a record's edge is absent from `g` or an edge is missing a class.
+Result<TrussDecompositionResult> LoadClassesAsDecomposition(
+    io::Env& env, const std::string& classes_file, const Graph& g);
+
+/// An in-memory graph materialized from (u, v)-sorted edge records, with the
+/// vertex id mapping. Local EdgeId i corresponds to input record i (the
+/// monotone vertex renumbering preserves lexicographic edge order).
+class LocalGraphView {
+ public:
+  /// `Record` must expose fields u and v; records must be strictly sorted by
+  /// (u, v).
+  template <typename Record>
+  explicit LocalGraphView(const std::vector<Record>& records) {
+    std::vector<VertexId> endpoints;
+    endpoints.reserve(records.size() * 2);
+    for (const auto& r : records) {
+      endpoints.push_back(r.u);
+      endpoints.push_back(r.v);
+    }
+    std::sort(endpoints.begin(), endpoints.end());
+    endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                    endpoints.end());
+    to_orig_ = std::move(endpoints);
+
+    std::vector<Edge> edges;
+    edges.reserve(records.size());
+    for (const auto& r : records) {
+      edges.push_back(Edge{ToLocal(r.u), ToLocal(r.v)});
+    }
+    graph_ = Graph::FromEdges(std::move(edges),
+                              static_cast<VertexId>(to_orig_.size()));
+    // Sorted unique input + monotone renumbering => ids line up 1:1.
+    TRUSS_CHECK_EQ(graph_.num_edges(), records.size());
+  }
+
+  const Graph& graph() const { return graph_; }
+
+  /// Local id of an original vertex (must be present).
+  VertexId ToLocal(VertexId orig) const {
+    const auto it =
+        std::lower_bound(to_orig_.begin(), to_orig_.end(), orig);
+    TRUSS_CHECK(it != to_orig_.end() && *it == orig);
+    return static_cast<VertexId>(it - to_orig_.begin());
+  }
+
+  /// Original id of a local vertex.
+  VertexId ToOrig(VertexId local) const { return to_orig_[local]; }
+
+  uint64_t SizeBytes() const {
+    return graph_.SizeBytes() + to_orig_.size() * sizeof(VertexId);
+  }
+
+ private:
+  Graph graph_;
+  std::vector<VertexId> to_orig_;
+};
+
+/// Reads all records of a file into a vector (caller asserts it fits).
+template <typename Record>
+Result<std::vector<Record>> ReadAllRecords(io::Env& env,
+                                           const std::string& file) {
+  auto reader = env.OpenReader(file);
+  TRUSS_RETURN_IF_ERROR(reader.status());
+  std::vector<Record> records;
+  Record rec;
+  while (reader.value()->ReadRecord(&rec)) records.push_back(rec);
+  return records;
+}
+
+/// Writes all records of a vector to a file.
+template <typename Record>
+Status WriteAllRecords(io::Env& env, const std::string& file,
+                       const std::vector<Record>& records) {
+  auto writer = env.OpenWriter(file);
+  TRUSS_RETURN_IF_ERROR(writer.status());
+  for (const Record& r : records) writer.value()->WriteRecord(r);
+  return writer.value()->Close();
+}
+
+/// One sequential pass over an edge-record file: per-vertex degrees and the
+/// edge count of the file's graph.
+template <typename Record>
+Status ScanDegrees(io::Env& env, const std::string& file, VertexId n,
+                   std::vector<uint32_t>* degrees, uint64_t* num_edges) {
+  degrees->assign(n, 0);
+  *num_edges = 0;
+  auto reader = env.OpenReader(file);
+  TRUSS_RETURN_IF_ERROR(reader.status());
+  Record rec;
+  while (reader.value()->ReadRecord(&rec)) {
+    TRUSS_CHECK_LT(rec.u, n);
+    TRUSS_CHECK_LT(rec.v, n);
+    ++(*degrees)[rec.u];
+    ++(*degrees)[rec.v];
+    ++(*num_edges);
+  }
+  return Status::OK();
+}
+
+/// Adapts an edge-record file to the partitioners' EdgeScanFn interface.
+template <typename Record>
+partition::EdgeScanFn MakeEdgeScanFn(io::Env& env, std::string file) {
+  return [&env, file = std::move(file)](
+             const std::function<void(VertexId, VertexId)>& fn) {
+    auto reader = env.OpenReader(file);
+    TRUSS_CHECK(reader.ok());
+    Record rec;
+    while (reader.value()->ReadRecord(&rec)) fn(rec.u, rec.v);
+  };
+}
+
+// TRUSS_RETURN_IF_ERROR only handles Status; this variant propagates the
+// error of a Result<T> expression.
+#define TRUSS_RETURN_IF_ERROR_RESULT(expr)     \
+  do {                                         \
+    if (!(expr).ok()) return (expr).status();  \
+  } while (0)
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_EXTERNAL_UTIL_H_

@@ -1,0 +1,123 @@
+#include "truss/improved.h"
+
+#include <algorithm>
+
+#include "triangle/triangle.h"
+#include "truss/edge_map.h"
+
+namespace truss {
+
+namespace {
+
+// Bin-sorted edge array (the truss analogue of [5]'s sorted degree array).
+// Maintains: sorted_ holds all edges ordered by current support; pos_[e] is
+// e's index; bin_start_[s] is the index of the first edge with support s.
+class SupportBins {
+ public:
+  SupportBins(std::vector<uint32_t>* sup, EdgeId m) : sup_(*sup) {
+    uint32_t max_sup = 0;
+    for (EdgeId e = 0; e < m; ++e) max_sup = std::max(max_sup, sup_[e]);
+    bin_start_.assign(max_sup + 2, 0);
+    for (EdgeId e = 0; e < m; ++e) ++bin_start_[sup_[e] + 1];
+    for (size_t s = 1; s < bin_start_.size(); ++s) {
+      bin_start_[s] += bin_start_[s - 1];
+    }
+    sorted_.resize(m);
+    pos_.resize(m);
+    std::vector<uint64_t> cursor(bin_start_.begin(), bin_start_.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      pos_[e] = cursor[sup_[e]]++;
+      sorted_[pos_[e]] = e;
+    }
+  }
+
+  /// Edge at array position i.
+  EdgeId At(uint64_t i) const { return sorted_[i]; }
+
+  /// Moves edge e from its current bin to the one below (support - 1).
+  /// Precondition: sup_[e] ≥ 1 and e has not been peeled yet.
+  void Decrement(EdgeId e) {
+    const uint32_t s = sup_[e];
+    const uint64_t pe = pos_[e];
+    const uint64_t pw = bin_start_[s];
+    const EdgeId w = sorted_[pw];
+    if (e != w) {
+      std::swap(sorted_[pe], sorted_[pw]);
+      pos_[e] = pw;
+      pos_[w] = pe;
+    }
+    ++bin_start_[s];
+    --sup_[e];
+  }
+
+  uint64_t SizeBytes() const {
+    return sorted_.size() * sizeof(EdgeId) + pos_.size() * sizeof(uint64_t) +
+           bin_start_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  std::vector<uint32_t>& sup_;
+  std::vector<EdgeId> sorted_;
+  std::vector<uint64_t> pos_;
+  std::vector<uint64_t> bin_start_;
+};
+
+TrussDecompositionResult Peel(const Graph& g, std::vector<uint32_t>& sup,
+                              MemoryTracker* tracker) {
+  const EdgeId m = g.num_edges();
+  TrussDecompositionResult result;
+  result.truss_number.assign(m, 0);
+  if (m == 0) return result;
+
+  SupportBins bins(&sup, m);
+  const EdgeMap edge_map(g);
+  std::vector<bool> removed(m, false);
+
+  const ScopedMemory mem(tracker, g.SizeBytes() + m * sizeof(uint32_t) +
+                                      bins.SizeBytes() + edge_map.SizeBytes() +
+                                      m / 8);
+
+  uint32_t k = 2;
+  for (uint64_t ptr = 0; ptr < m; ++ptr) {
+    const EdgeId eid = bins.At(ptr);
+    // Peeled supports are non-decreasing, so the running level only grows.
+    k = std::max(k, sup[eid] + 2);
+    result.truss_number[eid] = k;
+    removed[eid] = true;
+
+    const Edge e = g.edge(eid);
+    // Walk the smaller adjacency list (Algorithm 2, Step 6).
+    VertexId u = e.u, v = e.v;
+    if (g.degree(u) > g.degree(v)) std::swap(u, v);
+    for (const AdjEntry& a : g.neighbors(u)) {
+      const EdgeId uw = a.edge;
+      if (removed[uw]) continue;
+      const EdgeId vw = edge_map.Find(v, a.neighbor);
+      if (vw == kInvalidEdge || removed[vw]) continue;
+      // △(u,v,w) is live: downgrade (u,w) and (v,w). Skipping edges whose
+      // support already sits at or below sup[eid] keeps the bins sorted;
+      // such edges peel at the same level regardless of exact value.
+      if (sup[uw] > sup[eid]) bins.Decrement(uw);
+      if (sup[vw] > sup[eid]) bins.Decrement(vw);
+    }
+  }
+
+  result.RecomputeKmax();
+  return result;
+}
+
+}  // namespace
+
+TrussDecompositionResult ImprovedTrussDecomposition(const Graph& g,
+                                                    MemoryTracker* tracker) {
+  std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+  return Peel(g, sup, tracker);
+}
+
+TrussDecompositionResult PeelWithSupports(const Graph& g,
+                                          std::vector<uint32_t> sup) {
+  TRUSS_CHECK_EQ(sup.size(), g.num_edges());
+  return Peel(g, sup, nullptr);
+}
+
+}  // namespace truss

@@ -1,0 +1,32 @@
+// TD-inmem+: the paper's improved in-memory truss decomposition
+// (Algorithm 2, §3.2) — the primary contribution for in-memory graphs.
+//
+// After an O(m^1.5) support initialization, edges are kept bin-sorted by
+// current support (the sorted edge array of [5]). The peel repeatedly takes
+// the lowest-support edge e = (u, v); walking only the *smaller* adjacency
+// list and testing the third edge with an O(1) expected hash lookup bounds
+// the whole decomposition by O(m^1.5) (Theorem 1) instead of Algorithm 1's
+// O(Σ deg²).
+
+#ifndef TRUSS_TRUSS_IMPROVED_H_
+#define TRUSS_TRUSS_IMPROVED_H_
+
+#include "common/memory_tracker.h"
+#include "graph/graph.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// Runs Algorithm 2. `tracker` (optional) records peak structure memory.
+TrussDecompositionResult ImprovedTrussDecomposition(
+    const Graph& g, MemoryTracker* tracker = nullptr);
+
+/// Variant used by the external algorithms (§5, §6): peels `g` with the
+/// supports given in `sup` (consumed/modified in place) and returns truss
+/// numbers. This lets local computations seed supports themselves.
+TrussDecompositionResult PeelWithSupports(const Graph& g,
+                                          std::vector<uint32_t> sup);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_IMPROVED_H_

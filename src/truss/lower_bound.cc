@@ -1,0 +1,360 @@
+#include "truss/lower_bound.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "io/edge_records.h"
+#include "io/external_sort.h"
+#include "triangle/triangle.h"
+#include "truss/external_util.h"
+#include "truss/improved.h"
+
+namespace truss {
+
+namespace {
+
+// Called once per edge in the iteration where it becomes internal, with its
+// exact support in the original graph and its best truss lower bound.
+using InternalEdgeSink = std::function<void(
+    const io::GEdgeRecord& rec, uint32_t exact_sup, uint32_t phi)>;
+
+uint64_t CountInternalEdges(io::Env& env, const std::string& file,
+                            const std::vector<uint32_t>& part_of) {
+  auto reader = env.OpenReader(file);
+  TRUSS_CHECK(reader.ok());
+  uint64_t internal = 0;
+  io::GEdgeRecord rec;
+  while (reader.value()->ReadRecord(&rec)) {
+    if (part_of[rec.u] == part_of[rec.v]) ++internal;
+  }
+  return internal;
+}
+
+// Last-resort partition guaranteeing progress: one part holds the highest-
+// degree vertex together with its whole neighborhood (all its edges become
+// internal); the remaining vertices are packed sequentially.
+partition::PartitionResult ForcedPartition(io::Env& env,
+                                           const std::string& file,
+                                           const std::vector<uint32_t>& degrees,
+                                           uint64_t max_weight) {
+  VertexId vmax = 0;
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    if (degrees[v] > degrees[vmax]) vmax = v;
+  }
+  std::vector<uint8_t> in_first(degrees.size(), 0);
+  in_first[vmax] = 1;
+  {
+    auto reader = env.OpenReader(file);
+    TRUSS_CHECK(reader.ok());
+    io::GEdgeRecord rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      if (rec.u == vmax) in_first[rec.v] = 1;
+      if (rec.v == vmax) in_first[rec.u] = 1;
+    }
+  }
+
+  partition::PartitionResult result;
+  result.part_of.assign(degrees.size(), partition::PartitionResult::kNoPart);
+  result.parts.emplace_back();
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    if (in_first[v] != 0 && degrees[v] > 0) {
+      result.parts[0].push_back(v);
+      result.part_of[v] = 0;
+    }
+  }
+  // Pack the rest sequentially under the weight cap.
+  std::vector<VertexId> current;
+  uint64_t weight = 0;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    for (const VertexId v : current) {
+      result.part_of[v] = static_cast<uint32_t>(result.parts.size());
+    }
+    result.parts.push_back(std::move(current));
+    current.clear();
+    weight = 0;
+  };
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    if (degrees[v] == 0 || in_first[v] != 0) continue;
+    const uint64_t w = degrees[v] + 1;
+    if (!current.empty() && weight + w > max_weight) flush();
+    current.push_back(v);
+    weight += w;
+  }
+  flush();
+  return result;
+}
+
+// One full Algorithm 3 run over a consumable GEdgeRecord file. Shared by
+// RunLowerBounding (classification sinks) and ComputeExactSupports (pure
+// support sink). See the header for the crediting invariant.
+Status RunBoundingDriver(io::Env& env, std::string g_file, VertexId n,
+                         const ExternalConfig& cfg, bool compute_phi,
+                         const InternalEdgeSink& sink,
+                         uint32_t* iterations_out, uint64_t* parts_out) {
+  const uint64_t max_weight = BudgetToWeight(cfg.memory_budget_bytes);
+  uint32_t iteration = 0;
+  uint64_t parts_processed = 0;
+
+  while (true) {
+    std::vector<uint32_t> degrees;
+    uint64_t m_cur = 0;
+    TRUSS_RETURN_IF_ERROR(
+        ScanDegrees<io::GEdgeRecord>(env, g_file, n, &degrees, &m_cur));
+    if (m_cur == 0) break;
+
+    // Partition; retry with fresh randomized orders if no edge would become
+    // internal (possible for adversarial layouts), then force progress.
+    partition::PartitionResult part;
+    uint64_t internal_edges = 0;
+    for (int attempt = 0;; ++attempt) {
+      partition::Options opts;
+      opts.max_part_weight = max_weight;
+      if (attempt == 0) {
+        opts.strategy = cfg.strategy;
+        opts.seed = cfg.seed + iteration;
+      } else {
+        opts.strategy = partition::Strategy::kRandomized;
+        opts.seed = cfg.seed + iteration * 1000003ull + attempt;
+      }
+      part = partition::PartitionVertices(
+          degrees, MakeEdgeScanFn<io::GEdgeRecord>(env, g_file), opts);
+      internal_edges = CountInternalEdges(env, g_file, part.part_of);
+      if (internal_edges > 0) break;
+      if (attempt >= 8) {
+        part = ForcedPartition(env, g_file, degrees, max_weight);
+        internal_edges = CountInternalEdges(env, g_file, part.part_of);
+        TRUSS_CHECK_GT(internal_edges, 0u);
+        break;
+      }
+    }
+    const size_t p = part.parts.size();
+
+    // Distribute each edge to the part(s) of its endpoints; a part's bucket
+    // is exactly ENS(P_i), and buckets stay (u,v)-sorted because the source
+    // is sorted.
+    std::vector<std::string> bucket_names(p);
+    {
+      std::vector<std::unique_ptr<io::BlockWriter>> writers(p);
+      for (size_t i = 0; i < p; ++i) {
+        bucket_names[i] = env.TempName("lb_bucket");
+        auto w = env.OpenWriter(bucket_names[i]);
+        TRUSS_RETURN_IF_ERROR(w.status());
+        writers[i] = w.MoveValue();
+      }
+      auto reader = env.OpenReader(g_file);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GEdgeRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        const uint32_t pa = part.part_of[rec.u];
+        const uint32_t pb = part.part_of[rec.v];
+        writers[pa]->WriteRecord(rec);
+        if (pb != pa) writers[pb]->WriteRecord(rec);
+      }
+      for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
+    }
+
+    const std::string delta_file = env.TempName("lb_delta");
+    uint64_t deltas_written = 0;
+    {
+      auto delta_writer_res = env.OpenWriter(delta_file);
+      TRUSS_RETURN_IF_ERROR(delta_writer_res.status());
+      auto delta_writer = delta_writer_res.MoveValue();
+
+      for (size_t i = 0; i < p; ++i) {
+        auto records_res =
+            ReadAllRecords<io::GEdgeRecord>(env, bucket_names[i]);
+        TRUSS_RETURN_IF_ERROR_RESULT(records_res);
+        const std::vector<io::GEdgeRecord> records = records_res.MoveValue();
+        TRUSS_RETURN_IF_ERROR(env.DeleteFile(bucket_names[i]));
+        if (records.empty()) continue;
+        ++parts_processed;
+
+        const LocalGraphView local(records);
+        const Graph& h = local.graph();
+        std::vector<uint8_t> is_internal(h.num_vertices(), 0);
+        for (VertexId lv = 0; lv < h.num_vertices(); ++lv) {
+          is_internal[lv] = part.part_of[local.ToOrig(lv)] == i ? 1 : 0;
+        }
+
+        // local_sup: all triangles of H (drives ϕ(e,H) and, for internal
+        // edges, tops up the accumulated exact support). new_sup: triangles
+        // first fully contained here (≥2 internal corners) — the credit
+        // spilled to edges that are still external.
+        std::vector<uint32_t> local_sup(h.num_edges(), 0);
+        std::vector<uint32_t> new_sup(h.num_edges(), 0);
+        ForEachTriangle(h, [&](VertexId a, VertexId b, VertexId c, EdgeId e1,
+                               EdgeId e2, EdgeId e3) {
+          ++local_sup[e1];
+          ++local_sup[e2];
+          ++local_sup[e3];
+          if (is_internal[a] + is_internal[b] + is_internal[c] >= 2) {
+            ++new_sup[e1];
+            ++new_sup[e2];
+            ++new_sup[e3];
+          }
+        });
+
+        TrussDecompositionResult local_truss;
+        if (compute_phi) local_truss = PeelWithSupports(h, local_sup);
+
+        for (EdgeId le = 0; le < h.num_edges(); ++le) {
+          const io::GEdgeRecord& rec = records[le];
+          const Edge e = h.edge(le);
+          const uint32_t phi_local =
+              compute_phi ? local_truss.truss_number[le] : 2;
+          if (is_internal[e.u] != 0 && is_internal[e.v] != 0) {
+            sink(rec, rec.sup_acc + local_sup[le],
+                 std::max(rec.phi_lb, phi_local));
+          } else if (new_sup[le] > 0 || phi_local > rec.phi_lb) {
+            delta_writer->WriteRecord(
+                io::DeltaRecord{rec.u, rec.v, new_sup[le], phi_local});
+            ++deltas_written;
+          }
+        }
+      }
+      TRUSS_RETURN_IF_ERROR(delta_writer->Close());
+    }
+
+    // Merge deltas into the surviving cross-part edges to form the next G.
+    std::string sorted_delta = delta_file;
+    if (deltas_written > 0) {
+      sorted_delta = env.TempName("lb_delta_sorted");
+      TRUSS_RETURN_IF_ERROR(
+          (io::ExternalSort<io::DeltaRecord, io::ByEdgeLess>(
+              env, delta_file, sorted_delta, io::ByEdgeLess{},
+              cfg.memory_budget_bytes)));
+    }
+    const std::string next_g = env.TempName("lb_g");
+    {
+      auto g_reader = env.OpenReader(g_file);
+      TRUSS_RETURN_IF_ERROR(g_reader.status());
+      auto d_reader = env.OpenReader(sorted_delta);
+      TRUSS_RETURN_IF_ERROR(d_reader.status());
+      auto out = env.OpenWriter(next_g);
+      TRUSS_RETURN_IF_ERROR(out.status());
+
+      io::DeltaRecord d;
+      bool have_d = d_reader.value()->ReadRecord(&d);
+      io::GEdgeRecord rec;
+      const io::ByEdgeLess less;
+      while (g_reader.value()->ReadRecord(&rec)) {
+        if (part.part_of[rec.u] == part.part_of[rec.v]) continue;  // consumed
+        // Deltas are only produced for surviving edges, so the merge heads
+        // can never run ahead of the graph cursor.
+        TRUSS_CHECK(!have_d || !less(d, rec));
+        while (have_d && d.u == rec.u && d.v == rec.v) {
+          rec.sup_acc += d.sup_delta;
+          rec.phi_lb = std::max(rec.phi_lb, d.phi_cand);
+          have_d = d_reader.value()->ReadRecord(&d);
+        }
+        out.value()->WriteRecord(rec);
+      }
+      TRUSS_CHECK(!have_d);
+      TRUSS_RETURN_IF_ERROR(out.value()->Close());
+    }
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(g_file));
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(delta_file));
+    if (sorted_delta != delta_file) {
+      TRUSS_RETURN_IF_ERROR(env.DeleteFile(sorted_delta));
+    }
+    g_file = next_g;
+    ++iteration;
+  }
+
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(g_file));
+  *iterations_out = iteration;
+  *parts_out = parts_processed;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LowerBoundingOutput> RunLowerBounding(io::Env& env,
+                                             const std::string& graph_file,
+                                             VertexId num_vertices,
+                                             const ExternalConfig& config,
+                                             BoundMode mode,
+                                             io::BlockWriter* class_out) {
+  LowerBoundingOutput out;
+
+  const std::string gnew_unsorted = env.TempName("gnew_unsorted");
+  auto gnew_writer_res = env.OpenWriter(gnew_unsorted);
+  TRUSS_RETURN_IF_ERROR(gnew_writer_res.status());
+  auto gnew_writer = gnew_writer_res.MoveValue();
+
+  const auto sink = [&](const io::GEdgeRecord& rec, uint32_t exact_sup,
+                        uint32_t phi) {
+    if (exact_sup == 0) {
+      // sup(e, G) = 0 ⟺ e is in no triangle of G ⟺ ϕ(e) = 2.
+      class_out->WriteRecord(io::ClassRecord{rec.u, rec.v, 2});
+      ++out.phi2_edges;
+    } else {
+      io::GnewRecord g;
+      g.u = rec.u;
+      g.v = rec.v;
+      g.label = mode == BoundMode::kPhiLowerBound ? phi : exact_sup;
+      gnew_writer->WriteRecord(g);
+      ++out.gnew_edges;
+    }
+  };
+
+  TRUSS_RETURN_IF_ERROR(RunBoundingDriver(
+      env, graph_file, num_vertices, config,
+      /*compute_phi=*/mode == BoundMode::kPhiLowerBound, sink,
+      &out.iterations, &out.parts_processed));
+  TRUSS_RETURN_IF_ERROR(gnew_writer->Close());
+
+  out.gnew_file = env.TempName("gnew");
+  TRUSS_RETURN_IF_ERROR((io::ExternalSort<io::GnewRecord, io::ByEdgeLess>(
+      env, gnew_unsorted, out.gnew_file, io::ByEdgeLess{},
+      config.memory_budget_bytes)));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(gnew_unsorted));
+  return out;
+}
+
+Result<std::string> ComputeExactSupports(io::Env& env,
+                                         const std::string& edge_file,
+                                         VertexId num_vertices,
+                                         const ExternalConfig& config) {
+  // Convert the caller's GnewRecord file into a consumable working copy.
+  const std::string work = env.TempName("ces_work");
+  {
+    auto reader = env.OpenReader(edge_file);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    auto writer = env.OpenWriter(work);
+    TRUSS_RETURN_IF_ERROR(writer.status());
+    io::GnewRecord in;
+    while (reader.value()->ReadRecord(&in)) {
+      writer.value()->WriteRecord(io::GEdgeRecord{in.u, in.v, 0, 2});
+    }
+    TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+  }
+
+  const std::string unsorted = env.TempName("ces_unsorted");
+  {
+    auto writer_res = env.OpenWriter(unsorted);
+    TRUSS_RETURN_IF_ERROR(writer_res.status());
+    auto writer = writer_res.MoveValue();
+    const auto sink = [&](const io::GEdgeRecord& rec, uint32_t exact_sup,
+                          uint32_t) {
+      writer->WriteRecord(io::GEdgeRecord{rec.u, rec.v, exact_sup, 2});
+    };
+    uint32_t iterations = 0;
+    uint64_t parts = 0;
+    TRUSS_RETURN_IF_ERROR(RunBoundingDriver(env, work, num_vertices, config,
+                                            /*compute_phi=*/false, sink,
+                                            &iterations, &parts));
+    TRUSS_RETURN_IF_ERROR(writer->Close());
+  }
+
+  const std::string sorted = env.TempName("ces_sorted");
+  TRUSS_RETURN_IF_ERROR((io::ExternalSort<io::GEdgeRecord, io::ByEdgeLess>(
+      env, unsorted, sorted, io::ByEdgeLess{}, config.memory_budget_bytes)));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(unsorted));
+  return sorted;
+}
+
+}  // namespace truss

@@ -1,0 +1,70 @@
+// LowerBounding (paper Algorithm 3): the first stage of both external
+// algorithms.
+//
+// Iteratively partitions the shrinking on-disk graph G into memory-budgeted
+// neighborhood subgraphs NS(P_i), computes local truss numbers ϕ(e, H) as
+// lower bounds φ(e), extracts the 2-class (edges with zero support in the
+// original graph), and emits the remaining edges as Gnew.
+//
+// Exactness of supports: a triangle is credited to all three of its edges in
+// the single iteration where ≥2 of its vertices first co-locate in a part
+// (the Chu–Cheng triangle-listing invariant [13]); credits for edges not yet
+// internal are spilled as deltas and merge-joined into G's records at the end
+// of each iteration. When an edge finally becomes internal, its exact
+// support in the *original* graph is sup_acc + (local support in H) — see
+// DESIGN.md §3.1 for why the accumulated value is required.
+//
+// Two modes (Algorithm 7, Step 1): the bottom-up algorithm labels Gnew edges
+// with φ(e); the top-down algorithm labels them with the exact sup(e).
+
+#ifndef TRUSS_TRUSS_LOWER_BOUND_H_
+#define TRUSS_TRUSS_LOWER_BOUND_H_
+
+#include <string>
+
+#include "graph/types.h"
+#include "io/env.h"
+#include "truss/external.h"
+
+namespace truss {
+
+/// Label written into Gnew records (Algorithm 3, Step 10 / Algorithm 7,
+/// Step 1).
+enum class BoundMode {
+  kPhiLowerBound,  // label = φ(e), for the bottom-up algorithm
+  kExactSupport,   // label = sup(e), for the top-down algorithm
+};
+
+struct LowerBoundingOutput {
+  /// GnewRecord file sorted by (u, v); label per BoundMode, aux = 0, cls = 0.
+  std::string gnew_file;
+  uint64_t gnew_edges = 0;
+  /// Edges written to `class_out` with truss number 2.
+  uint64_t phi2_edges = 0;
+  uint32_t iterations = 0;
+  uint64_t parts_processed = 0;
+};
+
+/// Runs Algorithm 3 on `graph_file` (a (u,v)-sorted GEdgeRecord file, which
+/// is consumed). Φ2 edges are appended to `class_out`. `num_vertices` bounds
+/// vertex ids in the file.
+Result<LowerBoundingOutput> RunLowerBounding(io::Env& env,
+                                             const std::string& graph_file,
+                                             VertexId num_vertices,
+                                             const ExternalConfig& config,
+                                             BoundMode mode,
+                                             io::BlockWriter* class_out);
+
+/// Computes the exact support of every edge of a *static* edge file within
+/// that file's own graph, using the same iterative partition-and-accumulate
+/// scheme (no classification, no removal from the caller's perspective).
+/// Output: a (u,v)-sorted GEdgeRecord file whose sup_acc holds the exact
+/// support. Used by the overflow Procedures 9/10 to certify termination.
+Result<std::string> ComputeExactSupports(io::Env& env,
+                                         const std::string& edge_file,
+                                         VertexId num_vertices,
+                                         const ExternalConfig& config);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_LOWER_BOUND_H_

@@ -1,0 +1,46 @@
+#include "truss/result.h"
+
+#include <algorithm>
+
+namespace truss {
+
+std::vector<EdgeId> TrussDecompositionResult::KClassEdges(uint32_t k) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < truss_number.size(); ++e) {
+    if (truss_number[e] == k) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EdgeId> TrussDecompositionResult::TrussEdges(uint32_t k) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < truss_number.size(); ++e) {
+    if (truss_number[e] >= k) out.push_back(e);
+  }
+  return out;
+}
+
+std::map<uint32_t, uint64_t> TrussDecompositionResult::ClassSizes() const {
+  std::map<uint32_t, uint64_t> sizes;
+  for (const uint32_t t : truss_number) ++sizes[t];
+  return sizes;
+}
+
+void TrussDecompositionResult::RecomputeKmax() {
+  kmax = 0;
+  for (const uint32_t t : truss_number) kmax = std::max(kmax, t);
+}
+
+Subgraph ExtractKTruss(const Graph& g, const TrussDecompositionResult& r,
+                       uint32_t k) {
+  TRUSS_CHECK_EQ(r.truss_number.size(), g.num_edges());
+  const std::vector<EdgeId> edges = r.TrussEdges(k);
+  return SubgraphFromEdges(g, edges);
+}
+
+bool SameDecomposition(const TrussDecompositionResult& a,
+                       const TrussDecompositionResult& b) {
+  return a.kmax == b.kmax && a.truss_number == b.truss_number;
+}
+
+}  // namespace truss

@@ -1,0 +1,52 @@
+// Result type of truss decomposition and k-truss / k-class extraction.
+//
+// Truss decomposition (problem definition, §2) assigns every edge its truss
+// number ϕ(e) = max{k : e ∈ T_k}. The k-class Φ_k (Definition 3) is the set
+// of edges with ϕ(e) = k, and the k-truss T_k (Definition 2) is the subgraph
+// formed by ∪_{j≥k} Φ_j.
+
+#ifndef TRUSS_TRUSS_RESULT_H_
+#define TRUSS_TRUSS_RESULT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+
+namespace truss {
+
+/// Truss numbers for every edge of a graph.
+struct TrussDecompositionResult {
+  /// truss_number[EdgeId] = ϕ(e) ≥ 2.
+  std::vector<uint32_t> truss_number;
+  /// Largest truss number of any edge (kmax); 2 for triangle-free graphs,
+  /// 0 for edgeless graphs.
+  uint32_t kmax = 0;
+
+  /// The k-class Φ_k: ids of edges with ϕ(e) = k.
+  std::vector<EdgeId> KClassEdges(uint32_t k) const;
+
+  /// Edge ids of the k-truss T_k: edges with ϕ(e) ≥ k.
+  std::vector<EdgeId> TrussEdges(uint32_t k) const;
+
+  /// Sizes of all non-empty k-classes, keyed by k.
+  std::map<uint32_t, uint64_t> ClassSizes() const;
+
+  /// Recomputes kmax from truss_number (used by algorithms after filling).
+  void RecomputeKmax();
+};
+
+/// Extracts T_k as a subgraph of `g` with parent mappings. For k == 2 this
+/// is all of g restricted to non-isolated vertices.
+Subgraph ExtractKTruss(const Graph& g, const TrussDecompositionResult& r,
+                       uint32_t k);
+
+/// True iff two decompositions agree edge-for-edge.
+bool SameDecomposition(const TrussDecompositionResult& a,
+                       const TrussDecompositionResult& b);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_RESULT_H_

@@ -1,0 +1,727 @@
+#include "truss/top_down.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/timer.h"
+#include "io/external_sort.h"
+#include "triangle/triangle.h"
+#include "truss/edge_map.h"
+#include "truss/external_util.h"
+#include "truss/lower_bound.h"
+
+namespace truss {
+
+namespace {
+
+// x_u(e): the largest x such that at least x edges incident to u — excluding
+// e itself — have support ≥ x (Procedure 6, Step 5). Computed from the
+// vertex profile (h = h-index over all incident supports, c = number of
+// incident edges with support ≥ h) by adjusting for the exclusion of e.
+uint32_t AdjustedHIndex(uint32_t h, uint32_t c, uint32_t sup_e) {
+  if (sup_e >= h) {
+    return (c > h) ? h : (h > 0 ? h - 1 : 0);
+  }
+  return h;
+}
+
+// UpperBounding (Procedure 6): rewrites Gnew so that aux = ψ(e).
+// Returns max ψ over all edges (the k1st of Algorithm 7, Step 3).
+Result<uint32_t> RunUpperBounding(io::Env& env, std::string* gnew_file,
+                                  VertexId n, const ExternalConfig& cfg) {
+  // Pass 1: emit one (endpoint, sup) incidence per edge side and sort by
+  // (vertex, sup); grouping then yields each vertex's support multiset.
+  const std::string inc_file = env.TempName("ub_inc");
+  {
+    auto reader = env.OpenReader(*gnew_file);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    auto writer = env.OpenWriter(inc_file);
+    TRUSS_RETURN_IF_ERROR(writer.status());
+    io::GnewRecord rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      writer.value()->WriteRecord(io::IncidenceRecord{rec.u, rec.label});
+      writer.value()->WriteRecord(io::IncidenceRecord{rec.v, rec.label});
+    }
+    TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+  }
+  const std::string inc_sorted = env.TempName("ub_inc_sorted");
+  TRUSS_RETURN_IF_ERROR(
+      (io::ExternalSort<io::IncidenceRecord, io::ByVertexSupLess>(
+          env, inc_file, inc_sorted, io::ByVertexSupLess{},
+          cfg.memory_budget_bytes)));
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(inc_file));
+
+  // Pass 2: grouped scan computes the per-vertex profile (h, c).
+  std::vector<uint32_t> h_of(n, 0);
+  std::vector<uint32_t> c_of(n, 0);
+  {
+    auto reader = env.OpenReader(inc_sorted);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    io::IncidenceRecord rec;
+    bool have = reader.value()->ReadRecord(&rec);
+    std::vector<uint32_t> sups;  // ascending within a group
+    while (have) {
+      const VertexId v = rec.vertex;
+      sups.clear();
+      while (have && rec.vertex == v) {
+        sups.push_back(rec.sup);
+        have = reader.value()->ReadRecord(&rec);
+      }
+      // h-index over an ascending list: largest x with sups[d-x] ≥ x.
+      const size_t d = sups.size();
+      uint32_t h = 0;
+      for (size_t x = 1; x <= d; ++x) {
+        if (sups[d - x] >= x) {
+          h = static_cast<uint32_t>(x);
+        } else {
+          break;
+        }
+      }
+      uint32_t c = 0;
+      for (size_t i = d; i-- > 0;) {
+        if (sups[i] >= h) {
+          ++c;
+        } else {
+          break;
+        }
+      }
+      h_of[v] = h;
+      c_of[v] = c;
+    }
+  }
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(inc_sorted));
+
+  // Pass 3: annotate every edge with ψ(e) (Procedure 6, Step 6, extended to
+  // cross-part edges via the per-vertex profiles — DESIGN.md §3.3).
+  uint32_t k1st = 0;
+  const std::string next = env.TempName("gnew_psi");
+  {
+    auto reader = env.OpenReader(*gnew_file);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    auto writer = env.OpenWriter(next);
+    TRUSS_RETURN_IF_ERROR(writer.status());
+    io::GnewRecord rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      const uint32_t xu = AdjustedHIndex(h_of[rec.u], c_of[rec.u], rec.label);
+      const uint32_t xv = AdjustedHIndex(h_of[rec.v], c_of[rec.v], rec.label);
+      rec.aux = std::min(rec.label, std::min(xu, xv)) + 2;
+      k1st = std::max(k1st, rec.aux);
+      writer.value()->WriteRecord(rec);
+    }
+    TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+  }
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(*gnew_file));
+  *gnew_file = next;
+  return k1st;
+}
+
+// Outcome of one level-k stage: class assignments and prunable edges,
+// both (u,v)-sorted.
+struct StageOutcome {
+  std::vector<Edge> new_class;  // edges assigned cls = k
+  std::vector<Edge> pruned;     // classified edges removable from Gnew
+};
+
+// Procedure 8 (in-memory): peel H with qualified supports, classify the
+// unclassified survivors as Φ_k, then prune classified internal edges whose
+// every triangle has both other edges classified.
+StageOutcome TopDownProcedureInMemory(const std::vector<io::GnewRecord>& h,
+                                      const std::vector<uint8_t>& in_uk,
+                                      uint32_t k) {
+  const LocalGraphView local(h);
+  const Graph& g = local.graph();
+  const EdgeId m = g.num_edges();
+  const EdgeMap edge_map(g);
+
+  // Qualified edges are the only ones that can witness T_k triangles:
+  // already classified (cls > k) or unclassified with ψ ≥ k. Unclassified
+  // qualified edges are exactly the peel candidates (and are internal by
+  // construction of U_k).
+  std::vector<uint8_t> qualified(m, 0);
+  std::vector<uint8_t> peelable(m, 0);
+  for (EdgeId le = 0; le < m; ++le) {
+    const bool classified = h[le].cls > 0;
+    qualified[le] = (classified || h[le].aux >= k) ? 1 : 0;
+    peelable[le] = (!classified && h[le].aux >= k) ? 1 : 0;
+  }
+
+  std::vector<uint32_t> sup(m, 0);
+  ForEachTriangle(g, [&](VertexId, VertexId, VertexId, EdgeId e1, EdgeId e2,
+                         EdgeId e3) {
+    if (qualified[e1] != 0 && qualified[e2] != 0 && qualified[e3] != 0) {
+      ++sup[e1];
+      ++sup[e2];
+      ++sup[e3];
+    }
+  });
+
+  // Peel: drop unclassified qualified edges with support < k-2; they are not
+  // in T_k, but their truss numbers are determined at a later (smaller) k,
+  // so they leave H only — never Gnew (Procedure 8, Steps 2-5).
+  std::vector<uint8_t> dead(m, 0);
+  std::vector<uint8_t> queued(m, 0);
+  std::deque<EdgeId> queue;
+  for (EdgeId le = 0; le < m; ++le) {
+    if (peelable[le] != 0 && sup[le] + 2 < k) {
+      queue.push_back(le);
+      queued[le] = 1;
+    }
+  }
+  while (!queue.empty()) {
+    const EdgeId le = queue.front();
+    queue.pop_front();
+    queued[le] = 0;
+    if (dead[le] != 0) continue;
+    dead[le] = 1;
+
+    const Edge e = g.edge(le);
+    VertexId a = e.u, b = e.v;
+    if (g.degree(a) > g.degree(b)) std::swap(a, b);
+    for (const AdjEntry& adj : g.neighbors(a)) {
+      const EdgeId aw = adj.edge;
+      if (qualified[aw] == 0 || dead[aw] != 0) continue;
+      const EdgeId bw = edge_map.Find(b, adj.neighbor);
+      if (bw == kInvalidEdge || qualified[bw] == 0 || dead[bw] != 0) continue;
+      for (const EdgeId f : {aw, bw}) {
+        --sup[f];
+        if (peelable[f] != 0 && sup[f] + 2 < k && queued[f] == 0 &&
+            dead[f] == 0) {
+          queue.push_back(f);
+          queued[f] = 1;
+        }
+      }
+    }
+  }
+
+  StageOutcome out;
+  // Classify survivors (Procedure 8, Step 6). Record order keeps them
+  // (u,v)-sorted.
+  std::vector<uint8_t> cls_after(m, 0);
+  for (EdgeId le = 0; le < m; ++le) {
+    cls_after[le] = h[le].cls > 0 ? 1 : 0;
+    if (peelable[le] != 0 && dead[le] == 0) {
+      out.new_class.push_back(Edge{h[le].u, h[le].v});
+      cls_after[le] = 1;
+    }
+  }
+
+  // Prune (Steps 7-9): a classified internal edge whose every triangle in
+  // Gnew has both other edges classified can never affect a future class.
+  for (EdgeId le = 0; le < m; ++le) {
+    if (cls_after[le] == 0) continue;
+    if (in_uk[h[le].u] == 0 || in_uk[h[le].v] == 0) continue;  // not internal
+    const Edge e = g.edge(le);
+    VertexId a = e.u, b = e.v;
+    if (g.degree(a) > g.degree(b)) std::swap(a, b);
+    bool needed = false;
+    for (const AdjEntry& adj : g.neighbors(a)) {
+      const EdgeId aw = adj.edge;
+      if (aw == le) continue;
+      const EdgeId bw = edge_map.Find(b, adj.neighbor);
+      if (bw == kInvalidEdge) continue;
+      if (cls_after[aw] == 0 || cls_after[bw] == 0) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) out.pruned.push_back(Edge{h[le].u, h[le].v});
+  }
+  return out;
+}
+
+// Procedure 10 (H exceeds the budget): partitioned peeling over the
+// qualified sub-file of H, with exact-support certification on stalls, then
+// classification of the survivors. Pruning is restricted to part-internal
+// classified edges (safe: retaining more of Gnew never breaks correctness).
+// `hq_file` (qualified edges only) and `hfull_file` are consumed.
+Result<StageOutcome> TopDownProcedureExternal(
+    io::Env& env, std::string hq_file, std::string hfull_file, VertexId n,
+    const ExternalConfig& cfg, const std::vector<uint8_t>& in_uk, uint32_t k,
+    ExternalStats* stats) {
+  const uint64_t max_weight = BudgetToWeight(cfg.memory_budget_bytes);
+  StageOutcome out;
+
+  const auto subtract = [&](std::string* file,
+                            const std::vector<Edge>& removed_sorted)
+      -> Status {
+    const std::string next = env.TempName("p10_h");
+    auto reader = env.OpenReader(*file);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    auto writer = env.OpenWriter(next);
+    TRUSS_RETURN_IF_ERROR(writer.status());
+    size_t cursor = 0;
+    io::GnewRecord rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      while (cursor < removed_sorted.size() &&
+             (removed_sorted[cursor].u < rec.u ||
+              (removed_sorted[cursor].u == rec.u &&
+               removed_sorted[cursor].v < rec.v))) {
+        ++cursor;
+      }
+      if (cursor < removed_sorted.size() &&
+          removed_sorted[cursor].u == rec.u &&
+          removed_sorted[cursor].v == rec.v) {
+        continue;
+      }
+      writer.value()->WriteRecord(rec);
+    }
+    TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(*file));
+    *file = next;
+    return Status::OK();
+  };
+
+  // Peeling passes over the qualified file. All its edges are qualified, so
+  // plain triangle supports are the qualified supports.
+  uint64_t pass_seed = 0;
+  while (true) {
+    std::vector<uint32_t> degrees;
+    uint64_t m_h = 0;
+    TRUSS_RETURN_IF_ERROR(
+        ScanDegrees<io::GnewRecord>(env, hq_file, n, &degrees, &m_h));
+    if (m_h == 0) break;
+
+    partition::Options opts;
+    // Randomize per pass so stalled cross-part edges co-locate eventually
+    // (see the matching note in Procedure 9).
+    opts.strategy = partition::Strategy::kRandomized;
+    opts.max_part_weight = max_weight;
+    opts.seed = cfg.seed + (++pass_seed) * 9176;
+    const partition::PartitionResult part = partition::PartitionVertices(
+        degrees, MakeEdgeScanFn<io::GnewRecord>(env, hq_file), opts);
+    const size_t p = part.parts.size();
+
+    std::vector<std::string> buckets(p);
+    {
+      std::vector<std::unique_ptr<io::BlockWriter>> writers(p);
+      for (size_t i = 0; i < p; ++i) {
+        buckets[i] = env.TempName("p10_bucket");
+        auto w = env.OpenWriter(buckets[i]);
+        TRUSS_RETURN_IF_ERROR(w.status());
+        writers[i] = w.MoveValue();
+      }
+      auto reader = env.OpenReader(hq_file);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        const uint32_t pa = part.part_of[rec.u];
+        const uint32_t pb = part.part_of[rec.v];
+        writers[pa]->WriteRecord(rec);
+        if (pb != pa) writers[pb]->WriteRecord(rec);
+      }
+      for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
+    }
+
+    std::vector<Edge> pass_dead;
+    for (size_t i = 0; i < p; ++i) {
+      auto records_res = ReadAllRecords<io::GnewRecord>(env, buckets[i]);
+      TRUSS_RETURN_IF_ERROR_RESULT(records_res);
+      const std::vector<io::GnewRecord> records = records_res.MoveValue();
+      TRUSS_RETURN_IF_ERROR(env.DeleteFile(buckets[i]));
+      if (records.empty()) continue;
+      ++stats->parts_processed;
+
+      const LocalGraphView local(records);
+      const Graph& f = local.graph();
+      const EdgeId m = f.num_edges();
+      std::vector<uint32_t> sup = ComputeEdgeSupports(f);
+      const EdgeMap edge_map(f);
+      std::vector<uint8_t> dead(m, 0);
+      std::vector<uint8_t> queued(m, 0);
+      std::vector<uint8_t> peelable(m, 0);
+      for (EdgeId le = 0; le < m; ++le) {
+        peelable[le] = (records[le].cls == 0 &&
+                        part.part_of[records[le].u] == i &&
+                        part.part_of[records[le].v] == i)
+                           ? 1
+                           : 0;
+      }
+      std::deque<EdgeId> queue;
+      for (EdgeId le = 0; le < m; ++le) {
+        if (peelable[le] != 0 && sup[le] + 2 < k) {
+          queue.push_back(le);
+          queued[le] = 1;
+        }
+      }
+      std::vector<EdgeId> dead_local;
+      while (!queue.empty()) {
+        const EdgeId le = queue.front();
+        queue.pop_front();
+        queued[le] = 0;
+        if (dead[le] != 0) continue;
+        dead[le] = 1;
+        dead_local.push_back(le);
+        const Edge e = f.edge(le);
+        VertexId a = e.u, b = e.v;
+        if (f.degree(a) > f.degree(b)) std::swap(a, b);
+        for (const AdjEntry& adj : f.neighbors(a)) {
+          const EdgeId aw = adj.edge;
+          if (dead[aw] != 0) continue;
+          const EdgeId bw = edge_map.Find(b, adj.neighbor);
+          if (bw == kInvalidEdge || dead[bw] != 0) continue;
+          for (const EdgeId fe : {aw, bw}) {
+            --sup[fe];
+            if (peelable[fe] != 0 && sup[fe] + 2 < k && queued[fe] == 0 &&
+                dead[fe] == 0) {
+              queue.push_back(fe);
+              queued[fe] = 1;
+            }
+          }
+        }
+      }
+      std::sort(dead_local.begin(), dead_local.end());
+      for (const EdgeId le : dead_local) {
+        pass_dead.push_back(Edge{records[le].u, records[le].v});
+      }
+    }
+
+    if (!pass_dead.empty()) {
+      std::sort(pass_dead.begin(), pass_dead.end());
+      TRUSS_RETURN_IF_ERROR(subtract(&hq_file, pass_dead));
+      continue;
+    }
+
+    // Stall: certify with exact supports of the static qualified H.
+    auto sup_file_res = ComputeExactSupports(env, hq_file, n, cfg);
+    TRUSS_RETURN_IF_ERROR_RESULT(sup_file_res);
+    const std::string sup_file = sup_file_res.MoveValue();
+    std::vector<Edge> certified_dead;
+    {
+      auto h_reader = env.OpenReader(hq_file);
+      TRUSS_RETURN_IF_ERROR(h_reader.status());
+      auto s_reader = env.OpenReader(sup_file);
+      TRUSS_RETURN_IF_ERROR(s_reader.status());
+      io::GnewRecord hrec;
+      io::GEdgeRecord srec;
+      while (h_reader.value()->ReadRecord(&hrec)) {
+        TRUSS_CHECK(s_reader.value()->ReadRecord(&srec));
+        TRUSS_CHECK_EQ(srec.u, hrec.u);
+        TRUSS_CHECK_EQ(srec.v, hrec.v);
+        if (hrec.cls == 0 && srec.sup_acc + 2 < k) {
+          certified_dead.push_back(Edge{hrec.u, hrec.v});
+        }
+      }
+    }
+    TRUSS_RETURN_IF_ERROR(env.DeleteFile(sup_file));
+    if (certified_dead.empty()) break;
+    TRUSS_RETURN_IF_ERROR(subtract(&hq_file, certified_dead));
+  }
+
+  // Classify the unclassified survivors of the peel as Φ_k.
+  std::unordered_set<Edge, EdgeHash> new_class_set;
+  {
+    auto reader = env.OpenReader(hq_file);
+    TRUSS_RETURN_IF_ERROR(reader.status());
+    io::GnewRecord rec;
+    while (reader.value()->ReadRecord(&rec)) {
+      if (rec.cls == 0) {
+        out.new_class.push_back(Edge{rec.u, rec.v});
+        new_class_set.insert(Edge{rec.u, rec.v});
+      }
+    }
+  }
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(hq_file));
+
+  // Pruning pass over the full H: partition once; part-internal classified
+  // edges whose every local triangle has both other edges classified are
+  // prunable (their triangle sets are complete within the part's bucket).
+  {
+    std::vector<uint32_t> degrees;
+    uint64_t m_full = 0;
+    TRUSS_RETURN_IF_ERROR(
+        ScanDegrees<io::GnewRecord>(env, hfull_file, n, &degrees, &m_full));
+    if (m_full > 0) {
+      partition::Options opts;
+      opts.strategy = cfg.strategy;
+      opts.max_part_weight = max_weight;
+      opts.seed = cfg.seed + 77777;
+      const partition::PartitionResult part = partition::PartitionVertices(
+          degrees, MakeEdgeScanFn<io::GnewRecord>(env, hfull_file), opts);
+      const size_t p = part.parts.size();
+      std::vector<std::string> buckets(p);
+      {
+        std::vector<std::unique_ptr<io::BlockWriter>> writers(p);
+        for (size_t i = 0; i < p; ++i) {
+          buckets[i] = env.TempName("p10_prune");
+          auto w = env.OpenWriter(buckets[i]);
+          TRUSS_RETURN_IF_ERROR(w.status());
+          writers[i] = w.MoveValue();
+        }
+        auto reader = env.OpenReader(hfull_file);
+        TRUSS_RETURN_IF_ERROR(reader.status());
+        io::GnewRecord rec;
+        while (reader.value()->ReadRecord(&rec)) {
+          const uint32_t pa = part.part_of[rec.u];
+          const uint32_t pb = part.part_of[rec.v];
+          writers[pa]->WriteRecord(rec);
+          if (pb != pa) writers[pb]->WriteRecord(rec);
+        }
+        for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
+      }
+      for (size_t i = 0; i < p; ++i) {
+        auto records_res = ReadAllRecords<io::GnewRecord>(env, buckets[i]);
+        TRUSS_RETURN_IF_ERROR_RESULT(records_res);
+        const std::vector<io::GnewRecord> records = records_res.MoveValue();
+        TRUSS_RETURN_IF_ERROR(env.DeleteFile(buckets[i]));
+        if (records.empty()) continue;
+
+        const LocalGraphView local(records);
+        const Graph& f = local.graph();
+        const EdgeMap edge_map(f);
+        std::vector<uint8_t> classified(f.num_edges(), 0);
+        for (EdgeId le = 0; le < f.num_edges(); ++le) {
+          classified[le] =
+              (records[le].cls > 0 ||
+               new_class_set.count(Edge{records[le].u, records[le].v}) > 0)
+                  ? 1
+                  : 0;
+        }
+        for (EdgeId le = 0; le < f.num_edges(); ++le) {
+          if (classified[le] == 0) continue;
+          if (part.part_of[records[le].u] != i ||
+              part.part_of[records[le].v] != i) {
+            continue;  // triangle set incomplete in this bucket
+          }
+          if (in_uk[records[le].u] == 0 || in_uk[records[le].v] == 0) {
+            continue;
+          }
+          const Edge e = f.edge(le);
+          VertexId a = e.u, b = e.v;
+          if (f.degree(a) > f.degree(b)) std::swap(a, b);
+          bool needed = false;
+          for (const AdjEntry& adj : f.neighbors(a)) {
+            if (adj.edge == le) continue;
+            const EdgeId bw = edge_map.Find(b, adj.neighbor);
+            if (bw == kInvalidEdge) continue;
+            if (classified[adj.edge] == 0 || classified[bw] == 0) {
+              needed = true;
+              break;
+            }
+          }
+          if (!needed) out.pruned.push_back(Edge{records[le].u, records[le].v});
+        }
+      }
+    }
+  }
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(hfull_file));
+
+  std::sort(out.new_class.begin(), out.new_class.end());
+  std::sort(out.pruned.begin(), out.pruned.end());
+  return out;
+}
+
+// Applies a stage outcome to Gnew: set cls = k on the new class, drop
+// pruned edges. Both lists are (u,v)-sorted; Gnew stays sorted.
+Status ApplyStageToGnew(io::Env& env, std::string* gnew_file,
+                        const StageOutcome& outcome, uint32_t k) {
+  const std::string next = env.TempName("gnew");
+  auto reader = env.OpenReader(*gnew_file);
+  TRUSS_RETURN_IF_ERROR(reader.status());
+  auto writer = env.OpenWriter(next);
+  TRUSS_RETURN_IF_ERROR(writer.status());
+
+  size_t ci = 0, pi = 0;
+  io::GnewRecord rec;
+  const auto advance = [](const std::vector<Edge>& list, size_t* idx,
+                          const io::GnewRecord& r) {
+    while (*idx < list.size() &&
+           (list[*idx].u < r.u ||
+            (list[*idx].u == r.u && list[*idx].v < r.v))) {
+      ++(*idx);
+    }
+    return *idx < list.size() && list[*idx].u == r.u && list[*idx].v == r.v;
+  };
+  while (reader.value()->ReadRecord(&rec)) {
+    if (advance(outcome.new_class, &ci, rec)) rec.cls = k;
+    if (advance(outcome.pruned, &pi, rec)) continue;
+    writer.value()->WriteRecord(rec);
+  }
+  TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(*gnew_file));
+  *gnew_file = next;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
+                                           const std::string& graph_file,
+                                           VertexId num_vertices,
+                                           const ExternalConfig& config,
+                                           const std::string& classes_out) {
+  WallTimer timer;
+  const io::IoStats start_io = env.stats();
+  ExternalStats stats;
+
+  auto class_writer_res = env.OpenWriter(classes_out);
+  TRUSS_RETURN_IF_ERROR(class_writer_res.status());
+  auto class_writer = class_writer_res.MoveValue();
+
+  // Stage 1: Algorithm 3 in exact-support mode, Φ2 falls out (Algorithm 7,
+  // Step 1).
+  auto lb_res =
+      RunLowerBounding(env, graph_file, num_vertices, config,
+                       BoundMode::kExactSupport, class_writer.get());
+  TRUSS_RETURN_IF_ERROR_RESULT(lb_res);
+  const LowerBoundingOutput lb = lb_res.MoveValue();
+  stats.lower_bound_iterations = lb.iterations;
+  stats.parts_processed = lb.parts_processed;
+  stats.phi2_edges = lb.phi2_edges;
+  stats.classified_edges = lb.phi2_edges;
+  if (lb.phi2_edges > 0) stats.kmax = 2;
+
+  std::string gnew = lb.gnew_file;
+
+  // Stage 2: UpperBounding (Procedure 6).
+  uint32_t k = 0;
+  if (lb.gnew_edges > 0) {
+    auto k1st_res = RunUpperBounding(env, &gnew, num_vertices, config);
+    TRUSS_RETURN_IF_ERROR_RESULT(k1st_res);
+    k = k1st_res.value();
+  }
+
+  // Stage 3: walk k downward (Algorithm 7, Steps 3-9).
+  uint64_t unclassified = lb.gnew_edges;
+  uint32_t classes_found = 0;
+  while (unclassified > 0 && k >= 3 &&
+         (config.top_t < 0 ||
+          classes_found < static_cast<uint32_t>(config.top_t))) {
+    // Scan 1: U_k over unclassified edges with ψ ≥ k (Step 4); remember the
+    // largest unclassified ψ so empty levels are skipped in one jump.
+    std::vector<uint8_t> in_uk(num_vertices, 0);
+    bool any = false;
+    uint32_t max_psi = 0;
+    {
+      auto reader = env.OpenReader(gnew);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        if (rec.cls != 0) continue;
+        max_psi = std::max(max_psi, rec.aux);
+        if (rec.aux >= k) {
+          in_uk[rec.u] = 1;
+          in_uk[rec.v] = 1;
+          any = true;
+        }
+      }
+    }
+    if (!any) {
+      if (max_psi < 3) break;  // nothing left to classify
+      k = max_psi;             // jump down to the next populated bound
+      continue;
+    }
+
+    // Scan 2: measure H = NS(U_k) (Steps 5-6).
+    uint64_t h_edges = 0;
+    {
+      auto reader = env.OpenReader(gnew);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) ++h_edges;
+      }
+    }
+    ++stats.candidate_subgraphs;
+
+    StageOutcome outcome;
+    if (h_edges * kBytesPerEdgeInMemory <= config.memory_budget_bytes) {
+      std::vector<io::GnewRecord> h_records;
+      h_records.reserve(h_edges);
+      auto reader = env.OpenReader(gnew);
+      TRUSS_RETURN_IF_ERROR(reader.status());
+      io::GnewRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) h_records.push_back(rec);
+      }
+      outcome = TopDownProcedureInMemory(h_records, in_uk, k);
+    } else {
+      ++stats.candidate_overflows;
+      const std::string hq_file = env.TempName("p10_hq");
+      const std::string hfull_file = env.TempName("p10_hfull");
+      {
+        auto reader = env.OpenReader(gnew);
+        TRUSS_RETURN_IF_ERROR(reader.status());
+        auto wq = env.OpenWriter(hq_file);
+        TRUSS_RETURN_IF_ERROR(wq.status());
+        auto wf = env.OpenWriter(hfull_file);
+        TRUSS_RETURN_IF_ERROR(wf.status());
+        io::GnewRecord rec;
+        while (reader.value()->ReadRecord(&rec)) {
+          if (in_uk[rec.u] == 0 && in_uk[rec.v] == 0) continue;
+          wf.value()->WriteRecord(rec);
+          if (rec.cls > 0 || rec.aux >= k) wq.value()->WriteRecord(rec);
+        }
+        TRUSS_RETURN_IF_ERROR(wq.value()->Close());
+        TRUSS_RETURN_IF_ERROR(wf.value()->Close());
+      }
+      auto outcome_res = TopDownProcedureExternal(
+          env, hq_file, hfull_file, num_vertices, config, in_uk, k, &stats);
+      TRUSS_RETURN_IF_ERROR_RESULT(outcome_res);
+      outcome = outcome_res.MoveValue();
+    }
+
+    if (!outcome.new_class.empty()) {
+      for (const Edge& e : outcome.new_class) {
+        class_writer->WriteRecord(io::ClassRecord{e.u, e.v, k});
+      }
+      unclassified -= outcome.new_class.size();
+      stats.classified_edges += outcome.new_class.size();
+      stats.kmax = std::max(stats.kmax, k);
+      ++classes_found;
+    }
+    if (!outcome.new_class.empty() || !outcome.pruned.empty()) {
+      TRUSS_RETURN_IF_ERROR(ApplyStageToGnew(env, &gnew, outcome, k));
+    }
+    --k;
+  }
+
+  if (config.top_t < 0) {
+    // Full decomposition must account for every edge.
+    TRUSS_CHECK_EQ(unclassified, 0u);
+  }
+
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(gnew));
+  TRUSS_RETURN_IF_ERROR(class_writer->Close());
+  stats.seconds = timer.Seconds();
+  stats.io = io::DiffStats(env.stats(), start_io);
+  return stats;
+}
+
+Result<TrussDecompositionResult> TopDownDecompose(io::Env& env, const Graph& g,
+                                                  const ExternalConfig& config,
+                                                  ExternalStats* stats) {
+  TRUSS_CHECK_LT(config.top_t, 0);
+  const std::string graph_file = env.TempName("graph");
+  TRUSS_RETURN_IF_ERROR(WriteGraphFile(env, g, graph_file));
+  const std::string classes_file = env.TempName("classes");
+  auto stats_res = TopDownDecomposeFile(env, graph_file, g.num_vertices(),
+                                        config, classes_file);
+  TRUSS_RETURN_IF_ERROR_RESULT(stats_res);
+  if (stats != nullptr) *stats = stats_res.value();
+
+  auto result = LoadClassesAsDecomposition(env, classes_file, g);
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(classes_file));
+  return result;
+}
+
+Result<std::vector<io::ClassRecord>> TopDownTopClasses(
+    io::Env& env, const Graph& g, const ExternalConfig& config,
+    ExternalStats* stats) {
+  const std::string graph_file = env.TempName("graph");
+  TRUSS_RETURN_IF_ERROR(WriteGraphFile(env, g, graph_file));
+  const std::string classes_file = env.TempName("classes");
+  auto stats_res = TopDownDecomposeFile(env, graph_file, g.num_vertices(),
+                                        config, classes_file);
+  TRUSS_RETURN_IF_ERROR_RESULT(stats_res);
+  if (stats != nullptr) *stats = stats_res.value();
+
+  auto records = ReadAllRecords<io::ClassRecord>(env, classes_file);
+  TRUSS_RETURN_IF_ERROR_RESULT(records);
+  TRUSS_RETURN_IF_ERROR(env.DeleteFile(classes_file));
+  return records.MoveValue();
+}
+
+}  // namespace truss

@@ -1,0 +1,53 @@
+// TD-topdown: the I/O-efficient top-down truss decomposition
+// (paper Procedure 6 + Algorithm 7 + Procedure 8, and Procedure 10 when a
+// candidate subgraph exceeds the memory budget).
+//
+// Designed for applications that only need the top-t k-classes — the heart
+// of the network (§6). Stage 1 reuses Algorithm 3 but stores the exact
+// support of every edge instead of a lower bound; stage 2 (UpperBounding)
+// derives ψ(e) = min(sup(e), x_u, x_v) + 2 from per-vertex h-index profiles
+// over incident supports; stage 3 walks k downward from max ψ, peeling the
+// candidate subgraph H = NS(U_k) with *qualified* supports (DESIGN.md §3.2)
+// and pruning classified edges that no longer share a triangle with any
+// unclassified edge (Procedure 8, Steps 7-9).
+
+#ifndef TRUSS_TRUSS_TOP_DOWN_H_
+#define TRUSS_TRUSS_TOP_DOWN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "io/edge_records.h"
+#include "io/env.h"
+#include "truss/external.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// Runs the top-down decomposition over `graph_file` (a (u,v)-sorted
+/// GEdgeRecord file; consumed). With config.top_t = -1 all classes are
+/// computed; with top_t = t ≥ 1 the walk stops after the t highest
+/// non-empty classes. Φ2 records are always emitted (they fall out of
+/// stage 1 for free). ClassRecords are written to `classes_out`.
+Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
+                                           const std::string& graph_file,
+                                           VertexId num_vertices,
+                                           const ExternalConfig& config,
+                                           const std::string& classes_out);
+
+/// Convenience wrapper for full decompositions (config.top_t must be -1):
+/// returns the truss numbers projected onto `g`'s edge ids.
+Result<TrussDecompositionResult> TopDownDecompose(
+    io::Env& env, const Graph& g, const ExternalConfig& config,
+    ExternalStats* stats = nullptr);
+
+/// Convenience wrapper for top-t queries: returns the raw class records
+/// (the t highest classes, plus Φ2).
+Result<std::vector<io::ClassRecord>> TopDownTopClasses(
+    io::Env& env, const Graph& g, const ExternalConfig& config,
+    ExternalStats* stats = nullptr);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_TOP_DOWN_H_

@@ -1,0 +1,105 @@
+#include "truss/verify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "triangle/triangle.h"
+
+namespace truss {
+
+namespace {
+
+// Supports of live edges, counting only triangles whose three edges are all
+// live. O(m^1.5) per call via oriented listing on the full graph.
+std::vector<uint32_t> LiveSupports(const Graph& g,
+                                   const std::vector<bool>& alive) {
+  std::vector<uint32_t> sup(g.num_edges(), 0);
+  ForEachTriangle(g, [&](VertexId, VertexId, VertexId, EdgeId e1, EdgeId e2,
+                         EdgeId e3) {
+    if (alive[e1] && alive[e2] && alive[e3]) {
+      ++sup[e1];
+      ++sup[e2];
+      ++sup[e3];
+    }
+  });
+  return sup;
+}
+
+}  // namespace
+
+TrussDecompositionResult NaiveTrussDecomposition(const Graph& g) {
+  const EdgeId m = g.num_edges();
+  TrussDecompositionResult result;
+  result.truss_number.assign(m, 2);
+  if (m == 0) {
+    result.kmax = 0;
+    return result;
+  }
+
+  std::vector<bool> alive(m, true);
+  EdgeId remaining = m;
+  uint32_t k = 3;
+  while (remaining > 0) {
+    // Remove every edge with support < k-2 in the surviving subgraph; loop
+    // until the wave stabilizes, then everything still alive is T_k and the
+    // casualties belong to Φ_{k-1}.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const std::vector<uint32_t> sup = LiveSupports(g, alive);
+      for (EdgeId e = 0; e < m; ++e) {
+        if (alive[e] && sup[e] < k - 2) {
+          alive[e] = false;
+          --remaining;
+          changed = true;
+        }
+      }
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      if (alive[e]) result.truss_number[e] = k;
+    }
+    ++k;
+  }
+  result.RecomputeKmax();
+  return result;
+}
+
+bool IsTrussSubgraph(const Graph& g, const std::vector<EdgeId>& truss_edges,
+                     uint32_t k) {
+  if (k <= 2) return true;
+  std::vector<bool> alive(g.num_edges(), false);
+  for (const EdgeId e : truss_edges) alive[e] = true;
+  const std::vector<uint32_t> sup = LiveSupports(g, alive);
+  return std::all_of(truss_edges.begin(), truss_edges.end(),
+                     [&](EdgeId e) { return sup[e] >= k - 2; });
+}
+
+std::string ValidateDecomposition(const Graph& g,
+                                  const TrussDecompositionResult& r) {
+  if (r.truss_number.size() != g.num_edges()) {
+    return "truss_number size mismatch";
+  }
+  const TrussDecompositionResult expected = NaiveTrussDecomposition(g);
+  if (expected.kmax != r.kmax) {
+    return "kmax mismatch: expected " + std::to_string(expected.kmax) +
+           ", got " + std::to_string(r.kmax);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (expected.truss_number[e] != r.truss_number[e]) {
+      const Edge edge = g.edge(e);
+      return "truss number mismatch on edge (" + std::to_string(edge.u) +
+             "," + std::to_string(edge.v) + "): expected " +
+             std::to_string(expected.truss_number[e]) + ", got " +
+             std::to_string(r.truss_number[e]);
+    }
+  }
+  // Independent Definition 2 spot-check of every non-empty level.
+  for (uint32_t k = 3; k <= r.kmax; ++k) {
+    if (!IsTrussSubgraph(g, r.TrussEdges(k), k)) {
+      return "T_" + std::to_string(k) + " violates Definition 2";
+    }
+  }
+  return "";
+}
+
+}  // namespace truss

@@ -1,0 +1,37 @@
+// Definition-level oracles for truss decomposition.
+//
+// These deliberately share no code with the optimized algorithms: the naive
+// decomposition recomputes supports from scratch after every removal wave,
+// and the subgraph checker tests Definition 2 directly. Property tests
+// cross-check every production algorithm (Algorithms 1, 2, bottom-up,
+// top-down, MapReduce) against these on randomized inputs.
+
+#ifndef TRUSS_TRUSS_VERIFY_H_
+#define TRUSS_TRUSS_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// O(k · m²·√m) reference truss decomposition straight from Definition 2/3.
+TrussDecompositionResult NaiveTrussDecomposition(const Graph& g);
+
+/// Checks that the edge set `truss_edges` of g is a valid k-truss candidate:
+/// every edge of the subgraph they span is contained in at least k-2
+/// triangles *within* that subgraph.
+bool IsTrussSubgraph(const Graph& g, const std::vector<EdgeId>& truss_edges,
+                     uint32_t k);
+
+/// Fully validates a decomposition against Definition 2 (each T_k valid and
+/// maximal, verified by independent re-peeling). Returns a human-readable
+/// error description, or an empty string when valid.
+std::string ValidateDecomposition(const Graph& g,
+                                  const TrussDecompositionResult& r);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_VERIFY_H_

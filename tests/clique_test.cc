@@ -1,0 +1,160 @@
+// Tests for maximal-clique enumeration and truss/core-pruned maximum clique
+// (the §7.4 application).
+
+#include "clique/clique.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.h"
+#include "kcore/kcore.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+
+namespace truss {
+namespace {
+
+// Brute-force maximal clique enumeration for cross-checking (tiny graphs).
+std::set<std::vector<VertexId>> BruteForceMaximalCliques(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  TRUSS_CHECK_LE(n, 20u);
+  std::vector<std::vector<VertexId>> cliques;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) verts.push_back(v);
+    }
+    bool is_clique = true;
+    for (size_t i = 0; i < verts.size() && is_clique; ++i) {
+      for (size_t j = i + 1; j < verts.size() && is_clique; ++j) {
+        if (!g.HasEdge(verts[i], verts[j])) is_clique = false;
+      }
+    }
+    if (is_clique) cliques.push_back(verts);
+  }
+  // Keep the maximal ones.
+  std::set<std::vector<VertexId>> maximal;
+  for (const auto& c : cliques) {
+    bool contained = false;
+    for (const auto& d : cliques) {
+      if (d.size() > c.size() &&
+          std::includes(d.begin(), d.end(), c.begin(), c.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.insert(c);
+  }
+  return maximal;
+}
+
+TEST(MaximalCliquesTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = gen::ErdosRenyiGnm(12, 30, seed);
+    const auto expected = BruteForceMaximalCliques(g);
+    const auto got_list = MaximalCliques(g);
+    const std::set<std::vector<VertexId>> got(got_list.begin(),
+                                              got_list.end());
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+}
+
+TEST(MaximalCliquesTest, CompleteGraphHasOne) {
+  const auto cliques = MaximalCliques(gen::Complete(6));
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 6u);
+}
+
+TEST(MaximalCliquesTest, TriangleFreeGraphYieldsEdges) {
+  const Graph g = gen::Cycle(8);
+  const auto cliques = MaximalCliques(g);
+  EXPECT_EQ(cliques.size(), 8u);  // every edge is maximal
+  for (const auto& c : cliques) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(MaximalCliquesTest, RespectsLimit) {
+  const Graph g = gen::ErdosRenyiGnm(30, 150, 3);
+  const auto cliques = MaximalCliques(g, 5);
+  EXPECT_EQ(cliques.size(), 5u);
+}
+
+class MaxCliqueModeTest : public ::testing::TestWithParam<CliquePruning> {};
+
+TEST_P(MaxCliqueModeTest, FindsThePlantedClique) {
+  const Graph g =
+      gen::PlantClique(gen::ErdosRenyiGnm(60, 150, 17), 8, 18);
+  const MaxCliqueResult r = MaximumClique(g, GetParam());
+  EXPECT_GE(r.clique.size(), 8u);
+  // Returned set must actually be a clique.
+  for (size_t i = 0; i < r.clique.size(); ++i) {
+    for (size_t j = i + 1; j < r.clique.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(r.clique[i], r.clique[j]));
+    }
+  }
+}
+
+TEST_P(MaxCliqueModeTest, AllModesAgreeOnSize) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = gen::ErdosRenyiGnm(25, 100, seed);
+    const size_t baseline =
+        MaximumClique(g, CliquePruning::kNone).clique.size();
+    EXPECT_EQ(MaximumClique(g, GetParam()).clique.size(), baseline)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MaxCliqueModeTest,
+                         ::testing::Values(CliquePruning::kNone,
+                                           CliquePruning::kCore,
+                                           CliquePruning::kTruss),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CliquePruning::kNone:
+                               return "None";
+                             case CliquePruning::kCore:
+                               return "Core";
+                             case CliquePruning::kTruss:
+                               return "Truss";
+                           }
+                           return "Unknown";
+                         });
+
+// §7.4: ω ≤ kmax and ω ≤ cmax + 1, with kmax the tighter bound.
+TEST(CliqueBoundsTest, TrussBoundIsTighter) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g =
+        gen::PlantClique(gen::ErdosRenyiGnm(50, 250, seed), 7, seed + 5);
+    const size_t omega = MaximumClique(g, CliquePruning::kNone).clique.size();
+    const TrussDecompositionResult truss = ImprovedTrussDecomposition(g);
+    const CoreDecomposition cores = DecomposeCores(g);
+    EXPECT_LE(omega, truss.kmax);
+    EXPECT_LE(omega, cores.cmax + 1);
+    EXPECT_LE(truss.kmax, cores.cmax + 1);  // paper: kmax is the lower bound
+  }
+}
+
+TEST(CliqueBoundsTest, PruningSearchesFewerEdges) {
+  const Graph g =
+      gen::PlantClique(gen::ErdosRenyiGnm(150, 500, 23), 9, 24);
+  const MaxCliqueResult none = MaximumClique(g, CliquePruning::kNone);
+  const MaxCliqueResult core = MaximumClique(g, CliquePruning::kCore);
+  const MaxCliqueResult truss = MaximumClique(g, CliquePruning::kTruss);
+  EXPECT_EQ(none.clique.size(), core.clique.size());
+  EXPECT_EQ(none.clique.size(), truss.clique.size());
+  // The truss-pruned search space must not exceed the core-pruned one.
+  EXPECT_LE(truss.searched_edges, core.searched_edges);
+  EXPECT_LE(core.searched_edges, none.searched_edges);
+}
+
+TEST(MaxCliqueTest, EdgeCases) {
+  EXPECT_TRUE(MaximumClique(Graph(), CliquePruning::kTruss).clique.empty());
+  const Graph single = Graph::FromEdges({{0, 1}}, 0);
+  EXPECT_EQ(MaximumClique(single, CliquePruning::kTruss).clique.size(), 2u);
+  const Graph tri = gen::Complete(3);
+  EXPECT_EQ(MaximumClique(tri, CliquePruning::kCore).clique.size(), 3u);
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,194 @@
+// Tests for the common substrate: Status/Result, RNG, formatting, tables,
+// memory tracking, and the EdgeMap hash table.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+// GCC 12 at -O2 reports a spurious maybe-uninitialized on the std::variant
+// inside Result<int> when both alternatives are constructed in one function.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "truss/edge_map.h"
+
+namespace truss {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  const Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIOError, StatusCode::kCorruption, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  const std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversSmallRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(FormatTest, Durations) {
+  EXPECT_EQ(FormatDuration(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatDuration(0.0123), "12.3 ms");
+  EXPECT_EQ(FormatDuration(1.5), "1.50 s");
+  EXPECT_EQ(FormatDuration(300.0), "5.0 min");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+  EXPECT_EQ(FormatBytes(5ull << 30), "5.0 GB");
+}
+
+TEST(FormatTest, Counts) {
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(41600), "41.6K");
+  EXPECT_EQ(FormatCount(3400000), "3.4M");
+  EXPECT_EQ(FormatCount(1092000000), "1.1G");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "12345"});
+  const std::string out = t.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer  12345"), std::string::npos);
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.current_bytes(), 150u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.Release(120);
+  t.Add(10);
+  EXPECT_EQ(t.current_bytes(), 40u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+}
+
+TEST(MemoryTrackerTest, ScopedMemoryReleases) {
+  MemoryTracker t;
+  {
+    ScopedMemory scope(&t, 1000);
+    EXPECT_EQ(t.current_bytes(), 1000u);
+  }
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 1000u);
+  // Null tracker is a no-op.
+  ScopedMemory noop(nullptr, 5);
+}
+
+TEST(EdgeMapTest, FindsEveryEdgeAndNoOthers) {
+  const Graph g = gen::ErdosRenyiGnm(80, 400, 13);
+  const EdgeMap map(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge edge = g.edge(e);
+    EXPECT_EQ(map.Find(edge.u, edge.v), e);
+    EXPECT_EQ(map.Find(edge.v, edge.u), e);  // orientation-insensitive
+  }
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const VertexId a = static_cast<VertexId>(rng.Uniform(80));
+    const VertexId b = static_cast<VertexId>(rng.Uniform(80));
+    if (a == b) {
+      EXPECT_EQ(map.Find(a, b), kInvalidEdge);
+    } else {
+      EXPECT_EQ(map.Find(a, b), g.FindEdge(a, b));
+    }
+  }
+}
+
+TEST(EdgeMapTest, EmptyGraph) {
+  const EdgeMap map((Graph()));
+  EXPECT_EQ(map.Find(0, 1), kInvalidEdge);
+}
+
+TEST(WallTimerTest, MonotoneAndResettable) {
+  WallTimer t;
+  const double a = t.Seconds();
+  const double b = t.Seconds();
+  EXPECT_GE(b, a);
+  t.Reset();
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace truss

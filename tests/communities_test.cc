@@ -1,0 +1,110 @@
+// Tests for truss-based community extraction.
+
+#include "truss/communities.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "truss/improved.h"
+
+namespace truss {
+namespace {
+
+TEST(CommunitiesTest, TwoDisjointCliques) {
+  // Two disjoint K5s joined by one bridge edge.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      b.AddEdge(u, v);
+      b.AddEdge(u + 5, v + 5);
+    }
+  }
+  b.AddEdge(4, 5);  // bridge
+  const Graph g = b.Build();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  ASSERT_EQ(r.kmax, 5u);
+
+  const auto level5 = KTrussCommunities(g, r, 5);
+  ASSERT_EQ(level5.size(), 2u);
+  EXPECT_EQ(level5[0].vertices, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(level5[1].vertices, (std::vector<VertexId>{5, 6, 7, 8, 9}));
+  EXPECT_EQ(level5[0].edges, 10u);
+
+  // At level 3 the bridge edge is Φ2, so the cliques remain two communities.
+  const auto level3 = KTrussCommunities(g, r, 3);
+  EXPECT_EQ(level3.size(), 2u);
+}
+
+TEST(CommunitiesTest, Figure2Hierarchy) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(fx.graph);
+  const TrussHierarchy h = BuildTrussHierarchy(fx.graph, r);
+
+  // The 3-truss is one connected community; the 4-truss splits into the two
+  // cliques {a..e} and {f,h,i,j} (their connecting edges are only Φ3).
+  EXPECT_EQ(h.AtLevel(3).size(), 1u);
+  ASSERT_EQ(h.AtLevel(4).size(), 2u);
+  EXPECT_EQ(h.AtLevel(5).size(), 1u);
+  EXPECT_EQ(h.AtLevel(5)[0]->vertices.size(), 5u);  // clique {a..e}
+  EXPECT_EQ(h.AtLevel(4)[0]->edges, 10u);           // K5 component
+  EXPECT_EQ(h.AtLevel(4)[1]->edges, 6u);            // K4 component
+
+  // Vertex a (id 0) bottoms out in the 5-truss.
+  const TrussCommunity* deepest = h.DeepestCommunityOf(0);
+  ASSERT_NE(deepest, nullptr);
+  EXPECT_EQ(deepest->k, 5u);
+  // Vertex k (id 10) only reaches the 3-truss.
+  deepest = h.DeepestCommunityOf(10);
+  ASSERT_NE(deepest, nullptr);
+  EXPECT_EQ(deepest->k, 3u);
+}
+
+TEST(CommunitiesTest, NestingInvariant) {
+  const Graph g =
+      gen::PlantClique(gen::PlantedCommunities(20, 10, 0.7, 300, 5), 12, 6);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  const TrussHierarchy h = BuildTrussHierarchy(g, r);
+
+  // Every level-(k+1) community must be contained in one level-k community.
+  for (const TrussCommunity& child : h.communities) {
+    if (child.k <= 3) continue;
+    bool contained = false;
+    for (const auto* parent : h.AtLevel(child.k - 1)) {
+      if (std::includes(parent->vertices.begin(), parent->vertices.end(),
+                        child.vertices.begin(), child.vertices.end())) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "community at k=" << child.k;
+  }
+}
+
+TEST(CommunitiesTest, EdgeCountsSumToTrussSize) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(60, 240, 9), 7, 10);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  for (uint32_t k = 3; k <= r.kmax; ++k) {
+    uint64_t total = 0;
+    for (const auto& c : KTrussCommunities(g, r, k)) total += c.edges;
+    EXPECT_EQ(total, r.TrussEdges(k).size()) << "k=" << k;
+  }
+}
+
+TEST(CommunitiesTest, EmptyLevels) {
+  const Graph g = gen::Cycle(8);  // triangle-free
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_TRUE(KTrussCommunities(g, r, 3).empty());
+  EXPECT_TRUE(BuildTrussHierarchy(g, r).communities.empty());
+}
+
+TEST(CommunitiesTest, IsolatedVerticesNeverAppear) {
+  const Graph g = Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}}, 6);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  const auto communities = KTrussCommunities(g, r, 3);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].vertices, (std::vector<VertexId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,69 @@
+// Tests for the dataset registry (Table 2 stand-ins). Only the small
+// datasets are generated here; the large ones are exercised by the benches.
+
+#include "datasets/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+
+namespace truss::datasets {
+namespace {
+
+TEST(DatasetsTest, RegistryHasNineInPaperOrder) {
+  const auto& specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 9u);
+  const char* expected[] = {"P2P", "HEP",  "Amazon", "Wiki", "Skitter",
+                            "Blog", "LJ",  "BTC",    "Web"};
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, expected[i]);
+    EXPECT_GT(specs[i].paper_edges, specs[i].paper_vertices / 2);
+    EXPECT_TRUE(static_cast<bool>(specs[i].generate));
+  }
+}
+
+TEST(DatasetsTest, LargeFlagsMatchPaper) {
+  EXPECT_FALSE(DatasetByName("P2P").large);
+  EXPECT_FALSE(DatasetByName("Blog").large);
+  EXPECT_TRUE(DatasetByName("LJ").large);
+  EXPECT_TRUE(DatasetByName("BTC").large);
+  EXPECT_TRUE(DatasetByName("Web").large);
+}
+
+TEST(DatasetsTest, P2PHasPaperScaleAndKmax) {
+  const DatasetSpec& spec = DatasetByName("P2P");
+  const Graph g = spec.generate();
+  // P2P is small enough to keep at the paper's true size.
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              static_cast<double>(spec.paper_vertices), 100.0);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()),
+              static_cast<double>(spec.paper_edges), 200.0);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_EQ(r.kmax, spec.paper_kmax);  // 5, forced by the planted clique
+}
+
+TEST(DatasetsTest, HEPMatchesPaperShape) {
+  const DatasetSpec& spec = DatasetByName("HEP");
+  const Graph g = spec.generate();
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              static_cast<double>(spec.paper_vertices), 500.0);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_GE(r.kmax, spec.paper_kmax);  // planted 32-clique
+  // Power-law-ish: max degree far above median.
+  const DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_GT(s.max, 10 * std::max(1u, s.median));
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  const DatasetSpec& spec = DatasetByName("P2P");
+  const Graph a = spec.generate();
+  const Graph b = spec.generate();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.edges().begin(), a.edges().end(),
+                         b.edges().begin(), b.edges().end()));
+}
+
+}  // namespace
+}  // namespace truss::datasets

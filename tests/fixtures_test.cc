@@ -1,0 +1,116 @@
+// Tests for the paper-figure fixtures: the Figure 2 running example and the
+// Figure 1 manager-network reconstruction (Example 1's structural claims).
+
+#include "gen/fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/stats.h"
+#include "kcore/kcore.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+#include "truss/verify.h"
+
+namespace truss {
+namespace {
+
+TEST(Figure2Test, GroundTruthIsConsistentWithOracle) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(fx.graph);
+  EXPECT_EQ(oracle.truss_number, fx.expected_truss);
+  EXPECT_EQ(oracle.kmax, fx.expected_kmax);
+}
+
+TEST(Figure2Test, ShapeMatchesExample2) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  EXPECT_EQ(fx.graph.num_vertices(), 12u);
+  EXPECT_EQ(fx.graph.num_edges(), 26u);
+  EXPECT_EQ(gen::Figure2Fixture::VertexName(0), "a");
+  EXPECT_EQ(gen::Figure2Fixture::VertexName(11), "l");
+}
+
+class ManagerGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = gen::ManagerAdviceGraph();
+    truss_ = ImprovedTrussDecomposition(g_);
+    cores_ = DecomposeCores(g_);
+  }
+
+  Graph g_;
+  TrussDecompositionResult truss_;
+  CoreDecomposition cores_;
+};
+
+TEST_F(ManagerGraphTest, TwentyOneManagers) {
+  EXPECT_EQ(g_.num_vertices(), 21u);
+}
+
+TEST_F(ManagerGraphTest, NoFiveTrussAndNoFourCore) {
+  // Example 1: "no 4-core or 5-truss exist for G".
+  EXPECT_EQ(truss_.kmax, 4u);
+  EXPECT_EQ(cores_.cmax, 3u);
+}
+
+TEST_F(ManagerGraphTest, ThreeCoreCoversAlmostAllManagers) {
+  // Figure 1(b): the 3-core is "not much different" from G.
+  const std::vector<VertexId> core3 = cores_.CoreVertices(3);
+  EXPECT_GE(core3.size(), 19u);
+  EXPECT_LT(core3.size(), 21u);
+}
+
+TEST_F(ManagerGraphTest, FourTrussIsExactlyTheCliqueUnion) {
+  std::vector<Edge> expected;
+  for (const auto& clique : gen::ManagerFourTrussCliques()) {
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        expected.push_back(MakeEdge(clique[i], clique[j]));
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  std::vector<Edge> actual;
+  for (const EdgeId id : truss_.TrussEdges(4)) actual.push_back(g_.edge(id));
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(ManagerGraphTest, FourTrussContainsTheNamedCliques) {
+  for (const auto& clique : gen::ManagerFourTrussCliques()) {
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        const EdgeId id = g_.FindEdge(clique[i], clique[j]);
+        ASSERT_NE(id, kInvalidEdge);
+        EXPECT_GE(truss_.truss_number[id], 4u);
+      }
+    }
+  }
+}
+
+TEST_F(ManagerGraphTest, ClusteringCoefficientRisesTowardTheTruss) {
+  // Example 1's headline: CC(G) < CC(3-core) < CC(4-truss)
+  // (paper values 0.51 / 0.65 / 0.80 on the original data).
+  const double cc_g = AverageClusteringCoefficient(g_);
+  const Subgraph core3 = ExtractKCore(g_, cores_, 3);
+  const double cc_core = AverageClusteringCoefficient(core3.graph);
+  const Subgraph truss4 = ExtractKTruss(g_, truss_, 4);
+  const double cc_truss = AverageClusteringCoefficient(truss4.graph);
+  EXPECT_LT(cc_g, cc_core);
+  EXPECT_LT(cc_core, cc_truss);
+  EXPECT_GT(cc_truss, 0.7);
+}
+
+TEST_F(ManagerGraphTest, FourTrussIsAlsoAThreeCore) {
+  const Subgraph truss4 = ExtractKTruss(g_, truss_, 4);
+  for (VertexId v = 0; v < truss4.graph.num_vertices(); ++v) {
+    EXPECT_GE(truss4.graph.degree(v), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,127 @@
+// Unit tests for the CSR Graph and GraphBuilder.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+
+namespace truss {
+namespace {
+
+TEST(EdgeTest, MakeEdgeNormalizes) {
+  const Edge e1 = MakeEdge(5, 3);
+  EXPECT_EQ(e1.u, 3u);
+  EXPECT_EQ(e1.v, 5u);
+  const Edge e2 = MakeEdge(3, 5);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(EdgeHash{}(e1), EdgeHash{}(e2));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.PaperSize(), 0u);
+}
+
+TEST(GraphTest, FromEdgesBasic) {
+  const Graph g = Graph::FromEdges({{0, 1}, {1, 2}, {0, 2}}, 0);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.PaperSize(), 6u);
+}
+
+TEST(GraphTest, DeduplicatesParallelEdges) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, IgnoresSelfLoops) {
+  GraphBuilder builder;
+  builder.AddEdge(2, 2);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  // A self-loop is dropped entirely; it does not even create its vertex.
+  EXPECT_EQ(g.num_vertices(), 2u);
+}
+
+TEST(GraphTest, IsolatedVerticesViaExplicitCount) {
+  const Graph g = Graph::FromEdges({{0, 1}}, 5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(GraphTest, AdjacencySortedByNeighborId) {
+  const Graph g = Graph::FromEdges({{2, 7}, {2, 3}, {1, 2}, {2, 9}}, 0);
+  const auto adj = g.neighbors(2);
+  ASSERT_EQ(adj.size(), 4u);
+  for (size_t i = 1; i < adj.size(); ++i) {
+    EXPECT_LT(adj[i - 1].neighbor, adj[i].neighbor);
+  }
+}
+
+TEST(GraphTest, EdgeIdsAreLexicographic) {
+  const Graph g = Graph::FromEdges({{3, 4}, {0, 9}, {0, 2}, {1, 5}}, 0);
+  for (EdgeId e = 1; e < g.num_edges(); ++e) {
+    EXPECT_LT(g.edge(e - 1), g.edge(e));
+  }
+}
+
+TEST(GraphTest, FindEdgePresentAndAbsent) {
+  const Graph g = Graph::FromEdges({{0, 1}, {1, 2}, {2, 3}}, 0);
+  EXPECT_NE(g.FindEdge(1, 2), kInvalidEdge);
+  EXPECT_NE(g.FindEdge(2, 1), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 3), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 0), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(1, 2), g.FindEdge(2, 1));
+}
+
+TEST(GraphTest, EdgeIdRoundTripThroughAdjacency) {
+  const Graph g = gen::ErdosRenyiGnm(50, 200, 7);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const AdjEntry& a : g.neighbors(v)) {
+      const Edge e = g.edge(a.edge);
+      EXPECT_TRUE((e.u == v && e.v == a.neighbor) ||
+                  (e.v == v && e.u == a.neighbor));
+    }
+  }
+}
+
+TEST(GraphTest, DegreeSumEqualsTwiceEdges) {
+  const Graph g = gen::ErdosRenyiGnm(100, 500, 11);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2ull * g.num_edges());
+  EXPECT_EQ(g.adjacency_size(), 2ull * g.num_edges());
+}
+
+TEST(GraphTest, BuilderReusableAfterBuild) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g1 = builder.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const Graph g2 = builder.Build();
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(GraphTest, SizeBytesPositiveAndMonotone) {
+  const Graph small = gen::Complete(5);
+  const Graph big = gen::Complete(20);
+  EXPECT_GT(small.SizeBytes(), 0u);
+  EXPECT_GT(big.SizeBytes(), small.SizeBytes());
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,170 @@
+// End-to-end integration tests: all five algorithm families on a registry
+// dataset, SNAP-file round trips, and failure injection on the on-disk
+// formats.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datasets/datasets.h"
+#include "graph/text_io.h"
+#include "io/env.h"
+#include "mapreduce/mr_truss.h"
+#include "truss/bottom_up.h"
+#include "truss/cohen.h"
+#include "truss/external_util.h"
+#include "truss/improved.h"
+#include "truss/top_down.h"
+#include "truss/verify.h"
+
+namespace truss {
+namespace {
+
+std::string TestDir(const char* name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "truss_integ_test" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+// The P2P dataset (paper-scale, 41.6K edges) through every family.
+TEST(IntegrationTest, AllFiveFamiliesAgreeOnP2P) {
+  const Graph g = datasets::DatasetByName("P2P").generate();
+
+  const TrussDecompositionResult improved = ImprovedTrussDecomposition(g);
+  EXPECT_EQ(improved.kmax, 5u);
+
+  const TrussDecompositionResult cohen = CohenTrussDecomposition(g);
+  EXPECT_TRUE(SameDecomposition(improved, cohen));
+
+  io::Env env(TestDir("p2p"));
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 300 * 1024;  // well below the ~2 MB footprint
+  auto bu = BottomUpDecompose(env, g, cfg);
+  ASSERT_TRUE(bu.ok()) << bu.status().ToString();
+  EXPECT_TRUE(SameDecomposition(improved, bu.value()));
+
+  auto td = TopDownDecompose(env, g, cfg);
+  ASSERT_TRUE(td.ok()) << td.status().ToString();
+  EXPECT_TRUE(SameDecomposition(improved, td.value()));
+
+  auto mr = mr::MapReduceTrussDecomposition(env, g, mr::MrTrussOptions{});
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+  EXPECT_TRUE(SameDecomposition(improved, mr.value()));
+}
+
+// Export to SNAP text, re-import, decompose: truss numbers must transport
+// through the vertex relabeling.
+TEST(IntegrationTest, SnapRoundTripPreservesDecomposition) {
+  const Graph g = datasets::DatasetByName("HEP").generate();
+  const TrussDecompositionResult original = ImprovedTrussDecomposition(g);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "truss_integ_hep.txt")
+          .string();
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  const Graph& h = loaded.value().graph;
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  const TrussDecompositionResult reloaded = ImprovedTrussDecomposition(h);
+  EXPECT_EQ(reloaded.kmax, original.kmax);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const Edge local = h.edge(e);
+    const EdgeId orig_id = g.FindEdge(
+        static_cast<VertexId>(loaded.value().original_id[local.u]),
+        static_cast<VertexId>(loaded.value().original_id[local.v]));
+    ASSERT_NE(orig_id, kInvalidEdge);
+    EXPECT_EQ(reloaded.truss_number[e], original.truss_number[orig_id]);
+  }
+}
+
+// --- failure injection on the on-disk formats ---------------------------
+
+TEST(FailureInjectionTest, IncompleteClassFileIsCorruption) {
+  const Graph g = Graph::FromEdges({{0, 1}, {1, 2}, {0, 2}}, 0);
+  io::Env env(TestDir("incomplete"));
+  {
+    auto w = env.OpenWriter("classes");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(io::ClassRecord{0, 1, 3});  // 1 of 3 edges only
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = LoadClassesAsDecomposition(env, "classes", g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FailureInjectionTest, DuplicateClassRecordIsCorruption) {
+  const Graph g = Graph::FromEdges({{0, 1}}, 0);
+  io::Env env(TestDir("dup"));
+  {
+    auto w = env.OpenWriter("classes");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(io::ClassRecord{0, 1, 2});
+    w.value()->WriteRecord(io::ClassRecord{0, 1, 3});
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = LoadClassesAsDecomposition(env, "classes", g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FailureInjectionTest, UnknownEdgeInClassFileIsCorruption) {
+  const Graph g = Graph::FromEdges({{0, 1}}, 0);
+  io::Env env(TestDir("unknown"));
+  {
+    auto w = env.OpenWriter("classes");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(io::ClassRecord{5, 9, 2});
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = LoadClassesAsDecomposition(env, "classes", g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FailureInjectionDeathTest, TornRecordAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  io::Env env(TestDir("torn"));
+  {
+    auto w = env.OpenWriter("file");
+    ASSERT_TRUE(w.ok());
+    const char half[6] = {1, 2, 3, 4, 5, 6};  // not a whole 16-byte record
+    w.value()->Write(half, sizeof(half));
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = env.OpenReader("file");
+  ASSERT_TRUE(r.ok());
+  io::GEdgeRecord rec;
+  EXPECT_DEATH((void)r.value()->ReadRecord(&rec), "TRUSS_CHECK");
+}
+
+TEST(FailureInjectionTest, UnclosedWriterStillFlushes) {
+  io::Env env(TestDir("unclosed"));
+  {
+    auto w = env.OpenWriter("file");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(uint64_t{42});
+    // Destroyed without Close(): the destructor must flush, not lose data.
+  }
+  auto r = env.OpenReader("file");
+  ASSERT_TRUE(r.ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(r.value()->ReadRecord(&value));
+  EXPECT_EQ(value, 42u);
+}
+
+TEST(FailureInjectionTest, ExternalRunOnMissingGraphFileFails) {
+  io::Env env(TestDir("missing_graph"));
+  ExternalConfig cfg;
+  auto stats = BottomUpDecomposeFile(env, "no_such_file", 10, cfg, "out");
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,185 @@
+// Unit tests for the counting Env, block streams, and external sort.
+
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "io/edge_records.h"
+#include "io/external_sort.h"
+
+namespace truss::io {
+namespace {
+
+std::string TestDir(const char* name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "truss_io_test" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(EnvTest, WriteThenReadRecords) {
+  Env env(TestDir("rw"), 256);
+  {
+    auto w = env.OpenWriter("file");
+    ASSERT_TRUE(w.ok());
+    for (uint32_t i = 0; i < 100; ++i) {
+      w.value()->WriteRecord(GEdgeRecord{i, i + 1, i * 2, 2});
+    }
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = env.OpenReader("file");
+  ASSERT_TRUE(r.ok());
+  GEdgeRecord rec;
+  uint32_t count = 0;
+  while (r.value()->ReadRecord(&rec)) {
+    EXPECT_EQ(rec.u, count);
+    EXPECT_EQ(rec.v, count + 1);
+    EXPECT_EQ(rec.sup_acc, count * 2);
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(EnvTest, BlockAccountingMatchesModel) {
+  const size_t kBlock = 128;
+  Env env(TestDir("blocks"), kBlock);
+  const size_t kBytes = 1000;  // ⌈1000/128⌉ = 8 blocks
+  {
+    auto w = env.OpenWriter("f");
+    ASSERT_TRUE(w.ok());
+    std::vector<char> buf(kBytes, 'x');
+    w.value()->Write(buf.data(), buf.size());
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  EXPECT_EQ(env.stats().bytes_written, kBytes);
+  EXPECT_EQ(env.stats().block_writes, (kBytes + kBlock - 1) / kBlock);
+
+  auto r = env.OpenReader("f");
+  ASSERT_TRUE(r.ok());
+  std::vector<char> buf(kBytes);
+  EXPECT_EQ(r.value()->Read(buf.data(), kBytes), kBytes);
+  EXPECT_EQ(env.stats().bytes_read, kBytes);
+  EXPECT_EQ(env.stats().block_reads, (kBytes + kBlock - 1) / kBlock);
+}
+
+TEST(EnvTest, FileLifecycle) {
+  Env env(TestDir("lifecycle"));
+  EXPECT_FALSE(env.FileExists("f"));
+  {
+    auto w = env.OpenWriter("f");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(uint64_t{42});
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  EXPECT_TRUE(env.FileExists("f"));
+  auto size = env.FileSize("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), sizeof(uint64_t));
+  EXPECT_TRUE(env.RenameFile("f", "g").ok());
+  EXPECT_FALSE(env.FileExists("f"));
+  EXPECT_TRUE(env.DeleteFile("g").ok());
+  EXPECT_FALSE(env.FileExists("g"));
+  EXPECT_FALSE(env.DeleteFile("g").ok());  // already gone
+}
+
+TEST(EnvTest, TempNamesAreUnique) {
+  Env env(TestDir("tmp"));
+  EXPECT_NE(env.TempName("a"), env.TempName("a"));
+}
+
+TEST(EnvTest, OpenMissingFileFails) {
+  Env env(TestDir("missing"));
+  EXPECT_FALSE(env.OpenReader("nope").ok());
+}
+
+TEST(ExternalSortTest, SortsAcrossManyRuns) {
+  Env env(TestDir("sort"), 256);
+  const uint32_t kRecords = 5000;
+  Rng rng(99);
+  {
+    auto w = env.OpenWriter("in");
+    ASSERT_TRUE(w.ok());
+    for (uint32_t i = 0; i < kRecords; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.Uniform(1000));
+      const VertexId v = static_cast<VertexId>(rng.Uniform(1000));
+      w.value()->WriteRecord(GEdgeRecord{u, v, i, 2});
+    }
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  // Tiny budget: forces many runs + a wide merge.
+  ASSERT_TRUE((ExternalSort<GEdgeRecord, ByEdgeLess>(env, "in", "out",
+                                                     ByEdgeLess{}, 1024))
+                  .ok());
+  auto r = env.OpenReader("out");
+  ASSERT_TRUE(r.ok());
+  GEdgeRecord prev{}, rec{};
+  uint32_t count = 0;
+  bool first = true;
+  while (r.value()->ReadRecord(&rec)) {
+    if (!first) {
+      EXPECT_FALSE(ByEdgeLess{}(rec, prev));
+    }
+    prev = rec;
+    first = false;
+    ++count;
+  }
+  EXPECT_EQ(count, kRecords);
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  Env env(TestDir("sort_empty"));
+  {
+    auto w = env.OpenWriter("in");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  ASSERT_TRUE((ExternalSort<GEdgeRecord, ByEdgeLess>(env, "in", "out",
+                                                     ByEdgeLess{}, 1024))
+                  .ok());
+  auto r = env.OpenReader("out");
+  ASSERT_TRUE(r.ok());
+  GEdgeRecord rec;
+  EXPECT_FALSE(r.value()->ReadRecord(&rec));
+}
+
+TEST(ExternalSortTest, PreservesMultiplicity) {
+  Env env(TestDir("sort_dup"), 128);
+  {
+    auto w = env.OpenWriter("in");
+    ASSERT_TRUE(w.ok());
+    for (int i = 0; i < 50; ++i) w.value()->WriteRecord(GEdgeRecord{1, 2, 0, 2});
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  ASSERT_TRUE((ExternalSort<GEdgeRecord, ByEdgeLess>(env, "in", "out",
+                                                     ByEdgeLess{}, 64))
+                  .ok());
+  auto r = env.OpenReader("out");
+  GEdgeRecord rec;
+  int count = 0;
+  while (r.value()->ReadRecord(&rec)) ++count;
+  EXPECT_EQ(count, 50);
+}
+
+TEST(IoStatsTest, DiffAndAccumulate) {
+  IoStats a;
+  a.bytes_read = 100;
+  a.block_reads = 2;
+  IoStats b = a;
+  b.bytes_read = 300;
+  b.block_reads = 5;
+  const IoStats d = DiffStats(b, a);
+  EXPECT_EQ(d.bytes_read, 200u);
+  EXPECT_EQ(d.block_reads, 3u);
+  IoStats sum;
+  sum += a;
+  sum += d;
+  EXPECT_EQ(sum.bytes_read, b.bytes_read);
+  EXPECT_EQ(sum.total_blocks(), b.total_blocks());
+}
+
+}  // namespace
+}  // namespace truss::io

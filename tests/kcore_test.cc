@@ -1,0 +1,99 @@
+// Unit tests for k-core decomposition, including the k-truss ⊆ (k-1)-core
+// relationship the paper leans on (§1).
+
+#include "kcore/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+
+namespace truss {
+namespace {
+
+TEST(KCoreTest, CompleteGraph) {
+  const CoreDecomposition d = DecomposeCores(gen::Complete(7));
+  EXPECT_EQ(d.cmax, 6u);
+  for (const uint32_t c : d.core) EXPECT_EQ(c, 6u);
+}
+
+TEST(KCoreTest, CycleIsTwoCore) {
+  const CoreDecomposition d = DecomposeCores(gen::Cycle(9));
+  EXPECT_EQ(d.cmax, 2u);
+  for (const uint32_t c : d.core) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCoreTest, StarIsOneCore) {
+  const CoreDecomposition d = DecomposeCores(gen::Star(6));
+  EXPECT_EQ(d.cmax, 1u);
+}
+
+TEST(KCoreTest, PendantVertexPeelsFirst) {
+  // Triangle with a pendant path.
+  const Graph g = Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}},
+                                   0);
+  const CoreDecomposition d = DecomposeCores(g);
+  EXPECT_EQ(d.core[0], 2u);
+  EXPECT_EQ(d.core[3], 1u);
+  EXPECT_EQ(d.core[4], 1u);
+}
+
+TEST(KCoreTest, MatchesNaiveOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::ErdosRenyiGnm(60, 100 + 80 * seed, seed);
+    const CoreDecomposition d = DecomposeCores(g);
+    for (uint32_t k = 1; k <= d.cmax + 1; ++k) {
+      EXPECT_EQ(d.CoreVertices(k), NaiveKCoreVertices(g, k))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(KCoreTest, ExtractKCoreDegreesSatisfyK) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(80, 200, 3), 6, 4);
+  const CoreDecomposition d = DecomposeCores(g);
+  const Subgraph core = ExtractKCore(g, d, 3);
+  for (VertexId v = 0; v < core.graph.num_vertices(); ++v) {
+    EXPECT_GE(core.graph.degree(v), 3u);
+  }
+}
+
+TEST(KCoreTest, IsolatedVerticesHaveCoreZero) {
+  const Graph g = Graph::FromEdges({{0, 1}}, 4);
+  const CoreDecomposition d = DecomposeCores(g);
+  EXPECT_EQ(d.core[2], 0u);
+  EXPECT_EQ(d.core[3], 0u);
+}
+
+// Paper §1: a k-truss is a (k-1)-core (but not vice versa).
+TEST(KCoreTest, KTrussIsContainedInKMinusOneCore) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g =
+        gen::PlantClique(gen::ErdosRenyiGnm(70, 400, seed), 7, seed + 10);
+    const TrussDecompositionResult truss = ImprovedTrussDecomposition(g);
+    const CoreDecomposition cores = DecomposeCores(g);
+    for (uint32_t k = 3; k <= truss.kmax; ++k) {
+      const Subgraph tk = ExtractKTruss(g, truss, k);
+      const std::vector<VertexId> core_verts = cores.CoreVertices(k - 1);
+      for (const VertexId v : tk.vertex_to_parent) {
+        EXPECT_TRUE(std::binary_search(core_verts.begin(), core_verts.end(),
+                                       v))
+            << "k=" << k << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(KCoreTest, CmaxAtLeastKmaxMinusOne) {
+  // Since T_kmax is a (kmax-1)-core, cmax ≥ kmax - 1.
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(60, 250, 9), 8, 12);
+  const TrussDecompositionResult truss = ImprovedTrussDecomposition(g);
+  const CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_GE(cores.cmax + 1, truss.kmax);
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,183 @@
+// Tests for the MapReduce engine and Cohen's TD-MR baseline.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "io/env.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/mr_truss.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+
+namespace truss::mr {
+namespace {
+
+std::string TestDir(const char* name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "truss_mr_test" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(EngineTest, CountingRound) {
+  io::Env env(TestDir("count"), 512);
+  Engine engine(&env, EngineOptions{});
+
+  // Input: values 0..99; key = value % 7; reducer counts group sizes.
+  {
+    auto w = env.OpenWriter("in");
+    ASSERT_TRUE(w.ok());
+    for (uint32_t i = 0; i < 100; ++i) {
+      w.value()->WriteRecord(MrRec{i, 0, 0, 0});
+    }
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  ASSERT_TRUE(engine
+                  .Run({"in"},
+                       {[](const MrRec& r, const Engine::EmitFn& emit) {
+                         emit(r.a % 7, r);
+                       }},
+                       [](uint64_t key, const std::vector<MrRec>& vals,
+                          const std::function<void(const MrRec&)>& out) {
+                         out(MrRec{static_cast<uint32_t>(key),
+                                   static_cast<uint32_t>(vals.size()), 0, 0});
+                       },
+                       "out")
+                  .ok());
+  auto r = env.OpenReader("out");
+  ASSERT_TRUE(r.ok());
+  MrRec rec;
+  uint32_t groups = 0, total = 0;
+  while (r.value()->ReadRecord(&rec)) {
+    ++groups;
+    total += rec.b;
+    // 100 values over 7 residues: groups of 14 or 15.
+    EXPECT_GE(rec.b, 14u);
+    EXPECT_LE(rec.b, 15u);
+  }
+  EXPECT_EQ(groups, 7u);
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(engine.stats().rounds, 1u);
+  EXPECT_EQ(engine.stats().map_input_records, 100u);
+  EXPECT_EQ(engine.stats().reduce_groups, 7u);
+}
+
+TEST(EngineTest, MultiInputJoin) {
+  io::Env env(TestDir("join"), 512);
+  Engine engine(&env, EngineOptions{});
+  {
+    auto w = env.OpenWriter("left");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(MrRec{1, 10, 0, 0});
+    w.value()->WriteRecord(MrRec{2, 20, 0, 0});
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  {
+    auto w = env.OpenWriter("right");
+    ASSERT_TRUE(w.ok());
+    w.value()->WriteRecord(MrRec{1, 100, 0, 1});
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  ASSERT_TRUE(
+      engine
+          .Run({"left", "right"},
+               {[](const MrRec& r, const Engine::EmitFn& emit) {
+                  emit(r.a, r);
+                },
+                [](const MrRec& r, const Engine::EmitFn& emit) {
+                  emit(r.a, r);
+                }},
+               [](uint64_t key, const std::vector<MrRec>& vals,
+                  const std::function<void(const MrRec&)>& out) {
+                 if (vals.size() == 2) {
+                   out(MrRec{static_cast<uint32_t>(key), 0, 0, 0});
+                 }
+               },
+               "out")
+          .ok());
+  auto r = env.OpenReader("out");
+  MrRec rec;
+  uint32_t joined = 0;
+  while (r.value()->ReadRecord(&rec)) {
+    EXPECT_EQ(rec.a, 1u);
+    ++joined;
+  }
+  EXPECT_EQ(joined, 1u);
+}
+
+TEST(EngineTest, SimulatedLatencyAccumulates) {
+  io::Env env(TestDir("latency"), 512);
+  EngineOptions opts;
+  opts.per_round_latency_seconds = 20.0;
+  Engine engine(&env, opts);
+  {
+    auto w = env.OpenWriter("in");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  const auto identity_map = [](const MrRec& r, const Engine::EmitFn& emit) {
+    emit(0, r);
+  };
+  const auto identity_reduce =
+      [](uint64_t, const std::vector<MrRec>& vals,
+         const std::function<void(const MrRec&)>& out) {
+        for (const MrRec& v : vals) out(v);
+      };
+  ASSERT_TRUE(engine.Run({"in"}, {identity_map}, identity_reduce, "o1").ok());
+  ASSERT_TRUE(engine.Run({"o1"}, {identity_map}, identity_reduce, "o2").ok());
+  EXPECT_DOUBLE_EQ(engine.stats().simulated_latency_seconds, 40.0);
+}
+
+TEST(MrTrussTest, Figure2Example) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  io::Env env(TestDir("fig2"), 1024);
+  auto result = MapReduceTrussDecomposition(env, fx.graph, MrTrussOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().truss_number, fx.expected_truss);
+  EXPECT_EQ(result.value().kmax, fx.expected_kmax);
+}
+
+TEST(MrTrussTest, MatchesOracleOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::ErdosRenyiGnm(30, 120, seed);
+    io::Env env(TestDir(("rand" + std::to_string(seed)).c_str()), 1024);
+    MrTrussStats stats;
+    auto result =
+        MapReduceTrussDecomposition(env, g, MrTrussOptions{}, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(SameDecomposition(ImprovedTrussDecomposition(g),
+                                  result.value()))
+        << "seed " << seed;
+    // Each peel iteration costs 7 rounds.
+    EXPECT_EQ(stats.engine.rounds, 7ull * stats.peel_iterations);
+    EXPECT_GT(stats.peel_iterations, 0u);
+  }
+}
+
+TEST(MrTrussTest, SingleKTrussMatchesOracle) {
+  const Graph g =
+      gen::PlantClique(gen::ErdosRenyiGnm(40, 150, 9), 6, 10);
+  const TrussDecompositionResult oracle = ImprovedTrussDecomposition(g);
+  io::Env env(TestDir("ktruss"), 1024);
+  for (const uint32_t k : {3u, 4u, 5u, 6u}) {
+    auto edges = MapReduceKTruss(env, g, k, MrTrussOptions{});
+    ASSERT_TRUE(edges.ok());
+    EXPECT_EQ(edges.value(), oracle.TrussEdges(k)) << "k = " << k;
+  }
+}
+
+TEST(MrTrussTest, TriangleFreeGraphEmptiesAtKThree) {
+  const Graph g = gen::Cycle(12);
+  io::Env env(TestDir("trifree"), 512);
+  MrTrussStats stats;
+  auto result = MapReduceTrussDecomposition(env, g, MrTrussOptions{}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().kmax, 2u);
+  EXPECT_GT(stats.engine.shuffle_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace truss::mr

@@ -1,0 +1,151 @@
+// Unit tests for the three NS(P_i) vertex partitioners.
+
+#include "partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace truss::partition {
+namespace {
+
+// In-memory edge scan for tests.
+EdgeScanFn ScanOf(const Graph& g) {
+  return [&g](const std::function<void(VertexId, VertexId)>& fn) {
+    for (const Edge& e : g.edges()) fn(e.u, e.v);
+  };
+}
+
+std::vector<uint32_t> DegreesOf(const Graph& g) {
+  std::vector<uint32_t> deg(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) deg[v] = g.degree(v);
+  return deg;
+}
+
+void CheckValidPartition(const Graph& g, const PartitionResult& r,
+                         uint64_t max_weight) {
+  const std::vector<uint32_t> deg = DegreesOf(g);
+  // Every active vertex in exactly one part; inactive in none.
+  std::vector<uint32_t> seen(g.num_vertices(), 0);
+  for (size_t p = 0; p < r.parts.size(); ++p) {
+    EXPECT_FALSE(r.parts[p].empty());
+    uint64_t weight = 0;
+    for (const VertexId v : r.parts[p]) {
+      EXPECT_EQ(r.part_of[v], p);
+      ++seen[v];
+      weight += deg[v] + 1;
+    }
+    // Single-vertex parts may exceed the cap (hub fallback).
+    if (r.parts[p].size() > 1) {
+      EXPECT_LE(weight, max_weight);
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (deg[v] > 0) {
+      EXPECT_EQ(seen[v], 1u) << "vertex " << v;
+    } else {
+      EXPECT_EQ(r.part_of[v], PartitionResult::kNoPart);
+    }
+  }
+}
+
+class PartitionStrategyTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(PartitionStrategyTest, ValidOnRandomGraph) {
+  const Graph g = gen::ErdosRenyiGnm(200, 800, 5);
+  Options opts;
+  opts.strategy = GetParam();
+  opts.max_part_weight = 200;
+  const PartitionResult r =
+      PartitionVertices(DegreesOf(g), ScanOf(g), opts);
+  EXPECT_GE(r.parts.size(), 2u);
+  CheckValidPartition(g, r, opts.max_part_weight);
+}
+
+TEST_P(PartitionStrategyTest, SinglePartWhenBudgetIsLarge) {
+  const Graph g = gen::ErdosRenyiGnm(50, 100, 7);
+  Options opts;
+  opts.strategy = GetParam();
+  opts.max_part_weight = 1u << 20;
+  const PartitionResult r =
+      PartitionVertices(DegreesOf(g), ScanOf(g), opts);
+  EXPECT_EQ(r.parts.size(), 1u);
+  CheckValidPartition(g, r, opts.max_part_weight);
+}
+
+TEST_P(PartitionStrategyTest, HubHeavierThanBudgetGetsOwnPart) {
+  const Graph g = gen::Star(100);  // hub weight 100, cap 50
+  Options opts;
+  opts.strategy = GetParam();
+  opts.max_part_weight = 50;
+  const PartitionResult r =
+      PartitionVertices(DegreesOf(g), ScanOf(g), opts);
+  CheckValidPartition(g, r, opts.max_part_weight);
+}
+
+TEST_P(PartitionStrategyTest, SkipsIsolatedVertices) {
+  const Graph g = Graph::FromEdges({{0, 1}, {2, 3}}, 8);
+  Options opts;
+  opts.strategy = GetParam();
+  opts.max_part_weight = 100;
+  const PartitionResult r =
+      PartitionVertices(DegreesOf(g), ScanOf(g), opts);
+  CheckValidPartition(g, r, opts.max_part_weight);
+  size_t total = 0;
+  for (const auto& p : r.parts) total += p.size();
+  EXPECT_EQ(total, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionStrategyTest,
+                         ::testing::Values(Strategy::kSequential,
+                                           Strategy::kDominatingSet,
+                                           Strategy::kRandomized),
+                         [](const auto& info) {
+                           return std::string(StrategyName(info.param) ==
+                                                      std::string(
+                                                          "dominating-set")
+                                                  ? "DominatingSet"
+                                                  : StrategyName(info.param));
+                         });
+
+TEST(RandomizedPartitionTest, SeedChangesLayout) {
+  const Graph g = gen::ErdosRenyiGnm(300, 900, 13);
+  Options a;
+  a.strategy = Strategy::kRandomized;
+  a.max_part_weight = 150;
+  a.seed = 1;
+  Options b = a;
+  b.seed = 2;
+  const auto ra = PartitionVertices(DegreesOf(g), ScanOf(g), a);
+  const auto rb = PartitionVertices(DegreesOf(g), ScanOf(g), b);
+  EXPECT_NE(ra.part_of, rb.part_of);
+  // Same seed reproduces exactly.
+  const auto ra2 = PartitionVertices(DegreesOf(g), ScanOf(g), a);
+  EXPECT_EQ(ra.part_of, ra2.part_of);
+}
+
+TEST(SequentialPartitionTest, PreservesIdOrder) {
+  const Graph g = gen::Cycle(30);
+  Options opts;
+  opts.strategy = Strategy::kSequential;
+  opts.max_part_weight = 9;  // 3 vertices of weight 3 per part
+  const auto r = PartitionVertices(DegreesOf(g), ScanOf(g), opts);
+  EXPECT_EQ(r.parts.size(), 10u);
+  VertexId expected = 0;
+  for (const auto& part : r.parts) {
+    for (const VertexId v : part) EXPECT_EQ(v, expected++);
+  }
+}
+
+TEST(PartitionTest, StrategyNamesAreDistinct) {
+  EXPECT_STRNE(StrategyName(Strategy::kSequential),
+               StrategyName(Strategy::kRandomized));
+  EXPECT_STRNE(StrategyName(Strategy::kSequential),
+               StrategyName(Strategy::kDominatingSet));
+}
+
+}  // namespace
+}  // namespace truss::partition

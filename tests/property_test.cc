@@ -1,0 +1,147 @@
+// Cross-cutting property tests over a diverse generator zoo: every
+// algorithm family must agree, and the paper's structural theorems must
+// hold on every instance.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/stats.h"
+#include "io/env.h"
+#include "kcore/kcore.h"
+#include "triangle/triangle.h"
+#include "truss/bottom_up.h"
+#include "truss/cohen.h"
+#include "truss/improved.h"
+#include "truss/top_down.h"
+#include "truss/verify.h"
+
+namespace truss {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "truss_prop_test" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+// A zoo of structurally different graphs.
+struct ZooCase {
+  const char* label;
+  Graph (*make)();
+};
+
+const ZooCase kZoo[] = {
+    {"er_sparse", [] { return gen::ErdosRenyiGnm(90, 200, 1); }},
+    {"er_dense", [] { return gen::ErdosRenyiGnm(45, 600, 2); }},
+    {"ba", [] { return gen::BarabasiAlbert(150, 4, 3); }},
+    {"rmat", [] { return gen::RMat(8, 700, 0.6, 0.18, 0.12, 4); }},
+    {"watts_strogatz", [] { return gen::WattsStrogatz(100, 4, 0.2, 5); }},
+    {"communities",
+     [] { return gen::PlantedCommunities(8, 12, 0.7, 120, 6); }},
+    {"planted_clique",
+     [] { return gen::PlantClique(gen::ErdosRenyiGnm(80, 240, 7), 10, 8); }},
+    {"figure2", [] { return gen::Figure2Graph().graph; }},
+    {"managers", [] { return gen::ManagerAdviceGraph(); }},
+    {"grid", [] { return gen::Grid(8, 8); }},
+    {"complete", [] { return gen::Complete(14); }},
+};
+
+class ZooTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooTest, AllAlgorithmFamiliesAgree) {
+  const Graph g = GetParam().make();
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(g);
+
+  EXPECT_TRUE(SameDecomposition(oracle, ImprovedTrussDecomposition(g)));
+  EXPECT_TRUE(SameDecomposition(oracle, CohenTrussDecomposition(g)));
+
+  io::Env env(TestDir(std::string("zoo_") + GetParam().label), 4096);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 6000;  // force partitioning on all zoo graphs
+  cfg.strategy = partition::Strategy::kRandomized;
+  auto bu = BottomUpDecompose(env, g, cfg);
+  ASSERT_TRUE(bu.ok()) << bu.status().ToString();
+  EXPECT_TRUE(SameDecomposition(oracle, bu.value()));
+  auto td = TopDownDecompose(env, g, cfg);
+  ASSERT_TRUE(td.ok()) << td.status().ToString();
+  EXPECT_TRUE(SameDecomposition(oracle, td.value()));
+}
+
+TEST_P(ZooTest, SupportZeroIffTrussTwo) {
+  // ϕ(e) = 2 ⟺ sup(e, G) = 0 (the Φ2 extraction rule of Algorithm 3).
+  const Graph g = GetParam().make();
+  const std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(sup[e] == 0, r.truss_number[e] == 2) << "edge " << e;
+  }
+}
+
+TEST_P(ZooTest, TrussNumberBoundedBySupportPlusTwo) {
+  // ϕ(e) ≤ sup(e) + 2 always (supports only shrink inside subgraphs).
+  const Graph g = GetParam().make();
+  const std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(r.truss_number[e], sup[e] + 2);
+  }
+}
+
+TEST_P(ZooTest, KTrussIsKMinusOneCore) {
+  const Graph g = GetParam().make();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  for (uint32_t k = 3; k <= r.kmax; ++k) {
+    const Subgraph tk = ExtractKTruss(g, r, k);
+    // Every vertex of T_k has degree ≥ k-1 within T_k (§1).
+    for (VertexId v = 0; v < tk.graph.num_vertices(); ++v) {
+      EXPECT_GE(tk.graph.degree(v) + 1, k) << "k=" << k;
+    }
+  }
+}
+
+TEST_P(ZooTest, EveryEdgeClassified) {
+  const Graph g = GetParam().make();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  uint64_t total = 0;
+  for (const auto& [k, c] : r.ClassSizes()) {
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, r.kmax);
+    total += c;
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooTest, ::testing::ValuesIn(kZoo),
+                         [](const auto& info) { return info.param.label; });
+
+// The clustering-coefficient claim of Example 1 generalizes: on graphs with
+// community structure, CC rises monotonically along the truss hierarchy
+// prefix (up to the first level that is a disjoint union of cliques).
+TEST(TrussStructureTest, ClusteringRisesIntoTheTruss) {
+  const Graph g = gen::PlantedCommunities(10, 14, 0.75, 200, 17);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  ASSERT_GE(r.kmax, 4u);
+  const double cc_g = AverageClusteringCoefficient(g);
+  const Subgraph t4 = ExtractKTruss(g, r, 4);
+  const double cc_t4 = AverageClusteringCoefficient(t4.graph);
+  EXPECT_GT(cc_t4, cc_g);
+}
+
+// Degeneracy connection: cmax ≥ kmax - 1 on every zoo graph (T_kmax is a
+// (kmax-1)-core).
+TEST(TrussStructureTest, CoreNumberDominatesTrussMinusOne) {
+  for (const ZooCase& zoo : kZoo) {
+    const Graph g = zoo.make();
+    if (g.num_edges() == 0) continue;
+    const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+    const CoreDecomposition cores = DecomposeCores(g);
+    EXPECT_GE(cores.cmax + 1, r.kmax) << zoo.label;
+  }
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,77 @@
+// Unit tests for degree statistics, clustering coefficients, and components.
+
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+
+namespace truss {
+namespace {
+
+TEST(DegreeStatsTest, CompleteGraph) {
+  const DegreeStats s = ComputeDegreeStats(gen::Complete(6));
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_EQ(s.median, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(DegreeStatsTest, StarGraph) {
+  const DegreeStats s = ComputeDegreeStats(gen::Star(10));
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_EQ(s.median, 1u);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(gen::Complete(7)), 1.0);
+}
+
+TEST(ClusteringTest, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(gen::Cycle(8)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(gen::Star(8)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(gen::Grid(3, 4)), 0.0);
+}
+
+TEST(ClusteringTest, LocalCoefficientOfKnownVertex) {
+  // Vertex 0 adjacent to 1,2,3; among them only edge (1,2): CC = 1/3.
+  const Graph g =
+      Graph::FromEdges({{0, 1}, {0, 2}, {0, 3}, {1, 2}}, 0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 3), 0.0);  // degree 1
+}
+
+TEST(ClusteringTest, LowDegreeConvention) {
+  // Triangle plus a pendant vertex: included-as-zero vs excluded averages.
+  const Graph g = Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}, {2, 3}}, 0);
+  const double with_low = AverageClusteringCoefficient(g, true);
+  const double without_low = AverageClusteringCoefficient(g, false);
+  EXPECT_LT(with_low, without_low);
+  EXPECT_GT(without_low, 0.0);
+}
+
+TEST(ClusteringTest, WattsStrogatzLatticeClustersHighly) {
+  // Pure ring lattice (beta = 0) with k=3 has CC = 0.6 per vertex.
+  const double cc = AverageClusteringCoefficient(
+      gen::WattsStrogatz(60, 3, 0.0, 1));
+  EXPECT_NEAR(cc, 0.6, 1e-9);
+}
+
+TEST(ComponentsTest, CountsIsolatedVertices) {
+  const Graph g = Graph::FromEdges({{0, 1}}, 4);
+  EXPECT_EQ(CountConnectedComponents(g), 3u);  // {0,1}, {2}, {3}
+}
+
+TEST(ComponentsTest, ConnectedShapes) {
+  EXPECT_EQ(CountConnectedComponents(gen::Complete(5)), 1u);
+  EXPECT_EQ(CountConnectedComponents(gen::Cycle(9)), 1u);
+  EXPECT_EQ(CountConnectedComponents(gen::Grid(4, 4)), 1u);
+}
+
+TEST(ComponentsTest, DisjointTriangles) {
+  const Graph g =
+      Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}}, 0);
+  EXPECT_EQ(CountConnectedComponents(g), 2u);
+}
+
+}  // namespace
+}  // namespace truss

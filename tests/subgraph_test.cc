@@ -1,0 +1,111 @@
+// Unit tests for induced / edge-set / neighborhood subgraph extraction.
+
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace truss {
+namespace {
+
+Graph Diamond() {
+  // Two triangles sharing edge (1,2).
+  return Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}, 0);
+}
+
+TEST(InducedSubgraphTest, TriangleFromDiamond) {
+  const Graph g = Diamond();
+  const Subgraph s = InducedSubgraph(g, std::vector<VertexId>{0, 1, 2});
+  EXPECT_EQ(s.graph.num_vertices(), 3u);
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+  EXPECT_EQ(s.vertex_to_parent, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(InducedSubgraphTest, ToleratesDuplicates) {
+  const Graph g = Diamond();
+  const Subgraph s = InducedSubgraph(g, std::vector<VertexId>{2, 0, 0, 1, 2});
+  EXPECT_EQ(s.graph.num_vertices(), 3u);
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+}
+
+TEST(InducedSubgraphTest, EdgeMappingPointsBack) {
+  const Graph g = gen::ErdosRenyiGnm(40, 200, 5);
+  const std::vector<VertexId> verts = {0, 3, 5, 7, 11, 13, 17, 19, 23, 29};
+  const Subgraph s = InducedSubgraph(g, verts);
+  for (EdgeId le = 0; le < s.graph.num_edges(); ++le) {
+    const Edge local = s.graph.edge(le);
+    const Edge parent = g.edge(s.edge_to_parent[le]);
+    EXPECT_EQ(parent,
+              MakeEdge(s.vertex_to_parent[local.u],
+                       s.vertex_to_parent[local.v]));
+  }
+}
+
+TEST(SubgraphFromEdgesTest, VertexSetIsEndpointsOnly) {
+  const Graph g = Diamond();
+  const EdgeId e12 = g.FindEdge(1, 2);
+  const EdgeId e13 = g.FindEdge(1, 3);
+  const Subgraph s = SubgraphFromEdges(g, std::vector<EdgeId>{e12, e13});
+  EXPECT_EQ(s.graph.num_vertices(), 3u);  // {1, 2, 3}
+  EXPECT_EQ(s.graph.num_edges(), 2u);
+  EXPECT_EQ(s.vertex_to_parent, (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(SubgraphFromEdgesTest, DeduplicatesEdgeIds) {
+  const Graph g = Diamond();
+  const EdgeId e = g.FindEdge(0, 1);
+  const Subgraph s = SubgraphFromEdges(g, std::vector<EdgeId>{e, e, e});
+  EXPECT_EQ(s.graph.num_edges(), 1u);
+}
+
+TEST(NeighborhoodSubgraphTest, DefinitionFourOnDiamond) {
+  const Graph g = Diamond();
+  // U = {0}: NS(U) has vertices {0} ∪ nb(0) = {0,1,2}, edges incident to 0.
+  const NeighborhoodSubgraph ns =
+      ExtractNeighborhoodSubgraph(g, std::vector<VertexId>{0});
+  EXPECT_EQ(ns.internal_vertex_count, 1u);
+  EXPECT_EQ(ns.sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(ns.sub.graph.num_edges(), 2u);  // (0,1), (0,2); not (1,2)
+  EXPECT_TRUE(ns.IsInternalVertex(0));
+  EXPECT_FALSE(ns.IsInternalVertex(1));
+}
+
+TEST(NeighborhoodSubgraphTest, InternalEdgesRequireBothEndpoints) {
+  const Graph g = Diamond();
+  const NeighborhoodSubgraph ns =
+      ExtractNeighborhoodSubgraph(g, std::vector<VertexId>{1, 2});
+  // ENS({1,2}) = all 5 edges (every edge touches 1 or 2).
+  EXPECT_EQ(ns.sub.graph.num_edges(), 5u);
+  uint32_t internal = 0;
+  for (EdgeId e = 0; e < ns.sub.graph.num_edges(); ++e) {
+    if (ns.IsInternalEdge(e)) ++internal;
+  }
+  EXPECT_EQ(internal, 1u);  // only (1,2)
+}
+
+TEST(NeighborhoodSubgraphTest, FullVertexSetIsWholeGraph) {
+  const Graph g = gen::ErdosRenyiGnm(30, 100, 9);
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  const NeighborhoodSubgraph ns = ExtractNeighborhoodSubgraph(g, all);
+  EXPECT_EQ(ns.sub.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(ns.internal_vertex_count, g.num_vertices());
+}
+
+TEST(NeighborhoodSubgraphTest, ExternalEdgesPreserveTriangles) {
+  // Triangle 0-1-2 with 0 internal: all three vertices appear, but edge
+  // (1,2) is absent (neither endpoint internal) per Definition 4.
+  const Graph g = gen::Complete(3);
+  const NeighborhoodSubgraph ns =
+      ExtractNeighborhoodSubgraph(g, std::vector<VertexId>{0});
+  EXPECT_EQ(ns.sub.graph.num_edges(), 2u);
+  // With two of the three vertices internal the triangle is complete.
+  const NeighborhoodSubgraph ns2 =
+      ExtractNeighborhoodSubgraph(g, std::vector<VertexId>{0, 1});
+  EXPECT_EQ(ns2.sub.graph.num_edges(), 3u);
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,111 @@
+// Tests for SNAP-format edge-list ingestion and export.
+
+#include "graph/text_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.h"
+
+namespace truss {
+namespace {
+
+std::string TempFile(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteText(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(TextIoTest, RoundTrip) {
+  const Graph g = gen::ErdosRenyiGnm(50, 200, 7);
+  const std::string path = TempFile("truss_roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Vertex labels are compacted in first-seen order, so compare as sets of
+  // re-labeled edges via the original_id map.
+  const Graph& h = loaded.value().graph;
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : h.edges()) {
+    const auto u = static_cast<VertexId>(loaded.value().original_id[e.u]);
+    const auto v = static_cast<VertexId>(loaded.value().original_id[e.v]);
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, CommentsAndBlankLines) {
+  const std::string path = TempFile("truss_comments.txt");
+  WriteText(path,
+            "# SNAP header\n"
+            "# more comments\n"
+            "\n"
+            "1 2\n"
+            "   \n"
+            "2 3\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, ArbitraryLabelsAreCompacted) {
+  const std::string path = TempFile("truss_labels.txt");
+  WriteText(path, "1000000 42\n42 77\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const LoadedGraph& lg = loaded.value();
+  EXPECT_EQ(lg.graph.num_vertices(), 3u);
+  EXPECT_EQ(lg.original_id.size(), 3u);
+  EXPECT_EQ(lg.original_id[0], 1000000u);  // first seen
+  EXPECT_EQ(lg.original_id[1], 42u);
+  EXPECT_EQ(lg.original_id[2], 77u);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, DirectedDuplicatesCollapse) {
+  const std::string path = TempFile("truss_directed.txt");
+  WriteText(path, "1 2\n2 1\n1 2\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, SelfLoopsDropped) {
+  const std::string path = TempFile("truss_loops.txt");
+  WriteText(path, "5 5\n1 2\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, MalformedRowIsCorruption) {
+  const std::string path = TempFile("truss_bad.txt");
+  WriteText(path, "1 2\nnot numbers\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, MissingFileIsIOError) {
+  auto loaded = ReadSnapEdgeList("/nonexistent/definitely/missing.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(TextIoTest, WriteToUnwritablePathFails) {
+  const Graph g = gen::Complete(3);
+  EXPECT_FALSE(WriteEdgeList(g, "/nonexistent/dir/out.txt").ok());
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,98 @@
+// Unit tests for triangle counting / listing and edge supports.
+
+#include "triangle/triangle.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace truss {
+namespace {
+
+TEST(TriangleTest, KnownCounts) {
+  EXPECT_EQ(CountTriangles(gen::Complete(3)), 1u);
+  EXPECT_EQ(CountTriangles(gen::Complete(4)), 4u);
+  EXPECT_EQ(CountTriangles(gen::Complete(6)), 20u);  // C(6,3)
+  EXPECT_EQ(CountTriangles(gen::Cycle(10)), 0u);
+  EXPECT_EQ(CountTriangles(gen::Star(10)), 0u);
+  EXPECT_EQ(CountTriangles(gen::Grid(5, 5)), 0u);
+}
+
+TEST(TriangleTest, EachTriangleListedExactlyOnce) {
+  const Graph g = gen::ErdosRenyiGnm(40, 300, 3);
+  std::set<std::array<VertexId, 3>> seen;
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w, EdgeId, EdgeId,
+                         EdgeId) {
+    std::array<VertexId, 3> t = {u, v, w};
+    std::sort(t.begin(), t.end());
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate triangle";
+  });
+  EXPECT_EQ(seen.size(), CountTriangles(g));
+}
+
+TEST(TriangleTest, ListedEdgesFormTheTriangle) {
+  const Graph g = gen::ErdosRenyiGnm(30, 200, 5);
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w, EdgeId uv,
+                         EdgeId uw, EdgeId vw) {
+    EXPECT_EQ(g.edge(uv), MakeEdge(u, v));
+    EXPECT_EQ(g.edge(uw), MakeEdge(u, w));
+    EXPECT_EQ(g.edge(vw), MakeEdge(v, w));
+  });
+}
+
+TEST(TriangleTest, SupportsMatchNaive) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = gen::ErdosRenyiGnm(50, 300 + seed * 50, seed);
+    EXPECT_EQ(ComputeEdgeSupports(g), ComputeEdgeSupportsNaive(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(TriangleTest, SupportSumIsThreeTimesTriangles) {
+  const Graph g = gen::ErdosRenyiGnm(60, 500, 7);
+  const auto sup = ComputeEdgeSupports(g);
+  uint64_t total = 0;
+  for (const uint32_t s : sup) total += s;
+  EXPECT_EQ(total, 3 * CountTriangles(g));
+}
+
+TEST(TriangleTest, CompleteGraphSupports) {
+  const VertexId n = 8;
+  const auto sup = ComputeEdgeSupports(gen::Complete(n));
+  for (const uint32_t s : sup) EXPECT_EQ(s, n - 2);
+}
+
+TEST(TriangleTest, EmptyAndTinyGraphs) {
+  EXPECT_EQ(CountTriangles(Graph()), 0u);
+  EXPECT_EQ(CountTriangles(Graph::FromEdges({{0, 1}}, 0)), 0u);
+}
+
+TEST(OrientedAdjacencyTest, OutDegreeBoundedBySqrtM) {
+  // For any graph, |N+(v)| ≤ 2√m under degree ordering (paper Theorem 1's
+  // nb≥ argument).
+  const Graph g = gen::BarabasiAlbert(400, 5, 9);
+  const OrientedAdjacency oriented(g);
+  const double bound = 2.0 * std::sqrt(static_cast<double>(g.num_edges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(static_cast<double>(oriented.out(v).size()), bound);
+  }
+}
+
+TEST(OrientedAdjacencyTest, RanksAreAPermutation) {
+  const Graph g = gen::ErdosRenyiGnm(50, 100, 21);
+  const OrientedAdjacency oriented(g);
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LT(oriented.rank(v), g.num_vertices());
+    EXPECT_FALSE(seen[oriented.rank(v)]);
+    seen[oriented.rank(v)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace truss

@@ -1,0 +1,310 @@
+// Integration and property tests for the I/O-efficient decompositions:
+// bottom-up (Algorithms 3-4, Procedures 5/9) and top-down (Procedure 6,
+// Algorithm 7, Procedures 8/10), cross-checked against the in-memory
+// algorithm on randomized inputs under memory budgets that force every code
+// path (single part, many parts, candidate-subgraph overflow).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "io/env.h"
+#include "truss/bottom_up.h"
+#include "truss/improved.h"
+#include "triangle/triangle.h"
+#include "truss/external_util.h"
+#include "truss/lower_bound.h"
+#include "truss/result.h"
+#include "truss/top_down.h"
+
+namespace truss {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "truss_ext_test" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+struct ExternalCase {
+  const char* label;
+  VertexId n;
+  uint64_t m;
+  uint64_t seed;
+  uint32_t planted_clique;  // 0 = none
+  uint64_t budget_bytes;
+  partition::Strategy strategy;
+};
+
+Graph MakeCaseGraph(const ExternalCase& c) {
+  Graph g = gen::ErdosRenyiGnm(c.n, c.m, c.seed);
+  if (c.planted_clique > 0) {
+    g = gen::PlantClique(g, c.planted_clique, c.seed + 1);
+  }
+  return g;
+}
+
+class BottomUpTest : public ::testing::TestWithParam<ExternalCase> {};
+
+TEST_P(BottomUpTest, MatchesInMemoryOracle) {
+  const ExternalCase c = GetParam();
+  const Graph g = MakeCaseGraph(c);
+  const TrussDecompositionResult expected = ImprovedTrussDecomposition(g);
+
+  io::Env env(TestDir(std::string("bu_") + c.label), 4096);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = c.budget_bytes;
+  cfg.strategy = c.strategy;
+  ExternalStats stats;
+  auto result = BottomUpDecompose(env, g, cfg, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(SameDecomposition(expected, result.value()))
+      << "kmax expected " << expected.kmax << " got " << result.value().kmax;
+  EXPECT_EQ(stats.kmax, expected.kmax);
+  EXPECT_EQ(stats.classified_edges, g.num_edges());
+  EXPECT_EQ(stats.phi2_edges, expected.KClassEdges(2).size());
+  EXPECT_GT(stats.io.total_blocks(), 0u);
+}
+
+class TopDownTest : public ::testing::TestWithParam<ExternalCase> {};
+
+TEST_P(TopDownTest, MatchesInMemoryOracle) {
+  const ExternalCase c = GetParam();
+  const Graph g = MakeCaseGraph(c);
+  const TrussDecompositionResult expected = ImprovedTrussDecomposition(g);
+
+  io::Env env(TestDir(std::string("td_") + c.label), 4096);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = c.budget_bytes;
+  cfg.strategy = c.strategy;
+  ExternalStats stats;
+  auto result = TopDownDecompose(env, g, cfg, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(SameDecomposition(expected, result.value()))
+      << "kmax expected " << expected.kmax << " got " << result.value().kmax;
+  EXPECT_EQ(stats.kmax, expected.kmax);
+}
+
+// Budgets: "huge" keeps everything in one part / in-memory candidates;
+// "small" forces multi-part lower bounding; "tiny" additionally overflows
+// candidate subgraphs into Procedures 9/10.
+const ExternalCase kCases[] = {
+    {"sparse_huge", 60, 120, 1, 0, 64ull << 20,
+     partition::Strategy::kSequential},
+    {"sparse_small", 60, 120, 2, 0, 4096, partition::Strategy::kSequential},
+    {"sparse_tiny", 60, 120, 3, 0, 1200, partition::Strategy::kRandomized},
+    {"dense_huge", 40, 400, 4, 0, 64ull << 20,
+     partition::Strategy::kSequential},
+    {"dense_small", 40, 400, 5, 0, 6000, partition::Strategy::kRandomized},
+    {"dense_tiny", 40, 400, 6, 0, 1600, partition::Strategy::kSequential},
+    {"clique_small", 50, 200, 7, 8, 5000,
+     partition::Strategy::kDominatingSet},
+    {"clique_tiny", 50, 200, 8, 10, 1600, partition::Strategy::kRandomized},
+    {"mid_random", 120, 700, 9, 6, 12000, partition::Strategy::kRandomized},
+    {"mid_domset", 120, 700, 10, 6, 12000,
+     partition::Strategy::kDominatingSet},
+    {"larger", 300, 2400, 11, 12, 40000, partition::Strategy::kSequential},
+    {"triangle_free", 64, 63, 12, 0, 2048,
+     partition::Strategy::kSequential},  // a tree: everything is Φ2
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BottomUpTest, ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return info.param.label; });
+INSTANTIATE_TEST_SUITE_P(Sweep, TopDownTest, ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(BottomUpTest, Figure2Example) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  io::Env env(TestDir("bu_fig2"), 512);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 800;  // force several parts on 26 edges
+  auto result = BottomUpDecompose(env, fx.graph, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().truss_number, fx.expected_truss);
+}
+
+TEST(TopDownTest, Figure2Example) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  io::Env env(TestDir("td_fig2"), 512);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 800;
+  auto result = TopDownDecompose(env, fx.graph, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().truss_number, fx.expected_truss);
+}
+
+TEST(TopDownTest, TopTClassesMatchOracleTopClasses) {
+  const Graph g =
+      gen::PlantClique(gen::ErdosRenyiGnm(80, 500, 21), 9, 22);
+  const TrussDecompositionResult expected = ImprovedTrussDecomposition(g);
+
+  io::Env env(TestDir("td_topt"), 4096);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 8000;
+  cfg.top_t = 2;
+  auto records = TopDownTopClasses(env, g, cfg);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+
+  // Collect the reported classes with k ≥ 3 (Φ2 is always emitted).
+  std::map<uint32_t, std::vector<Edge>> reported;
+  for (const io::ClassRecord& rec : records.value()) {
+    if (rec.truss >= 3) reported[rec.truss].push_back(MakeEdge(rec.u, rec.v));
+  }
+  ASSERT_EQ(reported.size(), 2u) << "expected exactly the top-2 classes";
+
+  // They must be the two largest non-empty classes of the oracle, exactly.
+  std::vector<uint32_t> oracle_ks;
+  for (const auto& [k, count] : expected.ClassSizes()) {
+    if (k >= 3 && count > 0) oracle_ks.push_back(k);
+  }
+  ASSERT_GE(oracle_ks.size(), 2u);
+  const uint32_t k1 = oracle_ks[oracle_ks.size() - 1];
+  const uint32_t k2 = oracle_ks[oracle_ks.size() - 2];
+  for (const uint32_t k : {k1, k2}) {
+    ASSERT_TRUE(reported.count(k)) << "missing class " << k;
+    std::vector<Edge> expected_edges;
+    for (const EdgeId id : expected.KClassEdges(k)) {
+      expected_edges.push_back(g.edge(id));
+    }
+    std::sort(expected_edges.begin(), expected_edges.end());
+    std::vector<Edge> got = reported[k];
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected_edges) << "class " << k;
+  }
+}
+
+TEST(TopDownTest, TopOneFindsKmaxTruss) {
+  const Graph g =
+      gen::PlantClique(gen::ErdosRenyiGnm(100, 300, 31), 12, 32);
+  const TrussDecompositionResult expected = ImprovedTrussDecomposition(g);
+
+  io::Env env(TestDir("td_top1"), 4096);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 32ull << 20;
+  cfg.top_t = 1;
+  ExternalStats stats;
+  auto records = TopDownTopClasses(env, g, cfg, &stats);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(stats.kmax, expected.kmax);
+  uint64_t kmax_edges = 0;
+  for (const io::ClassRecord& rec : records.value()) {
+    if (rec.truss == expected.kmax) ++kmax_edges;
+  }
+  EXPECT_EQ(kmax_edges, expected.KClassEdges(expected.kmax).size());
+}
+
+TEST(LowerBoundingTest, Phi2AndBoundsAreSound) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(70, 250, 41), 7, 42);
+  const TrussDecompositionResult oracle = ImprovedTrussDecomposition(g);
+
+  io::Env env(TestDir("lb"), 2048);
+  const std::string graph_file = "graph";
+  ASSERT_TRUE(WriteGraphFile(env, g, graph_file).ok());
+
+  const std::string classes = "phi2";
+  auto class_writer = env.OpenWriter(classes);
+  ASSERT_TRUE(class_writer.ok());
+
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 3000;  // several parts, several iterations
+  auto lb = RunLowerBounding(env, graph_file, g.num_vertices(), cfg,
+                             BoundMode::kPhiLowerBound,
+                             class_writer.value().get());
+  ASSERT_TRUE(lb.ok()) << lb.status().ToString();
+  ASSERT_TRUE(class_writer.value()->Close().ok());
+
+  // Φ2 must be exactly the support-0 edges.
+  EXPECT_EQ(lb.value().phi2_edges, oracle.KClassEdges(2).size());
+  EXPECT_EQ(lb.value().gnew_edges + lb.value().phi2_edges, g.num_edges());
+  EXPECT_GE(lb.value().iterations, 1u);
+
+  // Every Gnew label must be a valid lower bound 2 ≤ φ(e) ≤ ϕ(e).
+  auto reader = env.OpenReader(lb.value().gnew_file);
+  ASSERT_TRUE(reader.ok());
+  io::GnewRecord rec;
+  io::GnewRecord prev{};
+  bool first = true;
+  while (reader.value()->ReadRecord(&rec)) {
+    const EdgeId id = g.FindEdge(rec.u, rec.v);
+    ASSERT_NE(id, kInvalidEdge);
+    EXPECT_GE(rec.label, 2u);
+    EXPECT_LE(rec.label, oracle.truss_number[id]);
+    if (!first) {
+      EXPECT_TRUE(io::ByEdgeLess{}(prev, rec)) << "Gnew must be sorted";
+    }
+    prev = rec;
+    first = false;
+  }
+}
+
+TEST(LowerBoundingTest, ExactSupportModeStoresTrueSupports) {
+  const Graph g = gen::ErdosRenyiGnm(60, 350, 51);
+  const std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+
+  io::Env env(TestDir("lb_sup"), 2048);
+  const std::string graph_file = "graph";
+  ASSERT_TRUE(WriteGraphFile(env, g, graph_file).ok());
+  const std::string classes = "phi2";
+  auto class_writer = env.OpenWriter(classes);
+  ASSERT_TRUE(class_writer.ok());
+
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 2500;
+  cfg.strategy = partition::Strategy::kRandomized;
+  auto lb = RunLowerBounding(env, graph_file, g.num_vertices(), cfg,
+                             BoundMode::kExactSupport,
+                             class_writer.value().get());
+  ASSERT_TRUE(lb.ok()) << lb.status().ToString();
+  ASSERT_TRUE(class_writer.value()->Close().ok());
+
+  auto reader = env.OpenReader(lb.value().gnew_file);
+  ASSERT_TRUE(reader.ok());
+  io::GnewRecord rec;
+  uint64_t checked = 0;
+  while (reader.value()->ReadRecord(&rec)) {
+    const EdgeId id = g.FindEdge(rec.u, rec.v);
+    ASSERT_NE(id, kInvalidEdge);
+    EXPECT_EQ(rec.label, sup[id])
+        << "edge (" << rec.u << "," << rec.v << ")";
+    ++checked;
+  }
+  EXPECT_EQ(checked, lb.value().gnew_edges);
+}
+
+TEST(BottomUpTest, EmptyAndTinyGraphs) {
+  io::Env env(TestDir("bu_tiny"), 512);
+  ExternalConfig cfg;
+  // Single edge: Φ2.
+  const Graph g1 = Graph::FromEdges({{0, 1}}, 0);
+  auto r1 = BottomUpDecompose(env, g1, cfg);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().truss_number, (std::vector<uint32_t>{2}));
+  // Single triangle.
+  const Graph g2 = gen::Complete(3);
+  auto r2 = BottomUpDecompose(env, g2, cfg);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().kmax, 3u);
+}
+
+TEST(BottomUpTest, StatsCountOverflows) {
+  // A budget far below H size must exercise Procedure 9 at least once.
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(50, 200, 61), 8, 62);
+  io::Env env(TestDir("bu_overflow"), 512);
+  ExternalConfig cfg;
+  cfg.memory_budget_bytes = 1200;
+  ExternalStats stats;
+  auto result = BottomUpDecompose(env, g, cfg, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.candidate_overflows, 0u);
+  EXPECT_TRUE(
+      SameDecomposition(ImprovedTrussDecomposition(g), result.value()));
+}
+
+}  // namespace
+}  // namespace truss

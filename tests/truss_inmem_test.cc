@@ -1,0 +1,178 @@
+// Tests for the in-memory truss decompositions (Algorithms 1 and 2) against
+// the paper's running example and the definition-level oracle.
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "truss/cohen.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+#include "truss/verify.h"
+
+namespace truss {
+namespace {
+
+TEST(TrussInmemTest, Figure2ExampleImproved) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(fx.graph);
+  EXPECT_EQ(r.kmax, fx.expected_kmax);
+  EXPECT_EQ(r.truss_number, fx.expected_truss);
+}
+
+TEST(TrussInmemTest, Figure2ExampleCohen) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  const TrussDecompositionResult r = CohenTrussDecomposition(fx.graph);
+  EXPECT_EQ(r.kmax, fx.expected_kmax);
+  EXPECT_EQ(r.truss_number, fx.expected_truss);
+}
+
+TEST(TrussInmemTest, Figure2ClassSizes) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(fx.graph);
+  const auto sizes = r.ClassSizes();
+  EXPECT_EQ(sizes.at(2), 1u);   // Φ2 = {(i,k)}
+  EXPECT_EQ(sizes.at(3), 9u);   // Φ3: 9 edges
+  EXPECT_EQ(sizes.at(4), 6u);   // Φ4: clique {f,h,i,j}
+  EXPECT_EQ(sizes.at(5), 10u);  // Φ5: clique {a,b,c,d,e}
+}
+
+TEST(TrussInmemTest, EmptyGraph) {
+  const Graph g;
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_EQ(r.kmax, 0u);
+  EXPECT_TRUE(r.truss_number.empty());
+}
+
+TEST(TrussInmemTest, TriangleFreeGraphsAreAllPhi2) {
+  for (const Graph& g : {gen::Cycle(10), gen::Star(8), gen::Grid(4, 5),
+                         gen::Path(6)}) {
+    const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+    EXPECT_EQ(r.kmax, 2u);
+    for (const uint32_t t : r.truss_number) EXPECT_EQ(t, 2u);
+  }
+}
+
+TEST(TrussInmemTest, CompleteGraphTrussIsN) {
+  for (VertexId n = 3; n <= 12; ++n) {
+    const Graph g = gen::Complete(n);
+    const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+    EXPECT_EQ(r.kmax, n) << "K_" << n;
+    for (const uint32_t t : r.truss_number) EXPECT_EQ(t, n);
+  }
+}
+
+TEST(TrussInmemTest, SingleTriangleIsThreeTruss) {
+  const Graph g = gen::Complete(3);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_EQ(r.kmax, 3u);
+}
+
+TEST(TrussInmemTest, TrianglePlusPendantEdge) {
+  const Graph g = Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}, {2, 3}}, 0);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_EQ(r.kmax, 3u);
+  EXPECT_EQ(r.truss_number[g.FindEdge(2, 3)], 2u);
+  EXPECT_EQ(r.truss_number[g.FindEdge(0, 1)], 3u);
+}
+
+TEST(TrussInmemTest, PlantedCliqueSetsKmax) {
+  const Graph base = gen::ErdosRenyiGnm(200, 400, 31);
+  const Graph g = gen::PlantClique(base, 9, 32);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_GE(r.kmax, 9u);
+}
+
+TEST(TrussInmemTest, KClassPartitionIsComplete) {
+  const Graph g = gen::ErdosRenyiGnm(80, 400, 17);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  uint64_t total = 0;
+  for (const auto& [k, count] : r.ClassSizes()) {
+    EXPECT_GE(k, 2u);
+    total += count;
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(TrussInmemTest, TrussEdgesAreNested) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(100, 600, 23), 8, 24);
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  for (uint32_t k = 3; k <= r.kmax; ++k) {
+    const auto outer = r.TrussEdges(k);
+    const auto inner = r.TrussEdges(k + 1);
+    EXPECT_TRUE(std::includes(outer.begin(), outer.end(), inner.begin(),
+                              inner.end()));
+  }
+}
+
+TEST(TrussInmemTest, MemoryTrackerReportsPeak) {
+  const Graph g = gen::ErdosRenyiGnm(200, 1000, 3);
+  MemoryTracker cohen_mem, improved_mem;
+  CohenTrussDecomposition(g, &cohen_mem);
+  ImprovedTrussDecomposition(g, &improved_mem);
+  EXPECT_GT(cohen_mem.peak_bytes(), g.SizeBytes());
+  EXPECT_GT(improved_mem.peak_bytes(), g.SizeBytes());
+  EXPECT_EQ(cohen_mem.current_bytes(), 0u);
+  EXPECT_EQ(improved_mem.current_bytes(), 0u);
+}
+
+// --- property sweep: both algorithms match the naive oracle ------------
+
+struct RandomGraphParam {
+  VertexId n;
+  uint64_t m;
+  uint64_t seed;
+};
+
+class TrussAgreementTest : public ::testing::TestWithParam<RandomGraphParam> {
+};
+
+TEST_P(TrussAgreementTest, AlgorithmsAgreeWithOracle) {
+  const RandomGraphParam p = GetParam();
+  const Graph g = gen::ErdosRenyiGnm(p.n, p.m, p.seed);
+
+  const TrussDecompositionResult expected = NaiveTrussDecomposition(g);
+  const TrussDecompositionResult improved = ImprovedTrussDecomposition(g);
+  const TrussDecompositionResult cohen = CohenTrussDecomposition(g);
+
+  EXPECT_TRUE(SameDecomposition(expected, improved));
+  EXPECT_TRUE(SameDecomposition(expected, cohen));
+  EXPECT_EQ(ValidateDecomposition(g, improved), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, TrussAgreementTest,
+    ::testing::Values(RandomGraphParam{10, 15, 1}, RandomGraphParam{10, 30, 2},
+                      RandomGraphParam{20, 40, 3}, RandomGraphParam{20, 90, 4},
+                      RandomGraphParam{30, 60, 5},
+                      RandomGraphParam{30, 200, 6},
+                      RandomGraphParam{50, 120, 7},
+                      RandomGraphParam{50, 400, 8},
+                      RandomGraphParam{80, 300, 9},
+                      RandomGraphParam{80, 1000, 10},
+                      RandomGraphParam{120, 500, 11},
+                      RandomGraphParam{120, 2000, 12}));
+
+// Dense-ish graphs with planted cliques: the decompositions must agree and
+// kmax must reach the planted size.
+class PlantedCliqueTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(PlantedCliqueTest, CliqueEdgesReachCliqueTruss) {
+  const auto [clique, seed] = GetParam();
+  const Graph base = gen::ErdosRenyiGnm(60, 200, seed);
+  const Graph g = gen::PlantClique(base, clique, seed + 1);
+  const TrussDecompositionResult improved = ImprovedTrussDecomposition(g);
+  const TrussDecompositionResult naive = NaiveTrussDecomposition(g);
+  EXPECT_TRUE(SameDecomposition(naive, improved));
+  EXPECT_GE(improved.kmax, clique);
+}
+
+INSTANTIATE_TEST_SUITE_P(CliqueSweep, PlantedCliqueTest,
+                         ::testing::Combine(::testing::Values(4u, 6u, 8u,
+                                                              10u),
+                                            ::testing::Values(100u, 200u)));
+
+}  // namespace
+}  // namespace truss

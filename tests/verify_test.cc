@@ -1,0 +1,79 @@
+// Tests that the verification oracles actually detect corruption — the
+// property suites lean on them, so they must not be vacuously green.
+
+#include "truss/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "truss/improved.h"
+
+namespace truss {
+namespace {
+
+Graph TestGraph() {
+  return gen::PlantClique(gen::ErdosRenyiGnm(40, 160, 3), 6, 4);
+}
+
+TEST(VerifyTest, AcceptsCorrectDecomposition) {
+  const Graph g = TestGraph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  EXPECT_EQ(ValidateDecomposition(g, r), "");
+}
+
+TEST(VerifyTest, DetectsWrongTrussNumber) {
+  const Graph g = TestGraph();
+  TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  r.truss_number[0] += 1;
+  EXPECT_NE(ValidateDecomposition(g, r), "");
+}
+
+TEST(VerifyTest, DetectsWrongKmax) {
+  const Graph g = TestGraph();
+  TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  r.kmax += 1;
+  EXPECT_NE(ValidateDecomposition(g, r), "");
+}
+
+TEST(VerifyTest, DetectsSizeMismatch) {
+  const Graph g = TestGraph();
+  TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  r.truss_number.pop_back();
+  EXPECT_NE(ValidateDecomposition(g, r), "");
+}
+
+TEST(VerifyTest, IsTrussSubgraphAcceptsRealTruss) {
+  const Graph g = TestGraph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  for (uint32_t k = 3; k <= r.kmax; ++k) {
+    EXPECT_TRUE(IsTrussSubgraph(g, r.TrussEdges(k), k)) << "k=" << k;
+  }
+}
+
+TEST(VerifyTest, IsTrussSubgraphRejectsPaddedEdgeSet) {
+  const Graph g = TestGraph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(g);
+  ASSERT_GE(r.kmax, 4u);
+  // T_kmax plus one edge outside it is no longer a valid kmax-truss.
+  std::vector<EdgeId> padded = r.TrussEdges(r.kmax);
+  const std::vector<EdgeId> lower = r.KClassEdges(2);
+  ASSERT_FALSE(lower.empty());
+  padded.push_back(lower.front());
+  EXPECT_FALSE(IsTrussSubgraph(g, padded, r.kmax));
+}
+
+TEST(VerifyTest, TrivialLevelsAlwaysPass) {
+  const Graph g = gen::Cycle(5);
+  EXPECT_TRUE(IsTrussSubgraph(g, {0, 1, 2, 3, 4}, 2));
+}
+
+TEST(NaiveTrussTest, HandlesDegenerateInputs) {
+  EXPECT_EQ(NaiveTrussDecomposition(Graph()).kmax, 0u);
+  const auto star = NaiveTrussDecomposition(gen::Star(5));
+  EXPECT_EQ(star.kmax, 2u);
+  const auto k4 = NaiveTrussDecomposition(gen::Complete(4));
+  EXPECT_EQ(k4.kmax, 4u);
+}
+
+}  // namespace
+}  // namespace truss
