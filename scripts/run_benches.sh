@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Runs the table-reproduction bench binaries and emits one machine-readable
+# BENCH_<name>.json per bench (plus the raw stdout capture as BENCH_<name>.log).
+# These artifacts seed the perf trajectory the ROADMAP's speed goals are
+# measured against: commit-over-commit comparisons diff the JSON.
+#
+# Usage:
+#   scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR] [--all] [BENCH...]
+#
+#   --build-dir DIR  where the bench binaries live (default: build/release)
+#   --out-dir DIR    where to write BENCH_*.json (default: bench_results/)
+#   --all            run every bench, including the multi-minute external-
+#                    memory tables (default: the quick set below)
+#   BENCH...         explicit bench names override both sets
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build/release"
+OUT_DIR="${REPO_ROOT}/bench_results"
+
+# Seconds-scale benches, safe to run on every PR. (The external-memory
+# tables 4-6 run 2-10 minutes each; reach them with --all.)
+QUICK_SET=(bench_ablation bench_clique_pruning bench_micro_kernels
+           bench_table3_inmem)
+# Full sweep, including dataset generation and external-memory runs.
+ALL_SET=(bench_ablation bench_clique_pruning bench_micro_kernels
+         bench_table2_datasets bench_table3_inmem bench_table4_bottomup_vs_mr
+         bench_table5_topdown bench_table6_truss_vs_core)
+
+RUN_SET=()
+USE_ALL=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --all) USE_ALL=1; shift ;;
+    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
+    bench_*) RUN_SET+=("$1"); shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+if [[ ${#RUN_SET[@]} -eq 0 ]]; then
+  if [[ ${USE_ALL} -eq 1 ]]; then RUN_SET=("${ALL_SET[@]}");
+  else RUN_SET=("${QUICK_SET[@]}"); fi
+fi
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build dir ${BUILD_DIR} not found." >&2
+  echo "Build first:  cmake --preset release && cmake --build build/release -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+FAILURES=0
+
+for bench in "${RUN_SET[@]}"; do
+  bin="${BUILD_DIR}/${bench}"
+  log="${OUT_DIR}/BENCH_${bench#bench_}.log"
+  json="${OUT_DIR}/BENCH_${bench#bench_}.json"
+  if [[ ! -x "${bin}" ]]; then
+    echo "[skip] ${bench}: binary not built (${bin})" >&2
+    continue
+  fi
+  echo "[run ] ${bench}"
+  start="$(date +%s.%N)"
+  status=0
+  "${bin}" >"${log}" 2>&1 || status=$?
+  end="$(date +%s.%N)"
+  wall="$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.3f", b - a }')"
+  if [[ ${status} -ne 0 ]]; then
+    echo "[FAIL] ${bench} (exit ${status}); see ${log}" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  # python3 writes the JSON so embedded bench output is escaped correctly.
+  python3 - "${json}" "${bench}" "${status}" "${wall}" "${GIT_REV}" \
+      "${TIMESTAMP}" "${log}" <<'PYEOF'
+import json, pathlib, socket, sys
+out, bench, status, wall, rev, ts, log = sys.argv[1:8]
+lines = pathlib.Path(log).read_text(errors="replace").splitlines()
+pathlib.Path(out).write_text(json.dumps({
+    "bench": bench,
+    "status": "ok" if status == "0" else "failed",
+    "exit_code": int(status),
+    "wall_seconds": float(wall),
+    "git_rev": rev,
+    "timestamp_utc": ts,
+    "host": socket.gethostname(),
+    "output": lines,
+}, indent=2) + "\n")
+PYEOF
+  echo "       ${wall}s -> ${json}"
+done
+
+echo
+echo "artifacts in ${OUT_DIR}:"
+ls -1 "${OUT_DIR}"/BENCH_*.json 2>/dev/null || true
+exit $((FAILURES > 0))

@@ -39,6 +39,36 @@
 #define TRUSS_CHECK_GT(a, b) TRUSS_CHECK_OP(>, a, b)
 #define TRUSS_CHECK_GE(a, b) TRUSS_CHECK_OP(>=, a, b)
 
+// TRUSS_DCHECK* mirror TRUSS_CHECK* but compile to nothing under NDEBUG
+// (Release builds). Use them on hot paths where the check would cost real
+// time, and for programmer-error preconditions that tier-1 Debug/ASan runs
+// should catch before they ship.
+#if !defined(NDEBUG)
+#define TRUSS_DCHECK(condition) TRUSS_CHECK(condition)
+#define TRUSS_DCHECK_EQ(a, b) TRUSS_CHECK_EQ(a, b)
+#define TRUSS_DCHECK_NE(a, b) TRUSS_CHECK_NE(a, b)
+#define TRUSS_DCHECK_LT(a, b) TRUSS_CHECK_LT(a, b)
+#define TRUSS_DCHECK_LE(a, b) TRUSS_CHECK_LE(a, b)
+#define TRUSS_DCHECK_GT(a, b) TRUSS_CHECK_GT(a, b)
+#define TRUSS_DCHECK_GE(a, b) TRUSS_CHECK_GE(a, b)
+#else
+// sizeof keeps the operands type-checked without evaluating them.
+#define TRUSS_DCHECK(condition) \
+  do {                          \
+    (void)sizeof(condition);    \
+  } while (0)
+#define TRUSS_DCHECK_OP_NOOP(a, b)     \
+  do {                                 \
+    (void)sizeof(a), (void)sizeof(b);  \
+  } while (0)
+#define TRUSS_DCHECK_EQ(a, b) TRUSS_DCHECK_OP_NOOP(a, b)
+#define TRUSS_DCHECK_NE(a, b) TRUSS_DCHECK_OP_NOOP(a, b)
+#define TRUSS_DCHECK_LT(a, b) TRUSS_DCHECK_OP_NOOP(a, b)
+#define TRUSS_DCHECK_LE(a, b) TRUSS_DCHECK_OP_NOOP(a, b)
+#define TRUSS_DCHECK_GT(a, b) TRUSS_DCHECK_OP_NOOP(a, b)
+#define TRUSS_DCHECK_GE(a, b) TRUSS_DCHECK_OP_NOOP(a, b)
+#endif
+
 // Marks a status-returning expression whose failure is fatal.
 #define TRUSS_CHECK_OK(expr)                                                \
   do {                                                                      \

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/macros.h"
 #include "graph/types.h"
 
 namespace truss {
@@ -42,13 +43,17 @@ class Graph {
     return static_cast<uint64_t>(num_vertices()) + num_edges();
   }
 
-  /// Degree of vertex v.
+  /// Degree of vertex v. v must be a valid vertex ID; on a default-constructed
+  /// (empty) graph every v is out of range.
   uint32_t degree(VertexId v) const {
+    TRUSS_DCHECK_LT(v, num_vertices());
     return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
-  /// Adjacency list of v, sorted by ascending neighbor ID.
+  /// Adjacency list of v, sorted by ascending neighbor ID. Same bounds
+  /// contract as degree().
   std::span<const AdjEntry> neighbors(VertexId v) const {
+    TRUSS_DCHECK_LT(v, num_vertices());
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
 #include "triangle/triangle.h"
 #include "truss/edge_map.h"
 
@@ -37,6 +38,7 @@ class SupportBins {
   /// Moves edge e from its current bin to the one below (support - 1).
   /// Precondition: sup_[e] ≥ 1 and e has not been peeled yet.
   void Decrement(EdgeId e) {
+    TRUSS_DCHECK_GE(sup_[e], 1u);
     const uint32_t s = sup_[e];
     const uint64_t pe = pos_[e];
     const uint64_t pw = bin_start_[s];

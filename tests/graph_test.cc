@@ -26,6 +26,23 @@ TEST(GraphTest, EmptyGraph) {
   EXPECT_EQ(g.PaperSize(), 0u);
 }
 
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+// degree()/neighbors() on a default-constructed graph used to index the
+// empty offsets_ vector; Debug builds must now fail the bounds DCHECK.
+TEST(GraphDeathTest, DegreeOnEmptyGraphFailsBoundsCheck) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Graph g;
+  EXPECT_DEATH(g.degree(0), "TRUSS_CHECK failed");
+  EXPECT_DEATH(g.neighbors(0), "TRUSS_CHECK failed");
+}
+
+TEST(GraphDeathTest, OutOfRangeVertexFailsBoundsCheck) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Graph g = Graph::FromEdges({MakeEdge(0, 1)});
+  EXPECT_DEATH(g.degree(2), "TRUSS_CHECK failed");
+}
+#endif  // !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+
 TEST(GraphTest, FromEdgesBasic) {
   const Graph g = Graph::FromEdges({{0, 1}, {1, 2}, {0, 2}}, 0);
   EXPECT_EQ(g.num_vertices(), 3u);
