@@ -12,10 +12,9 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "engine/engine.h"
 #include "gen/generators.h"
-#include "io/env.h"
-#include "truss/bottom_up.h"
-#include "truss/improved.h"
+#include "truss/result.h"
 
 int main() {
   // A mid-size community graph: big enough that budgets bite, small enough
@@ -30,8 +29,13 @@ int main() {
               g.num_vertices(), g.num_edges(),
               truss::FormatBytes(g.num_edges() * 48ull).c_str());
 
-  const truss::TrussDecompositionResult oracle =
-      truss::ImprovedTrussDecomposition(g);
+  auto oracle_out = truss::engine::Engine::Decompose(
+      g, truss::engine::DecomposeOptions{});
+  if (!oracle_out.ok()) {
+    std::fprintf(stderr, "FATAL: in-memory oracle failed\n");
+    return 1;
+  }
+  const truss::TrussDecompositionResult& oracle = oracle_out.value().result;
 
   truss::TablePrinter table({"strategy", "budget", "lb iters", "parts",
                              "overflows", "blocks I/O", "time"});
@@ -46,21 +50,22 @@ int main() {
 
   for (const auto strategy : strategies) {
     for (const uint64_t budget : budgets) {
-      truss::io::Env env(truss::bench::BenchDir(
+      truss::engine::DecomposeOptions options;
+      options.algorithm = truss::engine::Algorithm::kBottomUp;
+      options.strategy = strategy;
+      options.memory_budget_bytes = budget;
+      options.scratch_dir = truss::bench::BenchDir(
           std::string("abl_") + truss::partition::StrategyName(strategy) +
-          "_" + std::to_string(budget)));
-      truss::ExternalConfig cfg;
-      cfg.strategy = strategy;
-      cfg.memory_budget_bytes = budget;
-      truss::ExternalStats stats;
-      auto result = truss::BottomUpDecompose(env, g, cfg, &stats);
+          "_" + std::to_string(budget));
+      auto result = truss::engine::Engine::Decompose(g, options);
       if (!result.ok() ||
-          !truss::SameDecomposition(oracle, result.value())) {
+          !truss::SameDecomposition(oracle, result.value().result)) {
         std::fprintf(stderr, "FATAL: ablation run failed/disagreed (%s, %s)\n",
                      truss::partition::StrategyName(strategy),
                      truss::FormatBytes(budget).c_str());
         return 1;
       }
+      const truss::ExternalStats& stats = result.value().stats.external;
       table.AddRow({truss::partition::StrategyName(strategy),
                     truss::FormatBytes(budget),
                     std::to_string(stats.lower_bound_iterations),

@@ -11,7 +11,6 @@
 #include "clique/clique.h"
 #include "common/table_printer.h"
 #include "kcore/kcore.h"
-#include "truss/improved.h"
 
 int main() {
   const char* kDatasets[] = {"P2P", "HEP", "Amazon", "Wiki"};

@@ -6,13 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "engine/engine.h"
 #include "gen/generators.h"
 #include "graph/graph.h"
 #include "kcore/kcore.h"
 #include "triangle/triangle.h"
-#include "truss/cohen.h"
 #include "truss/edge_map.h"
-#include "truss/improved.h"
 
 namespace {
 
@@ -104,8 +103,10 @@ BENCHMARK(BM_BinarySearchFind);
 
 void BM_ImprovedTruss(benchmark::State& state) {
   const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  truss::engine::DecomposeOptions options;
+  options.algorithm = truss::engine::Algorithm::kImproved;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(truss::ImprovedTrussDecomposition(g));
+    benchmark::DoNotOptimize(truss::engine::Engine::Decompose(g, options));
   }
   state.SetLabel(KindName(state.range(0)));
   state.SetItemsProcessed(state.iterations() * g.num_edges());
@@ -118,8 +119,10 @@ BENCHMARK(BM_ImprovedTruss)
 
 void BM_CohenTruss(benchmark::State& state) {
   const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  truss::engine::DecomposeOptions options;
+  options.algorithm = truss::engine::Algorithm::kCohen;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(truss::CohenTrussDecomposition(g));
+    benchmark::DoNotOptimize(truss::engine::Engine::Decompose(g, options));
   }
   state.SetLabel(KindName(state.range(0)));
   state.SetItemsProcessed(state.iterations() * g.num_edges());

@@ -9,9 +9,9 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "engine/engine.h"
 #include "graph/stats.h"
 #include "io/edge_records.h"
-#include "truss/improved.h"
 
 int main() {
   using truss::FormatBytes;
@@ -26,12 +26,18 @@ int main() {
   for (const auto& spec : truss::datasets::PaperDatasets()) {
     const truss::Graph& g = truss::bench::GetDataset(spec.name);
     const truss::DegreeStats deg = truss::ComputeDegreeStats(g);
-    truss::WallTimer timer;
-    const truss::TrussDecompositionResult r =
-        truss::ImprovedTrussDecomposition(g);
-    std::fprintf(stderr, "[bench] %s decomposed in %s (kmax %u)\n",
-                 spec.name.c_str(),
-                 truss::FormatDuration(timer.Seconds()).c_str(), r.kmax);
+    auto out = truss::engine::Engine::Decompose(
+        g, truss::engine::DecomposeOptions{});
+    if (!out.ok()) {
+      std::fprintf(stderr, "FATAL: decomposition failed on %s\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    const truss::TrussDecompositionResult& r = out.value().result;
+    std::fprintf(
+        stderr, "[bench] %s decomposed in %s (kmax %u)\n", spec.name.c_str(),
+        truss::FormatDuration(out.value().stats.wall_seconds).c_str(),
+        r.kmax);
 
     table.AddRow({spec.name, FormatCount(g.num_vertices()),
                   FormatCount(g.num_edges()),

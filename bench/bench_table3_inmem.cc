@@ -9,11 +9,9 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "common/memory_tracker.h"
 #include "common/table_printer.h"
-#include "truss/cohen.h"
-#include "truss/improved.h"
-#include "truss/verify.h"
+#include "engine/engine.h"
+#include "truss/result.h"
 
 int main() {
   const char* kDatasets[] = {"Wiki", "Amazon", "Skitter", "Blog"};
@@ -27,29 +25,34 @@ int main() {
   for (size_t i = 0; i < std::size(kDatasets); ++i) {
     const truss::Graph& g = truss::bench::GetDataset(kDatasets[i]);
 
-    truss::MemoryTracker mem_improved;
-    truss::WallTimer t1;
-    const auto improved = truss::ImprovedTrussDecomposition(g, &mem_improved);
-    const double improved_s = t1.Seconds();
+    truss::engine::DecomposeOptions options;
+    options.algorithm = truss::engine::Algorithm::kImproved;
+    auto improved = truss::engine::Engine::Decompose(g, options);
+    options.algorithm = truss::engine::Algorithm::kCohen;
+    auto cohen = truss::engine::Engine::Decompose(g, options);
+    if (!improved.ok() || !cohen.ok()) {
+      std::fprintf(stderr, "FATAL: decomposition failed on %s\n",
+                   kDatasets[i]);
+      return 1;
+    }
 
-    truss::MemoryTracker mem_cohen;
-    truss::WallTimer t2;
-    const auto cohen = truss::CohenTrussDecomposition(g, &mem_cohen);
-    const double cohen_s = t2.Seconds();
-
-    if (!truss::SameDecomposition(improved, cohen)) {
+    if (!truss::SameDecomposition(improved.value().result,
+                                  cohen.value().result)) {
       std::fprintf(stderr, "FATAL: algorithms disagree on %s\n",
                    kDatasets[i]);
       return 1;
     }
 
+    const double improved_s = improved.value().stats.wall_seconds;
+    const double cohen_s = cohen.value().stats.wall_seconds;
     char paper[32];
     std::snprintf(paper, sizeof(paper), "%.1fx", kPaperSpeedup[i]);
     table.AddRow({kDatasets[i], truss::FormatDuration(cohen_s),
                   truss::FormatDuration(improved_s),
                   truss::bench::Ratio(cohen_s, improved_s), paper,
-                  truss::FormatBytes(mem_cohen.peak_bytes()),
-                  truss::FormatBytes(mem_improved.peak_bytes())});
+                  truss::FormatBytes(cohen.value().stats.peak_memory_bytes),
+                  truss::FormatBytes(
+                      improved.value().stats.peak_memory_bytes)});
   }
   table.Print();
   std::printf("\n(the paper ran the original SNAP graphs; compare speedup "

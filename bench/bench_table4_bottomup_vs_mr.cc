@@ -12,9 +12,9 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "engine/engine.h"
 #include "io/env.h"
 #include "mapreduce/mr_truss.h"
-#include "truss/bottom_up.h"
 
 namespace {
 
@@ -44,17 +44,19 @@ int main() {
     const truss::Graph& g = truss::bench::GetDataset(row.name);
 
     // Bottom-up under a budget that the graph's structures exceed.
-    truss::io::Env env(truss::bench::BenchDir(std::string("t4_") + row.name));
-    truss::ExternalConfig cfg;
-    cfg.memory_budget_bytes = truss::bench::ExternalBudgetFor(g);
-    cfg.strategy = truss::partition::Strategy::kRandomized;
-    truss::ExternalStats stats;
-    auto bu = truss::BottomUpDecompose(env, g, cfg, &stats);
+    truss::engine::DecomposeOptions options;
+    options.algorithm = truss::engine::Algorithm::kBottomUp;
+    options.memory_budget_bytes = truss::bench::ExternalBudgetFor(g);
+    options.strategy = truss::partition::Strategy::kRandomized;
+    options.scratch_dir = truss::bench::BenchDir(std::string("t4_") +
+                                                 row.name);
+    auto bu = truss::engine::Engine::Decompose(g, options);
     if (!bu.ok()) {
       std::fprintf(stderr, "bottom-up failed on %s: %s\n", row.name,
                    bu.status().ToString().c_str());
       return 1;
     }
+    const truss::ExternalStats& stats = bu.value().stats.external;
     std::fprintf(stderr,
                  "[bench] %s: bottomup %.1fs kmax=%u lb_iters=%u "
                  "overflows=%llu\n",
@@ -76,7 +78,7 @@ int main() {
                      mr.status().ToString().c_str());
         return 1;
       }
-      if (!truss::SameDecomposition(bu.value(), mr.value())) {
+      if (!truss::SameDecomposition(bu.value().result, mr.value())) {
         std::fprintf(stderr, "FATAL: TD-MR disagrees on %s\n", row.name);
         return 1;
       }

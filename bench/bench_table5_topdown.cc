@@ -5,15 +5,15 @@
 // ties bottom-up on BTC (kmax = 7 < 20, so top-20 is already everything),
 // and loses badly — or fails to finish — when asked for *all* classes on the
 // largest dataset. We additionally report block I/O, the cost the paper's
-// analysis is actually about.
+// analysis is actually about. All six runs per dataset go through the
+// engine facade; only the options differ.
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "common/table_printer.h"
-#include "io/env.h"
-#include "truss/bottom_up.h"
-#include "truss/top_down.h"
+#include "engine/engine.h"
+#include "truss/result.h"
 
 int main() {
   std::printf("== Table 5: TD-topdown vs TD-bottomup ==\n\n");
@@ -35,32 +35,33 @@ int main() {
 
   for (const Row& row : rows) {
     const truss::Graph& g = truss::bench::GetDataset(row.name);
-    truss::ExternalConfig cfg;
-    cfg.memory_budget_bytes = truss::bench::ExternalBudgetFor(g);
-    cfg.strategy = truss::partition::Strategy::kRandomized;
+    truss::engine::DecomposeOptions options;
+    options.algorithm = truss::engine::Algorithm::kTopDown;
+    options.memory_budget_bytes = truss::bench::ExternalBudgetFor(g);
+    options.strategy = truss::partition::Strategy::kRandomized;
 
     // Top-down, top-20 classes.
-    truss::io::Env env_t(truss::bench::BenchDir(std::string("t5t_") +
-                                                row.name));
-    truss::ExternalConfig cfg_top = cfg;
-    cfg_top.top_t = 20;
-    truss::ExternalStats top_stats;
-    auto top = truss::TopDownTopClasses(env_t, g, cfg_top, &top_stats);
+    truss::engine::DecomposeOptions top_options = options;
+    top_options.top_t = 20;
+    top_options.scratch_dir =
+        truss::bench::BenchDir(std::string("t5t_") + row.name);
+    auto top = truss::engine::Engine::Decompose(g, top_options);
     if (!top.ok()) {
       std::fprintf(stderr, "topdown(20) failed on %s: %s\n", row.name,
                    top.status().ToString().c_str());
       return 1;
     }
+    const truss::engine::DecomposeStats& top_stats = top.value().stats;
     std::fprintf(stderr, "[bench] %s topdown(20): %.1fs kmax=%u io=%llu\n",
-                 row.name, top_stats.seconds, top_stats.kmax,
+                 row.name, top_stats.wall_seconds, top_stats.external.kmax,
                  static_cast<unsigned long long>(
-                     top_stats.io.total_blocks()));
+                     top_stats.total_io_blocks()));
 
     // Top-down, all classes.
-    truss::io::Env env_a(truss::bench::BenchDir(std::string("t5a_") +
-                                                row.name));
-    truss::ExternalStats all_stats;
-    auto all = truss::TopDownDecompose(env_a, g, cfg, &all_stats);
+    truss::engine::DecomposeOptions all_options = options;
+    all_options.scratch_dir =
+        truss::bench::BenchDir(std::string("t5a_") + row.name);
+    auto all = truss::engine::Engine::Decompose(g, all_options);
     if (!all.ok()) {
       std::fprintf(stderr, "topdown(all) failed on %s: %s\n", row.name,
                    all.status().ToString().c_str());
@@ -68,24 +69,25 @@ int main() {
     }
 
     // Bottom-up reference.
-    truss::io::Env env_b(truss::bench::BenchDir(std::string("t5b_") +
-                                                row.name));
-    truss::ExternalStats bu_stats;
-    auto bu = truss::BottomUpDecompose(env_b, g, cfg, &bu_stats);
+    truss::engine::DecomposeOptions bu_options = options;
+    bu_options.algorithm = truss::engine::Algorithm::kBottomUp;
+    bu_options.scratch_dir =
+        truss::bench::BenchDir(std::string("t5b_") + row.name);
+    auto bu = truss::engine::Engine::Decompose(g, bu_options);
     if (!bu.ok()) {
       std::fprintf(stderr, "bottomup failed on %s: %s\n", row.name,
                    bu.status().ToString().c_str());
       return 1;
     }
-    if (!truss::SameDecomposition(all.value(), bu.value())) {
+    if (!truss::SameDecomposition(all.value().result, bu.value().result)) {
       std::fprintf(stderr, "FATAL: topdown(all) disagrees on %s\n", row.name);
       return 1;
     }
 
-    table.AddRow({row.name, truss::FormatDuration(top_stats.seconds),
-                  truss::FormatDuration(all_stats.seconds),
-                  truss::FormatDuration(bu_stats.seconds), row.paper_top20,
-                  row.paper_all, row.paper_bottomup});
+    table.AddRow({row.name, truss::FormatDuration(top_stats.wall_seconds),
+                  truss::FormatDuration(all.value().stats.wall_seconds),
+                  truss::FormatDuration(bu.value().stats.wall_seconds),
+                  row.paper_top20, row.paper_all, row.paper_bottomup});
   }
   table.Print();
   std::printf("\n(shape to compare: top-20 ≤ all-classes for top-down; BTC's "

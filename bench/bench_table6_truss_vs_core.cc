@@ -10,9 +10,10 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "engine/engine.h"
 #include "graph/stats.h"
 #include "kcore/kcore.h"
-#include "truss/improved.h"
+#include "truss/result.h"
 
 int main() {
   const char* kDatasets[] = {"Amazon", "Wiki", "Skitter", "Blog",
@@ -25,8 +26,14 @@ int main() {
   for (const char* name : kDatasets) {
     const truss::Graph& g = truss::bench::GetDataset(name);
 
-    const truss::TrussDecompositionResult truss_r =
-        truss::ImprovedTrussDecomposition(g);
+    auto decomposed = truss::engine::Engine::Decompose(
+        g, truss::engine::DecomposeOptions{});
+    if (!decomposed.ok()) {
+      std::fprintf(stderr, "FATAL: decomposition failed on %s\n", name);
+      return 1;
+    }
+    const truss::TrussDecompositionResult& truss_r =
+        decomposed.value().result;
     const truss::Subgraph t =
         truss::ExtractKTruss(g, truss_r, truss_r.kmax);
 

@@ -3,31 +3,78 @@
 #ifndef TRUSS_BENCH_BENCH_UTIL_H_
 #define TRUSS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <system_error>
 
 #include "common/timer.h"
 #include "datasets/datasets.h"
 #include "graph/graph.h"
-#include "truss/external.h"
 
 namespace truss::bench {
 
-/// Generates (and memoizes per process) a registry dataset.
+/// Snapshot-name version: part of every cache file name, so stale graphs
+/// never survive a generator change. Bump whenever src/gen or
+/// src/datasets changes the graphs a registry name produces.
+inline constexpr int kDatasetCacheVersion = 1;
+
+/// Directory for persisted dataset snapshots. Registry datasets are
+/// deterministic, so generated graphs are cached as binary CSR snapshots
+/// (Graph::SaveBinary) keyed by name + kDatasetCacheVersion: repeat bench
+/// runs load in one read instead of paying generation time. Override with
+/// TRUSS_BENCH_CACHE_DIR; set it to an empty string to disable caching.
+inline std::filesystem::path DatasetCacheDir() {
+  if (const char* dir = std::getenv("TRUSS_BENCH_CACHE_DIR")) {
+    return {dir};
+  }
+  return std::filesystem::temp_directory_path() / "truss_bench_cache";
+}
+
+/// Generates (and memoizes per process) a registry dataset, backed by the
+/// on-disk snapshot cache across processes.
 inline const Graph& GetDataset(const std::string& name) {
   static std::map<std::string, Graph>* cache = new std::map<std::string, Graph>;
   auto it = cache->find(name);
-  if (it == cache->end()) {
+  if (it != cache->end()) return it->second;
+
+  const std::filesystem::path cache_dir = DatasetCacheDir();
+  const std::filesystem::path snapshot =
+      cache_dir /
+      (name + ".v" + std::to_string(kDatasetCacheVersion) + ".trsb");
+
+  if (!cache_dir.empty() && std::filesystem::exists(snapshot)) {
     WallTimer timer;
-    std::fprintf(stderr, "[bench] generating %s ...", name.c_str());
-    Graph g = datasets::DatasetByName(name).generate();
-    std::fprintf(stderr, " %u vertices, %u edges (%s)\n", g.num_vertices(),
-                 g.num_edges(), FormatDuration(timer.Seconds()).c_str());
-    it = cache->emplace(name, std::move(g)).first;
+    auto loaded = Graph::LoadBinary(snapshot.string());
+    if (loaded.ok()) {
+      std::fprintf(stderr, "[bench] loaded %s from cache (%s)\n", name.c_str(),
+                   FormatDuration(timer.Seconds()).c_str());
+      return cache->emplace(name, loaded.MoveValue()).first->second;
+    }
+    // A stale or torn snapshot is not fatal — regenerate below.
+    std::fprintf(stderr, "[bench] cache for %s unusable (%s); regenerating\n",
+                 name.c_str(), loaded.status().ToString().c_str());
   }
-  return it->second;
+
+  WallTimer timer;
+  std::fprintf(stderr, "[bench] generating %s ...", name.c_str());
+  Graph g = datasets::DatasetByName(name).generate();
+  std::fprintf(stderr, " %u vertices, %u edges (%s)\n", g.num_vertices(),
+               g.num_edges(), FormatDuration(timer.Seconds()).c_str());
+
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    const Status saved = g.SaveBinary(snapshot.string());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[bench] could not cache %s: %s\n", name.c_str(),
+                   saved.ToString().c_str());
+    }
+  }
+  return cache->emplace(name, std::move(g)).first->second;
 }
 
 /// Fresh scratch directory under /tmp for one bench binary.

@@ -2,19 +2,17 @@
 //
 // Many applications only need the top-t k-trusses — the most cohesive core
 // of a network. This example builds a social-network-like graph whose dense
-// heart is hidden in a power-law periphery, asks the top-down algorithm for
-// the top-3 classes only, and shows that it never touches most of the graph
-// (candidate subgraphs stay small), unlike a full bottom-up decomposition.
+// heart is hidden in a power-law periphery, asks the engine for the top-3
+// classes only (top-down algorithm), and shows that it never touches most
+// of the graph (candidate subgraphs stay small), unlike a full bottom-up
+// decomposition.
 
 #include <cstdio>
-#include <filesystem>
 #include <map>
 
 #include "common/timer.h"
+#include "engine/engine.h"
 #include "gen/generators.h"
-#include "io/env.h"
-#include "truss/bottom_up.h"
-#include "truss/top_down.h"
 
 int main() {
   // Power-law periphery + two planted communities: a 24-clique "board" and
@@ -25,31 +23,26 @@ int main() {
   std::printf("social network: %u vertices, %u edges\n\n", g.num_vertices(),
               g.num_edges());
 
-  const std::string dir =
-      (std::filesystem::temp_directory_path() / "truss_example_bb").string();
-  std::filesystem::remove_all(dir);
+  truss::engine::DecomposeOptions options;
+  options.algorithm = truss::engine::Algorithm::kTopDown;
+  options.memory_budget_bytes = 1 << 20;
+  options.top_t = 3;
 
-  truss::ExternalConfig cfg;
-  cfg.memory_budget_bytes = 1 << 20;
-  cfg.top_t = 3;
-
-  truss::io::Env env(dir);
-  truss::ExternalStats td_stats;
-  truss::WallTimer timer;
-  auto top = truss::TopDownTopClasses(env, g, cfg, &td_stats);
+  auto top = truss::engine::Engine::Decompose(g, options);
   if (!top.ok()) {
     std::fprintf(stderr, "top-down failed: %s\n",
                  top.status().ToString().c_str());
     return 1;
   }
-  const double td_seconds = timer.Seconds();
+  const truss::ExternalStats& td_stats = top.value().stats.external;
 
   std::map<uint32_t, uint64_t> class_sizes;
-  for (const auto& rec : top.value()) {
+  for (const auto& rec : top.value().top_classes) {
     if (rec.truss >= 3) ++class_sizes[rec.truss];
   }
-  std::printf("top-down (t = %d) found kmax = %u in %s\n", cfg.top_t,
-              td_stats.kmax, truss::FormatDuration(td_seconds).c_str());
+  std::printf("top-down (t = %d) found kmax = %u in %s\n", options.top_t,
+              td_stats.kmax,
+              truss::FormatDuration(top.value().stats.wall_seconds).c_str());
   for (auto it = class_sizes.rbegin(); it != class_sizes.rend(); ++it) {
     std::printf("  %3u-class: %llu edges\n", it->first,
                 static_cast<unsigned long long>(it->second));
@@ -58,18 +51,18 @@ int main() {
               static_cast<unsigned long long>(td_stats.io.total_blocks()));
 
   // Reference: the bottom-up algorithm must classify everything.
-  truss::ExternalConfig full_cfg = cfg;
-  full_cfg.top_t = -1;
-  truss::ExternalStats bu_stats;
-  timer.Reset();
-  auto full = truss::BottomUpDecompose(env, g, full_cfg, &bu_stats);
+  truss::engine::DecomposeOptions full_options = options;
+  full_options.algorithm = truss::engine::Algorithm::kBottomUp;
+  full_options.top_t = -1;
+  auto full = truss::engine::Engine::Decompose(g, full_options);
   if (!full.ok()) {
     std::fprintf(stderr, "bottom-up failed: %s\n",
                  full.status().ToString().c_str());
     return 1;
   }
+  const truss::ExternalStats& bu_stats = full.value().stats.external;
   std::printf("bottom-up (all classes) took %s, block I/O %llu\n",
-              truss::FormatDuration(timer.Seconds()).c_str(),
+              truss::FormatDuration(full.value().stats.wall_seconds).c_str(),
               static_cast<unsigned long long>(bu_stats.io.total_blocks()));
   std::printf("=> for top-t queries the top-down walk classified %llu edges "
               "instead of %u\n",

@@ -5,17 +5,16 @@
 // lower-bounding iterations and partition parts were needed, how many
 // candidate subgraphs NS(U_k) were extracted, how often one overflowed into
 // Procedure 9, and the total block I/O — then cross-checks the result
-// against the in-memory algorithm.
+// against the in-memory algorithm. Both runs go through the unified
+// truss::engine::Engine facade; only the options differ.
 
 #include <cstdio>
 #include <filesystem>
 
 #include "common/timer.h"
+#include "engine/engine.h"
 #include "gen/generators.h"
-#include "io/env.h"
-#include "truss/bottom_up.h"
-#include "truss/improved.h"
-#include "truss/verify.h"
+#include "truss/result.h"
 
 int main() {
   // A community-structured graph of ~60K edges...
@@ -28,29 +27,30 @@ int main() {
               g.num_edges() * 16 / 1024.0);
 
   // ...decomposed under a 256 KB memory budget (a ~20x shortfall).
-  truss::ExternalConfig cfg;
-  cfg.memory_budget_bytes = 256 << 10;
-  cfg.strategy = truss::partition::Strategy::kDominatingSet;
-  std::printf("memory budget M = %llu KB, strategy = %s\n\n",
-              static_cast<unsigned long long>(cfg.memory_budget_bytes >> 10),
-              truss::partition::StrategyName(cfg.strategy));
-
+  truss::engine::DecomposeOptions options;
+  options.algorithm = truss::engine::Algorithm::kBottomUp;
+  options.memory_budget_bytes = 256 << 10;
+  options.strategy = truss::partition::Strategy::kDominatingSet;
+  options.io_block_size_bytes = 16 * 1024;
   const std::string dir =
       (std::filesystem::temp_directory_path() / "truss_example_ext").string();
   std::filesystem::remove_all(dir);
-  truss::io::Env env(dir, /*block_size=*/16 * 1024);
+  options.scratch_dir = dir;
+  std::printf("memory budget M = %llu KB, strategy = %s\n\n",
+              static_cast<unsigned long long>(
+                  options.memory_budget_bytes >> 10),
+              truss::partition::StrategyName(options.strategy));
 
-  truss::ExternalStats stats;
-  truss::WallTimer timer;
-  auto result = truss::BottomUpDecompose(env, g, cfg, &stats);
-  if (!result.ok()) {
+  auto out = truss::engine::Engine::Decompose(g, options);
+  if (!out.ok()) {
     std::fprintf(stderr, "decomposition failed: %s\n",
-                 result.status().ToString().c_str());
+                 out.status().ToString().c_str());
     return 1;
   }
+  const truss::ExternalStats& stats = out.value().stats.external;
 
   std::printf("bottom-up decomposition finished in %s\n",
-              truss::FormatDuration(timer.Seconds()).c_str());
+              truss::FormatDuration(out.value().stats.wall_seconds).c_str());
   std::printf("  lower-bounding iterations : %u\n",
               stats.lower_bound_iterations);
   std::printf("  partition parts processed : %llu\n",
@@ -64,20 +64,26 @@ int main() {
   std::printf("  kmax                      : %u\n", stats.kmax);
   std::printf("  block I/O (B = %zu)       : %llu blocks (%s read, %s "
               "written)\n\n",
-              env.block_size(),
+              options.io_block_size_bytes,
               static_cast<unsigned long long>(stats.io.total_blocks()),
               truss::FormatBytes(stats.io.bytes_read).c_str(),
               truss::FormatBytes(stats.io.bytes_written).c_str());
 
   std::printf("k-class sizes: ");
-  for (const auto& [k, count] : result.value().ClassSizes()) {
+  for (const auto& [k, count] : out.value().result.ClassSizes()) {
     std::printf("phi_%u=%llu ", k, static_cast<unsigned long long>(count));
   }
   std::printf("\n");
 
-  const truss::TrussDecompositionResult oracle =
-      truss::ImprovedTrussDecomposition(g);
-  const bool match = truss::SameDecomposition(oracle, result.value());
+  auto oracle = truss::engine::Engine::Decompose(
+      g, truss::engine::DecomposeOptions{});
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "oracle failed: %s\n",
+                 oracle.status().ToString().c_str());
+    return 1;
+  }
+  const bool match =
+      truss::SameDecomposition(oracle.value().result, out.value().result);
   std::printf("matches the in-memory algorithm: %s\n", match ? "yes" : "NO");
   return match ? 0 : 1;
 }

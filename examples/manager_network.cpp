@@ -10,10 +10,10 @@
 
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "gen/fixtures.h"
 #include "graph/stats.h"
 #include "kcore/kcore.h"
-#include "truss/improved.h"
 #include "truss/result.h"
 
 int main() {
@@ -22,8 +22,14 @@ int main() {
               g.num_vertices(), g.num_edges());
 
   const truss::CoreDecomposition cores = truss::DecomposeCores(g);
-  const truss::TrussDecompositionResult truss_r =
-      truss::ImprovedTrussDecomposition(g);
+  auto decomposed = truss::engine::Engine::Decompose(
+      g, truss::engine::DecomposeOptions{});
+  if (!decomposed.ok()) {
+    std::fprintf(stderr, "decomposition failed: %s\n",
+                 decomposed.status().ToString().c_str());
+    return 1;
+  }
+  const truss::TrussDecompositionResult& truss_r = decomposed.value().result;
 
   std::printf("cmax = %u (no %u-core exists)\n", cores.cmax, cores.cmax + 1);
   std::printf("kmax = %u (no %u-truss exists)\n\n", truss_r.kmax,

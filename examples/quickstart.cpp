@@ -1,14 +1,15 @@
 // Quickstart: truss decomposition of the paper's running example
 // (Figure 2 / Example 2).
 //
-// Builds the 12-vertex example graph, decomposes it with the improved
-// in-memory algorithm (Algorithm 2), and prints every k-class and k-truss —
-// reproducing the enumeration of Example 2 exactly.
+// Builds the 12-vertex example graph, decomposes it through the unified
+// engine facade (defaults to the improved in-memory algorithm,
+// Algorithm 2), and prints every k-class and k-truss — reproducing the
+// enumeration of Example 2 exactly.
 
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "gen/fixtures.h"
-#include "truss/improved.h"
 #include "truss/result.h"
 
 int main() {
@@ -19,8 +20,14 @@ int main() {
   std::printf("Figure 2 example graph: %u vertices, %u edges\n",
               g.num_vertices(), g.num_edges());
 
-  const truss::TrussDecompositionResult result =
-      truss::ImprovedTrussDecomposition(g);
+  auto out = truss::engine::Engine::Decompose(
+      g, truss::engine::DecomposeOptions{});
+  if (!out.ok()) {
+    std::fprintf(stderr, "decomposition failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  const truss::TrussDecompositionResult& result = out.value().result;
   std::printf("kmax = %u\n\n", result.kmax);
 
   for (uint32_t k = 2; k <= result.kmax; ++k) {

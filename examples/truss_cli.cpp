@@ -1,50 +1,50 @@
 // trussdec: a command-line truss-decomposition tool over the public API.
 //
 // Usage:
-//   truss_cli --input FILE.txt [--algo improved|cohen|bottomup|topdown]
-//             [--budget-mb N] [--top-t T] [--truss K] [--communities K]
+//   truss_cli --input FILE.txt [--algo NAME] [--budget-mb N] [--top-t T]
+//             [--threads N] [--truss K] [--communities K]
 //   truss_cli --dataset NAME [...]          (registry stand-in by name)
 //
 // Reads a SNAP-format edge list (or a registry dataset), runs the chosen
-// algorithm, and prints the k-class profile; optionally extracts one
-// k-truss or its communities.
+// algorithm through truss::engine::Engine, and prints the k-class profile;
+// optionally extracts one k-truss or its communities. Algorithm names are
+// resolved against the engine registry, and incoherent flag combinations
+// (e.g. --top-t with an in-memory algorithm) are rejected by
+// DecomposeOptions::Validate() instead of being silently ignored.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <map>
 #include <string>
 
 #include "common/timer.h"
 #include "datasets/datasets.h"
+#include "engine/engine.h"
 #include "graph/stats.h"
 #include "graph/text_io.h"
-#include "io/env.h"
-#include "truss/bottom_up.h"
-#include "truss/cohen.h"
 #include "truss/communities.h"
-#include "truss/improved.h"
-#include "truss/top_down.h"
 
 namespace {
 
 void Usage(const char* prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s (--input FILE | --dataset NAME) [--algo improved|cohen|"
-      "bottomup|topdown] [--budget-mb N] [--top-t T] [--truss K] "
-      "[--communities K]\n",
-      prog);
+  std::fprintf(stderr,
+               "usage: %s (--input FILE | --dataset NAME) [--algo NAME] "
+               "[--budget-mb N] [--top-t T] [--threads N] [--truss K] "
+               "[--communities K]\n\nalgorithms:\n",
+               prog);
+  for (const truss::engine::AlgorithmInfo& info :
+       truss::engine::Engine::Algorithms()) {
+    std::fprintf(stderr, "  %-9s %s\n", info.name, info.summary);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input, dataset, algo = "improved";
-  uint64_t budget_mb = 256;
-  int top_t = -1;
-  uint32_t extract_truss = 0, communities_k = 0;
+  truss::engine::DecomposeOptions options;
+  long truss_k = 0, communities_k = 0;
+  bool truss_set = false, communities_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,13 +62,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--algo") {
       algo = next();
     } else if (arg == "--budget-mb") {
-      budget_mb = std::strtoull(next(), nullptr, 10);
+      options.memory_budget_bytes = std::strtoull(next(), nullptr, 10) << 20;
     } else if (arg == "--top-t") {
-      top_t = std::atoi(next());
+      options.top_t = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.threads = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--truss") {
-      extract_truss = static_cast<uint32_t>(std::atoi(next()));
+      truss_k = std::atol(next());
+      truss_set = true;
     } else if (arg == "--communities") {
-      communities_k = static_cast<uint32_t>(std::atoi(next()));
+      communities_k = std::atol(next());
+      communities_set = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -76,6 +80,34 @@ int main(int argc, char** argv) {
   }
   if (input.empty() == dataset.empty()) {  // exactly one source required
     Usage(argv[0]);
+    return 2;
+  }
+
+  const truss::engine::AlgorithmInfo* info =
+      truss::engine::Engine::FindAlgorithm(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n", algo.c_str());
+    Usage(argv[0]);
+    return 2;
+  }
+  options.algorithm = info->id;
+
+  const truss::Status valid = options.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+  if (truss_set && truss_k < 2) {
+    std::fprintf(stderr,
+                 "error: --truss K requires K >= 2 (no %ld-truss exists)\n",
+                 truss_k);
+    return 2;
+  }
+  if (communities_set && communities_k < 2) {
+    std::fprintf(stderr,
+                 "error: --communities K requires K >= 2 (no %ld-truss "
+                 "exists)\n",
+                 communities_k);
     return 2;
   }
 
@@ -95,74 +127,59 @@ int main(int argc, char** argv) {
   std::printf("graph: %u vertices, %u edges, dmax %u, dmed %u\n",
               g.num_vertices(), g.num_edges(), deg.max, deg.median);
 
-  // Decompose.
-  truss::WallTimer timer;
-  truss::TrussDecompositionResult result;
-  if (algo == "improved") {
-    result = truss::ImprovedTrussDecomposition(g);
-  } else if (algo == "cohen") {
-    result = truss::CohenTrussDecomposition(g);
-  } else if (algo == "bottomup" || algo == "topdown") {
-    const std::string dir =
-        (std::filesystem::temp_directory_path() / "truss_cli").string();
-    std::filesystem::remove_all(dir);
-    truss::io::Env env(dir);
-    truss::ExternalConfig cfg;
-    cfg.memory_budget_bytes = budget_mb << 20;
-    truss::ExternalStats stats;
-    if (algo == "topdown" && top_t > 0) {
-      cfg.top_t = top_t;
-      auto records = truss::TopDownTopClasses(env, g, cfg, &stats);
-      if (!records.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     records.status().ToString().c_str());
-        return 1;
-      }
-      std::printf("top-%d classes in %s (kmax %u, %llu blocks I/O):\n", top_t,
-                  truss::FormatDuration(timer.Seconds()).c_str(), stats.kmax,
-                  static_cast<unsigned long long>(stats.io.total_blocks()));
-      std::map<uint32_t, uint64_t> sizes;
-      for (const auto& rec : records.value()) ++sizes[rec.truss];
-      for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
-        std::printf("  phi_%-4u %llu edges\n", it->first,
-                    static_cast<unsigned long long>(it->second));
-      }
-      return 0;
-    }
-    auto res = algo == "bottomup" ? truss::BottomUpDecompose(env, g, cfg, &stats)
-                                  : truss::TopDownDecompose(env, g, cfg, &stats);
-    if (!res.ok()) {
-      std::fprintf(stderr, "error: %s\n", res.status().ToString().c_str());
-      return 1;
-    }
-    result = std::move(res.value());
-    std::printf("external run: %llu blocks I/O, %u lower-bounding iterations\n",
-                static_cast<unsigned long long>(stats.io.total_blocks()),
-                stats.lower_bound_iterations);
-  } else {
-    Usage(argv[0]);
-    return 2;
+  // Decompose through the engine facade.
+  auto out = truss::engine::Engine::Decompose(g, options);
+  if (!out.ok()) {
+    std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
+    return 1;
   }
-  std::printf("decomposed with '%s' in %s; kmax = %u\n", algo.c_str(),
-              truss::FormatDuration(timer.Seconds()).c_str(), result.kmax);
+  const truss::engine::DecomposeOutput& result = out.value();
+
+  if (options.top_t >= 1) {
+    // Top-t query: print the class records and stop.
+    std::printf("top-%d classes in %s (kmax %u, %llu blocks I/O):\n",
+                options.top_t,
+                truss::FormatDuration(result.stats.wall_seconds).c_str(),
+                result.stats.external.kmax,
+                static_cast<unsigned long long>(
+                    result.stats.total_io_blocks()));
+    std::map<uint32_t, uint64_t> sizes;
+    for (const auto& rec : result.top_classes) ++sizes[rec.truss];
+    for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+      std::printf("  phi_%-4u %llu edges\n", it->first,
+                  static_cast<unsigned long long>(it->second));
+    }
+    return 0;
+  }
+
+  if (info->external) {
+    std::printf("external run: %llu blocks I/O, %u lower-bounding "
+                "iterations\n",
+                static_cast<unsigned long long>(
+                    result.stats.total_io_blocks()),
+                result.stats.external.lower_bound_iterations);
+  }
+  std::printf("decomposed with '%s' in %s; kmax = %u\n", info->name,
+              truss::FormatDuration(result.stats.wall_seconds).c_str(),
+              result.result.kmax);
 
   std::printf("\nk-class profile:\n");
-  for (const auto& [k, count] : result.ClassSizes()) {
+  for (const auto& [k, count] : result.result.ClassSizes()) {
     std::printf("  phi_%-4u %llu edges\n", k,
                 static_cast<unsigned long long>(count));
   }
 
-  if (extract_truss >= 3) {
-    const truss::Subgraph t = truss::ExtractKTruss(g, result, extract_truss);
-    std::printf("\n%u-truss: %u vertices, %u edges, CC %.3f\n", extract_truss,
+  if (truss_set) {
+    const auto k = static_cast<uint32_t>(truss_k);
+    const truss::Subgraph t = truss::ExtractKTruss(g, result.result, k);
+    std::printf("\n%u-truss: %u vertices, %u edges, CC %.3f\n", k,
                 t.graph.num_vertices(), t.graph.num_edges(),
                 truss::AverageClusteringCoefficient(t.graph));
   }
-  if (communities_k >= 3) {
-    const auto communities =
-        truss::KTrussCommunities(g, result, communities_k);
-    std::printf("\n%u-truss communities: %zu\n", communities_k,
-                communities.size());
+  if (communities_set) {
+    const auto k = static_cast<uint32_t>(communities_k);
+    const auto communities = truss::KTrussCommunities(g, result.result, k);
+    std::printf("\n%u-truss communities: %zu\n", k, communities.size());
     for (size_t i = 0; i < communities.size() && i < 10; ++i) {
       std::printf("  #%zu: %zu vertices, %llu edges\n", i,
                   communities[i].vertices.size(),

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two bench_results/ artifact directories on wall_seconds.
+
+Each directory holds BENCH_<name>.json files written by scripts/run_benches.sh.
+The comparison pairs files by bench name, reports the wall-clock delta for
+every common bench, and fails (exit 1) when any bench regressed by more than
+the threshold. New or removed benches are reported but never fail the run;
+benches whose baseline or current run did not exit 0 are skipped (a failed
+bench is a correctness problem for CTest, not a perf signal).
+
+Usage:
+  scripts/compare_benches.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+                             [--min-seconds S]
+
+  --threshold PCT   max allowed regression in percent (default: 10)
+  --min-seconds S   ignore benches faster than S seconds in both runs;
+                    sub-second runs are dominated by noise (default: 0.5)
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_results(directory: pathlib.Path) -> dict:
+    results = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}",
+                  file=sys.stderr)
+            continue
+        name = data.get("bench", path.stem)
+        results[name] = data
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max allowed wall_seconds regression in percent")
+    parser.add_argument("--min-seconds", type=float, default=0.5,
+                        help="ignore benches faster than this in both runs")
+    args = parser.parse_args()
+
+    for directory in (args.baseline, args.current):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    if not baseline or not current:
+        print("error: no BENCH_*.json artifacts to compare", file=sys.stderr)
+        return 2
+
+    regressions = []
+    rows = []
+    for name in sorted(baseline.keys() | current.keys()):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            rows.append((name, "-", f"{cur['wall_seconds']:.2f}", "-", "new"))
+            continue
+        if cur is None:
+            rows.append((name, f"{base['wall_seconds']:.2f}", "-", "-",
+                         "removed"))
+            continue
+        if base.get("exit_code", 0) != 0 or cur.get("exit_code", 0) != 0:
+            rows.append((name, "-", "-", "-", "skipped (non-zero exit)"))
+            continue
+        base_s = float(base["wall_seconds"])
+        cur_s = float(cur["wall_seconds"])
+        delta_pct = (cur_s - base_s) / base_s * 100.0 if base_s > 0 else 0.0
+        if max(base_s, cur_s) < args.min_seconds:
+            status = "ok (below min-seconds)"
+        elif delta_pct > args.threshold:
+            status = f"REGRESSION (> {args.threshold:.0f}%)"
+            regressions.append(name)
+        else:
+            status = "ok"
+        rows.append((name, f"{base_s:.2f}", f"{cur_s:.2f}",
+                     f"{delta_pct:+.1f}%", status))
+
+    widths = [max(len(row[i]) for row in rows + [("bench", "base s",
+                                                  "current s", "delta",
+                                                  "status")])
+              for i in range(5)]
+    header = ("bench", "base s", "current s", "delta", "status")
+    for row in (header,) + tuple(rows):
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+    if regressions:
+        print(f"\n{len(regressions)} bench(es) regressed beyond "
+              f"{args.threshold:.0f}%: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+// Cooperative execution hooks: progress reporting and cancellation.
+//
+// Long-running decompositions accept an ExecutionHooks bundle (via
+// engine::DecomposeOptions or ExternalConfig) and poll it at stage
+// boundaries — once per lower-bounding iteration and once per k-level for
+// the external algorithms. Cancellation is cooperative: when `cancel`
+// returns true the algorithm abandons the run and surfaces
+// Status::Cancelled; partial on-disk state is cleaned up by the owning Env.
+
+#ifndef TRUSS_COMMON_HOOKS_H_
+#define TRUSS_COMMON_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace truss {
+
+/// One progress tick. `stage` is a stable identifier ("lower_bound",
+/// "peel", "decompose"); `k` is the current truss level (0 when the stage
+/// has no level); `done`/`total` count edges classified so far out of the
+/// input edge count (`total` is 0 when unknown).
+struct ProgressEvent {
+  const char* stage = "";
+  uint32_t k = 0;
+  uint64_t done = 0;
+  uint64_t total = 0;
+};
+
+/// Observer of ProgressEvents. Must be cheap; called on the decomposition
+/// thread.
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+/// Polled at stage boundaries; returning true requests cancellation.
+using CancelFn = std::function<bool()>;
+
+/// Optional hook bundle. Default-constructed hooks are no-ops.
+struct ExecutionHooks {
+  ProgressFn progress;
+  CancelFn cancel;
+
+  bool ShouldCancel() const { return cancel && cancel(); }
+
+  void Report(const char* stage, uint32_t k, uint64_t done,
+              uint64_t total) const {
+    if (progress) progress(ProgressEvent{stage, k, done, total});
+  }
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_HOOKS_H_

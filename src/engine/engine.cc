@@ -1,0 +1,206 @@
+#include "engine/engine.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/memory_tracker.h"
+#include "common/timer.h"
+#include "truss/bottom_up.h"
+#include "truss/cohen.h"
+#include "truss/external_util.h"
+#include "truss/improved.h"
+#include "truss/top_down.h"
+
+namespace truss::engine {
+
+namespace {
+
+constexpr AlgorithmInfo kRegistry[] = {
+    {Algorithm::kImproved, "improved",
+     "TD-inmem+ (Algorithm 2): O(m^1.5) in-memory peel, the default",
+     /*external=*/false, /*supports_top_t=*/false},
+    {Algorithm::kCohen, "cohen",
+     "TD-inmem (Algorithm 1): Cohen's in-memory baseline",
+     /*external=*/false, /*supports_top_t=*/false},
+    {Algorithm::kBottomUp, "bottomup",
+     "TD-bottomup (Algorithm 4): I/O-efficient, walks k upward",
+     /*external=*/true, /*supports_top_t=*/false},
+    {Algorithm::kTopDown, "topdown",
+     "TD-topdown (Algorithm 7): I/O-efficient, walks k downward, top-t",
+     /*external=*/true, /*supports_top_t=*/true},
+};
+
+/// Scratch directory for an engine-owned Env: unique per process + call,
+/// removed on destruction. Caller-supplied directories are reused as-is and
+/// left in place.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& requested) {
+    if (!requested.empty()) {
+      path_ = requested;
+      owned_ = false;
+      return;
+    }
+    static std::atomic<uint64_t> counter{0};
+    const auto dir = std::filesystem::temp_directory_path() / "truss_engine" /
+                     (std::to_string(::getpid()) + "_" +
+                      std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    path_ = dir.string();
+    owned_ = true;
+  }
+
+  ~ScratchDir() {
+    if (owned_) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);  // best effort
+    }
+  }
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool owned_ = false;
+};
+
+/// Runs one in-memory algorithm with memory accounting.
+TrussDecompositionResult RunInMemory(Algorithm algorithm, const Graph& g,
+                                     DecomposeStats* stats) {
+  MemoryTracker tracker;
+  TrussDecompositionResult result = algorithm == Algorithm::kCohen
+                                        ? CohenTrussDecomposition(g, &tracker)
+                                        : ImprovedTrussDecomposition(g, &tracker);
+  stats->peak_memory_bytes = tracker.peak_bytes();
+  return result;
+}
+
+}  // namespace
+
+Result<DecomposeOutput> Engine::Decompose(const Graph& g,
+                                          const DecomposeOptions& options) {
+  TRUSS_RETURN_IF_ERROR(options.Validate());
+  if (options.hooks.ShouldCancel()) {
+    return Status::Cancelled("decomposition cancelled before start");
+  }
+
+  WallTimer timer;
+  DecomposeOutput out;
+  out.stats.algorithm = options.algorithm;
+
+  switch (options.algorithm) {
+    case Algorithm::kImproved:
+    case Algorithm::kCohen: {
+      options.hooks.Report("decompose", 0, 0, g.num_edges());
+      out.result = RunInMemory(options.algorithm, g, &out.stats);
+      options.hooks.Report("decompose", out.result.kmax, g.num_edges(),
+                           g.num_edges());
+      break;
+    }
+    case Algorithm::kBottomUp:
+    case Algorithm::kTopDown: {
+      const ScratchDir scratch(options.scratch_dir);
+      io::Env env(scratch.path(), options.io_block_size_bytes);
+      const ExternalConfig config = options.ToExternalConfig();
+      if (options.algorithm == Algorithm::kTopDown && options.top_t >= 1) {
+        auto records = TopDownTopClasses(env, g, config, &out.stats.external);
+        TRUSS_RETURN_IF_ERROR_RESULT(records);
+        out.top_classes = records.MoveValue();
+      } else if (options.algorithm == Algorithm::kTopDown) {
+        auto result = TopDownDecompose(env, g, config, &out.stats.external);
+        TRUSS_RETURN_IF_ERROR_RESULT(result);
+        out.result = result.MoveValue();
+      } else {
+        auto result = BottomUpDecompose(env, g, config, &out.stats.external);
+        TRUSS_RETURN_IF_ERROR_RESULT(result);
+        out.result = result.MoveValue();
+      }
+      env.CleanupAll();
+      break;
+    }
+  }
+
+  out.stats.wall_seconds = timer.Seconds();
+  return out;
+}
+
+Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
+                                             const std::string& graph_file,
+                                             VertexId num_vertices,
+                                             const DecomposeOptions& options,
+                                             const std::string& classes_out) {
+  TRUSS_RETURN_IF_ERROR(options.Validate());
+  if (options.hooks.ShouldCancel()) {
+    return Status::Cancelled("decomposition cancelled before start");
+  }
+
+  DecomposeStats stats;
+  stats.algorithm = options.algorithm;
+  const ExternalConfig config = options.ToExternalConfig();
+
+  switch (options.algorithm) {
+    case Algorithm::kBottomUp: {
+      auto res = BottomUpDecomposeFile(env, graph_file, num_vertices, config,
+                                       classes_out);
+      TRUSS_RETURN_IF_ERROR_RESULT(res);
+      stats.external = res.MoveValue();
+      stats.wall_seconds = stats.external.seconds;
+      return stats;
+    }
+    case Algorithm::kTopDown: {
+      auto res = TopDownDecomposeFile(env, graph_file, num_vertices, config,
+                                      classes_out);
+      TRUSS_RETURN_IF_ERROR_RESULT(res);
+      stats.external = res.MoveValue();
+      stats.wall_seconds = stats.external.seconds;
+      return stats;
+    }
+    case Algorithm::kImproved:
+    case Algorithm::kCohen: {
+      // Materialize the file's graph (the in-memory algorithms need it
+      // anyway), decompose, and emit ClassRecords in the file's original
+      // vertex ids. Matches the external entry points' contract: the input
+      // file is consumed.
+      WallTimer timer;
+      auto records = ReadAllRecords<io::GEdgeRecord>(env, graph_file);
+      TRUSS_RETURN_IF_ERROR_RESULT(records);
+      const LocalGraphView local(records.value());
+      const TrussDecompositionResult result =
+          RunInMemory(options.algorithm, local.graph(), &stats);
+
+      auto writer = env.OpenWriter(classes_out);
+      TRUSS_RETURN_IF_ERROR(writer.status());
+      for (EdgeId e = 0; e < local.graph().num_edges(); ++e) {
+        const io::ClassRecord rec{records.value()[e].u, records.value()[e].v,
+                                  result.truss_number[e]};
+        writer.value()->WriteRecord(rec);
+      }
+      TRUSS_RETURN_IF_ERROR(writer.value()->Close());
+      TRUSS_RETURN_IF_ERROR(env.DeleteFile(graph_file));
+      stats.external.classified_edges = local.graph().num_edges();
+      stats.external.kmax = result.kmax;
+      stats.wall_seconds = timer.Seconds();
+      return stats;
+    }
+  }
+  return Status::Internal("unreachable: unknown algorithm");
+}
+
+std::span<const AlgorithmInfo> Engine::Algorithms() { return kRegistry; }
+
+const AlgorithmInfo* Engine::FindAlgorithm(std::string_view name) {
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace truss::engine

@@ -1,0 +1,106 @@
+// truss::engine::Engine — the unified entry point for all four
+// decomposition algorithms.
+//
+// The facade gives every consumer (CLI, benches, examples, library users)
+// one options-driven call instead of four incompatible per-algorithm APIs:
+//
+//   truss::engine::DecomposeOptions options;
+//   options.algorithm = truss::engine::Algorithm::kBottomUp;
+//   auto out = truss::engine::Engine::Decompose(graph, options);
+//   if (out.ok()) use(out.value().result, out.value().stats);
+//
+// Algorithms are also resolvable by registry name ("improved", "cohen",
+// "bottomup", "topdown") via Engine::FindAlgorithm, so dispatch code never
+// needs per-algorithm includes. The four algorithm modules under src/truss
+// remain the internal layer the engine wraps.
+
+#ifndef TRUSS_ENGINE_ENGINE_H_
+#define TRUSS_ENGINE_ENGINE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/options.h"
+#include "graph/graph.h"
+#include "io/edge_records.h"
+#include "io/env.h"
+#include "truss/external.h"
+#include "truss/result.h"
+
+namespace truss::engine {
+
+/// One registry entry: everything a dispatcher needs to offer an algorithm
+/// without including its module header.
+struct AlgorithmInfo {
+  Algorithm id;
+  /// Stable string key ("improved", "cohen", "bottomup", "topdown").
+  const char* name;
+  /// One-line description for --help output and docs.
+  const char* summary;
+  /// True for the I/O-efficient algorithms that run through an Env and
+  /// honor the memory budget / partition strategy.
+  bool external;
+  /// True when top_t >= 1 queries are supported (top-down only).
+  bool supports_top_t;
+};
+
+/// Merged execution statistics of one run, covering both algorithm
+/// families. `external` is all-zeros for the in-memory algorithms;
+/// `peak_memory_bytes` is 0 for the external ones (their footprint is the
+/// memory budget by construction).
+struct DecomposeStats {
+  Algorithm algorithm = Algorithm::kImproved;
+  double wall_seconds = 0.0;
+  /// Peak structure memory from MemoryTracker (in-memory algorithms).
+  uint64_t peak_memory_bytes = 0;
+  /// I/O counters and stage statistics (external algorithms).
+  ExternalStats external;
+
+  uint64_t total_io_blocks() const { return external.io.total_blocks(); }
+};
+
+/// Result of Engine::Decompose.
+struct DecomposeOutput {
+  /// Full decomposition: truss numbers for every edge + kmax. Left empty
+  /// for top-t queries (see top_classes).
+  TrussDecompositionResult result;
+  /// Top-t queries only (topdown with top_t >= 1): the class records of the
+  /// t highest non-empty classes, plus Φ2. kmax is stats.external.kmax.
+  std::vector<io::ClassRecord> top_classes;
+  DecomposeStats stats;
+};
+
+/// Static facade over the four decomposition algorithms.
+class Engine {
+ public:
+  /// Decomposes an in-memory graph with the selected algorithm. External
+  /// algorithms ship `g` through a scratch Env (see
+  /// DecomposeOptions::scratch_dir) and project the classes back onto `g`'s
+  /// edge ids. Fails with InvalidArgument/FailedPrecondition on incoherent
+  /// options (Validate) and Cancelled when the cancel hook fires.
+  static Result<DecomposeOutput> Decompose(const Graph& g,
+                                           const DecomposeOptions& options);
+
+  /// File-to-file decomposition over `env`: reads `graph_file` (a
+  /// (u,v)-sorted GEdgeRecord file; consumed), writes one ClassRecord per
+  /// classified edge to `classes_out`. The external algorithms stream; the
+  /// in-memory ones materialize the file's graph first (it must fit).
+  static Result<DecomposeStats> DecomposeFile(io::Env& env,
+                                              const std::string& graph_file,
+                                              VertexId num_vertices,
+                                              const DecomposeOptions& options,
+                                              const std::string& classes_out);
+
+  /// The registry: all four algorithms in the paper's presentation order.
+  static std::span<const AlgorithmInfo> Algorithms();
+
+  /// Looks up a registry entry by its string key; nullptr if unknown.
+  static const AlgorithmInfo* FindAlgorithm(std::string_view name);
+};
+
+}  // namespace truss::engine
+
+#endif  // TRUSS_ENGINE_ENGINE_H_

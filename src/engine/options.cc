@@ -1,0 +1,61 @@
+#include "engine/options.h"
+
+#include <string>
+
+namespace truss::engine {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kImproved:
+      return "improved";
+    case Algorithm::kCohen:
+      return "cohen";
+    case Algorithm::kBottomUp:
+      return "bottomup";
+    case Algorithm::kTopDown:
+      return "topdown";
+  }
+  return "unknown";
+}
+
+Status DecomposeOptions::Validate() const {
+  if (memory_budget_bytes == 0) {
+    return Status::InvalidArgument(
+        "memory_budget_bytes must be positive (it is M of the I/O model)");
+  }
+  if (io_block_size_bytes == 0) {
+    return Status::InvalidArgument("io_block_size_bytes must be positive");
+  }
+  if (top_t == 0 || top_t < -1) {
+    return Status::InvalidArgument(
+        "top_t must be -1 (all classes) or >= 1, got " +
+        std::to_string(top_t));
+  }
+  if (top_t >= 1 && algorithm != Algorithm::kTopDown) {
+    return Status::InvalidArgument(
+        std::string("top_t requires the topdown algorithm; '") +
+        AlgorithmName(algorithm) + "' always computes all classes");
+  }
+  if (threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (threads > 1) {
+    return Status::FailedPrecondition(
+        "threads > 1 is reserved for the parallel backend; only threads = 1 "
+        "is supported today");
+  }
+  return Status::OK();
+}
+
+ExternalConfig DecomposeOptions::ToExternalConfig() const {
+  ExternalConfig config;
+  config.memory_budget_bytes = memory_budget_bytes;
+  config.strategy = strategy;
+  config.seed = seed;
+  config.top_t = top_t;
+  config.verbose = verbose;
+  config.hooks = hooks;
+  return config;
+}
+
+}  // namespace truss::engine

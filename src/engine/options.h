@@ -1,0 +1,89 @@
+// Options for the unified truss::engine::Engine facade.
+//
+// The paper presents four decompositions — TD-inmem (Cohen, Algorithm 1),
+// TD-inmem+ (improved, Algorithm 2), TD-bottomup (Algorithm 4) and
+// TD-topdown (Algorithm 7) — as one family over a shared problem
+// definition. DecomposeOptions is the single knob surface for that family:
+// an algorithm selector plus the union of each algorithm's tuning
+// parameters, with Validate() rejecting incoherent combinations instead of
+// silently ignoring them.
+
+#ifndef TRUSS_ENGINE_OPTIONS_H_
+#define TRUSS_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hooks.h"
+#include "common/status.h"
+#include "partition/partition.h"
+#include "truss/external.h"
+
+namespace truss::engine {
+
+/// The four decomposition algorithms of the paper, in presentation order.
+enum class Algorithm {
+  kImproved,  // TD-inmem+: Algorithm 2, the in-memory default
+  kCohen,     // TD-inmem: Algorithm 1, the in-memory baseline
+  kBottomUp,  // TD-bottomup: Algorithm 4, I/O-efficient full decomposition
+  kTopDown,   // TD-topdown: Algorithm 7, I/O-efficient, supports top-t
+};
+
+/// Stable registry name of an algorithm ("improved", "cohen", "bottomup",
+/// "topdown").
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Options for one decomposition run. Defaults run TD-inmem+ with a 256 MB
+/// external budget; fields that do not apply to the selected algorithm are
+/// ignored unless Validate() flags the combination as incoherent.
+struct DecomposeOptions {
+  /// Which decomposition to run.
+  Algorithm algorithm = Algorithm::kImproved;
+
+  /// Simulated main-memory size M of the I/O model (external algorithms).
+  /// Must be positive.
+  uint64_t memory_budget_bytes = 256ull << 20;
+
+  /// Partitioning strategy for neighborhood subgraphs (external algorithms).
+  partition::Strategy strategy = partition::Strategy::kSequential;
+
+  /// Seed for randomized partitioning.
+  uint64_t seed = 42;
+
+  /// Number of top classes to compute: -1 = all classes, t >= 1 = the t
+  /// highest non-empty classes. Only the top-down algorithm supports t >= 1;
+  /// Validate() rejects it elsewhere.
+  int32_t top_t = -1;
+
+  /// Reserved for PKT-style shared-memory parallelism. Must be 1 today;
+  /// Validate() rejects other values until the parallel backend lands.
+  uint32_t threads = 1;
+
+  /// Scratch directory for the external algorithms' Env. Empty = the engine
+  /// creates (and removes) a unique directory under the system temp dir; a
+  /// caller-supplied directory is reused and left in place.
+  std::string scratch_dir;
+
+  /// Block size B of the I/O model (external algorithms).
+  size_t io_block_size_bytes = 64 * 1024;
+
+  /// Emit per-stage progress lines on stderr (external algorithms).
+  bool verbose = false;
+
+  /// Progress-callback + cooperative-cancellation hooks. The external
+  /// algorithms poll them once per lower-bounding iteration and once per
+  /// k-level; the in-memory algorithms are checked at run boundaries.
+  ExecutionHooks hooks;
+
+  /// Rejects incoherent combinations: a zero memory budget or block size,
+  /// top_t values other than -1 or >= 1, top_t with a non-topdown
+  /// algorithm, and threads != 1 (reserved).
+  Status Validate() const;
+
+  /// Projects these options onto the external algorithms' config.
+  ExternalConfig ToExternalConfig() const;
+};
+
+}  // namespace truss::engine
+
+#endif  // TRUSS_ENGINE_OPTIONS_H_

@@ -1,0 +1,172 @@
+// Binary CSR snapshots (Graph::SaveBinary / Graph::LoadBinary).
+//
+// Layout: a fixed header {magic "TRSB", format version, array lengths}
+// followed by the three raw arrays of the CSR representation (offsets,
+// adjacency, edges). Loading performs structural validation — magic,
+// version, exact file length, monotone offsets summing to the adjacency
+// length — so a stale or torn cache file is rejected as Corruption rather
+// than producing an inconsistent graph.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <system_error>
+
+#include "graph/graph.h"
+
+namespace truss {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x42535254;  // "TRSB" little-endian
+constexpr uint32_t kVersion = 1;
+
+// The size validation in LoadBinary assumes 8-byte array elements.
+static_assert(sizeof(uint64_t) == 8);
+static_assert(sizeof(AdjEntry) == 8);
+static_assert(sizeof(Edge) == 8);
+
+struct SnapshotHeader {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint64_t offsets_count = 0;
+  uint64_t adj_count = 0;
+  uint64_t edges_count = 0;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+Status WriteArray(std::FILE* f, const std::vector<T>& data,
+                  const std::string& path) {
+  if (data.empty()) return Status::OK();
+  if (std::fwrite(data.data(), sizeof(T), data.size(), f) != data.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadArray(std::FILE* f, std::vector<T>* data, uint64_t count,
+                 const std::string& path) {
+  data->resize(count);
+  if (count == 0) return Status::OK();
+  if (std::fread(data->data(), sizeof(T), count, f) != count) {
+    return Status::Corruption("truncated snapshot: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Graph::SaveBinary(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+
+  SnapshotHeader header;
+  header.offsets_count = offsets_.size();
+  header.adj_count = adj_.size();
+  header.edges_count = edges_.size();
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IOError("short write to " + path);
+  }
+  TRUSS_RETURN_IF_ERROR(WriteArray(f.get(), offsets_, path));
+  TRUSS_RETURN_IF_ERROR(WriteArray(f.get(), adj_, path));
+  TRUSS_RETURN_IF_ERROR(WriteArray(f.get(), edges_, path));
+
+  std::FILE* raw = f.release();
+  const bool closed_ok = std::fclose(raw) == 0;
+  if (!closed_ok) return Status::IOError("close failed for " + path);
+  return Status::OK();
+}
+
+Result<Graph> Graph::LoadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+
+  SnapshotHeader header;
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    return Status::Corruption("truncated snapshot header: " + path);
+  }
+  if (header.magic != kMagic) {
+    return Status::Corruption("bad magic in " + path +
+                              " (not a TRSB snapshot)");
+  }
+  if (header.version != kVersion) {
+    return Status::Corruption("unsupported snapshot version " +
+                              std::to_string(header.version) + " in " + path);
+  }
+  if (header.adj_count != 2 * header.edges_count ||
+      (header.offsets_count == 0 && header.adj_count != 0)) {
+    return Status::Corruption("inconsistent array lengths in " + path);
+  }
+  // Check the header's counts against the actual file size before any
+  // allocation: a bit-flipped count must surface as Corruption, not as a
+  // multi-exabyte resize() aborting the process.
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+  // Every array element is 8 bytes, so any honest count is bounded by
+  // file_size / 8; rejecting larger counts first keeps the size formula
+  // below free of uint64 overflow.
+  const uint64_t max_count = file_size / sizeof(uint64_t);
+  if (header.offsets_count > max_count || header.adj_count > max_count ||
+      header.edges_count > max_count) {
+    return Status::Corruption("array lengths exceed file size in " + path);
+  }
+  const uint64_t expected = sizeof(SnapshotHeader) +
+                            header.offsets_count * sizeof(uint64_t) +
+                            header.adj_count * sizeof(AdjEntry) +
+                            header.edges_count * sizeof(Edge);
+  if (file_size != expected) {
+    return Status::Corruption("file size does not match header in " + path);
+  }
+
+  Graph g;
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &g.offsets_, header.offsets_count, path));
+  TRUSS_RETURN_IF_ERROR(ReadArray(f.get(), &g.adj_, header.adj_count, path));
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &g.edges_, header.edges_count, path));
+  if (std::fgetc(f.get()) != EOF) {
+    return Status::Corruption("trailing bytes in " + path);
+  }
+
+  // Structural validation: offsets must be a monotone prefix-sum over the
+  // adjacency array, and adjacency entries must reference valid vertices
+  // and edges.
+  if (!g.offsets_.empty()) {
+    if (g.offsets_.front() != 0 || g.offsets_.back() != g.adj_.size()) {
+      return Status::Corruption("offset array does not span adjacency in " +
+                                path);
+    }
+    for (size_t v = 1; v < g.offsets_.size(); ++v) {
+      if (g.offsets_[v] < g.offsets_[v - 1]) {
+        return Status::Corruption("non-monotone offsets in " + path);
+      }
+    }
+  }
+  const VertexId n = g.num_vertices();
+  for (const AdjEntry& entry : g.adj_) {
+    if (entry.neighbor >= n || entry.edge >= g.edges_.size()) {
+      return Status::Corruption("out-of-range adjacency entry in " + path);
+    }
+  }
+  for (const Edge& e : g.edges_) {
+    if (e.u >= n || e.v >= n || e.u >= e.v) {
+      return Status::Corruption("invalid edge endpoints in " + path);
+    }
+  }
+  return g;
+}
+
+}  // namespace truss

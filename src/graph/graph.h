@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "graph/types.h"
 
 namespace truss {
@@ -76,6 +78,17 @@ class Graph {
 
   /// Approximate heap footprint of this graph in bytes.
   uint64_t SizeBytes() const;
+
+  /// Writes this graph as a binary CSR snapshot ("TRSB" magic + format
+  /// version header, then the raw offset/adjacency/edge arrays). Loading a
+  /// snapshot skips the edge normalization and sorting of FromEdges, which
+  /// is what makes it suitable as a dataset cache (see bench/bench_util.h).
+  Status SaveBinary(const std::string& path) const;
+
+  /// Reads a SaveBinary snapshot. Fails with IOError on unreadable files
+  /// and Corruption on bad magic, unsupported versions, or structural
+  /// inconsistencies (truncation, non-monotone offsets, size mismatches).
+  static Result<Graph> LoadBinary(const std::string& path);
 
  private:
   friend class GraphBuilder;

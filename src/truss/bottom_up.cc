@@ -345,7 +345,13 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
   uint64_t gnew_edges = lb.gnew_edges;
   uint32_t k = 3;
 
+  const uint64_t total_edges = lb.phi2_edges + lb.gnew_edges;
   while (gnew_edges > 0) {
+    if (config.hooks.ShouldCancel()) {
+      return Status::Cancelled("bottom-up decomposition cancelled at k = " +
+                               std::to_string(k));
+    }
+    config.hooks.Report("peel", k, stats.classified_edges, total_edges);
     // Scan 1: U_k = endpoints of unfinished edges with φ(e) ≤ k
     // (Algorithm 4, Step 3); also the smallest label for level skipping.
     std::vector<uint8_t> in_uk(num_vertices, 0);

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/hooks.h"
 #include "io/env.h"
 #include "partition/partition.h"
 
@@ -28,6 +29,10 @@ struct ExternalConfig {
   int32_t top_t = -1;
   /// Emit per-stage progress lines on stderr.
   bool verbose = false;
+  /// Progress + cooperative-cancellation hooks, polled once per
+  /// lower-bounding iteration and once per k-level. Cancellation surfaces
+  /// as Status::Cancelled from the decomposition entry point.
+  ExecutionHooks hooks;
 };
 
 /// Execution counters reported by both external algorithms.

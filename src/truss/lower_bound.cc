@@ -99,11 +99,16 @@ Status RunBoundingDriver(io::Env& env, std::string g_file, VertexId n,
   uint64_t parts_processed = 0;
 
   while (true) {
+    if (cfg.hooks.ShouldCancel()) {
+      return Status::Cancelled("lower bounding cancelled at iteration " +
+                               std::to_string(iteration));
+    }
     std::vector<uint32_t> degrees;
     uint64_t m_cur = 0;
     TRUSS_RETURN_IF_ERROR(
         ScanDegrees<io::GEdgeRecord>(env, g_file, n, &degrees, &m_cur));
     if (m_cur == 0) break;
+    cfg.hooks.Report("lower_bound", 0, iteration, 0);
 
     // Partition; retry with fresh randomized orders if no edge would become
     // internal (possible for adversarial layouts), then force progress.

@@ -586,9 +586,15 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
   // Stage 3: walk k downward (Algorithm 7, Steps 3-9).
   uint64_t unclassified = lb.gnew_edges;
   uint32_t classes_found = 0;
+  const uint64_t total_edges = lb.phi2_edges + lb.gnew_edges;
   while (unclassified > 0 && k >= 3 &&
          (config.top_t < 0 ||
           classes_found < static_cast<uint32_t>(config.top_t))) {
+    if (config.hooks.ShouldCancel()) {
+      return Status::Cancelled("top-down decomposition cancelled at k = " +
+                               std::to_string(k));
+    }
+    config.hooks.Report("peel", k, stats.classified_edges, total_edges);
     // Scan 1: U_k over unclassified edges with ψ ≥ k (Step 4); remember the
     // largest unclassified ψ so empty levels are skipped in one jump.
     std::vector<uint8_t> in_uk(num_vertices, 0);

@@ -37,7 +37,8 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (const StatusCode c :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kIOError, StatusCode::kCorruption, StatusCode::kOutOfRange,
-        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeName(c), "Unknown");
   }
 }

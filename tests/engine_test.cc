@@ -1,0 +1,352 @@
+// Tests for the unified truss::engine::Engine facade: registry resolution,
+// cross-algorithm equivalence, options validation, and the cooperative
+// progress/cancellation hooks.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "truss/external_util.h"
+#include "truss/result.h"
+#include "truss/verify.h"
+
+namespace truss::engine {
+namespace {
+
+// --- registry ----------------------------------------------------------
+
+TEST(EngineRegistryTest, ListsAllFourAlgorithms) {
+  const auto algorithms = Engine::Algorithms();
+  ASSERT_EQ(algorithms.size(), 4u);
+  std::vector<std::string> names;
+  for (const AlgorithmInfo& info : algorithms) names.push_back(info.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"improved", "cohen", "bottomup",
+                                             "topdown"}));
+}
+
+TEST(EngineRegistryTest, FindAlgorithmResolvesEveryRegistryName) {
+  for (const AlgorithmInfo& info : Engine::Algorithms()) {
+    const AlgorithmInfo* found = Engine::FindAlgorithm(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->id, info.id);
+    EXPECT_STREQ(AlgorithmName(found->id), info.name);
+  }
+}
+
+TEST(EngineRegistryTest, FindAlgorithmRejectsUnknownNames) {
+  EXPECT_EQ(Engine::FindAlgorithm("nope"), nullptr);
+  EXPECT_EQ(Engine::FindAlgorithm(""), nullptr);
+  EXPECT_EQ(Engine::FindAlgorithm("Improved"), nullptr);  // case-sensitive
+}
+
+TEST(EngineRegistryTest, CapabilityFlagsMatchTheAlgorithmFamilies) {
+  EXPECT_FALSE(Engine::FindAlgorithm("improved")->external);
+  EXPECT_FALSE(Engine::FindAlgorithm("cohen")->external);
+  EXPECT_TRUE(Engine::FindAlgorithm("bottomup")->external);
+  EXPECT_TRUE(Engine::FindAlgorithm("topdown")->external);
+  for (const AlgorithmInfo& info : Engine::Algorithms()) {
+    EXPECT_EQ(info.supports_top_t, info.id == Algorithm::kTopDown);
+  }
+}
+
+// --- options validation ------------------------------------------------
+
+TEST(DecomposeOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(DecomposeOptions{}.Validate().ok());
+}
+
+TEST(DecomposeOptionsTest, ZeroBudgetIsInvalid) {
+  DecomposeOptions options;
+  options.memory_budget_bytes = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DecomposeOptionsTest, ZeroBlockSizeIsInvalid) {
+  DecomposeOptions options;
+  options.io_block_size_bytes = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DecomposeOptionsTest, TopTRequiresTopDown) {
+  DecomposeOptions options;
+  options.top_t = 5;
+  for (const Algorithm algorithm :
+       {Algorithm::kImproved, Algorithm::kCohen, Algorithm::kBottomUp}) {
+    options.algorithm = algorithm;
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument)
+        << AlgorithmName(algorithm);
+  }
+  options.algorithm = Algorithm::kTopDown;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(DecomposeOptionsTest, NonsenseTopTValuesAreInvalid) {
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kTopDown;
+  options.top_t = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.top_t = -7;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.top_t = -1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(DecomposeOptionsTest, ThreadsKnobIsReserved) {
+  DecomposeOptions options;
+  options.threads = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.threads = 8;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kFailedPrecondition);
+  options.threads = 1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(DecomposeOptionsTest, DecomposeRejectsInvalidOptions) {
+  DecomposeOptions options;
+  options.top_t = 3;  // improved does not support top-t
+  auto out = Engine::Decompose(gen::Complete(4), options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- cross-algorithm equivalence ---------------------------------------
+
+struct EquivalenceParam {
+  const char* algorithm;
+  const char* fixture;
+};
+
+Graph FixtureGraph(const std::string& name) {
+  if (name == "figure2") return gen::Figure2Graph().graph;
+  if (name == "managers") return gen::ManagerAdviceGraph();
+  if (name == "er") return gen::ErdosRenyiGnm(80, 400, 17);
+  if (name == "planted") {
+    return gen::PlantClique(gen::ErdosRenyiGnm(60, 200, 5), 8, 6);
+  }
+  if (name == "trianglefree") return gen::Grid(5, 6);
+  ADD_FAILURE() << "unknown fixture " << name;
+  return {};
+}
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+// All four registry algorithms must produce the definition-level
+// decomposition, edge for edge, through the one facade entry point.
+TEST_P(EngineEquivalenceTest, MatchesNaiveOracle) {
+  const EquivalenceParam param = GetParam();
+  const Graph g = FixtureGraph(param.fixture);
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(g);
+
+  const AlgorithmInfo* info = Engine::FindAlgorithm(param.algorithm);
+  ASSERT_NE(info, nullptr);
+  DecomposeOptions options;
+  options.algorithm = info->id;
+  auto out = Engine::Decompose(g, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(SameDecomposition(oracle, out.value().result));
+  EXPECT_EQ(out.value().result.kmax, oracle.kmax);
+  EXPECT_EQ(out.value().stats.algorithm, info->id);
+  EXPECT_GE(out.value().stats.wall_seconds, 0.0);
+  if (info->external) {
+    EXPECT_EQ(out.value().stats.external.classified_edges, g.num_edges());
+    EXPECT_GT(out.value().stats.total_io_blocks(), 0u);
+  } else if (g.num_edges() > 0) {
+    EXPECT_GT(out.value().stats.peak_memory_bytes, 0u);
+  }
+}
+
+std::vector<EquivalenceParam> AllEquivalenceParams() {
+  std::vector<EquivalenceParam> params;
+  for (const AlgorithmInfo& info : Engine::Algorithms()) {
+    for (const char* fixture :
+         {"figure2", "managers", "er", "planted", "trianglefree"}) {
+      params.push_back({info.name, fixture});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EngineEquivalenceTest,
+    ::testing::ValuesIn(AllEquivalenceParams()),
+    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+      return std::string(info.param.algorithm) + "_" + info.param.fixture;
+    });
+
+// The external algorithms must also agree when the budget forces
+// partitioned passes (Procedures 9/10).
+TEST(EngineEquivalenceTest, ExternalAlgorithmsAgreeUnderTightBudget) {
+  const Graph g =
+      gen::PlantClique(gen::ErdosRenyiGnm(150, 1200, 21), 10, 22);
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(g);
+  for (const char* name : {"bottomup", "topdown"}) {
+    DecomposeOptions options;
+    options.algorithm = Engine::FindAlgorithm(name)->id;
+    options.memory_budget_bytes = 8 << 10;  // far below the structure size
+    auto out = Engine::Decompose(g, options);
+    ASSERT_TRUE(out.ok()) << name << ": " << out.status().ToString();
+    EXPECT_TRUE(SameDecomposition(oracle, out.value().result)) << name;
+  }
+}
+
+// --- top-t queries -----------------------------------------------------
+
+TEST(EngineTopTTest, TopClassesMatchTheFullDecomposition) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(100, 500, 9), 9, 10);
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(g);
+
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kTopDown;
+  options.top_t = 2;
+  auto out = Engine::Decompose(g, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().result.truss_number.empty());
+  ASSERT_FALSE(out.value().top_classes.empty());
+  EXPECT_EQ(out.value().stats.external.kmax, oracle.kmax);
+
+  // Every returned record of the top-2 classes (and Φ2) must carry the
+  // oracle's truss number.
+  for (const io::ClassRecord& rec : out.value().top_classes) {
+    const EdgeId e = g.FindEdge(rec.u, rec.v);
+    ASSERT_NE(e, kInvalidEdge);
+    EXPECT_EQ(rec.truss, oracle.truss_number[e]);
+  }
+}
+
+// --- DecomposeFile -----------------------------------------------------
+
+class EngineFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("truss_engine_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+// File-to-file runs of all four algorithms agree with the oracle and
+// consume their input file.
+TEST_F(EngineFileTest, DecomposeFileAgreesAcrossAlgorithms) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(70, 350, 13), 7, 14);
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(g);
+
+  for (const AlgorithmInfo& info : Engine::Algorithms()) {
+    io::Env env((dir_ / info.name).string());
+    const std::string graph_file = "graph";
+    ASSERT_TRUE(WriteGraphFile(env, g, graph_file).ok());
+
+    DecomposeOptions options;
+    options.algorithm = info.id;
+    auto stats = Engine::DecomposeFile(env, graph_file, g.num_vertices(),
+                                       options, "classes");
+    ASSERT_TRUE(stats.ok()) << info.name << ": "
+                            << stats.status().ToString();
+    EXPECT_EQ(stats.value().external.classified_edges, g.num_edges())
+        << info.name;
+    EXPECT_EQ(stats.value().external.kmax, oracle.kmax) << info.name;
+    EXPECT_FALSE(env.FileExists(graph_file)) << info.name << ": input file "
+                                                             "not consumed";
+
+    auto result = LoadClassesAsDecomposition(env, "classes", g);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_TRUE(SameDecomposition(oracle, result.value())) << info.name;
+  }
+}
+
+// --- hooks: progress + cancellation ------------------------------------
+
+TEST(EngineHooksTest, CancelBeforeStartReturnsCancelled) {
+  DecomposeOptions options;
+  options.hooks.cancel = [] { return true; };
+  for (const AlgorithmInfo& info : Engine::Algorithms()) {
+    options.algorithm = info.id;
+    auto out = Engine::Decompose(gen::Complete(6), options);
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().code(), StatusCode::kCancelled) << info.name;
+  }
+}
+
+TEST(EngineHooksTest, ExternalRunsCancelCooperativelyMidRun) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(120, 700, 3), 9, 4);
+  for (const char* name : {"bottomup", "topdown"}) {
+    int polls = 0;
+    DecomposeOptions options;
+    options.algorithm = Engine::FindAlgorithm(name)->id;
+    options.hooks.cancel = [&polls] { return ++polls > 3; };
+    auto out = Engine::Decompose(g, options);
+    ASSERT_FALSE(out.ok()) << name;
+    EXPECT_EQ(out.status().code(), StatusCode::kCancelled) << name;
+    EXPECT_GT(polls, 3) << name << ": hook must be polled past the trigger";
+  }
+}
+
+TEST(EngineHooksTest, ProgressEventsCoverTheExternalStages) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(100, 500, 5), 8, 6);
+  std::vector<std::string> stages;
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kBottomUp;
+  options.hooks.progress = [&stages](const ProgressEvent& event) {
+    stages.push_back(event.stage);
+  };
+  auto out = Engine::Decompose(g, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "lower_bound"),
+            stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "peel"), stages.end());
+}
+
+TEST(EngineHooksTest, ProgressEventsFireForInMemoryRuns) {
+  std::vector<ProgressEvent> events;
+  DecomposeOptions options;
+  options.hooks.progress = [&events](const ProgressEvent& event) {
+    events.push_back(event);
+  };
+  const Graph g = gen::Complete(8);
+  auto out = Engine::Decompose(g, options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.back().done, g.num_edges());
+  EXPECT_EQ(events.back().total, g.num_edges());
+}
+
+// A cancelled run must not leave engine-owned scratch directories behind.
+TEST(EngineHooksTest, CancelledRunCleansUpScratch) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(80, 400, 7), 8, 8);
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kBottomUp;
+  int polls = 0;
+  options.hooks.cancel = [&polls] { return ++polls > 2; };
+  // Only entries of this process count: concurrent test processes share
+  // the /tmp/truss_engine root but use their own pid prefix.
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "truss_engine";
+  const std::string prefix = std::to_string(::getpid()) + "_";
+  auto count_entries = [&root, &prefix] {
+    if (!std::filesystem::exists(root)) return size_t{0};
+    size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(root)) {
+      if (entry.path().filename().string().starts_with(prefix)) ++n;
+    }
+    return n;
+  };
+  const size_t before = count_entries();
+  auto out = Engine::Decompose(g, options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(count_entries(), before);
+}
+
+}  // namespace
+}  // namespace truss::engine

@@ -3,6 +3,10 @@
 #include "graph/graph.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 
 #include "common/rng.h"
 #include "gen/generators.h"
@@ -138,6 +142,108 @@ TEST(GraphTest, SizeBytesPositiveAndMonotone) {
   const Graph big = gen::Complete(20);
   EXPECT_GT(small.SizeBytes(), 0u);
   EXPECT_GT(big.SizeBytes(), small.SizeBytes());
+}
+
+// --- binary CSR snapshots (SaveBinary / LoadBinary) --------------------
+
+class BinarySnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case and process: gtest_discover_tests runs each
+    // TEST_F as its own ctest entry, and `ctest -j` runs them concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("truss_graph_test_") + info->name() + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e));
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+    const auto an = a.neighbors(v);
+    const auto bn = b.neighbors(v);
+    for (size_t i = 0; i < an.size(); ++i) {
+      EXPECT_EQ(an[i].neighbor, bn[i].neighbor);
+      EXPECT_EQ(an[i].edge, bn[i].edge);
+    }
+  }
+}
+
+TEST_F(BinarySnapshotTest, RoundTrip) {
+  const Graph g = gen::ErdosRenyiGnm(200, 800, 99);
+  ASSERT_TRUE(g.SaveBinary(Path("g.trsb")).ok());
+  auto loaded = Graph::LoadBinary(Path("g.trsb"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameGraph(g, loaded.value());
+}
+
+TEST_F(BinarySnapshotTest, RoundTripEmptyGraph) {
+  const Graph g;
+  ASSERT_TRUE(g.SaveBinary(Path("empty.trsb")).ok());
+  auto loaded = Graph::LoadBinary(Path("empty.trsb"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_vertices(), 0u);
+  EXPECT_EQ(loaded.value().num_edges(), 0u);
+}
+
+TEST_F(BinarySnapshotTest, RoundTripIsolatedVertices) {
+  const Graph g = Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}}, 10);
+  ASSERT_TRUE(g.SaveBinary(Path("iso.trsb")).ok());
+  auto loaded = Graph::LoadBinary(Path("iso.trsb"));
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameGraph(g, loaded.value());
+}
+
+TEST_F(BinarySnapshotTest, MissingFileIsIOError) {
+  auto loaded = Graph::LoadBinary(Path("nope.trsb"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(BinarySnapshotTest, BadMagicIsCorruption) {
+  {
+    std::ofstream out(Path("bad.trsb"), std::ios::binary);
+    out << "this is not a TRSB snapshot at all, padded to header size....";
+  }
+  auto loaded = Graph::LoadBinary(Path("bad.trsb"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BinarySnapshotTest, TruncationIsCorruption) {
+  const Graph g = gen::ErdosRenyiGnm(50, 200, 7);
+  ASSERT_TRUE(g.SaveBinary(Path("full.trsb")).ok());
+  const auto full_size = std::filesystem::file_size(Path("full.trsb"));
+  std::filesystem::copy_file(Path("full.trsb"), Path("cut.trsb"));
+  std::filesystem::resize_file(Path("cut.trsb"), full_size / 2);
+  auto loaded = Graph::LoadBinary(Path("cut.trsb"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BinarySnapshotTest, TrailingBytesAreCorruption) {
+  const Graph g = gen::ErdosRenyiGnm(20, 40, 3);
+  ASSERT_TRUE(g.SaveBinary(Path("pad.trsb")).ok());
+  {
+    std::ofstream out(Path("pad.trsb"), std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  auto loaded = Graph::LoadBinary(Path("pad.trsb"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace
