@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "engine/engine.h"
 #include "gen/generators.h"
 #include "graph/graph.h"
@@ -44,6 +45,34 @@ BENCHMARK(BM_SupportInitForward)
     ->Args({0, 100000})
     ->Args({1, 100000})
     ->Args({2, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+// Threads-sweep dimension over the parallel backend: identical work to
+// BM_SupportInitForward at threads=1 plus the sharding/merge overhead, so
+// the per-thread-count scaling reads directly off this family.
+void BM_SupportInitParallel(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  const auto threads = static_cast<uint32_t>(state.range(2));
+  if (threads > truss::bench::BenchThreads()) {
+    state.SkipWithError("beyond TRUSS_BENCH_THREADS");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::ComputeEdgeSupports(g, threads));
+  }
+  state.SetLabel(std::string(KindName(state.range(0))) + "/t" +
+                 std::to_string(threads));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SupportInitParallel)
+    ->Args({1, 100000, 1})
+    ->Args({1, 100000, 2})
+    ->Args({1, 100000, 4})
+    ->Args({1, 100000, 8})
+    ->Args({2, 100000, 1})
+    ->Args({2, 100000, 2})
+    ->Args({2, 100000, 4})
+    ->Args({2, 100000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_SupportInitNaive(benchmark::State& state) {

@@ -10,8 +10,68 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "common/timer.h"
 #include "engine/engine.h"
+#include "triangle/triangle.h"
 #include "truss/result.h"
+
+namespace {
+
+// Threads sweep over support initialization (the phase DecomposeOptions::
+// threads parallelizes) on the largest stand-in of the Table 3 set, plus an
+// end-to-end check that the parallel decomposition is identical.
+int RunThreadsSweep(const char* dataset) {
+  const truss::Graph& g = truss::bench::GetDataset(dataset);
+  std::printf("\n== Support-initialization threads sweep (%s: %u vertices, "
+              "%u edges) ==\n\n",
+              dataset, g.num_vertices(), g.num_edges());
+
+  truss::TablePrinter table({"threads", "support init", "speedup vs t=1",
+                             "identical"});
+  std::vector<uint32_t> baseline;
+  double baseline_s = 0.0;
+  for (uint32_t threads = 1; threads <= truss::bench::BenchThreads();
+       threads *= 2) {
+    truss::WallTimer timer;
+    std::vector<uint32_t> sup = truss::ComputeEdgeSupports(g, threads);
+    const double seconds = timer.Seconds();
+    if (threads == 1) {
+      baseline_s = seconds;
+      baseline = std::move(sup);
+    }
+    const bool identical = threads == 1 || sup == baseline;
+    table.AddRow({std::to_string(threads), truss::FormatDuration(seconds),
+                  truss::bench::Ratio(baseline_s, seconds),
+                  identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: supports differ at threads=%u on %s\n", threads,
+                   dataset);
+      return 1;
+    }
+  }
+  table.Print();
+
+  // Honor the sweep cap here too: a --threads 1 run must not smuggle
+  // multi-threaded work into its artifact.
+  const uint32_t check_threads = std::min(4u, truss::bench::BenchThreads());
+  truss::engine::DecomposeOptions options;
+  auto sequential = truss::engine::Engine::Decompose(g, options);
+  options.threads = check_threads;
+  auto parallel = truss::engine::Engine::Decompose(g, options);
+  if (!sequential.ok() || !parallel.ok() ||
+      !truss::SameDecomposition(sequential.value().result,
+                                parallel.value().result)) {
+    std::fprintf(stderr, "FATAL: threads=%u decomposition differs on %s\n",
+                 check_threads, dataset);
+    return 1;
+  }
+  std::printf("\nthreads=%u truss numbers identical to threads=1: yes "
+              "(kmax %u)\n", check_threads, parallel.value().result.kmax);
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   const char* kDatasets[] = {"Wiki", "Amazon", "Skitter", "Blog"};
@@ -57,5 +117,14 @@ int main() {
   table.Print();
   std::printf("\n(the paper ran the original SNAP graphs; compare speedup "
               "direction and which datasets gain most)\n");
-  return 0;
+
+  // Largest stand-in of the set by edge count.
+  const char* largest = kDatasets[0];
+  for (const char* name : kDatasets) {
+    if (truss::bench::GetDataset(name).num_edges() >
+        truss::bench::GetDataset(largest).num_edges()) {
+      largest = name;
+    }
+  }
+  return RunThreadsSweep(largest);
 }

@@ -85,6 +85,18 @@ inline std::string BenchDir(const std::string& name) {
   return dir.string();
 }
 
+/// Maximum worker threads for bench thread sweeps. Sweeps cover powers of
+/// two up to this value. scripts/run_benches.sh sets TRUSS_BENCH_THREADS
+/// (and records it in the BENCH_*.json artifact) so runs compare
+/// like-for-like; default 8.
+inline uint32_t BenchThreads() {
+  if (const char* env = std::getenv("TRUSS_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<uint32_t>(parsed);
+  }
+  return 8;
+}
+
 /// "73.2x" style ratio formatting.
 inline std::string Ratio(double numerator, double denominator) {
   if (denominator <= 0.0) return "-";

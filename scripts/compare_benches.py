@@ -6,7 +6,9 @@ The comparison pairs files by bench name, reports the wall-clock delta for
 every common bench, and fails (exit 1) when any bench regressed by more than
 the threshold. New or removed benches are reported but never fail the run;
 benches whose baseline or current run did not exit 0 are skipped (a failed
-bench is a correctness problem for CTest, not a perf signal).
+bench is a correctness problem for CTest, not a perf signal), as are pairs
+whose `threads` fields differ (a 1-thread baseline against an 8-thread run
+is not a like-for-like comparison).
 
 Usage:
   scripts/compare_benches.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
@@ -74,6 +76,14 @@ def main() -> int:
             continue
         if base.get("exit_code", 0) != 0 or cur.get("exit_code", 0) != 0:
             rows.append((name, "-", "-", "-", "skipped (non-zero exit)"))
+            continue
+        # Artifacts written before the threads field existed default to 1.
+        base_threads = int(base.get("threads", 1))
+        cur_threads = int(cur.get("threads", 1))
+        if base_threads != cur_threads:
+            rows.append((name, "-", "-", "-",
+                         f"skipped (threads differ: {base_threads} vs "
+                         f"{cur_threads})"))
             continue
         base_s = float(base["wall_seconds"])
         cur_s = float(cur["wall_seconds"])

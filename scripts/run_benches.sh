@@ -9,6 +9,10 @@
 #
 #   --build-dir DIR  where the bench binaries live (default: build/release)
 #   --out-dir DIR    where to write BENCH_*.json (default: bench_results/)
+#   --threads N      cap for the benches' thread sweeps, exported as
+#                    TRUSS_BENCH_THREADS and recorded in each BENCH_*.json
+#                    so compare_benches.py only diffs like-for-like runs
+#                    (default: 8)
 #   --all            run every bench, including the multi-minute external-
 #                    memory tables (default: the quick set below)
 #   BENCH...         explicit bench names override both sets
@@ -17,6 +21,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${REPO_ROOT}/build/release"
 OUT_DIR="${REPO_ROOT}/bench_results"
+THREADS="${TRUSS_BENCH_THREADS:-8}"
 
 # Seconds-scale benches, safe to run on every PR. (The external-memory
 # tables 4-6 run 2-10 minutes each; reach them with --all.)
@@ -33,8 +38,9 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --threads) THREADS="$2"; shift 2 ;;
     --all) USE_ALL=1; shift ;;
-    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
     bench_*) RUN_SET+=("$1"); shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -54,6 +60,7 @@ mkdir -p "${OUT_DIR}"
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 FAILURES=0
+export TRUSS_BENCH_THREADS="${THREADS}"
 
 for bench in "${RUN_SET[@]}"; do
   bin="${BUILD_DIR}/${bench}"
@@ -75,15 +82,16 @@ for bench in "${RUN_SET[@]}"; do
   fi
   # python3 writes the JSON so embedded bench output is escaped correctly.
   python3 - "${json}" "${bench}" "${status}" "${wall}" "${GIT_REV}" \
-      "${TIMESTAMP}" "${log}" <<'PYEOF'
+      "${TIMESTAMP}" "${log}" "${THREADS}" <<'PYEOF'
 import json, pathlib, socket, sys
-out, bench, status, wall, rev, ts, log = sys.argv[1:8]
+out, bench, status, wall, rev, ts, log, threads = sys.argv[1:9]
 lines = pathlib.Path(log).read_text(errors="replace").splitlines()
 pathlib.Path(out).write_text(json.dumps({
     "bench": bench,
     "status": "ok" if status == "0" else "failed",
     "exit_code": int(status),
     "wall_seconds": float(wall),
+    "threads": int(threads),
     "git_rev": rev,
     "timestamp_utc": ts,
     "host": socket.gethostname(),

@@ -1,0 +1,71 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace truss {
+
+uint32_t EffectiveThreads(uint32_t requested, uint64_t items) {
+  if (items == 0) return 1;
+  const uint64_t effective =
+      std::min<uint64_t>(std::max<uint64_t>(requested, 1), kMaxParallelThreads);
+  return static_cast<uint32_t>(std::min(effective, items));
+}
+
+void RunShards(uint32_t shards, const std::function<void(uint32_t)>& body) {
+  TRUSS_CHECK_GE(shards, 1u);
+  if (shards == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  for (uint32_t s = 1; s < shards; ++s) {
+    workers.emplace_back([&body, s] { body(s); });
+  }
+  body(0);
+  for (std::thread& worker : workers) worker.join();
+}
+
+void ParallelFor(
+    uint32_t threads, uint64_t n,
+    const std::function<void(uint64_t begin, uint64_t end, uint32_t shard)>&
+        body) {
+  const uint32_t shards = EffectiveThreads(threads, n);
+  if (shards == 1) {
+    body(0, n, 0);
+    return;
+  }
+  RunShards(shards, [&](uint32_t shard) {
+    const uint64_t begin = n * shard / shards;
+    const uint64_t end = n * (shard + 1) / shards;
+    body(begin, end, shard);
+  });
+}
+
+std::vector<uint64_t> SplitBalanced(std::span<const uint64_t> prefix,
+                                    uint32_t shards) {
+  TRUSS_CHECK_GE(prefix.size(), 1u);
+  TRUSS_CHECK_GE(shards, 1u);
+  const uint64_t n = prefix.size() - 1;
+  const uint64_t total = prefix.back();
+  std::vector<uint64_t> bounds(shards + 1, n);
+  bounds[0] = 0;
+  for (uint32_t s = 1; s < shards; ++s) {
+    // First item index whose cumulative weight reaches shard s's target;
+    // lower_bound keeps the bounds non-decreasing because targets are.
+    const uint64_t target = total * s / shards;
+    const auto it =
+        std::lower_bound(prefix.begin() + 1, prefix.end(), target + 1);
+    bounds[s] = static_cast<uint64_t>(it - (prefix.begin() + 1));
+  }
+  bounds[shards] = n;
+  for (uint32_t s = 1; s <= shards; ++s) {
+    bounds[s] = std::max(bounds[s], bounds[s - 1]);
+  }
+  return bounds;
+}
+
+}  // namespace truss

@@ -1,0 +1,62 @@
+// Minimal shared-memory parallelism utilities: a fork-join ParallelFor over
+// contiguous index ranges plus a weight-balanced range splitter.
+//
+// Design constraints, in order:
+//   1. Determinism. Shard boundaries depend only on the inputs, never on
+//      scheduling, so any consumer that merges per-shard results in shard
+//      order produces byte-identical output for every thread count.
+//   2. No hidden global state. Each call spawns its own workers (shard 0
+//      runs on the calling thread) and joins them before returning; there is
+//      no process-wide pool to configure, leak, or contend on.
+//   3. Exact accounting of the requested width: callers ask for N threads,
+//      EffectiveThreads() clamps to the item count and a process sanity cap,
+//      and that clamped width is what actually runs.
+
+#ifndef TRUSS_COMMON_PARALLEL_H_
+#define TRUSS_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace truss {
+
+/// Hard cap on worker threads per ParallelFor call; requests beyond it are
+/// clamped by EffectiveThreads. Generous for any machine this targets while
+/// keeping an absurd request (e.g. --threads 1000000) from exhausting the
+/// process.
+inline constexpr uint32_t kMaxParallelThreads = 256;
+
+/// Worker count actually used for `requested` threads over `items` units of
+/// work: min(max(requested, 1), items, kMaxParallelThreads), with a floor of
+/// 1 — zero items yields one worker so callers' sequential fallbacks fire
+/// instead of spawning threads with nothing to do.
+uint32_t EffectiveThreads(uint32_t requested, uint64_t items);
+
+/// Runs body(shard) for shard = 0..shards-1, each shard on its own thread
+/// (shard 0 on the calling thread), and joins them all before returning.
+/// `body` must not throw.
+void RunShards(uint32_t shards, const std::function<void(uint32_t)>& body);
+
+/// Splits [0, n) into EffectiveThreads(threads, n) contiguous equal-width
+/// ranges and runs body(begin, end, shard) for each, in parallel. Ranges
+/// cover [0, n) exactly, in shard order, with no overlap.
+void ParallelFor(
+    uint32_t threads, uint64_t n,
+    const std::function<void(uint64_t begin, uint64_t end, uint32_t shard)>&
+        body);
+
+/// Weight-balanced shard bounds over n items described by their prefix-sum
+/// weights (`prefix` has n+1 non-decreasing entries, prefix[0] == 0; item i
+/// weighs prefix[i+1] - prefix[i]). Returns `shards` + 1 bounds b with
+/// b[0] == 0, b[shards] == n, b non-decreasing, chosen so every shard's
+/// total weight is as close to total/shards as contiguity allows. A CSR
+/// offsets array is exactly such a prefix, so this shards vertices into
+/// degree-balanced ranges.
+std::vector<uint64_t> SplitBalanced(std::span<const uint64_t> prefix,
+                                    uint32_t shards);
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_PARALLEL_H_

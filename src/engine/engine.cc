@@ -74,11 +74,12 @@ class ScratchDir {
 
 /// Runs one in-memory algorithm with memory accounting.
 TrussDecompositionResult RunInMemory(Algorithm algorithm, const Graph& g,
-                                     DecomposeStats* stats) {
+                                     uint32_t threads, DecomposeStats* stats) {
   MemoryTracker tracker;
-  TrussDecompositionResult result = algorithm == Algorithm::kCohen
-                                        ? CohenTrussDecomposition(g, &tracker)
-                                        : ImprovedTrussDecomposition(g, &tracker);
+  TrussDecompositionResult result =
+      algorithm == Algorithm::kCohen
+          ? CohenTrussDecomposition(g, &tracker, threads)
+          : ImprovedTrussDecomposition(g, &tracker, threads);
   stats->peak_memory_bytes = tracker.peak_bytes();
   return result;
 }
@@ -100,7 +101,8 @@ Result<DecomposeOutput> Engine::Decompose(const Graph& g,
     case Algorithm::kImproved:
     case Algorithm::kCohen: {
       options.hooks.Report("decompose", 0, 0, g.num_edges());
-      out.result = RunInMemory(options.algorithm, g, &out.stats);
+      out.result = RunInMemory(options.algorithm, g, options.threads,
+                               &out.stats);
       options.hooks.Report("decompose", out.result.kmax, g.num_edges(),
                            g.num_edges());
       break;
@@ -174,7 +176,8 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
       TRUSS_RETURN_IF_ERROR_RESULT(records);
       const LocalGraphView local(records.value());
       const TrussDecompositionResult result =
-          RunInMemory(options.algorithm, local.graph(), &stats);
+          RunInMemory(options.algorithm, local.graph(), options.threads,
+                      &stats);
 
       auto writer = env.OpenWriter(classes_out);
       TRUSS_RETURN_IF_ERROR(writer.status());

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/parallel.h"
+
 namespace truss::engine {
 
 const char* AlgorithmName(Algorithm algorithm) {
@@ -39,10 +41,13 @@ Status DecomposeOptions::Validate() const {
   if (threads == 0) {
     return Status::InvalidArgument("threads must be >= 1");
   }
-  if (threads > 1) {
-    return Status::FailedPrecondition(
-        "threads > 1 is reserved for the parallel backend; only threads = 1 "
-        "is supported today");
+  // Catches typos and wrapped negatives (a CLI "--threads -1" casts to
+  // ~4.3e9) before they turn into hundreds of workers each holding a
+  // per-edge buffer.
+  if (threads > kMaxParallelThreads) {
+    return Status::InvalidArgument(
+        "threads must be <= " + std::to_string(kMaxParallelThreads) +
+        ", got " + std::to_string(threads));
   }
   return Status::OK();
 }
@@ -53,6 +58,7 @@ ExternalConfig DecomposeOptions::ToExternalConfig() const {
   config.strategy = strategy;
   config.seed = seed;
   config.top_t = top_t;
+  config.threads = threads;
   config.verbose = verbose;
   config.hooks = hooks;
   return config;

@@ -55,8 +55,11 @@ struct DecomposeOptions {
   /// Validate() rejects it elsewhere.
   int32_t top_t = -1;
 
-  /// Reserved for PKT-style shared-memory parallelism. Must be 1 today;
-  /// Validate() rejects other values until the parallel backend lands.
+  /// Worker threads for support initialization (triangle counting), the
+  /// phase that dominates the in-memory algorithms' runtime. Results are
+  /// deterministic — byte-identical for every value. Each worker keeps a
+  /// private per-edge support buffer (4 bytes x num_edges, transient), so
+  /// memory grows linearly with this knob. Default 1 (fully sequential).
   uint32_t threads = 1;
 
   /// Scratch directory for the external algorithms' Env. Empty = the engine
@@ -77,7 +80,7 @@ struct DecomposeOptions {
 
   /// Rejects incoherent combinations: a zero memory budget or block size,
   /// top_t values other than -1 or >= 1, top_t with a non-topdown
-  /// algorithm, and threads != 1 (reserved).
+  /// algorithm, and threads outside [1, kMaxParallelThreads].
   Status Validate() const;
 
   /// Projects these options onto the external algorithms' config.

@@ -1,14 +1,48 @@
 #include "graph/text_io.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <unordered_map>
 
 namespace truss {
 
+namespace {
+
+// Parses one whitespace-delimited token at *cursor as a plain unsigned
+// decimal (digits only — no sign, no hex, no trailing garbage inside the
+// token) and advances *cursor past it. Rejects overflow past uint64_t.
+// SNAP ids are non-negative integers; anything else (notably "-1", which
+// sscanf's %llu would silently wrap to 2^64-1) is a malformed row.
+bool ParseVertexId(const char** cursor, uint64_t* out) {
+  const char* p = *cursor;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  uint64_t value = 0;
+  for (; std::isdigit(static_cast<unsigned char>(*p)); ++p) {
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  if (*p != '\0' && !std::isspace(static_cast<unsigned char>(*p))) {
+    return false;  // token continues with non-digit characters, e.g. "12x"
+  }
+  *cursor = p;
+  *out = value;
+  return true;
+}
+
+const char* SkipSpace(const char* p) {
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  return p;
+}
+
+}  // namespace
+
 Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
     return Status::IOError("cannot open " + path);
   }
 
@@ -23,19 +57,21 @@ Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
     return it->second;
   };
 
-  char line[512];
+  // std::getline grows the buffer to the line, so arbitrarily long rows
+  // (huge ids, deep indentation, kilobyte comments) parse as one row
+  // instead of being silently split at a fixed buffer size.
+  std::string line;
   size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  while (std::getline(in, line)) {
     ++line_no;
-    const char* p = line;
-    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    const char* p = SkipSpace(line.c_str());
     if (*p == '\0' || *p == '#') continue;  // blank or comment
 
-    unsigned long long a = 0, b = 0;
-    if (std::sscanf(p, "%llu %llu", &a, &b) != 2) {
-      std::fclose(f);
-      return Status::Corruption("malformed row " + std::to_string(line_no) +
-                                " in " + path);
+    uint64_t a = 0, b = 0;
+    if (!ParseVertexId(&p, &a) || (p = SkipSpace(p), !ParseVertexId(&p, &b))) {
+      return Status::Corruption(
+          "malformed row " + std::to_string(line_no) + " in " + path +
+          " (vertex ids must be plain unsigned decimals)");
     }
     if (a == b) continue;  // drop self-loops, as the simple-graph model does
     // Sequence the interning so compact ids follow first-seen order
@@ -44,7 +80,9 @@ Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
     const VertexId ub = intern(b);
     builder.AddEdge(ua, ub);
   }
-  std::fclose(f);
+  if (in.bad()) {
+    return Status::IOError("read error on " + path);
+  }
 
   LoadedGraph out;
   out.graph = builder.Build();
@@ -57,10 +95,20 @@ Status WriteEdgeList(const Graph& g, const std::string& path) {
   if (f == nullptr) {
     return Status::IOError("cannot open " + path + " for writing");
   }
-  std::fprintf(f, "# Undirected edge list: %u vertices, %u edges\n",
-               g.num_vertices(), g.num_edges());
+  // fprintf returns a negative count on write failure (e.g. a full disk);
+  // ignoring it would report Status::OK() for a truncated file.
+  auto fail = [&](const char* what) {
+    std::fclose(f);
+    return Status::IOError(std::string(what) + " " + path);
+  };
+  if (std::fprintf(f, "# Undirected edge list: %u vertices, %u edges\n",
+                   g.num_vertices(), g.num_edges()) < 0) {
+    return fail("short write to");
+  }
   for (const Edge& e : g.edges()) {
-    std::fprintf(f, "%u %u\n", e.u, e.v);
+    if (std::fprintf(f, "%u %u\n", e.u, e.v) < 0) {
+      return fail("short write to");
+    }
   }
   if (std::fclose(f) != 0) {
     return Status::IOError("error closing " + path);

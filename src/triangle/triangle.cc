@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace truss {
 
-OrientedAdjacency::OrientedAdjacency(const Graph& g) {
+OrientedAdjacency::OrientedAdjacency(const Graph& g, uint32_t threads) {
   const VertexId n = g.num_vertices();
+  const uint32_t workers = EffectiveThreads(threads, n);
 
   // Rank by (degree, id) ascending: rank_[v] = position of v in that order.
   std::vector<VertexId> order(n);
@@ -18,28 +21,35 @@ OrientedAdjacency::OrientedAdjacency(const Graph& g) {
   rank_.resize(n);
   for (uint32_t r = 0; r < n; ++r) rank_[order[r]] = r;
 
+  // Out-degree count: each shard writes a disjoint offsets_ slice.
   offsets_.assign(static_cast<size_t>(n) + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    uint64_t out_deg = 0;
-    for (const AdjEntry& a : g.neighbors(v)) {
-      if (rank_[a.neighbor] > rank_[v]) ++out_deg;
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      uint64_t out_deg = 0;
+      for (const AdjEntry& a : g.neighbors(v)) {
+        if (rank_[a.neighbor] > rank_[v]) ++out_deg;
+      }
+      offsets_[v + 1] = out_deg;
     }
-    offsets_[v + 1] = offsets_[v] + out_deg;
-  }
+  });
+  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
   entries_.resize(offsets_.back());
 
-  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (VertexId v = 0; v < n; ++v) {
-    for (const AdjEntry& a : g.neighbors(v)) {
-      if (rank_[a.neighbor] > rank_[v]) {
-        entries_[cursor[v]++] = Entry{rank_[a.neighbor], a.neighbor, a.edge};
+  // Fill + per-vertex rank sort: vertex slices of entries_ are disjoint.
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      uint64_t cursor = offsets_[v];
+      for (const AdjEntry& a : g.neighbors(v)) {
+        if (rank_[a.neighbor] > rank_[v]) {
+          entries_[cursor++] = Entry{rank_[a.neighbor], a.neighbor, a.edge};
+        }
       }
+      auto first = entries_.begin() + static_cast<ptrdiff_t>(offsets_[v]);
+      auto last = entries_.begin() + static_cast<ptrdiff_t>(offsets_[v + 1]);
+      std::sort(first, last,
+                [](const Entry& x, const Entry& y) { return x.rank < y.rank; });
     }
-    auto begin = entries_.begin() + static_cast<ptrdiff_t>(offsets_[v]);
-    auto end = entries_.begin() + static_cast<ptrdiff_t>(offsets_[v + 1]);
-    std::sort(begin, end,
-              [](const Entry& x, const Entry& y) { return x.rank < y.rank; });
-  }
+  });
 }
 
 uint64_t CountTriangles(const Graph& g) {
@@ -56,6 +66,53 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
     ++sup[e1];
     ++sup[e2];
     ++sup[e3];
+  });
+  return sup;
+}
+
+std::vector<uint32_t> ComputeEdgeSupports(const Graph& g, uint32_t threads) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  const uint32_t workers = EffectiveThreads(threads, n);
+  if (workers <= 1) return ComputeEdgeSupports(g);
+
+  const OrientedAdjacency oriented(g, workers);
+  // Degree-balanced vertex shards: the forward algorithm's work at u is
+  // proportional to its oriented out-entries, whose prefix sum is exactly
+  // the orientation's CSR offsets.
+  const std::vector<uint64_t> bounds = SplitBalanced(oriented.offsets(),
+                                                     workers);
+
+  // Each worker counts its shard's triangles into a private buffer; an edge
+  // may gain support from triangles found by different shards, so buffers
+  // are merged below rather than shared (no atomics on the hot path).
+  // Buffers are allocated here, on the calling thread, so an allocation
+  // failure surfaces exactly like the sequential path's would instead of
+  // escaping a worker (RunShards bodies must not throw).
+  std::vector<std::vector<uint32_t>> local(workers);
+  for (std::vector<uint32_t>& buffer : local) buffer.assign(m, 0);
+  RunShards(workers, [&](uint32_t shard) {
+    std::vector<uint32_t>& sup = local[shard];
+    for (VertexId u = static_cast<VertexId>(bounds[shard]);
+         u < bounds[shard + 1]; ++u) {
+      ForEachTriangleAt(oriented, u,
+                        [&](VertexId, VertexId, VertexId, EdgeId e1, EdgeId e2,
+                            EdgeId e3) {
+                          ++sup[e1];
+                          ++sup[e2];
+                          ++sup[e3];
+                        });
+    }
+  });
+
+  // Merge in shard order over disjoint edge ranges. uint32_t addition is
+  // exact and order-independent, so the result matches the sequential path
+  // bit for bit.
+  std::vector<uint32_t> sup(m, 0);
+  ParallelFor(workers, m, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (const std::vector<uint32_t>& partial : local) {
+      for (uint64_t e = begin; e < end; ++e) sup[e] += partial[e];
+    }
   });
   return sup;
 }

@@ -29,7 +29,10 @@ class OrientedAdjacency {
     EdgeId edge;      // id of the connecting edge in the source graph
   };
 
-  explicit OrientedAdjacency(const Graph& g);
+  /// Builds the orientation. `threads` > 1 parallelizes the out-degree count
+  /// and the fill+sort passes over vertex ranges; the result is identical
+  /// for every thread count.
+  explicit OrientedAdjacency(const Graph& g, uint32_t threads = 1);
 
   std::span<const Entry> out(VertexId v) const {
     return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
@@ -37,11 +40,43 @@ class OrientedAdjacency {
 
   uint32_t rank(VertexId v) const { return rank_[v]; }
 
+  /// CSR offsets of the out-lists: offsets()[v]..offsets()[v+1] delimit
+  /// out(v). Being a prefix sum of out-degrees, this is the natural weight
+  /// input for SplitBalanced when sharding vertices by oriented work.
+  std::span<const uint64_t> offsets() const { return offsets_; }
+
  private:
   std::vector<uint32_t> rank_;
   std::vector<uint64_t> offsets_;
   std::vector<Entry> entries_;
 };
+
+/// Enumerates the triangles whose lowest-ranked corner is `u`, exactly once
+/// each. Callback contract matches ForEachTriangle. Distinct `u` values
+/// touch disjoint triangle sets, so per-vertex calls are the unit of
+/// parallel work (each out-list is only read).
+template <typename TriangleCallback>
+void ForEachTriangleAt(const OrientedAdjacency& oriented, VertexId u,
+                       TriangleCallback&& cb) {
+  const auto out_u = oriented.out(u);
+  for (const auto& uv : out_u) {
+    const VertexId v = uv.vertex;
+    const auto out_v = oriented.out(v);
+    // Two-pointer intersection over rank-sorted out-lists.
+    size_t i = 0, j = 0;
+    while (i < out_u.size() && j < out_v.size()) {
+      if (out_u[i].rank < out_v[j].rank) {
+        ++i;
+      } else if (out_u[i].rank > out_v[j].rank) {
+        ++j;
+      } else {
+        cb(u, v, out_u[i].vertex, uv.edge, out_u[i].edge, out_v[j].edge);
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
 
 /// Enumerates every triangle of `g` exactly once. The callback receives the
 /// three corner vertices and the ids of the three edges:
@@ -51,24 +86,7 @@ template <typename TriangleCallback>
 void ForEachTriangle(const Graph& g, TriangleCallback&& cb) {
   const OrientedAdjacency oriented(g);
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    const auto out_u = oriented.out(u);
-    for (const auto& uv : out_u) {
-      const VertexId v = uv.vertex;
-      const auto out_v = oriented.out(v);
-      // Two-pointer intersection over rank-sorted out-lists.
-      size_t i = 0, j = 0;
-      while (i < out_u.size() && j < out_v.size()) {
-        if (out_u[i].rank < out_v[j].rank) {
-          ++i;
-        } else if (out_u[i].rank > out_v[j].rank) {
-          ++j;
-        } else {
-          cb(u, v, out_u[i].vertex, uv.edge, out_u[i].edge, out_v[j].edge);
-          ++i;
-          ++j;
-        }
-      }
-    }
+    ForEachTriangleAt(oriented, u, cb);
   }
 }
 
@@ -77,6 +95,16 @@ uint64_t CountTriangles(const Graph& g);
 
 /// Per-edge supports sup(e) (Definition 1), indexed by EdgeId.
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
+
+/// Parallel support computation: shards vertices into degree-balanced
+/// contiguous ranges (balanced on oriented out-degree, the unit of forward-
+/// algorithm work), accumulates each shard's triangle increments into a
+/// per-thread buffer, and merges the buffers in shard order — no atomics on
+/// the hot path, and the output is byte-identical to the sequential version
+/// for every thread count. Transient memory cost: one uint32_t[num_edges]
+/// buffer per worker. `threads` is clamped by EffectiveThreads; threads <= 1
+/// falls back to the sequential path.
+std::vector<uint32_t> ComputeEdgeSupports(const Graph& g, uint32_t threads);
 
 /// Naive O(Σ deg²) support computation via per-edge neighbor-list
 /// intersection — the initialization step the paper's Algorithm 1 describes

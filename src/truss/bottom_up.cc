@@ -23,13 +23,14 @@ namespace {
 // to `stage_out` (sorted order restored by the caller before subtraction).
 uint64_t BottomUpProcedureInMemory(const std::vector<io::GnewRecord>& h_records,
                                    const std::vector<uint8_t>& in_uk,
-                                   uint32_t k, io::BlockWriter* class_out,
+                                   uint32_t k, uint32_t threads,
+                                   io::BlockWriter* class_out,
                                    io::BlockWriter* stage_out) {
   const LocalGraphView local(h_records);
   const Graph& h = local.graph();
   const EdgeId m = h.num_edges();
 
-  std::vector<uint32_t> sup = ComputeEdgeSupports(h);
+  std::vector<uint32_t> sup = ComputeEdgeSupports(h, threads);
   const EdgeMap edge_map(h);
   std::vector<uint8_t> removed(m, 0);
   std::vector<uint8_t> queued(m, 0);
@@ -188,7 +189,7 @@ Result<uint64_t> BottomUpProcedureExternal(
       const LocalGraphView local(records);
       const Graph& f = local.graph();
       const EdgeId m = f.num_edges();
-      std::vector<uint32_t> sup = ComputeEdgeSupports(f);
+      std::vector<uint32_t> sup = ComputeEdgeSupports(f, cfg.threads);
       const EdgeMap edge_map(f);
       std::vector<uint8_t> removed(m, 0);
       std::vector<uint8_t> queued(m, 0);
@@ -405,8 +406,10 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
       while (reader.value()->ReadRecord(&rec)) {
         if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) h_records.push_back(rec);
       }
-      classified_now = BottomUpProcedureInMemory(
-          h_records, in_uk, k, class_writer.get(), stage_writer.get());
+      classified_now = BottomUpProcedureInMemory(h_records, in_uk, k,
+                                                 config.threads,
+                                                 class_writer.get(),
+                                                 stage_writer.get());
     } else {
       // Scan 3': spill H to disk and run Procedure 9.
       ++stats.candidate_overflows;

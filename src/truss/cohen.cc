@@ -7,13 +7,14 @@
 namespace truss {
 
 TrussDecompositionResult CohenTrussDecomposition(const Graph& g,
-                                                 MemoryTracker* tracker) {
+                                                 MemoryTracker* tracker,
+                                                 uint32_t threads) {
   const EdgeId m = g.num_edges();
   TrussDecompositionResult result;
   result.truss_number.assign(m, 0);
   if (m == 0) return result;
 
-  std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+  std::vector<uint32_t> sup = ComputeEdgeSupports(g, threads);
   std::vector<bool> removed(m, false);
   std::vector<bool> queued(m, false);
 

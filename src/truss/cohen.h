@@ -19,8 +19,10 @@
 namespace truss {
 
 /// Runs Algorithm 1. `tracker` (optional) records peak structure memory.
+/// `threads` parallelizes the support initialization only; results are
+/// identical for every thread count.
 TrussDecompositionResult CohenTrussDecomposition(
-    const Graph& g, MemoryTracker* tracker = nullptr);
+    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1);
 
 }  // namespace truss
 

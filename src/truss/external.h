@@ -27,6 +27,10 @@ struct ExternalConfig {
   uint64_t seed = 42;
   /// Top-down only: number of top classes to compute; -1 = all classes.
   int32_t top_t = -1;
+  /// Worker threads for the local (in-memory) support computations run on
+  /// candidate subgraphs and partition parts. Results are identical for
+  /// every value; see ComputeEdgeSupports(g, threads).
+  uint32_t threads = 1;
   /// Emit per-stage progress lines on stderr.
   bool verbose = false;
   /// Progress + cooperative-cancellation hooks, polled once per

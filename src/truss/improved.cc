@@ -111,8 +111,9 @@ TrussDecompositionResult Peel(const Graph& g, std::vector<uint32_t>& sup,
 }  // namespace
 
 TrussDecompositionResult ImprovedTrussDecomposition(const Graph& g,
-                                                    MemoryTracker* tracker) {
-  std::vector<uint32_t> sup = ComputeEdgeSupports(g);
+                                                    MemoryTracker* tracker,
+                                                    uint32_t threads) {
+  std::vector<uint32_t> sup = ComputeEdgeSupports(g, threads);
   return Peel(g, sup, tracker);
 }
 

@@ -18,8 +18,10 @@
 namespace truss {
 
 /// Runs Algorithm 2. `tracker` (optional) records peak structure memory.
+/// `threads` parallelizes the support initialization (the peel itself is
+/// inherently sequential); results are identical for every thread count.
 TrussDecompositionResult ImprovedTrussDecomposition(
-    const Graph& g, MemoryTracker* tracker = nullptr);
+    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1);
 
 /// Variant used by the external algorithms (§5, §6): peels `g` with the
 /// supports given in `sup` (consumed/modified in place) and returns truss

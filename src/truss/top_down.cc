@@ -327,7 +327,7 @@ Result<StageOutcome> TopDownProcedureExternal(
       const LocalGraphView local(records);
       const Graph& f = local.graph();
       const EdgeId m = f.num_edges();
-      std::vector<uint32_t> sup = ComputeEdgeSupports(f);
+      std::vector<uint32_t> sup = ComputeEdgeSupports(f, cfg.threads);
       const EdgeMap edge_map(f);
       std::vector<uint8_t> dead(m, 0);
       std::vector<uint8_t> queued(m, 0);

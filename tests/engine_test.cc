@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "gen/fixtures.h"
 #include "gen/generators.h"
 #include "graph/graph.h"
@@ -100,14 +101,64 @@ TEST(DecomposeOptionsTest, NonsenseTopTValuesAreInvalid) {
   EXPECT_TRUE(options.Validate().ok());
 }
 
-TEST(DecomposeOptionsTest, ThreadsKnobIsReserved) {
+TEST(DecomposeOptionsTest, ThreadsKnobValidation) {
   DecomposeOptions options;
   options.threads = 0;
   EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
   options.threads = 8;
-  EXPECT_EQ(options.Validate().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(options.Validate().ok());
   options.threads = 1;
   EXPECT_TRUE(options.Validate().ok());
+  options.threads = kMaxParallelThreads;
+  EXPECT_TRUE(options.Validate().ok());
+  // Beyond the sanity cap — notably where a CLI "--threads -1" lands after
+  // wrapping to uint32_t.
+  options.threads = kMaxParallelThreads + 1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.threads = static_cast<uint32_t>(-1);
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+// The threads knob must never change results: every registry algorithm run
+// at threads = 4 matches its own threads = 1 decomposition exactly.
+TEST(EngineThreadsTest, FourThreadsMatchOneThreadForEveryAlgorithm) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(60, 250, 9), 8, 6);
+  for (const AlgorithmInfo& info : Engine::Algorithms()) {
+    DecomposeOptions options;
+    options.algorithm = info.id;
+    auto sequential = Engine::Decompose(g, options);
+    ASSERT_TRUE(sequential.ok()) << info.name << ": "
+                                 << sequential.status().ToString();
+    options.threads = 4;
+    auto parallel = Engine::Decompose(g, options);
+    ASSERT_TRUE(parallel.ok()) << info.name << ": "
+                               << parallel.status().ToString();
+    EXPECT_TRUE(SameDecomposition(sequential.value().result,
+                                  parallel.value().result))
+        << info.name;
+    EXPECT_EQ(sequential.value().result.kmax, parallel.value().result.kmax)
+        << info.name;
+  }
+}
+
+// The external algorithms take threads through ExternalConfig; a tight
+// budget forces the partitioned overflow procedures, whose local support
+// computations are the parallelized call sites.
+TEST(EngineThreadsTest, ThreadsReachExternalOverflowProcedures) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(80, 400, 3), 10, 7);
+  for (const char* name : {"bottomup", "topdown"}) {
+    DecomposeOptions options;
+    options.algorithm = Engine::FindAlgorithm(name)->id;
+    options.memory_budget_bytes = 4 << 10;  // force Procedure 9/10
+    auto sequential = Engine::Decompose(g, options);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    options.threads = 4;
+    auto parallel = Engine::Decompose(g, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_TRUE(SameDecomposition(sequential.value().result,
+                                  parallel.value().result))
+        << name;
+  }
 }
 
 TEST(DecomposeOptionsTest, DecomposeRejectsInvalidOptions) {

@@ -87,6 +87,64 @@ TEST(TextIoTest, SelfLoopsDropped) {
   std::remove(path.c_str());
 }
 
+TEST(TextIoTest, LinesLongerThanAnyFixedBufferParse) {
+  // Regression: the reader once used a fixed 512-byte fgets buffer, so a
+  // longer line was silently split into two rows (mis-parsed ids or a bogus
+  // "malformed row" error). Pad comments and an edge row well past that.
+  const std::string path = TempFile("truss_long_lines.txt");
+  WriteText(path, "# " + std::string(4096, 'x') + "\n" +
+                      "1" + std::string(2000, ' ') + "2\n" +
+                      std::string(1500, ' ') + "2 3\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().graph.num_edges(), 2u);
+  EXPECT_EQ(loaded.value().original_id,
+            (std::vector<uint64_t>{1u, 2u, 3u}));
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, NegativeVertexIdsAreCorruption) {
+  // Regression: sscanf("%llu") accepted "-1" and wrapped it to 2^64-1,
+  // interning a garbage vertex instead of failing.
+  for (const char* row : {"-1 2\n", "1 -2\n", "+1 2\n"}) {
+    const std::string path = TempFile("truss_negative.txt");
+    WriteText(path, row);
+    auto loaded = ReadSnapEdgeList(path);
+    ASSERT_FALSE(loaded.ok()) << "accepted " << row;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << row;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TextIoTest, NonDecimalTokensAreCorruption) {
+  for (const char* row : {"1 2x\n", "0x10 2\n", "1.5 2\n", "1\n"}) {
+    const std::string path = TempFile("truss_nondecimal.txt");
+    WriteText(path, row);
+    auto loaded = ReadSnapEdgeList(path);
+    ASSERT_FALSE(loaded.ok()) << "accepted " << row;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << row;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TextIoTest, OverflowingVertexIdIsCorruption) {
+  const std::string path = TempFile("truss_overflow.txt");
+  WriteText(path, "99999999999999999999999999999999 1\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, CarriageReturnLineEndingsParse) {
+  const std::string path = TempFile("truss_crlf.txt");
+  WriteText(path, "1 2\r\n2 3\r\n");
+  auto loaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().graph.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(TextIoTest, MalformedRowIsCorruption) {
   const std::string path = TempFile("truss_bad.txt");
   WriteText(path, "1 2\nnot numbers\n");
@@ -105,6 +163,20 @@ TEST(TextIoTest, MissingFileIsIOError) {
 TEST(TextIoTest, WriteToUnwritablePathFails) {
   const Graph g = gen::Complete(3);
   EXPECT_FALSE(WriteEdgeList(g, "/nonexistent/dir/out.txt").ok());
+}
+
+TEST(TextIoTest, ShortWriteIsIOError) {
+  // Regression: fprintf return values were ignored, so writing to a full
+  // disk still returned OK. /dev/full fails every flush; the graph is big
+  // enough that stdio flushes mid-write, exercising the fprintf checks and
+  // not just the final fclose.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  const Graph g = gen::ErdosRenyiGnm(2000, 30000, 11);
+  const Status status = WriteEdgeList(g, "/dev/full");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
 }
 
 }  // namespace

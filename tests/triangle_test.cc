@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "gen/generators.h"
 #include "graph/graph.h"
@@ -70,6 +72,75 @@ TEST(TriangleTest, CompleteGraphSupports) {
 TEST(TriangleTest, EmptyAndTinyGraphs) {
   EXPECT_EQ(CountTriangles(Graph()), 0u);
   EXPECT_EQ(CountTriangles(Graph::FromEdges({{0, 1}}, 0)), 0u);
+}
+
+// --- parallel support computation --------------------------------------
+
+// Adversarial degree skew: a star hub plus a clique sharing the hub, so one
+// vertex carries most of the oriented work and shard balancing matters.
+Graph SkewedHubGraph() {
+  std::vector<Edge> edges;
+  const VertexId hub = 0;
+  for (VertexId v = 1; v <= 300; ++v) edges.push_back(MakeEdge(hub, v));
+  for (VertexId i = 1; i <= 12; ++i) {
+    for (VertexId j = i + 1; j <= 12; ++j) edges.push_back(MakeEdge(i, j));
+  }
+  return Graph::FromEdges(std::move(edges), 0);
+}
+
+class ParallelSupportTest : public ::testing::TestWithParam<uint32_t> {};
+
+// ComputeEdgeSupports(g, t) must be byte-identical to the naive oracle and
+// to the sequential path for every thread count, on random and adversarial
+// (star / skew-degree) graphs.
+TEST_P(ParallelSupportTest, MatchesOracleAndSequentialOnEveryGraphShape) {
+  const uint32_t threads = GetParam();
+  const Graph graphs[] = {
+      gen::ErdosRenyiGnm(80, 600, 13),      // random
+      gen::BarabasiAlbert(300, 4, 23),      // power-law
+      gen::Star(200),                       // pure star: zero triangles
+      SkewedHubGraph(),                     // hub + clique skew
+      gen::Complete(12),                    // max density
+      Graph(),                              // empty
+      Graph::FromEdges({{0, 1}}, 0),        // single edge
+  };
+  for (size_t i = 0; i < std::size(graphs); ++i) {
+    const Graph& g = graphs[i];
+    const std::vector<uint32_t> parallel = ComputeEdgeSupports(g, threads);
+    EXPECT_EQ(parallel, ComputeEdgeSupportsNaive(g)) << "graph " << i;
+    EXPECT_EQ(parallel, ComputeEdgeSupports(g)) << "graph " << i;
+  }
+}
+
+TEST_P(ParallelSupportTest, OrientedAdjacencyIsThreadCountInvariant) {
+  const uint32_t threads = GetParam();
+  const Graph g = gen::BarabasiAlbert(200, 5, 31);
+  const OrientedAdjacency sequential(g);
+  const OrientedAdjacency parallel(g, threads);
+  ASSERT_TRUE(std::ranges::equal(sequential.offsets(), parallel.offsets()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sequential.rank(v), parallel.rank(v));
+    const auto a = sequential.out(v);
+    const auto b = parallel.out(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].rank, b[i].rank);
+      EXPECT_EQ(a[i].vertex, b[i].vertex);
+      EXPECT_EQ(a[i].edge, b[i].edge);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, ParallelSupportTest,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelSupportTest, ThreadsBeyondVertexCountClamp) {
+  const Graph g = gen::Complete(5);
+  EXPECT_EQ(ComputeEdgeSupports(g, 64), ComputeEdgeSupports(g));
+  EXPECT_EQ(ComputeEdgeSupports(Graph(), 64), std::vector<uint32_t>{});
 }
 
 TEST(OrientedAdjacencyTest, OutDegreeBoundedBySqrtM) {
