@@ -1,0 +1,127 @@
+// Ingestion throughput: sequential reference reader vs the chunked
+// parallel reader (graph/text_io) across a thread sweep.
+//
+// Inputs: the real SNAP datasets downloaded by scripts/fetch_snap.sh when
+// present (bench_util SnapDatasetDir), otherwise a registry stand-in
+// written out as a text edge list — so the bench always runs, and runs on
+// the paper's actual graphs wherever they have been fetched.
+//
+// Every parallel run is verified byte-identical (graph + original_id)
+// against the sequential reference; any divergence fails the bench.
+// Machine-readable "METRIC <key> <value>" lines land in the BENCH_*.json
+// artifact via scripts/run_benches.sh for trajectory tracking.
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "graph/text_io.h"
+
+namespace {
+
+using truss::LoadedGraph;
+using truss::ReadSnapEdgeList;
+using truss::ReadSnapEdgeListSequential;
+using truss::SameLoadedGraph;
+using truss::SnapReadOptions;
+
+std::string MetricKey(const std::string& stem) {
+  std::string key;
+  for (const char c : stem) {
+    key += std::isalnum(static_cast<unsigned char>(c)) != 0
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  return key;
+}
+
+// One dataset: sequential baseline, then the chunked reader at t = 1, 2,
+// 4, ... up to the sweep cap. Returns false on any result divergence.
+bool BenchFile(const std::filesystem::path& path) {
+  const double mb =
+      static_cast<double>(std::filesystem::file_size(path)) / (1024.0 * 1024.0);
+  const std::string key = MetricKey(path.stem().string());
+  std::printf("\n%s (%.1f MB)\n", path.filename().string().c_str(), mb);
+  std::printf("  %-14s %10s %10s %8s\n", "reader", "seconds", "MB/s",
+              "speedup");
+
+  truss::WallTimer seq_timer;
+  auto reference = ReadSnapEdgeListSequential(path.string());
+  const double seq_s = seq_timer.Seconds();
+  if (!reference.ok()) {
+    std::fprintf(stderr, "error: %s\n", reference.status().ToString().c_str());
+    return false;
+  }
+  std::printf("  %-14s %10.3f %10.1f %8s\n", "sequential", seq_s, mb / seq_s,
+              "1.0x");
+  std::printf("METRIC ingest_%s_seq_mbps %.1f\n", key.c_str(), mb / seq_s);
+
+  bool ok = true;
+  for (uint32_t t = 1; t <= truss::bench::BenchThreads(); t *= 2) {
+    SnapReadOptions options;
+    options.threads = t;
+    truss::WallTimer timer;
+    auto loaded = ReadSnapEdgeList(path.string(), options);
+    const double s = timer.Seconds();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return false;
+    }
+    if (!SameLoadedGraph(reference.value(), loaded.value())) {
+      std::fprintf(stderr,
+                   "error: chunked reader (t=%u) diverges from the "
+                   "sequential reference on %s\n",
+                   t, path.string().c_str());
+      ok = false;
+      continue;
+    }
+    const std::string label = "chunked t=" + std::to_string(t);
+    std::printf("  %-14s %10.3f %10.1f %8s\n", label.c_str(), s, mb / s,
+                truss::bench::Ratio(seq_s, s).c_str());
+    std::printf("METRIC ingest_%s_t%u_mbps %.1f\n", key.c_str(), t, mb / s);
+    if (t == 1) {
+      std::printf("METRIC ingest_%s_t1_overhead_pct %.1f\n", key.c_str(),
+                  (s - seq_s) / seq_s * 100.0);
+    }
+  }
+  std::printf("  graph: %u vertices, %u edges\n",
+              reference.value().graph.num_vertices(),
+              reference.value().graph.num_edges());
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::filesystem::path> inputs =
+      truss::bench::SnapDatasetFiles();
+  std::filesystem::path standin;
+  if (inputs.empty()) {
+    // No fetched datasets: write the largest quick registry stand-in as a
+    // text edge list so the bench exercises the same code path end to end.
+    const std::string dir = truss::bench::BenchDir("ingest");
+    std::filesystem::create_directories(dir);
+    standin = std::filesystem::path(dir) / "Blog-standin.txt";
+    std::printf("no SNAP datasets under %s (run scripts/fetch_snap.sh); "
+                "writing the Blog stand-in\n",
+                truss::bench::SnapDatasetDir().string().c_str());
+    const truss::Status written =
+        truss::WriteEdgeList(truss::bench::GetDataset("Blog"),
+                             standin.string());
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    inputs.push_back(standin);
+  }
+
+  bool ok = true;
+  for (const auto& path : inputs) ok = BenchFile(path) && ok;
+  if (!standin.empty()) std::filesystem::remove(standin);
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 #include <system_error>
+#include <vector>
 
 #include "common/timer.h"
 #include "datasets/datasets.h"
@@ -32,6 +33,27 @@ inline std::filesystem::path DatasetCacheDir() {
     return {dir};
   }
   return std::filesystem::temp_directory_path() / "truss_bench_cache";
+}
+
+/// Directory scripts/fetch_snap.sh downloads the paper's real SNAP
+/// datasets into (uncompressed .txt edge lists). Benches that can use the
+/// originals (bench_ingest, and any table bench pointed at real data)
+/// look here; when it is empty they fall back to the registry stand-ins.
+inline std::filesystem::path SnapDatasetDir() {
+  return DatasetCacheDir() / "snap";
+}
+
+/// The .txt edge lists present in SnapDatasetDir(), sorted by name
+/// (empty when fetch_snap.sh has not been run).
+inline std::vector<std::filesystem::path> SnapDatasetFiles() {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(SnapDatasetDir(), ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".txt") files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
 }
 
 /// Generates (and memoizes per process) a registry dataset, backed by the

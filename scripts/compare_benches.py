@@ -39,6 +39,35 @@ def load_results(directory: pathlib.Path) -> dict:
     return results
 
 
+def report_metrics(baseline: dict, current: dict) -> None:
+    """Prints deltas for named bench metrics (METRIC lines, e.g.
+    bench_ingest's MB/s figures).
+
+    Informational only — metrics track trajectory (throughput, scaling)
+    and never fail the comparison; wall_seconds is the blocking signal.
+    No direction is assumed (some metrics are higher-better MB/s, some
+    lower-better overhead percentages that can legitimately be negative),
+    so only the raw values and a relative delta are shown; the delta is
+    suppressed for non-positive baselines, where a ratio would be
+    meaningless or sign-inverted."""
+    rows = []
+    for name in sorted(baseline.keys() & current.keys()):
+        base_metrics = baseline[name].get("metrics") or {}
+        cur_metrics = current[name].get("metrics") or {}
+        for key in sorted(base_metrics.keys() & cur_metrics.keys()):
+            base_v, cur_v = base_metrics[key], cur_metrics[key]
+            delta = (f"{(cur_v - base_v) / base_v * 100.0:+.1f}%"
+                     if base_v > 0 else "-")
+            rows.append((key, f"{base_v:.1f}", f"{cur_v:.1f}", delta))
+    if not rows:
+        return
+    header = ("metric", "base", "current", "delta")
+    widths = [max(len(row[i]) for row in rows + [header]) for i in range(4)]
+    print("\nmetrics (informational, never blocking):")
+    for row in (header,) + tuple(rows):
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -105,6 +134,8 @@ def main() -> int:
     header = ("bench", "base s", "current s", "delta", "status")
     for row in (header,) + tuple(rows):
         print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+    report_metrics(baseline, current)
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed beyond "

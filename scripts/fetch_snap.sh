@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Downloads the paper's public SNAP evaluation datasets (Table 2) into the
+# bench dataset cache, uncompressed, where bench_ingest (and any bench
+# pointed at real data) picks them up automatically:
+#
+#   ${TRUSS_BENCH_CACHE_DIR:-$TMPDIR/truss_bench_cache}/snap/<name>.txt
+#
+# Usage:
+#   scripts/fetch_snap.sh [--dir DIR] [--all] [NAME...]
+#
+#   --dir DIR   override the target directory
+#   --all       fetch every dataset, including the ~1 GB soc-LiveJournal1
+#   NAME...     explicit dataset names (see DATASETS below) override both
+#
+# Default set: the small/medium graphs. LiveJournal is behind --all because
+# of its size. Yahoo and BTC are not on snap.stanford.edu and have no
+# public mirror; the registry stand-ins cover them.
+set -euo pipefail
+
+BASE_URL="https://snap.stanford.edu/data"
+
+# name=archive pairs; ${name}.txt is the uncompressed target.
+declare -A DATASETS=(
+  [p2p-Gnutella31]="p2p-Gnutella31.txt.gz"
+  [cit-HepPh]="cit-HepPh.txt.gz"
+  [amazon0601]="amazon0601.txt.gz"
+  [wiki-Talk]="wiki-Talk.txt.gz"
+  [as-skitter]="as-skitter.txt.gz"
+  [soc-LiveJournal1]="soc-LiveJournal1.txt.gz"
+)
+QUICK_SET=(p2p-Gnutella31 cit-HepPh amazon0601 wiki-Talk as-skitter)
+ALL_SET=(p2p-Gnutella31 cit-HepPh amazon0601 wiki-Talk as-skitter
+         soc-LiveJournal1)
+
+TARGET_DIR="${TRUSS_BENCH_CACHE_DIR:-${TMPDIR:-/tmp}/truss_bench_cache}/snap"
+FETCH=()
+USE_ALL=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --dir) TARGET_DIR="$2"; shift 2 ;;
+    --all) USE_ALL=1; shift ;;
+    -h|--help) sed -n '2,17p' "$0"; exit 0 ;;
+    *)
+      if [[ -z "${DATASETS[$1]:-}" ]]; then
+        echo "unknown dataset: $1 (known: ${!DATASETS[*]})" >&2
+        exit 2
+      fi
+      FETCH+=("$1"); shift ;;
+  esac
+done
+if [[ ${#FETCH[@]} -eq 0 ]]; then
+  if [[ ${USE_ALL} -eq 1 ]]; then FETCH=("${ALL_SET[@]}");
+  else FETCH=("${QUICK_SET[@]}"); fi
+fi
+
+if command -v curl >/dev/null; then
+  download() { curl -fL --retry 3 -o "$1" "$2"; }
+elif command -v wget >/dev/null; then
+  download() { wget -O "$1" "$2"; }
+else
+  echo "error: neither curl nor wget is available" >&2
+  exit 1
+fi
+
+mkdir -p "${TARGET_DIR}"
+for name in "${FETCH[@]}"; do
+  txt="${TARGET_DIR}/${name}.txt"
+  if [[ -s "${txt}" ]]; then
+    echo "[have] ${name}"
+    continue
+  fi
+  archive="${TARGET_DIR}/${DATASETS[$name]}"
+  echo "[get ] ${BASE_URL}/${DATASETS[$name]}"
+  download "${archive}" "${BASE_URL}/${DATASETS[$name]}"
+  # -k keeps the archive until the .txt is in place; a partial gunzip
+  # leaves no half-written target behind.
+  gunzip -kf "${archive}"
+  rm -f "${archive}"
+  echo "[ok  ] ${txt} ($(du -h "${txt}" | cut -f1))"
+done
+
+echo
+echo "datasets in ${TARGET_DIR}:"
+ls -lh "${TARGET_DIR}"/*.txt 2>/dev/null || true

@@ -25,10 +25,10 @@ THREADS="${TRUSS_BENCH_THREADS:-8}"
 
 # Seconds-scale benches, safe to run on every PR. (The external-memory
 # tables 4-6 run 2-10 minutes each; reach them with --all.)
-QUICK_SET=(bench_ablation bench_clique_pruning bench_micro_kernels
-           bench_table3_inmem)
+QUICK_SET=(bench_ablation bench_clique_pruning bench_ingest
+           bench_micro_kernels bench_table3_inmem)
 # Full sweep, including dataset generation and external-memory runs.
-ALL_SET=(bench_ablation bench_clique_pruning bench_micro_kernels
+ALL_SET=(bench_ablation bench_clique_pruning bench_ingest bench_micro_kernels
          bench_table2_datasets bench_table3_inmem bench_table4_bottomup_vs_mr
          bench_table5_topdown bench_table6_truss_vs_core)
 
@@ -86,6 +86,17 @@ for bench in "${RUN_SET[@]}"; do
 import json, pathlib, socket, sys
 out, bench, status, wall, rev, ts, log, threads = sys.argv[1:9]
 lines = pathlib.Path(log).read_text(errors="replace").splitlines()
+# Benches may emit "METRIC <key> <value>" lines (e.g. bench_ingest's MB/s
+# throughput figures); collect them into a structured field so
+# compare_benches.py can diff them without re-parsing free-form output.
+metrics = {}
+for line in lines:
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == "METRIC":
+        try:
+            metrics[parts[1]] = float(parts[2])
+        except ValueError:
+            pass
 pathlib.Path(out).write_text(json.dumps({
     "bench": bench,
     "status": "ok" if status == "0" else "failed",
@@ -95,6 +106,7 @@ pathlib.Path(out).write_text(json.dumps({
     "git_rev": rev,
     "timestamp_utc": ts,
     "host": socket.gethostname(),
+    "metrics": metrics,
     "output": lines,
 }, indent=2) + "\n")
 PYEOF

@@ -197,6 +197,27 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
   return Status::Internal("unreachable: unknown algorithm");
 }
 
+Result<DecomposeOutput> Engine::DecomposeSnapFile(const std::string& path,
+                                                  const DecomposeOptions& options,
+                                                  LoadedGraph* loaded) {
+  // Validate before paying for ingestion: a bad flag combination should
+  // fail in microseconds, not after parsing 69M rows.
+  TRUSS_RETURN_IF_ERROR(options.Validate());
+
+  WallTimer ingest_timer;
+  SnapReadOptions read_options;
+  read_options.threads = options.threads;
+  auto parsed = ReadSnapEdgeList(path, read_options);
+  TRUSS_RETURN_IF_ERROR_RESULT(parsed);
+  const double ingest_seconds = ingest_timer.Seconds();
+
+  auto out = Decompose(parsed.value().graph, options);
+  TRUSS_RETURN_IF_ERROR_RESULT(out);
+  out.value().stats.ingest_seconds = ingest_seconds;
+  if (loaded != nullptr) *loaded = parsed.MoveValue();
+  return out;
+}
+
 std::span<const AlgorithmInfo> Engine::Algorithms() { return kRegistry; }
 
 const AlgorithmInfo* Engine::FindAlgorithm(std::string_view name) {

@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "engine/options.h"
 #include "graph/graph.h"
+#include "graph/text_io.h"
 #include "io/edge_records.h"
 #include "io/env.h"
 #include "truss/external.h"
@@ -54,6 +55,9 @@ struct AlgorithmInfo {
 struct DecomposeStats {
   Algorithm algorithm = Algorithm::kImproved;
   double wall_seconds = 0.0;
+  /// Time spent parsing the input text file (DecomposeSnapFile only; 0
+  /// elsewhere). Not included in wall_seconds, which times decomposition.
+  double ingest_seconds = 0.0;
   /// Peak structure memory from MemoryTracker (in-memory algorithms).
   uint64_t peak_memory_bytes = 0;
   /// I/O counters and stage statistics (external algorithms).
@@ -93,6 +97,16 @@ class Engine {
                                               VertexId num_vertices,
                                               const DecomposeOptions& options,
                                               const std::string& classes_out);
+
+  /// Loads a SNAP-format text edge list with the chunked parallel reader
+  /// (options.threads accelerates ingestion too, not just decomposition)
+  /// and decomposes it. Ingestion time lands in stats.ingest_seconds. When
+  /// `loaded` is non-null the parsed graph and original-id mapping are
+  /// moved there, so callers can run follow-up queries (k-truss extraction,
+  /// communities) without re-reading the file.
+  static Result<DecomposeOutput> DecomposeSnapFile(
+      const std::string& path, const DecomposeOptions& options,
+      LoadedGraph* loaded = nullptr);
 
   /// The registry: all four algorithms in the paper's presentation order.
   static std::span<const AlgorithmInfo> Algorithms();

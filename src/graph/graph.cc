@@ -9,6 +9,10 @@ Graph Graph::FromEdges(std::vector<Edge> edges, VertexId num_vertices) {
   // therefore the lexicographic order of (u, v) pairs.
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  // Release the capacity of the erased duplicates before the CSR arrays
+  // are allocated: a SNAP file listing every edge in both directions
+  // otherwise carries a 2x-sized edge buffer through peak memory.
+  edges.shrink_to_fit();
 
   VertexId n = num_vertices;
   for (const Edge& e : edges) {
@@ -76,7 +80,16 @@ void GraphBuilder::AddEdge(VertexId a, VertexId b) {
   if (hi + 1 > num_vertices_) num_vertices_ = hi + 1;
 }
 
+void GraphBuilder::Compact() {
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  pending_.shrink_to_fit();
+}
+
 Graph GraphBuilder::Build() {
+  // FromEdges sorts/uniques/shrinks the moved buffer in place before any
+  // CSR allocation, so calling Compact() here would only sort twice.
   Graph g = Graph::FromEdges(std::move(pending_), num_vertices_);
   pending_.clear();
   num_vertices_ = 0;

@@ -1,31 +1,64 @@
 #include "graph/text_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace truss {
 
 namespace {
 
-// Parses one whitespace-delimited token at *cursor as a plain unsigned
-// decimal (digits only — no sign, no hex, no trailing garbage inside the
-// token) and advances *cursor past it. Rejects overflow past uint64_t.
-// SNAP ids are non-negative integers; anything else (notably "-1", which
-// sscanf's %llu would silently wrap to 2^64-1) is a malformed row.
-bool ParseVertexId(const char** cursor, uint64_t* out) {
+// Some SNAP exports (and almost anything that passed through a Windows
+// editor) carry a UTF-8 byte-order mark; it sits inside row 1 and must not
+// make that row malformed.
+constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+
+// Error text is part of the readers' contract: the parallel reader must
+// report the same message, with the same line number, as the sequential
+// reference for any malformed file.
+std::string MalformedRowMessage(uint64_t line_no, const std::string& path) {
+  return "malformed row " + std::to_string(line_no) + " in " + path +
+         " (vertex ids must be plain unsigned decimals)";
+}
+
+std::string TooManyIdsMessage(const std::string& path) {
+  return "too many distinct vertex ids in " + path +
+         " (compact ids are 32-bit)";
+}
+
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Parses one whitespace-delimited token in [*cursor, end) as a plain
+// unsigned decimal (digits only — no sign, no hex, no trailing garbage
+// inside the token) and advances *cursor past it. Rejects overflow past
+// uint64_t. SNAP ids are non-negative integers; anything else (notably
+// "-1", which sscanf's %llu would silently wrap to 2^64-1) is a malformed
+// row.
+bool ParseVertexId(const char** cursor, const char* end, uint64_t* out) {
   const char* p = *cursor;
-  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  if (p == end || !IsDigit(*p)) return false;
   uint64_t value = 0;
-  for (; std::isdigit(static_cast<unsigned char>(*p)); ++p) {
+  for (; p != end && IsDigit(*p); ++p) {
     const uint64_t digit = static_cast<uint64_t>(*p - '0');
     if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
     value = value * 10 + digit;
   }
-  if (*p != '\0' && !std::isspace(static_cast<unsigned char>(*p))) {
+  if (p != end && !IsSpace(*p)) {
     return false;  // token continues with non-digit characters, e.g. "12x"
   }
   *cursor = p;
@@ -33,28 +66,247 @@ bool ParseVertexId(const char** cursor, uint64_t* out) {
   return true;
 }
 
-const char* SkipSpace(const char* p) {
-  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+const char* SkipSpace(const char* p, const char* end) {
+  while (p != end && IsSpace(*p)) ++p;
   return p;
+}
+
+enum class RowKind { kSkip, kEdge, kMalformed };
+
+// One row of the shared grammar: optional leading whitespace, then either
+// nothing / a '#' comment (kSkip) or two unsigned decimal ids (kEdge).
+// Columns after the second id are ignored, as SNAP tooling does.
+RowKind ParseRow(const char* p, const char* end, uint64_t* a, uint64_t* b) {
+  p = SkipSpace(p, end);
+  if (p == end || *p == '#') return RowKind::kSkip;
+  if (!ParseVertexId(&p, end, a)) return RowKind::kMalformed;
+  p = SkipSpace(p, end);
+  if (!ParseVertexId(&p, end, b)) return RowKind::kMalformed;
+  return RowKind::kEdge;
+}
+
+// --- chunked parallel reader ----------------------------------------------
+//
+// Pipeline (deterministic for every thread count and chunking):
+//   1. Chunk the buffer at newline boundaries, so no row straddles chunks.
+//   2. Parse chunks in parallel. Each chunk interns its labels into a
+//      *local* table in first-seen order and records edges as local ids —
+//      shared-nothing, no atomics.
+//   3. Merge sequentially in chunk order: walking each chunk's local
+//      first-seen labels in order reproduces the global first-seen order
+//      exactly (a label's first occurrence lies in the earliest chunk that
+//      saw it), and only distinct labels — not every token — pass through
+//      the global table. Malformed-row errors surface here in file order.
+//   4. Remap local edges to compact ids in parallel into one edge array at
+//      per-chunk offsets, then build the CSR graph.
+
+// Nominal chunk size when SnapReadOptions::chunk_bytes is 0: big enough
+// that per-chunk table setup amortizes away, small enough that 4 chunks
+// per thread smooth out skewed comment/blank density.
+constexpr uint64_t kAutoMinChunkBytes = 1ull << 20;
+
+struct LocalEdge {
+  uint32_t a;
+  uint32_t b;
+};
+
+struct ChunkState {
+  std::vector<LocalEdge> edges;
+  /// labels[local id] = file label, in this chunk's first-seen order.
+  std::vector<uint64_t> labels;
+  /// Rows seen, including a trailing malformed one.
+  uint64_t lines = 0;
+  /// 1-based row index (within the chunk) of the first malformed row;
+  /// 0 when the chunk parsed cleanly.
+  uint64_t bad_line = 0;
+};
+
+// `max_ids` is the (clamped) SnapReadOptions::max_distinct_ids. The local
+// table may grow to max_ids + 1 entries: a chunk holding that many
+// *distinct* labels is guaranteed to trip the merge phase's global guard
+// (global count >= this chunk's local count > max_ids), so stopping there
+// both keeps local ids from ever wrapping uint32 and reports the exact
+// Corruption the sequential reader would — while a chunk with up to
+// max_ids distinct labels (which may be legal overall) parses in full.
+void ParseChunk(const char* begin, const char* end, uint64_t max_ids,
+                ChunkState* out) {
+  std::unordered_map<uint64_t, uint32_t> local;
+  // Returns false when the label is new but the table is full.
+  auto intern_local = [&](uint64_t label, uint32_t* id) {
+    const auto it = local.find(label);
+    if (it != local.end()) {
+      *id = it->second;
+      return true;
+    }
+    if (out->labels.size() > max_ids) return false;
+    *id = static_cast<uint32_t>(out->labels.size());
+    local.emplace(label, *id);
+    out->labels.push_back(label);
+    return true;
+  };
+
+  const char* p = begin;
+  while (p < end) {
+    const auto* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<size_t>(end - p)));
+    const char* line_end = (nl != nullptr) ? nl : end;
+    ++out->lines;
+
+    uint64_t a = 0, b = 0;
+    const RowKind kind = ParseRow(p, line_end, &a, &b);
+    if (kind == RowKind::kMalformed) {
+      out->bad_line = out->lines;
+      return;  // labels/edges of earlier rows stay valid for error ordering
+    }
+    if (kind == RowKind::kEdge && a != b) {  // drop self-loops
+      // Sequence the interning so ids follow first-seen order
+      // (function-argument evaluation order would be unspecified).
+      uint32_t la = 0, lb = 0;
+      if (!intern_local(a, &la) || !intern_local(b, &lb)) {
+        return;  // table full; the merge phase reports the guard error
+      }
+      out->edges.push_back({la, lb});
+    }
+    p = (nl != nullptr) ? nl + 1 : end;
+  }
 }
 
 }  // namespace
 
-Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
+Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
+                                     const SnapReadOptions& options) {
+  auto buffer = io::FileBuffer::Load(path, options.buffer_mode);
+  if (!buffer.ok()) return buffer.status();
+
+  std::string_view bytes = buffer.value().view();
+  if (bytes.starts_with(kUtf8Bom)) bytes.remove_prefix(kUtf8Bom.size());
+  const uint64_t max_ids =
+      std::min<uint64_t>(options.max_distinct_ids, kInvalidVertex);
+
+  // Chunk boundaries: nominal multiples of chunk_bytes, each extended to
+  // the next newline so rows never straddle chunks. Boundaries depend only
+  // on the bytes and chunk size — never on scheduling.
+  uint64_t chunk_bytes = options.chunk_bytes;
+  if (chunk_bytes == 0) {
+    const uint32_t workers = EffectiveThreads(options.threads, bytes.size());
+    chunk_bytes = std::max<uint64_t>(
+        kAutoMinChunkBytes, (bytes.size() + 4ull * workers - 1) /
+                                (4ull * workers));
+  }
+  std::vector<std::pair<const char*, const char*>> ranges;
+  const char* const end = bytes.data() + bytes.size();
+  const char* start = bytes.data();
+  while (start < end) {
+    const char* stop = end;
+    if (static_cast<uint64_t>(end - start) > chunk_bytes) {
+      const char* probe = start + chunk_bytes - 1;
+      const auto* nl = static_cast<const char*>(
+          std::memchr(probe, '\n', static_cast<size_t>(end - probe)));
+      stop = (nl != nullptr) ? nl + 1 : end;
+    }
+    ranges.emplace_back(start, stop);
+    start = stop;
+  }
+
+  // Phase 1-2: shared-nothing parallel parse.
+  std::vector<ChunkState> chunks(ranges.size());
+  ParallelFor(options.threads, ranges.size(),
+              [&](uint64_t lo, uint64_t hi, uint32_t /*shard*/) {
+                for (uint64_t c = lo; c < hi; ++c) {
+                  ParseChunk(ranges[c].first, ranges[c].second, max_ids,
+                             &chunks[c]);
+                }
+              });
+
+  // Phase 3: deterministic merge in chunk (= file) order.
+  std::unordered_map<uint64_t, VertexId> compact;
+  std::vector<uint64_t> original_id;
+  std::vector<std::vector<VertexId>> remap(chunks.size());
+  uint64_t line_prefix = 0;
+  uint64_t total_edges = 0;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    remap[c].reserve(chunks[c].labels.size());
+    for (const uint64_t label : chunks[c].labels) {
+      auto it = compact.find(label);
+      if (it == compact.end()) {
+        if (original_id.size() >= max_ids) {
+          return Status::Corruption(TooManyIdsMessage(path));
+        }
+        it = compact
+                 .emplace(label, static_cast<VertexId>(original_id.size()))
+                 .first;
+        original_id.push_back(label);
+      }
+      remap[c].push_back(it->second);
+    }
+    // Report a malformed row only after interning the labels of the rows
+    // before it: if the distinct-id guard trips on those, the sequential
+    // reader would have failed with that error first.
+    if (chunks[c].bad_line != 0) {
+      return Status::Corruption(
+          MalformedRowMessage(line_prefix + chunks[c].bad_line, path));
+    }
+    line_prefix += chunks[c].lines;
+    total_edges += chunks[c].edges.size();
+  }
+
+  // Phase 4: parallel remap into one pre-sized edge array. Chunks write
+  // disjoint ranges; each releases its scratch as soon as it is remapped.
+  std::vector<uint64_t> edge_offset(chunks.size() + 1, 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    edge_offset[c + 1] = edge_offset[c] + chunks[c].edges.size();
+  }
+  std::vector<Edge> edges(total_edges);
+  ParallelFor(options.threads, chunks.size(),
+              [&](uint64_t lo, uint64_t hi, uint32_t /*shard*/) {
+                for (uint64_t c = lo; c < hi; ++c) {
+                  uint64_t at = edge_offset[c];
+                  for (const LocalEdge& le : chunks[c].edges) {
+                    edges[at++] = MakeEdge(remap[c][le.a], remap[c][le.b]);
+                  }
+                  chunks[c].edges = {};
+                  chunks[c].labels = {};
+                  remap[c] = {};
+                }
+              });
+
+  LoadedGraph out;
+  out.graph = Graph::FromEdges(std::move(edges),
+                               static_cast<VertexId>(original_id.size()));
+  out.original_id = std::move(original_id);
+  return out;
+}
+
+Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
+                                     uint32_t threads) {
+  SnapReadOptions options;
+  options.threads = threads;
+  return ReadSnapEdgeList(path, options);
+}
+
+Result<LoadedGraph> ReadSnapEdgeListSequential(const std::string& path,
+                                               uint64_t max_distinct_ids) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IOError("cannot open " + path);
   }
+  const uint64_t max_ids = std::min<uint64_t>(max_distinct_ids,
+                                              kInvalidVertex);
 
   std::unordered_map<uint64_t, VertexId> compact;
   std::vector<uint64_t> original_id;
   GraphBuilder builder;
 
+  // kInvalidVertex is never a valid compact id (max_ids caps the table
+  // below it), so it doubles as the table-full sentinel.
   auto intern = [&](uint64_t label) {
-    auto [it, inserted] =
-        compact.emplace(label, static_cast<VertexId>(original_id.size()));
-    if (inserted) original_id.push_back(label);
-    return it->second;
+    const auto it = compact.find(label);
+    if (it != compact.end()) return it->second;
+    if (original_id.size() >= max_ids) return kInvalidVertex;
+    const auto id = static_cast<VertexId>(original_id.size());
+    compact.emplace(label, id);
+    original_id.push_back(label);
+    return id;
   };
 
   // std::getline grows the buffer to the line, so arbitrarily long rows
@@ -64,20 +316,26 @@ Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const char* p = SkipSpace(line.c_str());
-    if (*p == '\0' || *p == '#') continue;  // blank or comment
+    const char* p = line.data();
+    const char* line_end = line.data() + line.size();
+    if (line_no == 1 && std::string_view(line).starts_with(kUtf8Bom)) {
+      p += kUtf8Bom.size();
+    }
 
     uint64_t a = 0, b = 0;
-    if (!ParseVertexId(&p, &a) || (p = SkipSpace(p), !ParseVertexId(&p, &b))) {
-      return Status::Corruption(
-          "malformed row " + std::to_string(line_no) + " in " + path +
-          " (vertex ids must be plain unsigned decimals)");
+    const RowKind kind = ParseRow(p, line_end, &a, &b);
+    if (kind == RowKind::kSkip) continue;  // blank or comment
+    if (kind == RowKind::kMalformed) {
+      return Status::Corruption(MalformedRowMessage(line_no, path));
     }
     if (a == b) continue;  // drop self-loops, as the simple-graph model does
     // Sequence the interning so compact ids follow first-seen order
     // (function-argument evaluation order would be unspecified).
     const VertexId ua = intern(a);
     const VertexId ub = intern(b);
+    if (ua == kInvalidVertex || ub == kInvalidVertex) {
+      return Status::Corruption(TooManyIdsMessage(path));
+    }
     builder.AddEdge(ua, ub);
   }
   if (in.bad()) {
@@ -88,6 +346,17 @@ Result<LoadedGraph> ReadSnapEdgeList(const std::string& path) {
   out.graph = builder.Build();
   out.original_id = std::move(original_id);
   return out;
+}
+
+bool SameLoadedGraph(const LoadedGraph& a, const LoadedGraph& b) {
+  if (a.original_id != b.original_id) return false;
+  if (a.graph.num_vertices() != b.graph.num_vertices() ||
+      a.graph.num_edges() != b.graph.num_edges()) {
+    return false;
+  }
+  const auto ae = a.graph.edges();
+  const auto be = b.graph.edges();
+  return std::equal(ae.begin(), ae.end(), be.begin(), be.end());
 }
 
 Status WriteEdgeList(const Graph& g, const std::string& path) {

@@ -3,15 +3,34 @@
 // The paper's datasets come from snap.stanford.edu in whitespace-separated
 // "u v" rows with '#' comment lines. Vertex IDs in such files are arbitrary;
 // we compact them to 0..n-1 and return the mapping.
+//
+// Two readers share one row grammar:
+//
+//  * ReadSnapEdgeList — the production reader. Loads the file as one buffer
+//    (io::FileBuffer: mmap, or buffered reads where mmap is unavailable),
+//    splits it into chunks at newline boundaries, parses chunks in parallel
+//    on truss::ParallelFor, then merges with a deterministic two-phase label
+//    interning. Output (graph, original_id, and error/line-number reporting
+//    for malformed rows) is byte-identical to the sequential reference for
+//    every thread count and every chunking.
+//
+//  * ReadSnapEdgeListSequential — the line-at-a-time reference the parallel
+//    reader is verified against in tests and bench_ingest.
+//
+// Both accept real-world SNAP quirks: a leading UTF-8 BOM, CRLF line
+// endings, blank lines, '#' comments, arbitrary extra whitespace, and
+// trailing columns after the two vertex ids (ignored, as SNAP tools do).
 
 #ifndef TRUSS_GRAPH_TEXT_IO_H_
 #define TRUSS_GRAPH_TEXT_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "io/file_buffer.h"
 
 namespace truss {
 
@@ -22,10 +41,53 @@ struct LoadedGraph {
   std::vector<uint64_t> original_id;
 };
 
-/// Reads a SNAP-format edge list ('#'-comments, "u v" rows; directed rows are
-/// collapsed to undirected simple edges). Fails with IOError / Corruption on
-/// unreadable files or malformed rows.
-Result<LoadedGraph> ReadSnapEdgeList(const std::string& path);
+/// Tuning and test knobs for ReadSnapEdgeList. The defaults are correct for
+/// production use; tests override chunk_bytes / buffer_mode /
+/// max_distinct_ids to pin specific paths.
+struct SnapReadOptions {
+  /// Worker threads for chunk parsing and edge remapping. Results are
+  /// byte-identical for every value (clamped to [1, kMaxParallelThreads]).
+  uint32_t threads = 1;
+
+  /// Nominal chunk size in bytes before newline alignment; 0 picks a size
+  /// from the file length and thread count. Any value yields identical
+  /// output — tiny sizes exist for chunk-boundary torture tests.
+  uint64_t chunk_bytes = 0;
+
+  /// How the file bytes are acquired (mmap vs buffered reads).
+  io::FileBuffer::Mode buffer_mode = io::FileBuffer::Mode::kAuto;
+
+  /// Cap on distinct vertex labels before the reader fails with
+  /// Corruption("too many distinct vertex ids..."). Compact ids are
+  /// VertexId (uint32), so the cap cannot exceed its default,
+  /// kInvalidVertex; tests lower it to exercise the guard without a
+  /// 17 GB fixture.
+  uint64_t max_distinct_ids = kInvalidVertex;
+};
+
+/// Reads a SNAP-format edge list ('#'-comments, "u v" rows; directed rows
+/// are collapsed to undirected simple edges, self-loops dropped) with the
+/// chunked parallel parser. Fails with IOError / Corruption on unreadable
+/// files or malformed rows.
+Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
+                                     const SnapReadOptions& options);
+
+/// Convenience overload: default options with `threads` workers.
+Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
+                                     uint32_t threads = 1);
+
+/// The sequential line-at-a-time reference reader. Same grammar, same
+/// results, same error messages as ReadSnapEdgeList; kept as the oracle the
+/// parallel reader is compared against (tests, bench_ingest).
+Result<LoadedGraph> ReadSnapEdgeListSequential(
+    const std::string& path, uint64_t max_distinct_ids = kInvalidVertex);
+
+/// True when two parse results are structurally identical: the same
+/// first-seen label mapping and the same compact graph (vertex count and
+/// normalized edge array; the CSR adjacency is a deterministic function of
+/// those). This is the single definition of the readers' "byte-identical"
+/// contract, shared by the tests and bench_ingest.
+bool SameLoadedGraph(const LoadedGraph& a, const LoadedGraph& b);
 
 /// Writes `g` as a text edge list (one "u v" row per edge, u < v).
 Status WriteEdgeList(const Graph& g, const std::string& path);

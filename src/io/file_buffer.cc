@@ -1,0 +1,105 @@
+#include "io/file_buffer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#if !defined(_WIN32)
+#define TRUSS_HAS_MMAP 1
+#include <sys/mman.h>
+#else
+#define TRUSS_HAS_MMAP 0
+#endif
+
+namespace truss::io {
+
+namespace {
+
+/// RAII fd so every early return closes the file.
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<FileBuffer> FileBuffer::Load(const std::string& path, Mode mode) {
+  const FdCloser fd{::open(path.c_str(), O_RDONLY)};
+  if (fd.fd < 0) return Errno("cannot open", path);
+
+  struct stat st;
+  if (::fstat(fd.fd, &st) != 0) return Errno("cannot stat", path);
+  if (!S_ISREG(st.st_mode)) {
+    // Pipes and directories have no meaningful size to map; the parser
+    // needs random access, so reject them up front.
+    return Status::IOError("not a regular file: " + path);
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+
+  FileBuffer out;
+  out.size_ = size;
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty view needs no backing.
+    out.data_ = "";
+    return out;
+  }
+
+#if TRUSS_HAS_MMAP
+  if (mode != Mode::kRead) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+    if (map != MAP_FAILED) {
+      // The parser scans front to back; tell the kernel to read ahead.
+      ::madvise(map, size, MADV_SEQUENTIAL);
+      out.data_ = static_cast<const char*>(map);
+      out.mapped_ = true;
+      return out;
+    }
+    if (mode == Mode::kMmap) return Errno("cannot mmap", path);
+  }
+#else
+  if (mode == Mode::kMmap) {
+    return Status::IOError("mmap not available on this platform: " + path);
+  }
+#endif
+
+  out.owned_.resize(size);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::read(fd.fd, out.owned_.data() + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read error on", path);
+    }
+    if (got == 0) {
+      // The file shrank between fstat and read; a short buffer would parse
+      // as a silently truncated dataset.
+      return Status::IOError("short read on " + path);
+    }
+    done += static_cast<size_t>(got);
+  }
+  out.data_ = out.owned_.data();
+  return out;
+}
+
+void FileBuffer::Release() {
+#if TRUSS_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  owned_.clear();
+}
+
+}  // namespace truss::io

@@ -1,0 +1,75 @@
+// Whole-file read-only buffers for bulk text ingestion.
+//
+// The chunked SNAP parser (graph/text_io) wants the entire file addressable
+// as one contiguous byte range so it can split work at newline boundaries
+// without any per-line syscalls. FileBuffer provides that range either by
+// mmap-ing the file (zero-copy, the kernel pages it in as shards scan) or,
+// where mmap is unavailable or fails, by reading it into an owned heap
+// buffer with large sequential read()s.
+
+#ifndef TRUSS_IO_FILE_BUFFER_H_
+#define TRUSS_IO_FILE_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace truss::io {
+
+/// Read-only view of a whole file. Move-only; unmaps / frees on destruction.
+class FileBuffer {
+ public:
+  /// How Load acquires the bytes.
+  enum class Mode {
+    kAuto,  // mmap when possible, silently fall back to buffered reads
+    kMmap,  // mmap or fail (tests pin the zero-copy path)
+    kRead,  // always buffered reads (tests pin the fallback path)
+  };
+
+  /// Loads `path` in its entirety. Fails with IOError on unreadable files
+  /// (including mmap failure under Mode::kMmap).
+  static Result<FileBuffer> Load(const std::string& path,
+                                 Mode mode = Mode::kAuto);
+
+  FileBuffer() = default;
+  ~FileBuffer() { Release(); }
+
+  FileBuffer(FileBuffer&& other) noexcept { *this = std::move(other); }
+  FileBuffer& operator=(FileBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = other.data_;
+      size_ = other.size_;
+      mapped_ = other.mapped_;
+      owned_ = std::move(other.owned_);
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.mapped_ = false;
+    }
+    return *this;
+  }
+
+  FileBuffer(const FileBuffer&) = delete;
+  FileBuffer& operator=(const FileBuffer&) = delete;
+
+  std::string_view view() const { return {data_, size_}; }
+  size_t size() const { return size_; }
+  /// True when the bytes are a shared mapping rather than an owned copy.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<char> owned_;
+};
+
+}  // namespace truss::io
+
+#endif  // TRUSS_IO_FILE_BUFFER_H_

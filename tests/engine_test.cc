@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -315,6 +316,85 @@ TEST_F(EngineFileTest, DecomposeFileAgreesAcrossAlgorithms) {
     ASSERT_TRUE(result.ok()) << info.name;
     EXPECT_TRUE(SameDecomposition(oracle, result.value())) << info.name;
   }
+}
+
+// --- DecomposeSnapFile -------------------------------------------------
+
+class EngineSnapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("truss_engine_snap_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteFixture(const Graph& g) {
+    const std::string path = (dir_ / "graph.txt").string();
+    EXPECT_TRUE(WriteEdgeList(g, path).ok());
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EngineSnapFileTest, MatchesDecomposeOnTheParsedGraph) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(80, 400, 17), 6, 20);
+  const std::string path = WriteFixture(g);
+
+  DecomposeOptions options;
+  for (const uint32_t threads : {1u, 4u}) {
+    options.threads = threads;
+    LoadedGraph loaded;
+    auto out = Engine::DecomposeSnapFile(path, options, &loaded);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_GT(out.value().stats.ingest_seconds, 0.0);
+    EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+    EXPECT_EQ(loaded.original_id.size(), loaded.graph.num_vertices());
+
+    auto direct = Engine::Decompose(loaded.graph, options);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(out.value().result.kmax, direct.value().result.kmax);
+    EXPECT_EQ(out.value().result.truss_number,
+              direct.value().result.truss_number);
+  }
+}
+
+TEST_F(EngineSnapFileTest, LoadedOutParamIsOptional) {
+  const std::string path = WriteFixture(gen::Complete(5));
+  auto out = Engine::DecomposeSnapFile(path, DecomposeOptions{});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().result.kmax, 5u);
+}
+
+TEST_F(EngineSnapFileTest, MissingFileIsIOError) {
+  auto out = Engine::DecomposeSnapFile((dir_ / "absent.txt").string(),
+                                       DecomposeOptions{});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(EngineSnapFileTest, MalformedFileIsCorruption) {
+  const std::string path = (dir_ / "bad.txt").string();
+  {
+    std::ofstream f(path);
+    f << "1 2\nnot numbers\n";
+  }
+  auto out = Engine::DecomposeSnapFile(path, DecomposeOptions{});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(EngineSnapFileTest, InvalidOptionsFailBeforeIngestion) {
+  // Validation must not wait for (or depend on) the file: rejecting a bad
+  // flag combination first means the path is never even opened.
+  DecomposeOptions options;
+  options.top_t = 3;  // incoherent with the default in-memory algorithm
+  auto out = Engine::DecomposeSnapFile((dir_ / "never-read.txt").string(),
+                                       options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
 // --- hooks: progress + cancellation ------------------------------------

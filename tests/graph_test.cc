@@ -137,6 +137,45 @@ TEST(GraphTest, BuilderReusableAfterBuild) {
   EXPECT_EQ(g2.num_edges(), 2u);
 }
 
+TEST(GraphBuilderTest, CompactDedupsPendingInPlace) {
+  // Regression: Build() used to carry the raw pending list (every edge of a
+  // both-directions SNAP listing, twice) through CSR construction alongside
+  // the deduplicated copy, roughly doubling peak RSS. Compact() now dedups
+  // and releases the excess *before* the CSR arrays exist; pending_edges()
+  // observes the collapse.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 0);  // self-loop, dropped on insert
+  EXPECT_EQ(builder.pending_edges(), 5u);
+  builder.Compact();
+  EXPECT_EQ(builder.pending_edges(), 2u);
+
+  const Graph g = builder.Build();
+  EXPECT_EQ(builder.pending_edges(), 0u);  // Build() moves pending_ out
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphBuilderTest, CompactIsIdempotentAndBuildStaysCorrect) {
+  GraphBuilder builder;
+  for (VertexId v = 0; v < 20; ++v) {
+    builder.AddEdge(v, (v + 1) % 20);
+    builder.AddEdge((v + 1) % 20, v);
+  }
+  builder.Compact();
+  builder.Compact();
+  EXPECT_EQ(builder.pending_edges(), 20u);
+  builder.AddEdge(0, 10);  // still usable after Compact
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 21u);
+}
+
 TEST(GraphTest, SizeBytesPositiveAndMonotone) {
   const Graph small = gen::Complete(5);
   const Graph big = gen::Complete(20);
@@ -230,6 +269,53 @@ TEST_F(BinarySnapshotTest, TruncationIsCorruption) {
   std::filesystem::copy_file(Path("full.trsb"), Path("cut.trsb"));
   std::filesystem::resize_file(Path("cut.trsb"), full_size / 2);
   auto loaded = Graph::LoadBinary(Path("cut.trsb"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BinarySnapshotTest, TruncatedHeaderIsCorruption) {
+  // A file shorter than the fixed header (e.g. an interrupted download)
+  // must be Corruption, not a partial-read struct full of garbage counts.
+  {
+    std::ofstream out(Path("stub.trsb"), std::ios::binary);
+    out << "TRSB";  // valid magic, then EOF
+  }
+  auto loaded = Graph::LoadBinary(Path("stub.trsb"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BinarySnapshotTest, TruncationAtEveryPrefixIsCorruption) {
+  // Sweep truncation points across the whole layout — header, offsets,
+  // adjacency, edge array — so no prefix of a valid snapshot loads.
+  const Graph g = gen::ErdosRenyiGnm(30, 80, 5);
+  ASSERT_TRUE(g.SaveBinary(Path("whole.trsb")).ok());
+  const auto full_size =
+      static_cast<uint64_t>(std::filesystem::file_size(Path("whole.trsb")));
+  for (uint64_t keep = 1; keep < full_size; keep += full_size / 13 + 1) {
+    std::filesystem::copy_file(
+        Path("whole.trsb"), Path("prefix.trsb"),
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(Path("prefix.trsb"), keep);
+    auto loaded = Graph::LoadBinary(Path("prefix.trsb"));
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes loaded";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(BinarySnapshotTest, GarbageCountsAreCorruptionNotAllocation) {
+  // A bit-flipped edges_count must be caught by the file-size check before
+  // any resize() tries to allocate it.
+  const Graph g = gen::ErdosRenyiGnm(20, 40, 3);
+  ASSERT_TRUE(g.SaveBinary(Path("counts.trsb")).ok());
+  {
+    std::fstream f(Path("counts.trsb"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(24);  // SnapshotHeader::edges_count
+    const uint64_t absurd = 1ull << 60;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  auto loaded = Graph::LoadBinary(Path("counts.trsb"));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }

@@ -1,15 +1,20 @@
-// Unit tests for the counting Env, block streams, and external sort.
+// Unit tests for the counting Env, block streams, external sort, and the
+// whole-file FileBuffer loader.
 
 #include "io/env.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "common/rng.h"
 #include "io/edge_records.h"
 #include "io/external_sort.h"
+#include "io/file_buffer.h"
 
 namespace truss::io {
 namespace {
@@ -179,6 +184,89 @@ TEST(IoStatsTest, DiffAndAccumulate) {
   sum += d;
   EXPECT_EQ(sum.bytes_read, b.bytes_read);
   EXPECT_EQ(sum.total_blocks(), b.total_blocks());
+}
+
+// --- FileBuffer ----------------------------------------------------------
+
+class FileBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case and process: gtest_discover_tests runs each
+    // TEST_F as its own ctest entry, and `ctest -j` runs them concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("truss_file_buffer_test_") + info->name() + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const char* name, const std::string& content) {
+    const auto path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    return path.string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileBufferTest, AllModesReturnIdenticalBytes) {
+  std::string content = "line one\nline two\n";
+  content.push_back('\0');  // binary-safe: embedded NUL must survive
+  content += "tail";
+  const std::string path = Write("f.txt", content);
+  for (const auto mode : {FileBuffer::Mode::kAuto, FileBuffer::Mode::kMmap,
+                          FileBuffer::Mode::kRead}) {
+    auto buffer = FileBuffer::Load(path, mode);
+    ASSERT_TRUE(buffer.ok()) << buffer.status().ToString();
+    EXPECT_EQ(buffer.value().view(), std::string_view(content));
+  }
+}
+
+TEST_F(FileBufferTest, ModeSelectsBackingStore) {
+  const std::string path = Write("m.txt", "payload");
+  auto mapped = FileBuffer::Load(path, FileBuffer::Mode::kMmap);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().is_mapped());
+  auto read = FileBuffer::Load(path, FileBuffer::Mode::kRead);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read.value().is_mapped());
+}
+
+TEST_F(FileBufferTest, EmptyFileYieldsEmptyView) {
+  const std::string path = Write("empty.txt", "");
+  for (const auto mode : {FileBuffer::Mode::kAuto, FileBuffer::Mode::kRead}) {
+    auto buffer = FileBuffer::Load(path, mode);
+    ASSERT_TRUE(buffer.ok()) << buffer.status().ToString();
+    EXPECT_EQ(buffer.value().size(), 0u);
+    EXPECT_TRUE(buffer.value().view().empty());
+  }
+}
+
+TEST_F(FileBufferTest, MissingFileIsIOError) {
+  auto buffer = FileBuffer::Load((dir_ / "nope.txt").string());
+  ASSERT_FALSE(buffer.ok());
+  EXPECT_EQ(buffer.status().code(), truss::StatusCode::kIOError);
+}
+
+TEST_F(FileBufferTest, DirectoryIsRejected) {
+  auto buffer = FileBuffer::Load(dir_.string());
+  ASSERT_FALSE(buffer.ok());
+  EXPECT_EQ(buffer.status().code(), truss::StatusCode::kIOError);
+}
+
+TEST_F(FileBufferTest, MoveTransfersOwnership) {
+  const std::string path = Write("mv.txt", "moved bytes");
+  auto buffer = FileBuffer::Load(path, FileBuffer::Mode::kMmap);
+  ASSERT_TRUE(buffer.ok());
+  FileBuffer stolen = buffer.MoveValue();
+  EXPECT_EQ(stolen.view(), "moved bytes");
+  FileBuffer assigned;
+  assigned = std::move(stolen);
+  EXPECT_EQ(assigned.view(), "moved bytes");
+  EXPECT_EQ(stolen.size(), 0u);  // NOLINT(bugprone-use-after-move)
 }
 
 }  // namespace

@@ -18,8 +18,28 @@ std::string TempFile(const char* name) {
 }
 
 void WriteText(const std::string& path, const std::string& content) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   out << content;
+}
+
+// The library's SameLoadedGraph is the contract check (labels + edge
+// array); the adjacency walk on top re-verifies that CSR construction is
+// indeed a pure function of those, with per-entry failure context.
+void ExpectSameLoaded(const LoadedGraph& expected, const LoadedGraph& actual,
+                      const std::string& context) {
+  EXPECT_TRUE(SameLoadedGraph(expected, actual)) << context;
+  ASSERT_EQ(expected.graph.num_vertices(), actual.graph.num_vertices())
+      << context;
+  ASSERT_EQ(expected.graph.num_edges(), actual.graph.num_edges()) << context;
+  for (VertexId v = 0; v < expected.graph.num_vertices(); ++v) {
+    ASSERT_EQ(expected.graph.degree(v), actual.graph.degree(v)) << context;
+    const auto en = expected.graph.neighbors(v);
+    const auto an = actual.graph.neighbors(v);
+    for (size_t i = 0; i < en.size(); ++i) {
+      ASSERT_EQ(en[i].neighbor, an[i].neighbor) << context;
+      ASSERT_EQ(en[i].edge, an[i].edge) << context;
+    }
+  }
 }
 
 TEST(TextIoTest, RoundTrip) {
@@ -177,6 +197,250 @@ TEST(TextIoTest, ShortWriteIsIOError) {
   const Status status = WriteEdgeList(g, "/dev/full");
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// --- real-world SNAP quirks: UTF-8 BOM, CRLF -----------------------------
+
+TEST(TextIoTest, LeadingUtf8BomIsSkipped) {
+  // Regression: the BOM bytes made row 1 "malformed" (they are neither
+  // whitespace nor digits). It must be transparent whether row 1 is a
+  // comment or an edge, in both readers.
+  for (const char* body : {"# comment\n1 2\n2 3\n", "1 2\n2 3\n"}) {
+    const std::string path = TempFile("truss_bom.txt");
+    WriteText(path, "\xEF\xBB\xBF" + std::string(body));
+    for (const bool sequential : {false, true}) {
+      auto loaded = sequential ? ReadSnapEdgeListSequential(path)
+                               : ReadSnapEdgeList(path);
+      ASSERT_TRUE(loaded.ok())
+          << loaded.status().ToString() << " (sequential=" << sequential
+          << ", body=" << body << ")";
+      EXPECT_EQ(loaded.value().graph.num_edges(), 2u);
+      EXPECT_EQ(loaded.value().original_id,
+                (std::vector<uint64_t>{1u, 2u, 3u}));
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TextIoTest, CrlfMatchesLfFixture) {
+  const std::string lf_path = TempFile("truss_lf.txt");
+  const std::string crlf_path = TempFile("truss_crlf_eq.txt");
+  WriteText(lf_path, "# header\n10 20\n\n20 30\n30 10\n");
+  WriteText(crlf_path, "# header\r\n10 20\r\n\r\n20 30\r\n30 10\r\n");
+  for (const bool sequential : {false, true}) {
+    auto lf = sequential ? ReadSnapEdgeListSequential(lf_path)
+                         : ReadSnapEdgeList(lf_path);
+    auto crlf = sequential ? ReadSnapEdgeListSequential(crlf_path)
+                           : ReadSnapEdgeList(crlf_path);
+    ASSERT_TRUE(lf.ok() && crlf.ok());
+    ExpectSameLoaded(lf.value(), crlf.value(),
+                     sequential ? "sequential" : "chunked");
+  }
+  std::remove(lf_path.c_str());
+  std::remove(crlf_path.c_str());
+}
+
+// --- the 32-bit distinct-id guard ----------------------------------------
+
+TEST(TextIoTest, TooManyDistinctIdsIsCorruption) {
+  // Regression: interning cast original_id.size() to uint32 unchecked, so
+  // a file with >= 2^32 distinct labels silently aliased vertices. The cap
+  // is lowered via options so the guard path runs without a 17 GB fixture.
+  const std::string path = TempFile("truss_too_many_ids.txt");
+  WriteText(path, "1 2\n3 4\n");
+  SnapReadOptions options;
+  options.max_distinct_ids = 2;
+  auto chunked = ReadSnapEdgeList(path, options);
+  auto sequential = ReadSnapEdgeListSequential(path, 2);
+  for (const auto* loaded : {&chunked, &sequential}) {
+    ASSERT_FALSE(loaded->ok());
+    EXPECT_EQ(loaded->status().code(), StatusCode::kCorruption);
+    EXPECT_NE(loaded->status().message().find("too many distinct vertex ids"),
+              std::string::npos)
+        << loaded->status().ToString();
+  }
+  EXPECT_EQ(chunked.status().message(), sequential.status().message());
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, DistinctIdsExactlyAtCapParse) {
+  // Self-loop labels are dropped before interning, so "9 9" must not
+  // count against the cap (it does not in the sequential reader).
+  const std::string path = TempFile("truss_at_cap.txt");
+  WriteText(path, "9 9\n1 2\n2 1\n");
+  SnapReadOptions options;
+  options.max_distinct_ids = 2;
+  auto chunked = ReadSnapEdgeList(path, options);
+  auto sequential = ReadSnapEdgeListSequential(path, 2);
+  ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  ExpectSameLoaded(sequential.value(), chunked.value(), "at-cap");
+  EXPECT_EQ(chunked.value().graph.num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, GuardAndMalformedRowReportInFileOrder) {
+  // Whichever failure a sequential scan hits first must be the one
+  // reported, for every chunking — errors are part of the determinism
+  // contract.
+  struct Case {
+    const char* body;
+    const char* expect_substring;
+  };
+  const Case cases[] = {
+      // Row 2 overflows the id table before row 3's garbage is reached.
+      {"1 2\n3 4\nzzz\n", "too many distinct vertex ids"},
+      // Row 2's garbage comes before row 3 could overflow the table.
+      {"1 2\nzzz\n3 4\n", "malformed row 2"},
+      // Valid rows continue after the overflow point: a chunk may stop
+      // collecting once its local table passes the cap, but the guard
+      // error must still surface (not a silently truncated parse).
+      {"1 2\n3 4\n1 2\n5 6\n", "too many distinct vertex ids"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = TempFile("truss_error_order.txt");
+    WriteText(path, c.body);
+    auto sequential = ReadSnapEdgeListSequential(path, 2);
+    ASSERT_FALSE(sequential.ok());
+    EXPECT_NE(sequential.status().message().find(c.expect_substring),
+              std::string::npos)
+        << sequential.status().ToString();
+    for (const uint64_t chunk_bytes : {1ull, 2ull, 7ull, 4096ull}) {
+      for (const uint32_t threads : {1u, 4u}) {
+        SnapReadOptions options;
+        options.max_distinct_ids = 2;
+        options.chunk_bytes = chunk_bytes;
+        options.threads = threads;
+        auto chunked = ReadSnapEdgeList(path, options);
+        ASSERT_FALSE(chunked.ok());
+        EXPECT_EQ(chunked.status().message(), sequential.status().message())
+            << "chunk_bytes=" << chunk_bytes << " threads=" << threads;
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// --- chunked parallel reader vs the sequential reference -----------------
+
+// A fixture exercising every grammar corner at once: BOM, comments (LF and
+// CRLF), blank and whitespace-only rows, leading/trailing spaces and tabs,
+// multi-digit labels (so small chunk sizes split rows mid-token), extra
+// trailing columns, duplicate rows in both directions, self-loops, a
+// comment longer than any chunk, and no final newline.
+std::string TortureFixture() {
+  std::string body = "\xEF\xBB\xBF# torture fixture\r\n";
+  body += "# " + std::string(300, 'c') + "\n";
+  body += "\n   \n\t\n";
+  body += "1000001 42\r\n";
+  body += "  42\t77 # inline trailing column\n";
+  body += "77 1000001 999\n";
+  body += "5 5\n";          // self-loop
+  body += "42 1000001\n";   // duplicate, reversed
+  body += std::string(50, ' ') + "314159 271828\n";
+  body += "99 100";  // no trailing newline
+  return body;
+}
+
+TEST(TextIoTest, ChunkBoundarySweepMatchesSequential) {
+  const std::string path = TempFile("truss_chunk_sweep.txt");
+  WriteText(path, TortureFixture());
+  auto reference = ReadSnapEdgeListSequential(path);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  // Distinct undirected edges: {1000001,42}, {42,77}, {77,1000001},
+  // {314159,271828}, {99,100}; the self-loop and the reversed duplicate
+  // collapse away.
+  EXPECT_EQ(reference.value().graph.num_edges(), 5u);
+  EXPECT_EQ(reference.value().original_id,
+            (std::vector<uint64_t>{1000001u, 42u, 77u, 314159u, 271828u, 99u,
+                                   100u}));
+
+  for (const uint64_t chunk_bytes : {1ull, 2ull, 7ull, 64ull, 4096ull}) {
+    for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+      for (const io::FileBuffer::Mode mode :
+           {io::FileBuffer::Mode::kAuto, io::FileBuffer::Mode::kRead}) {
+        SnapReadOptions options;
+        options.chunk_bytes = chunk_bytes;
+        options.threads = threads;
+        options.buffer_mode = mode;
+        auto loaded = ReadSnapEdgeList(path, options);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        ExpectSameLoaded(
+            reference.value(), loaded.value(),
+            "chunk_bytes=" + std::to_string(chunk_bytes) +
+                " threads=" + std::to_string(threads) +
+                " mode=" + std::to_string(static_cast<int>(mode)));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, ChunkSweepMatchesOnGeneratedGraph) {
+  // A graph-shaped fixture (many rows, dense label reuse) so the local
+  // interning + merge path sees real sharing across chunks.
+  const Graph g = gen::ErdosRenyiGnm(300, 2500, 21);
+  const std::string path = TempFile("truss_chunk_gen.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto reference = ReadSnapEdgeListSequential(path);
+  ASSERT_TRUE(reference.ok());
+  for (const uint64_t chunk_bytes : {64ull, 4096ull, 0ull}) {
+    for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+      SnapReadOptions options;
+      options.chunk_bytes = chunk_bytes;
+      options.threads = threads;
+      auto loaded = ReadSnapEdgeList(path, options);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      ExpectSameLoaded(reference.value(), loaded.value(),
+                       "chunk_bytes=" + std::to_string(chunk_bytes) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, MalformedRowLineNumberIdenticalAcrossChunkings) {
+  // The reported line number counts every physical row (comments, blanks)
+  // and must not depend on how rows land in chunks — including when the
+  // malformed row does not end with a newline.
+  for (const char* tail : {"\n", ""}) {
+    const std::string path = TempFile("truss_badline.txt");
+    WriteText(path,
+              "# header\n1 2\n\n2 3\n   \n3 4\n12 9x7" + std::string(tail));
+    auto sequential = ReadSnapEdgeListSequential(path);
+    ASSERT_FALSE(sequential.ok());
+    EXPECT_NE(sequential.status().message().find("malformed row 7"),
+              std::string::npos)
+        << sequential.status().ToString();
+    for (const uint64_t chunk_bytes : {1ull, 2ull, 7ull, 64ull, 4096ull}) {
+      for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+        SnapReadOptions options;
+        options.chunk_bytes = chunk_bytes;
+        options.threads = threads;
+        auto chunked = ReadSnapEdgeList(path, options);
+        ASSERT_FALSE(chunked.ok());
+        EXPECT_EQ(chunked.status().code(), StatusCode::kCorruption);
+        EXPECT_EQ(chunked.status().message(), sequential.status().message())
+            << "chunk_bytes=" << chunk_bytes << " threads=" << threads;
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TextIoTest, EmptyAndCommentOnlyFilesParse) {
+  for (const char* body : {"", "# nothing but comments\n# more\n", "\n\n"}) {
+    const std::string path = TempFile("truss_empty.txt");
+    WriteText(path, body);
+    for (const uint32_t threads : {1u, 4u}) {
+      auto loaded = ReadSnapEdgeList(path, threads);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_EQ(loaded.value().graph.num_vertices(), 0u);
+      EXPECT_EQ(loaded.value().graph.num_edges(), 0u);
+      EXPECT_TRUE(loaded.value().original_id.empty());
+    }
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace
