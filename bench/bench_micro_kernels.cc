@@ -6,13 +6,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_util.h"
+#include "common/flags.h"
 #include "engine/engine.h"
 #include "gen/generators.h"
 #include "graph/graph.h"
 #include "kcore/kcore.h"
 #include "triangle/triangle.h"
 #include "truss/edge_map.h"
+#include "truss/improved.h"
+#include "truss/parallel_peel.h"
 
 namespace {
 
@@ -129,6 +137,124 @@ void BM_BinarySearchFind(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_BinarySearchFind);
+
+// Triangle enumeration of one edge — the peel's hot loop — EdgeMap hash
+// probes (range(0) == 0) vs sorted-adjacency intersection (range(0) == 1),
+// on the Blog-scale stand-in (the largest Table 3 dataset). The issue-level
+// target: intersection must win at t=1, which is why the hash table left
+// the peel.
+void BM_TriangleEnumHashVsIntersect(benchmark::State& state) {
+  const truss::Graph& g = truss::bench::GetDataset("Blog");
+  const bool intersect = state.range(0) != 0;
+  // Build the map only for the hash flavor: its construction cost is not
+  // what this kernel measures, but its footprint should not taint the
+  // intersection runs either.
+  const std::unique_ptr<truss::EdgeMap> map =
+      intersect ? nullptr : std::make_unique<truss::EdgeMap>(g);
+  uint64_t i = 0;
+  uint64_t triangles = 0;
+  for (auto _ : state) {
+    const truss::Edge e =
+        g.edge(static_cast<truss::EdgeId>(i++ % g.num_edges()));
+    if (intersect) {
+      truss::ForEachCommonNeighbor(
+          g, e.u, e.v,
+          [&](truss::VertexId, truss::EdgeId uw, truss::EdgeId vw) {
+            benchmark::DoNotOptimize(uw);
+            benchmark::DoNotOptimize(vw);
+            ++triangles;
+          });
+    } else {
+      // The peel's historical inner loop: walk the smaller adjacency list
+      // and hash-probe for the closing edge.
+      truss::VertexId u = e.u, v = e.v;
+      if (g.degree(u) > g.degree(v)) std::swap(u, v);
+      for (const truss::AdjEntry& a : g.neighbors(u)) {
+        const truss::EdgeId vw = map->Find(v, a.neighbor);
+        if (vw != truss::kInvalidEdge) {
+          benchmark::DoNotOptimize(a.edge);
+          benchmark::DoNotOptimize(vw);
+          ++triangles;
+        }
+      }
+    }
+  }
+  state.SetLabel(intersect ? "intersect" : "hash");
+  state.SetItemsProcessed(static_cast<int64_t>(triangles));
+}
+BENCHMARK(BM_TriangleEnumHashVsIntersect)->Arg(0)->Arg(1);
+
+// The peel phase alone (support initialization hoisted out), so peel-side
+// changes show up undiluted by triangle counting.
+void BM_PeelImproved(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  const std::vector<uint32_t> sup = truss::ComputeEdgeSupports(g);
+  for (auto _ : state) {
+    std::vector<uint32_t> working = sup;  // the peel consumes its supports
+    benchmark::DoNotOptimize(truss::PeelWithSupports(g, std::move(working)));
+  }
+  state.SetLabel(KindName(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_PeelImproved)
+    ->Args({0, 50000})
+    ->Args({1, 50000})
+    ->Args({2, 50000})
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end PKT-style parallel decomposition across a threads sweep; at
+// t=1 this doubles as the level-synchronous peel's sequential baseline.
+void BM_PeelParallel(benchmark::State& state) {
+  const truss::Graph g = MakeGraph(state.range(0), state.range(1));
+  const auto threads = static_cast<uint32_t>(state.range(2));
+  if (threads > truss::bench::BenchThreads()) {
+    state.SkipWithError("beyond TRUSS_BENCH_THREADS");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        truss::ParallelTrussDecomposition(g, nullptr, threads));
+  }
+  state.SetLabel(std::string(KindName(state.range(0))) + "/t" +
+                 std::to_string(threads));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_PeelParallel)
+    ->Args({1, 50000, 1})
+    ->Args({1, 50000, 2})
+    ->Args({1, 50000, 4})
+    ->Args({1, 50000, 8})
+    ->Args({2, 50000, 1})
+    ->Args({2, 50000, 2})
+    ->Args({2, 50000, 4})
+    ->Args({2, 50000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// The peel's removed-edge marks: vector<bool> word-level bit RMW
+// (range(0) == 0) vs ByteFlags relaxed byte stores (range(0) == 1).
+void BM_RemovedFlags(benchmark::State& state) {
+  constexpr size_t kFlags = 1 << 20;
+  const bool bytes = state.range(0) != 0;
+  std::vector<bool> bits(kFlags, false);
+  truss::ByteFlags flags(kFlags);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    // Strided set+test sweep approximating the peel's access pattern.
+    for (size_t i = 0; i < kFlags; i += 7) {
+      if (bytes) {
+        flags.Set(i);
+        hits += flags.Test((i * 13) % kFlags);
+      } else {
+        bits[i] = true;
+        hits += bits[(i * 13) % kFlags];
+      }
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetLabel(bytes ? "byteflags" : "vector<bool>");
+  state.SetItemsProcessed(state.iterations() * (kFlags / 7) * 2);
+}
+BENCHMARK(BM_RemovedFlags)->Arg(0)->Arg(1);
 
 void BM_ImprovedTruss(benchmark::State& state) {
   const truss::Graph g = MakeGraph(state.range(0), state.range(1));

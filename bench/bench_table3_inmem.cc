@@ -71,6 +71,76 @@ int RunThreadsSweep(const char* dataset) {
   return 0;
 }
 
+// Peel-phase threads sweep: the PKT-style "parallel" algorithm against the
+// sequential "improved" baseline on the largest Table 3 stand-in, with
+// per-phase timings (support vs peel) emitted as METRIC lines so
+// BENCH_table3_inmem.json tracks where the time goes. Truss numbers must
+// be identical to `improved` at every thread count.
+int RunPeelThreadsSweep(const char* dataset) {
+  const truss::Graph& g = truss::bench::GetDataset(dataset);
+  std::printf("\n== Parallel peel threads sweep (%s: %u vertices, %u edges) "
+              "==\n\n",
+              dataset, g.num_vertices(), g.num_edges());
+
+  truss::engine::DecomposeOptions options;
+  options.algorithm = truss::engine::Algorithm::kImproved;
+  auto improved = truss::engine::Engine::Decompose(g, options);
+  if (!improved.ok()) {
+    std::fprintf(stderr, "FATAL: improved decomposition failed on %s\n",
+                 dataset);
+    return 1;
+  }
+  std::printf("METRIC support_seconds %.6f\n",
+              improved.value().stats.support_seconds);
+  std::printf("METRIC peel_seconds %.6f\n",
+              improved.value().stats.peel_seconds);
+
+  truss::TablePrinter table({"algorithm", "threads", "support", "peel",
+                             "total", "speedup vs improved", "identical"});
+  const double improved_s = improved.value().stats.wall_seconds;
+  table.AddRow({"improved", "1",
+                truss::FormatDuration(improved.value().stats.support_seconds),
+                truss::FormatDuration(improved.value().stats.peel_seconds),
+                truss::FormatDuration(improved_s), "1.0x", "yes"});
+
+  options.algorithm = truss::engine::Algorithm::kParallel;
+  for (uint32_t threads = 1; threads <= truss::bench::BenchThreads();
+       threads *= 2) {
+    options.threads = threads;
+    auto parallel = truss::engine::Engine::Decompose(g, options);
+    if (!parallel.ok()) {
+      std::fprintf(stderr, "FATAL: parallel peel failed at threads=%u on %s\n",
+                   threads, dataset);
+      return 1;
+    }
+    const bool identical = truss::SameDecomposition(
+        improved.value().result, parallel.value().result);
+    table.AddRow(
+        {"parallel", std::to_string(threads),
+         truss::FormatDuration(parallel.value().stats.support_seconds),
+         truss::FormatDuration(parallel.value().stats.peel_seconds),
+         truss::FormatDuration(parallel.value().stats.wall_seconds),
+         truss::bench::Ratio(improved_s, parallel.value().stats.wall_seconds),
+         identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: parallel truss numbers differ at threads=%u on "
+                   "%s\n",
+                   threads, dataset);
+      return 1;
+    }
+    std::printf("METRIC peel_parallel_t%u_seconds %.6f\n", threads,
+                parallel.value().stats.peel_seconds);
+    std::printf("METRIC support_parallel_t%u_seconds %.6f\n", threads,
+                parallel.value().stats.support_seconds);
+  }
+  table.Print();
+  std::printf("\nparallel truss numbers identical to improved at every "
+              "thread count: yes (kmax %u)\n",
+              improved.value().result.kmax);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -126,5 +196,7 @@ int main() {
       largest = name;
     }
   }
-  return RunThreadsSweep(largest);
+  const int support_sweep = RunThreadsSweep(largest);
+  if (support_sweep != 0) return support_sweep;
+  return RunPeelThreadsSweep(largest);
 }

@@ -40,8 +40,11 @@ def load_results(directory: pathlib.Path) -> dict:
 
 
 def report_metrics(baseline: dict, current: dict) -> None:
-    """Prints deltas for named bench metrics (METRIC lines, e.g.
-    bench_ingest's MB/s figures).
+    """Prints deltas for named bench metrics (METRIC lines): bench_ingest's
+    MB/s figures and bench_table3_inmem's decomposition phase timings —
+    support_seconds / peel_seconds for the sequential baseline and the
+    {support,peel}_parallel_t<N>_seconds threads sweep of the parallel
+    peel.
 
     Informational only — metrics track trajectory (throughput, scaling)
     and never fail the comparison; wall_seconds is the blocking signal.
@@ -58,7 +61,9 @@ def report_metrics(baseline: dict, current: dict) -> None:
             base_v, cur_v = base_metrics[key], cur_metrics[key]
             delta = (f"{(cur_v - base_v) / base_v * 100.0:+.1f}%"
                      if base_v > 0 else "-")
-            rows.append((key, f"{base_v:.1f}", f"{cur_v:.1f}", delta))
+            # %.4g keeps sub-second phase timings readable (0.1873, not
+            # 0.2) without blowing up large MB/s figures.
+            rows.append((key, f"{base_v:.4g}", f"{cur_v:.4g}", delta))
     if not rows:
         return
     header = ("metric", "base", "current", "delta")

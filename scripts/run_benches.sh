@@ -86,8 +86,11 @@ for bench in "${RUN_SET[@]}"; do
 import json, pathlib, socket, sys
 out, bench, status, wall, rev, ts, log, threads = sys.argv[1:9]
 lines = pathlib.Path(log).read_text(errors="replace").splitlines()
-# Benches may emit "METRIC <key> <value>" lines (e.g. bench_ingest's MB/s
-# throughput figures); collect them into a structured field so
+# Benches may emit "METRIC <key> <value>" lines — bench_ingest's MB/s
+# throughput figures, and bench_table3_inmem's per-phase decomposition
+# timings (support_seconds / peel_seconds plus the
+# {support,peel}_parallel_t<N>_seconds threads sweep of the PKT-style
+# parallel peel); collect them into a structured field so
 # compare_benches.py can diff them without re-parsing free-form output.
 metrics = {}
 for line in lines:

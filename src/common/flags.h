@@ -1,0 +1,66 @@
+// Flat byte-per-flag set with relaxed-atomic access.
+//
+// std::vector<bool> packs flags into machine words, so flipping one bit is
+// a read-modify-write of the containing word — a data race under concurrent
+// writers to neighboring bits, and measurably slower than a plain byte
+// store even single-threaded (bench_micro_kernels BM_RemovedFlags*).
+// ByteFlags spends one byte per flag instead: every access is a relaxed
+// atomic load/store of its own byte, so any mix of concurrent Set/Clear/
+// Test calls is race-free, and on mainstream hardware the relaxed byte
+// accesses compile to ordinary MOVs. Used for the `removed`/`processed`
+// edge marks of the peel loops (sequential and parallel).
+//
+// Relaxed ordering is deliberate: the peels only need each flag's own
+// value, never ordering against other memory. Callers that publish flag
+// updates across threads do so via fork-join boundaries (ParallelFor /
+// RunShards join before the next phase reads).
+
+#ifndef TRUSS_COMMON_FLAGS_H_
+#define TRUSS_COMMON_FLAGS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace truss {
+
+/// Fixed-size set of boolean flags, one relaxed-atomic byte each. All
+/// flags start false. Not copyable (atomics are not), and the size is
+/// fixed at construction.
+class ByteFlags {
+ public:
+  explicit ByteFlags(size_t n) : flags_(n) {}  // value-init: all false
+
+  ByteFlags(const ByteFlags&) = delete;
+  ByteFlags& operator=(const ByteFlags&) = delete;
+
+  size_t size() const { return flags_.size(); }
+
+  bool Test(size_t i) const {
+    TRUSS_DCHECK_LT(i, flags_.size());
+    return flags_[i].load(std::memory_order_relaxed) != 0;
+  }
+
+  void Set(size_t i) {
+    TRUSS_DCHECK_LT(i, flags_.size());
+    flags_[i].store(1, std::memory_order_relaxed);
+  }
+
+  void Clear(size_t i) {
+    TRUSS_DCHECK_LT(i, flags_.size());
+    flags_[i].store(0, std::memory_order_relaxed);
+  }
+
+  /// Approximate heap footprint in bytes (one byte per flag).
+  uint64_t SizeBytes() const { return flags_.size(); }
+
+ private:
+  std::vector<std::atomic<uint8_t>> flags_;
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_FLAGS_H_

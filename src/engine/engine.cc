@@ -13,6 +13,7 @@
 #include "truss/cohen.h"
 #include "truss/external_util.h"
 #include "truss/improved.h"
+#include "truss/parallel_peel.h"
 #include "truss/top_down.h"
 
 namespace truss::engine {
@@ -22,6 +23,10 @@ namespace {
 constexpr AlgorithmInfo kRegistry[] = {
     {Algorithm::kImproved, "improved",
      "TD-inmem+ (Algorithm 2): O(m^1.5) in-memory peel, the default",
+     /*external=*/false, /*supports_top_t=*/false},
+    {Algorithm::kParallel, "parallel",
+     "TD-parallel (PKT): level-synchronous in-memory peel, scales with "
+     "--threads",
      /*external=*/false, /*supports_top_t=*/false},
     {Algorithm::kCohen, "cohen",
      "TD-inmem (Algorithm 1): Cohen's in-memory baseline",
@@ -72,15 +77,39 @@ class ScratchDir {
   bool owned_ = false;
 };
 
-/// Runs one in-memory algorithm with memory accounting.
-TrussDecompositionResult RunInMemory(Algorithm algorithm, const Graph& g,
-                                     uint32_t threads, DecomposeStats* stats) {
+/// Runs one in-memory algorithm with memory accounting and phase timings.
+/// Only kParallel can fail (cooperative cancellation mid-peel).
+Result<TrussDecompositionResult> RunInMemory(const Graph& g,
+                                             const DecomposeOptions& options,
+                                             DecomposeStats* stats) {
   MemoryTracker tracker;
-  TrussDecompositionResult result =
-      algorithm == Algorithm::kCohen
-          ? CohenTrussDecomposition(g, &tracker, threads)
-          : ImprovedTrussDecomposition(g, &tracker, threads);
+  PhaseTimings timings;
+  TrussDecompositionResult result;
+  switch (options.algorithm) {
+    case Algorithm::kImproved:
+      result = ImprovedTrussDecomposition(g, &tracker, options.threads,
+                                          &timings);
+      break;
+    case Algorithm::kCohen:
+      result = CohenTrussDecomposition(g, &tracker, options.threads,
+                                       &timings);
+      break;
+    case Algorithm::kParallel: {
+      auto run = ParallelTrussDecomposition(g, &tracker, options.threads,
+                                            &options.hooks, &timings);
+      TRUSS_RETURN_IF_ERROR_RESULT(run);
+      result = run.MoveValue();
+      break;
+    }
+    case Algorithm::kBottomUp:
+    case Algorithm::kTopDown:
+      // No default: a new enumerator must be routed here explicitly or
+      // -Wswitch turns the omission into a build error.
+      return Status::Internal("RunInMemory called with an external algorithm");
+  }
   stats->peak_memory_bytes = tracker.peak_bytes();
+  stats->support_seconds = timings.support_seconds;
+  stats->peel_seconds = timings.peel_seconds;
   return result;
 }
 
@@ -99,10 +128,12 @@ Result<DecomposeOutput> Engine::Decompose(const Graph& g,
 
   switch (options.algorithm) {
     case Algorithm::kImproved:
-    case Algorithm::kCohen: {
+    case Algorithm::kCohen:
+    case Algorithm::kParallel: {
       options.hooks.Report("decompose", 0, 0, g.num_edges());
-      out.result = RunInMemory(options.algorithm, g, options.threads,
-                               &out.stats);
+      auto run = RunInMemory(g, options, &out.stats);
+      TRUSS_RETURN_IF_ERROR_RESULT(run);
+      out.result = run.MoveValue();
       options.hooks.Report("decompose", out.result.kmax, g.num_edges(),
                            g.num_edges());
       break;
@@ -166,7 +197,8 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
       return stats;
     }
     case Algorithm::kImproved:
-    case Algorithm::kCohen: {
+    case Algorithm::kCohen:
+    case Algorithm::kParallel: {
       // Materialize the file's graph (the in-memory algorithms need it
       // anyway), decompose, and emit ClassRecords in the file's original
       // vertex ids. Matches the external entry points' contract: the input
@@ -175,9 +207,9 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
       auto records = ReadAllRecords<io::GEdgeRecord>(env, graph_file);
       TRUSS_RETURN_IF_ERROR_RESULT(records);
       const LocalGraphView local(records.value());
-      const TrussDecompositionResult result =
-          RunInMemory(options.algorithm, local.graph(), options.threads,
-                      &stats);
+      auto run = RunInMemory(local.graph(), options, &stats);
+      TRUSS_RETURN_IF_ERROR_RESULT(run);
+      const TrussDecompositionResult result = run.MoveValue();
 
       auto writer = env.OpenWriter(classes_out);
       TRUSS_RETURN_IF_ERROR(writer.status());

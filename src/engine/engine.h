@@ -1,18 +1,18 @@
-// truss::engine::Engine — the unified entry point for all four
-// decomposition algorithms.
+// truss::engine::Engine — the unified entry point for every decomposition
+// algorithm.
 //
 // The facade gives every consumer (CLI, benches, examples, library users)
-// one options-driven call instead of four incompatible per-algorithm APIs:
+// one options-driven call instead of incompatible per-algorithm APIs:
 //
 //   truss::engine::DecomposeOptions options;
 //   options.algorithm = truss::engine::Algorithm::kBottomUp;
 //   auto out = truss::engine::Engine::Decompose(graph, options);
 //   if (out.ok()) use(out.value().result, out.value().stats);
 //
-// Algorithms are also resolvable by registry name ("improved", "cohen",
-// "bottomup", "topdown") via Engine::FindAlgorithm, so dispatch code never
-// needs per-algorithm includes. The four algorithm modules under src/truss
-// remain the internal layer the engine wraps.
+// Algorithms are also resolvable by registry name ("improved", "parallel",
+// "cohen", "bottomup", "topdown") via Engine::FindAlgorithm, so dispatch
+// code never needs per-algorithm includes. The algorithm modules under
+// src/truss remain the internal layer the engine wraps.
 
 #ifndef TRUSS_ENGINE_ENGINE_H_
 #define TRUSS_ENGINE_ENGINE_H_
@@ -37,7 +37,8 @@ namespace truss::engine {
 /// without including its module header.
 struct AlgorithmInfo {
   Algorithm id;
-  /// Stable string key ("improved", "cohen", "bottomup", "topdown").
+  /// Stable string key ("improved", "parallel", "cohen", "bottomup",
+  /// "topdown").
   const char* name;
   /// One-line description for --help output and docs.
   const char* summary;
@@ -58,6 +59,12 @@ struct DecomposeStats {
   /// Time spent parsing the input text file (DecomposeSnapFile only; 0
   /// elsewhere). Not included in wall_seconds, which times decomposition.
   double ingest_seconds = 0.0;
+  /// Phase split of the in-memory algorithms: support initialization
+  /// (triangle counting) vs the peel proper. Both sum to ~wall_seconds
+  /// for in-memory runs and stay 0 for the external algorithms (whose
+  /// stage accounting lives in `external`).
+  double support_seconds = 0.0;
+  double peel_seconds = 0.0;
   /// Peak structure memory from MemoryTracker (in-memory algorithms).
   uint64_t peak_memory_bytes = 0;
   /// I/O counters and stage statistics (external algorithms).
@@ -77,7 +84,7 @@ struct DecomposeOutput {
   DecomposeStats stats;
 };
 
-/// Static facade over the four decomposition algorithms.
+/// Static facade over the registry's decomposition algorithms.
 class Engine {
  public:
   /// Decomposes an in-memory graph with the selected algorithm. External
@@ -108,7 +115,8 @@ class Engine {
       const std::string& path, const DecomposeOptions& options,
       LoadedGraph* loaded = nullptr);
 
-  /// The registry: all four algorithms in the paper's presentation order.
+  /// The registry: the paper's four algorithms in presentation order, with
+  /// the PKT-style parallel peel listed beside its sequential sibling.
   static std::span<const AlgorithmInfo> Algorithms();
 
   /// Looks up a registry entry by its string key; nullptr if unknown.

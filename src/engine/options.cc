@@ -16,6 +16,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "bottomup";
     case Algorithm::kTopDown:
       return "topdown";
+    case Algorithm::kParallel:
+      return "parallel";
   }
   return "unknown";
 }

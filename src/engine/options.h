@@ -21,16 +21,18 @@
 
 namespace truss::engine {
 
-/// The four decomposition algorithms of the paper, in presentation order.
+/// The paper's four decomposition algorithms plus the PKT-style parallel
+/// peel (see src/truss/parallel_peel.h).
 enum class Algorithm {
   kImproved,  // TD-inmem+: Algorithm 2, the in-memory default
   kCohen,     // TD-inmem: Algorithm 1, the in-memory baseline
   kBottomUp,  // TD-bottomup: Algorithm 4, I/O-efficient full decomposition
   kTopDown,   // TD-topdown: Algorithm 7, I/O-efficient, supports top-t
+  kParallel,  // TD-parallel: PKT-style level-synchronous parallel peel
 };
 
-/// Stable registry name of an algorithm ("improved", "cohen", "bottomup",
-/// "topdown").
+/// Stable registry name of an algorithm ("improved", "parallel", "cohen",
+/// "bottomup", "topdown").
 const char* AlgorithmName(Algorithm algorithm);
 
 /// Options for one decomposition run. Defaults run TD-inmem+ with a 256 MB
@@ -55,9 +57,10 @@ struct DecomposeOptions {
   /// Validate() rejects it elsewhere.
   int32_t top_t = -1;
 
-  /// Worker threads for support initialization (triangle counting), the
-  /// phase that dominates the in-memory algorithms' runtime. Results are
-  /// deterministic — byte-identical for every value. Each worker keeps a
+  /// Worker threads. Parallelizes support initialization (triangle
+  /// counting) for every algorithm, and — for kParallel — the peel itself
+  /// (level-synchronous frontiers). Results are deterministic —
+  /// byte-identical for every value. Each support-init worker keeps a
   /// private per-edge support buffer (4 bytes x num_edges, transient), so
   /// memory grows linearly with this knob. Default 1 (fully sequential).
   uint32_t threads = 1;

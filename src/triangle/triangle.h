@@ -12,12 +12,78 @@
 #ifndef TRUSS_TRIANGLE_TRIANGLE_H_
 #define TRUSS_TRIANGLE_TRIANGLE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace truss {
+
+/// Degree ratio beyond which ForEachCommonNeighbor switches from the
+/// linear merge walk to galloping (binary search in the longer list).
+/// Below the ratio the merge's sequential scans are cache-friendlier;
+/// above it the O(min_deg · log max_deg) search wins.
+inline constexpr size_t kGallopDegreeRatio = 32;
+
+/// Enumerates the triangles through the edge (u, v) with no hash table:
+/// the sorted adjacency lists of u and v are intersected directly, and
+/// because every AdjEntry carries its edge id, both remaining triangle
+/// edges come out of the walk for free. Calls cb(w, e_uw, e_vw) for every
+/// common neighbor w. Cost is O(deg(u) + deg(v)) via a two-pointer merge,
+/// dropping to O(min_deg · log(max_deg)) by galloping when the degrees are
+/// skewed by more than kGallopDegreeRatio — this replaces the expected-O(1)
+/// hash probes of Algorithm 2 Step 8 with branch-predictable scans over
+/// contiguous memory (see truss/edge_map.h for the hash table it displaced
+/// from the peel hot loop; bench_micro_kernels BM_TriangleEnumHashVsIntersect
+/// measures the two side by side).
+template <typename CommonNeighborCallback>
+void ForEachCommonNeighbor(const Graph& g, VertexId u, VertexId v,
+                           CommonNeighborCallback&& cb) {
+  std::span<const AdjEntry> a = g.neighbors(u);  // yields e_uw
+  std::span<const AdjEntry> b = g.neighbors(v);  // yields e_vw
+  const bool swapped = a.size() > b.size();
+  if (swapped) std::swap(a, b);
+  auto emit = [&](const AdjEntry& ea, const AdjEntry& eb) {
+    if (swapped) {
+      cb(ea.neighbor, eb.edge, ea.edge);
+    } else {
+      cb(ea.neighbor, ea.edge, eb.edge);
+    }
+  };
+  if (a.size() * kGallopDegreeRatio < b.size()) {
+    // Skewed: look each short-list neighbor up in the (shrinking) long
+    // list. The search window only ever narrows, so the total is
+    // O(|a| · log |b|).
+    auto first = b.begin();
+    for (const AdjEntry& ea : a) {
+      first = std::lower_bound(
+          first, b.end(), ea.neighbor,
+          [](const AdjEntry& e, VertexId w) { return e.neighbor < w; });
+      if (first == b.end()) break;
+      if (first->neighbor == ea.neighbor) {
+        emit(ea, *first);
+        ++first;
+      }
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const VertexId wa = a[i].neighbor;
+    const VertexId wb = b[j].neighbor;
+    if (wa < wb) {
+      ++i;
+    } else if (wa > wb) {
+      ++j;
+    } else {
+      emit(a[i], b[j]);
+      ++i;
+      ++j;
+    }
+  }
+}
 
 /// Degree-ordered orientation of a graph: each vertex's out-list holds only
 /// higher-ranked neighbors, sorted by rank.

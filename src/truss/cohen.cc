@@ -2,19 +2,24 @@
 
 #include <deque>
 
+#include "common/timer.h"
 #include "triangle/triangle.h"
 
 namespace truss {
 
 TrussDecompositionResult CohenTrussDecomposition(const Graph& g,
                                                  MemoryTracker* tracker,
-                                                 uint32_t threads) {
+                                                 uint32_t threads,
+                                                 PhaseTimings* timings) {
   const EdgeId m = g.num_edges();
   TrussDecompositionResult result;
   result.truss_number.assign(m, 0);
   if (m == 0) return result;
 
+  const WallTimer support_timer;
   std::vector<uint32_t> sup = ComputeEdgeSupports(g, threads);
+  if (timings != nullptr) timings->support_seconds = support_timer.Seconds();
+  const WallTimer peel_timer;
   std::vector<bool> removed(m, false);
   std::vector<bool> queued(m, false);
 
@@ -84,6 +89,7 @@ TrussDecompositionResult CohenTrussDecomposition(const Graph& g,
   }
 
   result.RecomputeKmax();
+  if (timings != nullptr) timings->peel_seconds = peel_timer.Seconds();
   return result;
 }
 

@@ -20,9 +20,11 @@ namespace truss {
 
 /// Runs Algorithm 1. `tracker` (optional) records peak structure memory.
 /// `threads` parallelizes the support initialization only; results are
-/// identical for every thread count.
+/// identical for every thread count. `timings` (optional) receives the
+/// support/peel phase split.
 TrussDecompositionResult CohenTrussDecomposition(
-    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1);
+    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1,
+    PhaseTimings* timings = nullptr);
 
 }  // namespace truss
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 
+#include "common/flags.h"
 #include "common/macros.h"
+#include "common/timer.h"
 #include "triangle/triangle.h"
-#include "truss/edge_map.h"
 
 namespace truss {
 
@@ -18,7 +19,10 @@ class SupportBins {
   SupportBins(std::vector<uint32_t>* sup, EdgeId m) : sup_(*sup) {
     uint32_t max_sup = 0;
     for (EdgeId e = 0; e < m; ++e) max_sup = std::max(max_sup, sup_[e]);
-    bin_start_.assign(max_sup + 2, 0);
+    // 64-bit sizing: max_sup + 2 must not wrap in 32 bits, and the
+    // degenerate all-isolated-edges graph (m > 0, every support 0) still
+    // gets the two bins [0, 1) the cursor walk below relies on.
+    bin_start_.assign(static_cast<size_t>(max_sup) + 2, 0);
     for (EdgeId e = 0; e < m; ++e) ++bin_start_[sup_[e] + 1];
     for (size_t s = 1; s < bin_start_.size(); ++s) {
       bin_start_[s] += bin_start_[s - 1];
@@ -72,12 +76,10 @@ TrussDecompositionResult Peel(const Graph& g, std::vector<uint32_t>& sup,
   if (m == 0) return result;
 
   SupportBins bins(&sup, m);
-  const EdgeMap edge_map(g);
-  std::vector<bool> removed(m, false);
+  ByteFlags removed(m);
 
   const ScopedMemory mem(tracker, g.SizeBytes() + m * sizeof(uint32_t) +
-                                      bins.SizeBytes() + edge_map.SizeBytes() +
-                                      m / 8);
+                                      bins.SizeBytes() + removed.SizeBytes());
 
   uint32_t k = 2;
   for (uint64_t ptr = 0; ptr < m; ++ptr) {
@@ -85,23 +87,20 @@ TrussDecompositionResult Peel(const Graph& g, std::vector<uint32_t>& sup,
     // Peeled supports are non-decreasing, so the running level only grows.
     k = std::max(k, sup[eid] + 2);
     result.truss_number[eid] = k;
-    removed[eid] = true;
+    removed.Set(eid);
 
+    // Enumerate △(u,v,w) by sorted-adjacency intersection: both remaining
+    // edge ids come straight out of the AdjEntry walk, no hash probes
+    // (Algorithm 2, Steps 6-8, with the hashtable of Step 8 eliminated).
     const Edge e = g.edge(eid);
-    // Walk the smaller adjacency list (Algorithm 2, Step 6).
-    VertexId u = e.u, v = e.v;
-    if (g.degree(u) > g.degree(v)) std::swap(u, v);
-    for (const AdjEntry& a : g.neighbors(u)) {
-      const EdgeId uw = a.edge;
-      if (removed[uw]) continue;
-      const EdgeId vw = edge_map.Find(v, a.neighbor);
-      if (vw == kInvalidEdge || removed[vw]) continue;
+    ForEachCommonNeighbor(g, e.u, e.v, [&](VertexId, EdgeId uw, EdgeId vw) {
+      if (removed.Test(uw) || removed.Test(vw)) return;
       // △(u,v,w) is live: downgrade (u,w) and (v,w). Skipping edges whose
       // support already sits at or below sup[eid] keeps the bins sorted;
       // such edges peel at the same level regardless of exact value.
       if (sup[uw] > sup[eid]) bins.Decrement(uw);
       if (sup[vw] > sup[eid]) bins.Decrement(vw);
-    }
+    });
   }
 
   result.RecomputeKmax();
@@ -112,9 +111,15 @@ TrussDecompositionResult Peel(const Graph& g, std::vector<uint32_t>& sup,
 
 TrussDecompositionResult ImprovedTrussDecomposition(const Graph& g,
                                                     MemoryTracker* tracker,
-                                                    uint32_t threads) {
+                                                    uint32_t threads,
+                                                    PhaseTimings* timings) {
+  const WallTimer support_timer;
   std::vector<uint32_t> sup = ComputeEdgeSupports(g, threads);
-  return Peel(g, sup, tracker);
+  if (timings != nullptr) timings->support_seconds = support_timer.Seconds();
+  const WallTimer peel_timer;
+  TrussDecompositionResult result = Peel(g, sup, tracker);
+  if (timings != nullptr) timings->peel_seconds = peel_timer.Seconds();
+  return result;
 }
 
 TrussDecompositionResult PeelWithSupports(const Graph& g,

@@ -3,10 +3,13 @@
 //
 // After an O(m^1.5) support initialization, edges are kept bin-sorted by
 // current support (the sorted edge array of [5]). The peel repeatedly takes
-// the lowest-support edge e = (u, v); walking only the *smaller* adjacency
-// list and testing the third edge with an O(1) expected hash lookup bounds
-// the whole decomposition by O(m^1.5) (Theorem 1) instead of Algorithm 1's
-// O(Σ deg²).
+// the lowest-support edge e = (u, v) and enumerates its triangles by
+// sorted-adjacency intersection (ForEachCommonNeighbor): a two-pointer
+// merge of nb(u) and nb(v) that gallops when the degrees are skewed, so
+// the hot loop does no hashing at all. The paper's hash table for the
+// "(v, w) ∈ E" membership test (Step 8) survives only in the external
+// algorithms, which genuinely test subgraph membership; here both remaining
+// triangle edge ids fall out of the adjacency entries directly.
 
 #ifndef TRUSS_TRUSS_IMPROVED_H_
 #define TRUSS_TRUSS_IMPROVED_H_
@@ -18,10 +21,14 @@
 namespace truss {
 
 /// Runs Algorithm 2. `tracker` (optional) records peak structure memory.
-/// `threads` parallelizes the support initialization (the peel itself is
-/// inherently sequential); results are identical for every thread count.
+/// `threads` parallelizes the support initialization (this peel is
+/// inherently sequential; see truss/parallel_peel.h for the
+/// level-synchronous parallel variant); results are identical for every
+/// thread count. `timings` (optional) receives the support/peel phase
+/// split.
 TrussDecompositionResult ImprovedTrussDecomposition(
-    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1);
+    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1,
+    PhaseTimings* timings = nullptr);
 
 /// Variant used by the external algorithms (§5, §6): peels `g` with the
 /// supports given in `sup` (consumed/modified in place) and returns truss

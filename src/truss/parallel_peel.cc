@@ -1,0 +1,240 @@
+#include "truss/parallel_peel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "triangle/triangle.h"
+
+namespace truss {
+
+namespace {
+
+/// Decrements `sup` by one unless it already sits at the level floor — the
+/// CAS loop never lets the value drop below `level`, so concurrent
+/// decrements from many destroyed triangles cannot run an edge's support
+/// past the frontier threshold. Exactly one caller observes the
+/// level+1 → level transition and enqueues the edge for the next
+/// sub-frontier.
+void DecrementClamped(std::atomic<uint32_t>& sup, uint32_t level, EdgeId e,
+                      std::vector<EdgeId>& next_queue) {
+  uint32_t cur = sup.load(std::memory_order_relaxed);
+  while (cur > level) {
+    if (sup.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
+      if (cur == level + 1) next_queue.push_back(e);
+      return;
+    }
+  }
+}
+
+/// Below this many work items a fork-join pass costs more in thread
+/// create/join than the loop body itself; run such passes on the calling
+/// thread. Long peel cascades produce many near-empty sub-frontiers, so
+/// the cutoff matters for multi-thread scaling, not just startup.
+constexpr size_t kSequentialCutoff = 4096;
+
+uint32_t ClampThreads(uint32_t threads, size_t items) {
+  return items < kSequentialCutoff ? 1 : threads;
+}
+
+}  // namespace
+
+Result<TrussDecompositionResult> ParallelTrussDecomposition(
+    const Graph& g, MemoryTracker* tracker, uint32_t threads,
+    const ExecutionHooks* hooks, PhaseTimings* timings) {
+  const EdgeId m = g.num_edges();
+  TrussDecompositionResult result;
+  result.truss_number.assign(m, 0);
+  if (m == 0) return result;
+
+  const WallTimer support_timer;
+  std::vector<uint32_t> init_sup = ComputeEdgeSupports(g, threads);
+  if (timings != nullptr) timings->support_seconds = support_timer.Seconds();
+
+  const WallTimer peel_timer;
+
+  // Atomic working copy of the supports (the peel decrements them
+  // concurrently), plus the first non-empty level, found during the copy.
+  std::vector<std::atomic<uint32_t>> sup(m);
+  const uint32_t copy_threads = ClampThreads(threads, m);
+  const uint32_t copy_shards = EffectiveThreads(copy_threads, m);
+  std::vector<uint32_t> shard_min(copy_shards,
+                                  std::numeric_limits<uint32_t>::max());
+  ParallelFor(copy_threads, m,
+              [&](uint64_t begin, uint64_t end, uint32_t shard) {
+                uint32_t local_min = std::numeric_limits<uint32_t>::max();
+                for (uint64_t i = begin; i < end; ++i) {
+                  sup[i].store(init_sup[i], std::memory_order_relaxed);
+                  local_min = std::min(local_min, init_sup[i]);
+                }
+                shard_min[shard] = local_min;
+              });
+  uint32_t level = *std::min_element(shard_min.begin(), shard_min.end());
+  init_sup = {};
+
+  ByteFlags processed(m);
+  ByteFlags in_frontier(m);
+  std::vector<EdgeId> live(m);
+  std::iota(live.begin(), live.end(), EdgeId{0});
+
+  const ScopedMemory mem(
+      tracker,
+      g.SizeBytes() + uint64_t{m} * sizeof(uint32_t) /* truss numbers */ +
+          uint64_t{m} * sizeof(std::atomic<uint32_t>) /* supports */ +
+          processed.SizeBytes() + in_frontier.SizeBytes() +
+          // Worst-case transient peel arrays: the live array, the scan's
+          // per-shard partitions plus their merged copies, the frontier /
+          // next-queue buffers (each bounded by m edge ids), and the
+          // sub-level weight prefix (8 bytes per frontier edge).
+          4 * uint64_t{m} * sizeof(EdgeId) +
+          uint64_t{m} * sizeof(uint64_t));
+
+  uint64_t done = 0;
+  std::vector<EdgeId> curr, next, keep;
+  std::vector<uint64_t> weights;
+
+  while (done < m) {
+    if (hooks != nullptr && hooks->ShouldCancel()) {
+      return Status::Cancelled("parallel peel cancelled at level " +
+                               std::to_string(level));
+    }
+
+    // Scan/compact the live edges: pull the level-l frontier, keep the
+    // rest, drop edges already peeled mid-level, and record the minimum
+    // kept support so empty levels are skipped in one jump. Per-shard
+    // buffers merged in shard order keep the pass deterministic.
+    const uint32_t scan_threads = ClampThreads(threads, live.size());
+    const uint32_t shards = EffectiveThreads(scan_threads, live.size());
+    std::vector<std::vector<EdgeId>> curr_shard(shards), keep_shard(shards);
+    std::vector<uint32_t> min_kept_shard(
+        shards, std::numeric_limits<uint32_t>::max());
+    ParallelFor(scan_threads, live.size(),
+                [&](uint64_t begin, uint64_t end, uint32_t shard) {
+                  std::vector<EdgeId>& local_curr = curr_shard[shard];
+                  std::vector<EdgeId>& local_keep = keep_shard[shard];
+                  uint32_t local_min = std::numeric_limits<uint32_t>::max();
+                  for (uint64_t i = begin; i < end; ++i) {
+                    const EdgeId e = live[i];
+                    if (processed.Test(e)) continue;
+                    const uint32_t s = sup[e].load(std::memory_order_relaxed);
+                    if (s <= level) {
+                      local_curr.push_back(e);
+                    } else {
+                      local_keep.push_back(e);
+                      local_min = std::min(local_min, s);
+                    }
+                  }
+                  min_kept_shard[shard] = local_min;
+                });
+    curr.clear();
+    keep.clear();
+    for (uint32_t s = 0; s < shards; ++s) {
+      curr.insert(curr.end(), curr_shard[s].begin(), curr_shard[s].end());
+      keep.insert(keep.end(), keep_shard[s].begin(), keep_shard[s].end());
+    }
+    const uint32_t min_kept =
+        *std::min_element(min_kept_shard.begin(), min_kept_shard.end());
+    live.swap(keep);
+
+    if (curr.empty()) {
+      // Nothing peels at this level; every unprocessed support is current
+      // again (no sub-level ran since the last scan), so jump straight to
+      // the next populated one.
+      level = min_kept;
+      continue;
+    }
+
+    // Sub-levels: peel the frontier, collecting edges that fall to the
+    // floor into the next one, until the level drains. Hooks are polled
+    // per sub-level: on sparse graphs one low level can cascade through
+    // nearly every edge, and a per-level poll would leave that whole run
+    // uncancellable and silent.
+    while (!curr.empty()) {
+      if (hooks != nullptr && hooks->ShouldCancel()) {
+        return Status::Cancelled("parallel peel cancelled at level " +
+                                 std::to_string(level));
+      }
+      // Degree-balanced frontier shards: an edge's triangle work is
+      // deg(u) + deg(v), so equal-width ranges would serialize behind hub
+      // edges. The frontier flags ride along in the same (sequential)
+      // prefix pass.
+      weights.assign(curr.size() + 1, 0);
+      for (size_t i = 0; i < curr.size(); ++i) {
+        const Edge e = g.edge(curr[i]);
+        weights[i + 1] = weights[i] + g.degree(e.u) + g.degree(e.v) + 1;
+        in_frontier.Set(curr[i]);
+      }
+      // Clamp on total triangle work, not frontier size: a handful of hub
+      // edges can still be worth sharding.
+      const uint32_t tri_threads = ClampThreads(threads, weights.back());
+      const uint32_t fshards = EffectiveThreads(tri_threads, curr.size());
+      const std::vector<uint64_t> bounds = SplitBalanced(weights, fshards);
+      std::vector<std::vector<EdgeId>> next_shard(fshards);
+      RunShards(fshards, [&](uint32_t shard) {
+        std::vector<EdgeId>& local_next = next_shard[shard];
+        for (uint64_t i = bounds[shard]; i < bounds[shard + 1]; ++i) {
+          const EdgeId eid = curr[i];
+          const Edge e = g.edge(eid);
+          ForEachCommonNeighbor(
+              g, e.u, e.v, [&](VertexId, EdgeId uw, EdgeId vw) {
+                if (processed.Test(uw) || processed.Test(vw)) return;
+                const bool fu = in_frontier.Test(uw);
+                const bool fv = in_frontier.Test(vw);
+                if (fu && fv) return;  // whole triangle peels right now
+                if (fu) {
+                  // △ shared with frontier peer uw: the lower edge id
+                  // settles the third edge, exactly once.
+                  if (eid < uw) DecrementClamped(sup[vw], level, vw,
+                                                local_next);
+                } else if (fv) {
+                  if (eid < vw) DecrementClamped(sup[uw], level, uw,
+                                                local_next);
+                } else {
+                  DecrementClamped(sup[uw], level, uw, local_next);
+                  DecrementClamped(sup[vw], level, vw, local_next);
+                }
+              });
+        }
+      });
+
+      // Retire the sub-level: truss numbers, processed marks, frontier
+      // flags — disjoint indices, so the writes shard safely.
+      ParallelFor(ClampThreads(threads, curr.size()), curr.size(),
+                  [&](uint64_t begin, uint64_t end, uint32_t) {
+                    for (uint64_t i = begin; i < end; ++i) {
+                      const EdgeId e = curr[i];
+                      result.truss_number[e] = level + 2;
+                      processed.Set(e);
+                      in_frontier.Clear(e);
+                    }
+                  });
+      done += curr.size();
+      if (hooks != nullptr) hooks->Report("peel", level + 2, done, m);
+
+      // Deterministic next frontier: which thread observed a support
+      // transition is scheduling-dependent, the sorted union is not.
+      next.clear();
+      for (const std::vector<EdgeId>& q : next_shard) {
+        next.insert(next.end(), q.begin(), q.end());
+      }
+      std::sort(next.begin(), next.end());
+      curr.swap(next);
+    }
+
+    // min_kept may be stale (this level's sub-levels decremented supports
+    // after the scan), so advance by one and let an empty scan jump.
+    ++level;
+  }
+
+  result.RecomputeKmax();
+  if (timings != nullptr) timings->peel_seconds = peel_timer.Seconds();
+  return result;
+}
+
+}  // namespace truss

@@ -1,0 +1,53 @@
+// TD-parallel: PKT-style shared-memory parallel truss peeling
+// (Kabir & Madduri, "Shared-Memory Graph Truss Decomposition", HiPC 2017;
+// see PAPERS.md).
+//
+// Algorithm 2's peel is strictly sequential: one lowest-support edge at a
+// time. This variant peels level-synchronously instead: all unprocessed
+// edges with support ≤ l form the level-l frontier and are peeled
+// together, in sub-levels —
+//
+//   1. Scan/compact the live edge array in parallel, pulling the frontier
+//      and keeping the rest (deterministic per-shard partition merged in
+//      shard order; empty levels are skipped via the minimum kept
+//      support).
+//   2. Process the frontier in degree-balanced shards (SplitBalanced):
+//      each edge's triangles are enumerated hash-free by sorted-adjacency
+//      intersection (ForEachCommonNeighbor), and the two remaining
+//      triangle edges get their supports decremented with relaxed atomics
+//      clamped at the level floor. Triangles shared by several frontier
+//      edges are settled once, by the lowest edge id.
+//   3. Edges whose support hits the floor join per-thread next-frontier
+//      queues; the queues are merged in shard order and sorted, so the
+//      next sub-level's frontier is canonical even though which thread
+//      observed a transition is scheduling-dependent.
+//
+// Frontier membership is a fixpoint of the support values — it does not
+// depend on processing order — so the truss numbers are identical to
+// ImprovedTrussDecomposition and the naive oracle for every thread count.
+
+#ifndef TRUSS_TRUSS_PARALLEL_PEEL_H_
+#define TRUSS_TRUSS_PARALLEL_PEEL_H_
+
+#include "common/hooks.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "truss/result.h"
+
+namespace truss {
+
+/// Level-synchronous parallel truss decomposition. `threads` parallelizes
+/// both the support initialization and the peel; results are identical for
+/// every thread count. `tracker` (optional) records peak structure memory.
+/// `hooks` (optional) is polled once per sub-level: progress is reported
+/// as stage "peel" with k = level + 2, and cancellation aborts the run
+/// with Status::Cancelled. `timings` (optional) receives the support/peel
+/// phase split.
+Result<TrussDecompositionResult> ParallelTrussDecomposition(
+    const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1,
+    const ExecutionHooks* hooks = nullptr, PhaseTimings* timings = nullptr);
+
+}  // namespace truss
+
+#endif  // TRUSS_TRUSS_PARALLEL_PEEL_H_

@@ -17,6 +17,16 @@
 
 namespace truss {
 
+/// Wall-clock split of an in-memory decomposition run: support
+/// initialization (triangle counting) vs the peel proper. The in-memory
+/// algorithms fill one when handed a non-null pointer; the engine surfaces
+/// the split as DecomposeStats::support_seconds / peel_seconds so the
+/// BENCH_* artifacts show where the time goes.
+struct PhaseTimings {
+  double support_seconds = 0.0;
+  double peel_seconds = 0.0;
+};
+
 /// Truss numbers for every edge of a graph.
 struct TrussDecompositionResult {
   /// truss_number[EdgeId] = ϕ(e) ≥ 2.

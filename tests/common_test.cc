@@ -1,15 +1,18 @@
 // Tests for the common substrate: Status/Result, RNG, formatting, tables,
-// memory tracking, and the EdgeMap hash table.
+// memory tracking, ByteFlags, and the EdgeMap hash table.
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 // GCC 12 at -O2 reports a spurious maybe-uninitialized on the std::variant
 // inside Result<int> when both alternatives are constructed in one function.
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 
+#include "common/flags.h"
 #include "common/memory_tracker.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -154,6 +157,43 @@ TEST(MemoryTrackerTest, ScopedMemoryReleases) {
   EXPECT_EQ(t.peak_bytes(), 1000u);
   // Null tracker is a no-op.
   ScopedMemory noop(nullptr, 5);
+}
+
+TEST(ByteFlagsTest, StartsClearAndRoundTrips) {
+  ByteFlags flags(64);
+  EXPECT_EQ(flags.size(), 64u);
+  EXPECT_EQ(flags.SizeBytes(), 64u);
+  for (size_t i = 0; i < flags.size(); ++i) EXPECT_FALSE(flags.Test(i));
+  flags.Set(0);
+  flags.Set(63);
+  EXPECT_TRUE(flags.Test(0));
+  EXPECT_TRUE(flags.Test(63));
+  EXPECT_FALSE(flags.Test(1));
+  flags.Clear(0);
+  EXPECT_FALSE(flags.Test(0));
+  EXPECT_TRUE(flags.Test(63));
+}
+
+TEST(ByteFlagsTest, ZeroSize) {
+  const ByteFlags flags(0);
+  EXPECT_EQ(flags.size(), 0u);
+  EXPECT_EQ(flags.SizeBytes(), 0u);
+}
+
+// Concurrent writers to adjacent indices are the case vector<bool> cannot
+// support (word-level RMW); ByteFlags must handle it race-free. Runs under
+// the TSan CI preset.
+TEST(ByteFlagsTest, ConcurrentNeighboringWritesAreRaceFree) {
+  constexpr size_t kFlags = 1 << 12;
+  ByteFlags flags(kFlags);
+  ParallelFor(8, kFlags, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i % 2 == 0) flags.Set(i);
+    }
+  });
+  for (size_t i = 0; i < kFlags; ++i) {
+    EXPECT_EQ(flags.Test(i), i % 2 == 0) << i;
+  }
 }
 
 TEST(EdgeMapTest, FindsEveryEdgeAndNoOthers) {

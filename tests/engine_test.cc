@@ -26,13 +26,13 @@ namespace {
 
 // --- registry ----------------------------------------------------------
 
-TEST(EngineRegistryTest, ListsAllFourAlgorithms) {
+TEST(EngineRegistryTest, ListsAllRegistryAlgorithms) {
   const auto algorithms = Engine::Algorithms();
-  ASSERT_EQ(algorithms.size(), 4u);
+  ASSERT_EQ(algorithms.size(), 5u);
   std::vector<std::string> names;
   for (const AlgorithmInfo& info : algorithms) names.push_back(info.name);
-  EXPECT_EQ(names, (std::vector<std::string>{"improved", "cohen", "bottomup",
-                                             "topdown"}));
+  EXPECT_EQ(names, (std::vector<std::string>{"improved", "parallel", "cohen",
+                                             "bottomup", "topdown"}));
 }
 
 TEST(EngineRegistryTest, FindAlgorithmResolvesEveryRegistryName) {
@@ -52,6 +52,7 @@ TEST(EngineRegistryTest, FindAlgorithmRejectsUnknownNames) {
 
 TEST(EngineRegistryTest, CapabilityFlagsMatchTheAlgorithmFamilies) {
   EXPECT_FALSE(Engine::FindAlgorithm("improved")->external);
+  EXPECT_FALSE(Engine::FindAlgorithm("parallel")->external);
   EXPECT_FALSE(Engine::FindAlgorithm("cohen")->external);
   EXPECT_TRUE(Engine::FindAlgorithm("bottomup")->external);
   EXPECT_TRUE(Engine::FindAlgorithm("topdown")->external);
@@ -82,7 +83,8 @@ TEST(DecomposeOptionsTest, TopTRequiresTopDown) {
   DecomposeOptions options;
   options.top_t = 5;
   for (const Algorithm algorithm :
-       {Algorithm::kImproved, Algorithm::kCohen, Algorithm::kBottomUp}) {
+       {Algorithm::kImproved, Algorithm::kParallel, Algorithm::kCohen,
+        Algorithm::kBottomUp}) {
     options.algorithm = algorithm;
     EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument)
         << AlgorithmName(algorithm);
@@ -160,6 +162,32 @@ TEST(EngineThreadsTest, ThreadsReachExternalOverflowProcedures) {
                                   parallel.value().result))
         << name;
   }
+}
+
+// The in-memory algorithms must split wall time into the support and peel
+// phases; the external ones keep their own stage accounting and leave the
+// split at zero.
+TEST(EngineStatsTest, InMemoryRunsSurfacePhaseTimings) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(100, 600, 3), 8, 4);
+  for (const char* name : {"improved", "parallel", "cohen"}) {
+    DecomposeOptions options;
+    options.algorithm = Engine::FindAlgorithm(name)->id;
+    auto out = Engine::Decompose(g, options);
+    ASSERT_TRUE(out.ok()) << name << ": " << out.status().ToString();
+    EXPECT_GT(out.value().stats.support_seconds, 0.0) << name;
+    EXPECT_GT(out.value().stats.peel_seconds, 0.0) << name;
+    // The two phases are the whole in-memory run (plus noise-level glue).
+    EXPECT_LE(out.value().stats.support_seconds +
+                  out.value().stats.peel_seconds,
+              out.value().stats.wall_seconds + 0.05)
+        << name;
+  }
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kBottomUp;
+  auto out = Engine::Decompose(g, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().stats.support_seconds, 0.0);
+  EXPECT_EQ(out.value().stats.peel_seconds, 0.0);
 }
 
 TEST(DecomposeOptionsTest, DecomposeRejectsInvalidOptions) {
@@ -422,6 +450,23 @@ TEST(EngineHooksTest, ExternalRunsCancelCooperativelyMidRun) {
     EXPECT_EQ(out.status().code(), StatusCode::kCancelled) << name;
     EXPECT_GT(polls, 3) << name << ": hook must be polled past the trigger";
   }
+}
+
+// The parallel peel polls the cancel hook once per sub-level, so an engine
+// run of the "parallel" algorithm is interruptible mid-decomposition —
+// unlike the other in-memory algorithms, which only check at run
+// boundaries.
+TEST(EngineHooksTest, ParallelRunCancelsCooperativelyMidPeel) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(120, 700, 3), 9, 4);
+  int polls = 0;
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kParallel;
+  options.threads = 2;
+  options.hooks.cancel = [&polls] { return ++polls > 3; };
+  auto out = Engine::Decompose(g, options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_GT(polls, 3) << "hook must be polled past the trigger";
 }
 
 TEST(EngineHooksTest, ProgressEventsCoverTheExternalStages) {

@@ -1,0 +1,187 @@
+// Tests for the PKT-style level-synchronous parallel peel
+// (src/truss/parallel_peel.h): cross-algorithm equivalence against the
+// naive oracle and the sequential improved peel on every fixture shape ×
+// thread count, determinism, phase timings, memory accounting, and
+// cooperative cancellation. The whole suite also runs under the TSan CI
+// preset (.github/workflows/ci.yml).
+
+#include "truss/parallel_peel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "truss/improved.h"
+#include "truss/result.h"
+#include "truss/verify.h"
+
+namespace truss {
+namespace {
+
+constexpr uint32_t kThreadSweep[] = {1, 2, 4, 8};
+
+// Two triangles sharing edge (1,2) plus a pendant vertex — the bundled CLI
+// smoke fixture (tests/data/two_triangles.txt).
+Graph TwoTriangles() {
+  return Graph::FromEdges({{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}},
+                          0);
+}
+
+void ExpectMatchesSequential(const Graph& g, const char* what) {
+  const TrussDecompositionResult oracle = NaiveTrussDecomposition(g);
+  const TrussDecompositionResult improved = ImprovedTrussDecomposition(g);
+  ASSERT_TRUE(SameDecomposition(oracle, improved)) << what;
+  for (const uint32_t threads : kThreadSweep) {
+    auto parallel = ParallelTrussDecomposition(g, nullptr, threads);
+    ASSERT_TRUE(parallel.ok())
+        << what << " t=" << threads << ": " << parallel.status().ToString();
+    EXPECT_TRUE(SameDecomposition(oracle, parallel.value()))
+        << what << " t=" << threads;
+    EXPECT_EQ(parallel.value().kmax, oracle.kmax) << what << " t=" << threads;
+    EXPECT_EQ(ValidateDecomposition(g, parallel.value()), "")
+        << what << " t=" << threads;
+  }
+}
+
+TEST(ParallelPeelTest, EmptyGraph) {
+  for (const uint32_t threads : kThreadSweep) {
+    auto r = ParallelTrussDecomposition(Graph{}, nullptr, threads);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().kmax, 0u);
+    EXPECT_TRUE(r.value().truss_number.empty());
+  }
+}
+
+TEST(ParallelPeelTest, TwoTrianglesFixture) {
+  ExpectMatchesSequential(TwoTriangles(), "two_triangles");
+}
+
+TEST(ParallelPeelTest, StarHasOnlyZeroSupports) {
+  // Degenerate all-isolated-edges shape: m > 0 but every support is 0, so
+  // the whole graph peels in one level-0 frontier.
+  ExpectMatchesSequential(gen::Star(16), "star");
+  for (const uint32_t threads : kThreadSweep) {
+    auto r = ParallelTrussDecomposition(gen::Star(16), nullptr, threads);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().kmax, 2u);
+  }
+}
+
+TEST(ParallelPeelTest, RandomGraphsMatchOracle) {
+  ExpectMatchesSequential(gen::ErdosRenyiGnm(40, 120, 3), "er_40_120");
+  ExpectMatchesSequential(gen::ErdosRenyiGnm(80, 400, 17), "er_80_400");
+  ExpectMatchesSequential(gen::ErdosRenyiGnm(120, 1200, 9), "er_120_1200");
+}
+
+TEST(ParallelPeelTest, SkewedDegreeGraphsMatchOracle) {
+  // Hub-heavy shapes exercise the galloping branch of the intersection
+  // and the degree-balanced frontier sharding.
+  ExpectMatchesSequential(gen::BarabasiAlbert(150, 5, 7), "ba_150_5");
+  ExpectMatchesSequential(gen::RMat(9, 1500, 0.6, 0.18, 0.12, 5), "rmat_9");
+}
+
+TEST(ParallelPeelTest, PlantedCliqueMatchesOracle) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(60, 200, 5), 8, 6);
+  ExpectMatchesSequential(g, "planted");
+}
+
+TEST(ParallelPeelTest, Figure2Example) {
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  for (const uint32_t threads : kThreadSweep) {
+    auto r = ParallelTrussDecomposition(fx.graph, nullptr, threads);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().kmax, fx.expected_kmax) << "t=" << threads;
+    EXPECT_EQ(r.value().truss_number, fx.expected_truss) << "t=" << threads;
+  }
+}
+
+TEST(ParallelPeelTest, CompleteGraphsJumpStraightToTheTopLevel) {
+  // K_n has a single frontier at level n-2: exercises the empty-level
+  // jump from level 0 to the first populated one.
+  for (VertexId n = 3; n <= 10; ++n) {
+    for (const uint32_t threads : {1u, 4u}) {
+      auto r = ParallelTrussDecomposition(gen::Complete(n), nullptr, threads);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.value().kmax, n) << "K_" << n << " t=" << threads;
+      for (const uint32_t t : r.value().truss_number) EXPECT_EQ(t, n);
+    }
+  }
+}
+
+TEST(ParallelPeelTest, TriangleFreeGraphsAreAllPhi2) {
+  for (const Graph& g : {gen::Cycle(10), gen::Grid(4, 5), gen::Path(6)}) {
+    auto r = ParallelTrussDecomposition(g, nullptr, 4);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().kmax, 2u);
+    for (const uint32_t t : r.value().truss_number) EXPECT_EQ(t, 2u);
+  }
+}
+
+TEST(ParallelPeelTest, RepeatRunsAreIdentical) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(100, 600, 23), 8, 24);
+  auto first = ParallelTrussDecomposition(g, nullptr, 4);
+  ASSERT_TRUE(first.ok());
+  for (int run = 0; run < 3; ++run) {
+    auto again = ParallelTrussDecomposition(g, nullptr, 4);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(first.value().truss_number, again.value().truss_number);
+  }
+}
+
+TEST(ParallelPeelTest, MemoryTrackerReportsPeak) {
+  const Graph g = gen::ErdosRenyiGnm(200, 1000, 3);
+  MemoryTracker tracker;
+  auto r = ParallelTrussDecomposition(g, &tracker, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(tracker.peak_bytes(), g.SizeBytes());
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+TEST(ParallelPeelTest, PhaseTimingsAreFilled) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(120, 800, 11), 9, 12);
+  PhaseTimings timings;
+  auto r = ParallelTrussDecomposition(g, nullptr, 2, nullptr, &timings);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(timings.support_seconds, 0.0);
+  EXPECT_GT(timings.peel_seconds, 0.0);
+}
+
+TEST(ParallelPeelTest, CancelHookAbortsMidPeel) {
+  // The hook is polled once per sub-level; a multi-level graph must be
+  // abandoned partway with Status::Cancelled.
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(80, 400, 7), 9, 8);
+  int polls = 0;
+  ExecutionHooks hooks;
+  hooks.cancel = [&polls] { return ++polls > 2; };
+  auto r = ParallelTrussDecomposition(g, nullptr, 4, &hooks);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_GT(polls, 2);
+}
+
+TEST(ParallelPeelTest, ProgressReportsEveryPeeledSubLevel) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(80, 400, 13), 8, 14);
+  std::vector<ProgressEvent> events;
+  ExecutionHooks hooks;
+  hooks.progress = [&events](const ProgressEvent& e) { events.push_back(e); };
+  auto r = ParallelTrussDecomposition(g, nullptr, 2, &hooks);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(events.empty());
+  uint64_t last_done = 0;
+  for (const ProgressEvent& e : events) {
+    EXPECT_STREQ(e.stage, "peel");
+    EXPECT_GE(e.k, 2u);
+    // Every reported sub-level peeled something.
+    EXPECT_GT(e.done, last_done);
+    last_done = e.done;
+    EXPECT_EQ(e.total, g.num_edges());
+  }
+  EXPECT_EQ(events.back().done, g.num_edges());
+  EXPECT_EQ(events.back().k, r.value().kmax);
+}
+
+}  // namespace
+}  // namespace truss

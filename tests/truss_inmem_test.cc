@@ -106,6 +106,30 @@ TEST(TrussInmemTest, TrussEdgesAreNested) {
   }
 }
 
+// Regression: the degenerate all-isolated-edges shape — m > 0 but every
+// support 0, so SupportBins builds from max_sup = 0 and must still lay out
+// its two bins correctly (the constructor sizes bin_start_ as
+// max_sup + 2 in 64-bit arithmetic).
+TEST(TrussInmemTest, PeelWithAllZeroSupportsOnStar) {
+  const Graph g = gen::Star(16);  // 15 edges, no triangles
+  ASSERT_GT(g.num_edges(), 0u);
+  const TrussDecompositionResult r =
+      PeelWithSupports(g, std::vector<uint32_t>(g.num_edges(), 0));
+  EXPECT_EQ(r.kmax, 2u);
+  for (const uint32_t t : r.truss_number) EXPECT_EQ(t, 2u);
+}
+
+TEST(TrussInmemTest, PhaseTimingsSplitSupportFromPeel) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(100, 600, 3), 8, 4);
+  PhaseTimings improved_t, cohen_t;
+  ImprovedTrussDecomposition(g, nullptr, 1, &improved_t);
+  CohenTrussDecomposition(g, nullptr, 1, &cohen_t);
+  EXPECT_GT(improved_t.support_seconds, 0.0);
+  EXPECT_GT(improved_t.peel_seconds, 0.0);
+  EXPECT_GT(cohen_t.support_seconds, 0.0);
+  EXPECT_GT(cohen_t.peel_seconds, 0.0);
+}
+
 TEST(TrussInmemTest, MemoryTrackerReportsPeak) {
   const Graph g = gen::ErdosRenyiGnm(200, 1000, 3);
   MemoryTracker cohen_mem, improved_mem;
