@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Checks clang-format (config: .clang-format) compliance for the files
+# changed relative to a base ref, so formatting is enforced on new work
+# without requiring a whole-tree reformat in one PR.
+#
+# Usage: scripts/check_format.sh [base_ref]
+#
+#   base_ref  git ref to diff against; defaults to $GITHUB_BASE_REF
+#             (set on pull_request CI runs) and then to HEAD~1.
+#
+# Exits 0 with a loud SKIPPED message when clang-format is not
+# installed; the CI static-analysis job installs it and is the gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: SKIPPED — clang-format not found on PATH." >&2
+  exit 0
+fi
+
+base_ref="${1:-${GITHUB_BASE_REF:-}}"
+if [[ -n "${base_ref}" ]] && ! git rev-parse --verify -q "${base_ref}" \
+    >/dev/null; then
+  # On pull_request runs GITHUB_BASE_REF is a branch name that may not
+  # exist locally yet with a shallow checkout.
+  git fetch --depth=1 origin "${base_ref}" >/dev/null 2>&1 || true
+  base_ref="origin/${base_ref}"
+fi
+if [[ -z "${base_ref}" ]] || ! git rev-parse --verify -q "${base_ref}" \
+    >/dev/null; then
+  base_ref="HEAD~1"
+fi
+
+mapfile -t changed < <(
+  git diff --name-only --diff-filter=ACMR "${base_ref}" -- \
+    'src/*' 'bench/*' 'examples/*' 'tests/*' \
+    | grep -E '\.(h|cc|cpp|hpp)$' || true)
+
+if [[ "${#changed[@]}" -eq 0 ]]; then
+  echo "check_format.sh: OK (no C++ files changed vs ${base_ref})"
+  exit 0
+fi
+
+echo "check_format.sh: checking ${#changed[@]} file(s) vs ${base_ref}"
+bad=()
+for f in "${changed[@]}"; do
+  [[ -f "$f" ]] || continue
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    bad+=("$f")
+  fi
+done
+
+if [[ "${#bad[@]}" -gt 0 ]]; then
+  echo "check_format.sh: FAILED — needs clang-format:" >&2
+  printf '  %s\n' "${bad[@]}" >&2
+  echo "Fix with: clang-format -i ${bad[*]}" >&2
+  exit 1
+fi
+echo "check_format.sh: OK"

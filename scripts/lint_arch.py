@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Architectural lint for the truss repo.
+
+Enforces repo-level conventions that the compiler cannot:
+
+  registry-dispatch   bench/ and examples/ must reach algorithms through
+                      the registry (truss/registry.h) or the engine, never
+                      by including a concrete algorithm header. Keeping
+                      drivers registry-only is what lets a new algorithm
+                      show up in every bench and example for free.
+  raw-thread          std::thread / std::async appear only in
+                      src/common/parallel.{h,cc}. Everything else goes
+                      through parallel::RunShards so thread-count policy,
+                      shard sizing, and the join-as-publication contract
+                      live in one place.
+  libc-rand-time      no rand()/srand()/time() in src/: library code must
+                      be deterministic and testable; benches own timing.
+  metric-format       METRIC string literals in bench/ must be exactly
+                      "METRIC <key> <value>\\n" — scripts/run_benches.sh
+                      splits on spaces and keeps only 3-field lines, so a
+                      malformed literal silently drops the metric.
+  bare-assert         use TRUSS_CHECK / TRUSS_DCHECK (common/macros.h)
+                      instead of assert(); static_assert is fine.
+
+Exceptions live in scripts/lint_arch_allowlist.json as
+{rule_id: {relative_path: reason}}. Exit status 0 when clean, 1 when any
+violation is found, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+ALGORITHM_HEADERS = (
+    "truss/improved.h",
+    "truss/cohen.h",
+    "truss/bottom_up.h",
+    "truss/top_down.h",
+    "truss/parallel_peel.h",
+)
+
+PARALLEL_IMPL = ("src/common/parallel.h", "src/common/parallel.cc")
+
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|async)\b")
+RAND_TIME_RE = re.compile(r"(^|[^_A-Za-z0-9:])(std::)?(rand|srand|time)\s*\(")
+BARE_ASSERT_RE = re.compile(r"(^|[^_A-Za-z0-9])assert\s*\(")
+CASSERT_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+METRIC_LITERAL_RE = re.compile(r"METRIC[^\"]*")
+STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def split_code_and_literals(line, in_block_comment):
+    """Returns (code, full, literals, in_block_comment).
+
+    `code` is the line with comments removed and string-literal contents
+    blanked (so regex rules never fire inside strings or comments);
+    `full` is the same but with literals kept, for #include rules whose
+    target is itself a quoted string; `literals` is the list of
+    string-literal bodies found outside comments (for metric-format).
+    """
+    code = []
+    full = []
+    literals = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(code), "".join(full), literals, True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if ch == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch == '"':
+            match = STRING_LITERAL_RE.match(line, i)
+            if match:
+                literals.append(match.group(1))
+                code.append('""')
+                full.append(match.group(0))
+                i = match.end()
+                continue
+        if ch == "'":
+            # Skip char literals like '\n' so their contents are not
+            # mistaken for code (or for a comment/string opener).
+            match = re.match(r"'(?:[^'\\]|\\.)*'", line[i:])
+            if match:
+                code.append("''")
+                full.append("''")
+                i += match.end()
+                continue
+        code.append(ch)
+        full.append(ch)
+        i += 1
+    return "".join(code), "".join(full), literals, in_block_comment
+
+
+class Linter:
+    def __init__(self, root, allowlist):
+        self.root = root
+        self.allowlist = allowlist
+        self.violations = []
+        self.files_scanned = 0
+
+    def allowed(self, rule, relpath):
+        return relpath in self.allowlist.get(rule, {})
+
+    def report(self, rule, relpath, lineno, message):
+        if not self.allowed(rule, relpath):
+            self.violations.append(
+                "%s:%d: [%s] %s" % (relpath, lineno, rule, message))
+
+    def lint_file(self, relpath):
+        self.files_scanned += 1
+        top = relpath.split("/", 1)[0]
+        in_bench_or_example = top in ("bench", "examples")
+        in_src = top == "src"
+        try:
+            with open(os.path.join(self.root, relpath),
+                      encoding="utf-8", errors="replace") as f:
+                lines = f.readlines()
+        except OSError as err:
+            self.violations.append("%s:0: [io] unreadable: %s" % (relpath, err))
+            return
+
+        in_block_comment = False
+        for lineno, raw in enumerate(lines, start=1):
+            code, full, literals, in_block_comment = split_code_and_literals(
+                raw.rstrip("\n"), in_block_comment)
+
+            if in_bench_or_example:
+                for header in ALGORITHM_HEADERS:
+                    if re.search(r'#\s*include\s*"%s"' % re.escape(header),
+                                 full):
+                        self.report(
+                            "registry-dispatch", relpath, lineno,
+                            'includes "%s"; dispatch through '
+                            "truss/registry.h or the engine instead" % header)
+
+            if relpath not in PARALLEL_IMPL and RAW_THREAD_RE.search(code):
+                self.report(
+                    "raw-thread", relpath, lineno,
+                    "raw std::thread/std::async; use parallel::RunShards "
+                    "(src/common/parallel.h)")
+
+            if in_src and RAND_TIME_RE.search(code):
+                self.report(
+                    "libc-rand-time", relpath, lineno,
+                    "rand()/srand()/time() in library code; keep src/ "
+                    "deterministic (benches own timing)")
+
+            if top == "bench":
+                for literal in literals:
+                    for metric in METRIC_LITERAL_RE.findall(literal):
+                        parts = metric.split(" ")
+                        if (len(parts) != 3 or parts[0] != "METRIC"
+                                or not parts[1] or not parts[2]
+                                or not parts[2].endswith("\\n")):
+                            self.report(
+                                "metric-format", relpath, lineno,
+                                'METRIC literal "%s" is not '
+                                '"METRIC <key> <value>\\n"; '
+                                "run_benches.sh would drop it" % metric)
+
+            if BARE_ASSERT_RE.search(code) or CASSERT_RE.search(full):
+                self.report(
+                    "bare-assert", relpath, lineno,
+                    "bare assert()/<cassert>; use TRUSS_CHECK or "
+                    "TRUSS_DCHECK from common/macros.h")
+
+    def run(self):
+        for top in ("src", "bench", "examples", "tests"):
+            base = os.path.join(self.root, top)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _, filenames in os.walk(base):
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_SUFFIXES):
+                        full = os.path.join(dirpath, name)
+                        relpath = os.path.relpath(full, self.root)
+                        relpath = relpath.replace(os.sep, "/")
+                        self.lint_file(relpath)
+        return self.violations
+
+
+def load_allowlist(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError("allowlist must be a JSON object")
+    for rule, entries in data.items():
+        if not isinstance(entries, dict):
+            raise ValueError(
+                "allowlist[%r] must map path -> reason" % rule)
+        for relpath, reason in entries.items():
+            if not isinstance(reason, str) or not reason.strip():
+                raise ValueError(
+                    "allowlist[%r][%r] needs a non-empty reason"
+                    % (rule, relpath))
+    return data
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root to lint (default: cwd)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist JSON (default: "
+                             "<root>/scripts/lint_arch_allowlist.json)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print("lint_arch: no such directory: %s" % root, file=sys.stderr)
+        return 2
+    allowlist_path = args.allowlist or os.path.join(
+        root, "scripts", "lint_arch_allowlist.json")
+    allowlist = {}
+    if os.path.exists(allowlist_path):
+        try:
+            allowlist = load_allowlist(allowlist_path)
+        except (ValueError, json.JSONDecodeError) as err:
+            print("lint_arch: bad allowlist %s: %s"
+                  % (allowlist_path, err), file=sys.stderr)
+            return 2
+
+    linter = Linter(root, allowlist)
+    violations = linter.run()
+    for violation in violations:
+        print(violation)
+    if violations:
+        print("lint_arch: %d violation(s) in %d file(s) scanned"
+              % (len(violations), linter.files_scanned), file=sys.stderr)
+        return 1
+    print("lint_arch: OK (%d files scanned)" % linter.files_scanned)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

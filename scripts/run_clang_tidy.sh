@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources,
+# driving compile flags from a CMake compile_commands.json.
+#
+# Usage: scripts/run_clang_tidy.sh [build_dir]
+#
+#   build_dir  directory containing compile_commands.json; defaults to
+#              the first of build/release, build that has one. Configure
+#              with any preset first — CMAKE_EXPORT_COMPILE_COMMANDS is
+#              always on.
+#
+# Exits 0 with a loud SKIPPED message when clang-tidy is not installed
+# (e.g. the GCC-only dev container) so local ctest/verify runs are not
+# blocked; the CI static-analysis job installs clang-tidy and is the
+# blocking gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: SKIPPED — clang-tidy not found on PATH." >&2
+  echo "  Install clang-tidy (or run in CI) to execute this check." >&2
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [[ -z "${build_dir}" ]]; then
+  for candidate in build/release build; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: no compile_commands.json found." >&2
+  echo "  Configure first, e.g.: cmake --preset release" >&2
+  exit 2
+fi
+
+# First-party translation units only; third-party code fetched by CMake
+# (googletest) lives under the build directory and is excluded by
+# construction since we list sources from the repo, not the database.
+mapfile -t sources < <(
+  find src bench examples tests \
+    \( -name '*.cc' -o -name '*.cpp' \) | sort)
+
+echo "run_clang_tidy.sh: ${#sources[@]} files, database ${build_dir}"
+jobs="$(nproc 2>/dev/null || echo 1)"
+status=0
+printf '%s\n' "${sources[@]}" \
+  | xargs -P "${jobs}" -n 8 clang-tidy -p "${build_dir}" --quiet \
+  || status=$?
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "run_clang_tidy.sh: FAILED (see diagnostics above)" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: OK"

@@ -14,6 +14,22 @@
 // value, never ordering against other memory. Callers that publish flag
 // updates across threads do so via fork-join boundaries (ParallelFor /
 // RunShards join before the next phase reads).
+//
+// Capability-annotation note (the TRUSS_PT_GUARDED_BY analogue for
+// lock-free state): Clang's thread-safety analysis models mutexes, not
+// atomics, so ByteFlags carries its contract in prose instead of
+// attributes. Treat the flag array as if annotated "guarded by the
+// fork-join structure of the owning phase":
+//   - WITHIN a parallel phase, any mix of Set/Clear/Test on any index is
+//     race-free (each call is one relaxed atomic access to its own byte),
+//     but a Test is only guaranteed to observe writes that happened-before
+//     the phase started. A concurrently-set flag may read stale — callers
+//     must tolerate that (the peels do: a missed `processed` mark only
+//     causes a redundant, clamped decrement).
+//   - ACROSS phases, the RunShards/ParallelFor join is the release/acquire
+//     edge: thread join synchronizes-with the caller, so every Set/Clear
+//     from the finished phase is visible to all later Tests with no
+//     fencing here (see common/parallel.h "Concurrency contract").
 
 #ifndef TRUSS_COMMON_FLAGS_H_
 #define TRUSS_COMMON_FLAGS_H_
@@ -41,16 +57,24 @@ class ByteFlags {
 
   bool Test(size_t i) const {
     TRUSS_DCHECK_LT(i, flags_.size());
+    // Relaxed load: no happens-before edge is needed here. Within a phase
+    // the callers tolerate observing a stale value for a concurrently-set
+    // flag; across phases the fork-join join already ordered the writes
+    // (file comment above).
     return flags_[i].load(std::memory_order_relaxed) != 0;
   }
 
   void Set(size_t i) {
     TRUSS_DCHECK_LT(i, flags_.size());
+    // Relaxed store: publication to other threads is the job of the owning
+    // phase's join, not of this store. Nothing is ordered against the flag
+    // byte itself.
     flags_[i].store(1, std::memory_order_relaxed);
   }
 
   void Clear(size_t i) {
     TRUSS_DCHECK_LT(i, flags_.size());
+    // Relaxed store; same publication contract as Set.
     flags_[i].store(0, std::memory_order_relaxed);
   }
 

@@ -34,6 +34,16 @@ using ProgressFn = std::function<void(const ProgressEvent&)>;
 using CancelFn = std::function<bool()>;
 
 /// Optional hook bundle. Default-constructed hooks are no-ops.
+///
+/// Thread-safety contract: the algorithm invokes both callbacks from the
+/// decomposition thread only — never from ParallelFor/RunShards workers —
+/// so a progress observer needs no internal locking against the peel.
+/// `cancel`, however, exists to be flipped from *another* thread (a UI or
+/// request-timeout thread); any state it reads must therefore be safe to
+/// write concurrently with the poll. Use a std::atomic<bool> (the pattern
+/// in tests/engine_test.cc) or state guarded by truss::Mutex; a plain bool
+/// written by the canceller is a data race. The callbacks themselves must
+/// not be reassigned while a decomposition is running.
 struct ExecutionHooks {
   ProgressFn progress;
   CancelFn cancel;

@@ -1,4 +1,32 @@
 #include "common/memory_tracker.h"
 
-// Header-only logic today; this translation unit pins the library target and
-// reserves a home for future out-of-line additions.
+namespace truss {
+
+void MemoryTracker::Add(uint64_t bytes) {
+  MutexLock lock(&mu_);
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  MutexLock lock(&mu_);
+  bytes = bytes > current_ ? current_ : bytes;
+  current_ -= bytes;
+}
+
+uint64_t MemoryTracker::current_bytes() const {
+  MutexLock lock(&mu_);
+  return current_;
+}
+
+uint64_t MemoryTracker::peak_bytes() const {
+  MutexLock lock(&mu_);
+  return peak_;
+}
+
+void MemoryTracker::Reset() {
+  MutexLock lock(&mu_);
+  current_ = peak_ = 0;
+}
+
+}  // namespace truss

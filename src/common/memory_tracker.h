@@ -6,38 +6,52 @@
 // a running total and a high-water mark. This gives bit-reproducible numbers
 // that reflect the structures the paper's complexity analysis talks about
 // (graph, support array, sorted edge array / queue, hash table).
+//
+// Thread safety: all methods are safe to call concurrently. The counters
+// are guarded by an annotated truss::Mutex, so a tracker can be shared
+// across worker threads (parallel shards registering transient buffers, the
+// future serving layer accounting per-snapshot structures) and Clang's
+// -Wthread-safety proves every access takes the lock. Registration happens
+// at structure granularity — once per algorithm phase, never per element —
+// so the lock is nowhere near a hot path.
 
 #ifndef TRUSS_COMMON_MEMORY_TRACKER_H_
 #define TRUSS_COMMON_MEMORY_TRACKER_H_
 
-#include <cstddef>
 #include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace truss {
 
 /// Accumulates the live-byte total and peak across Add/Release calls.
+/// Thread-safe; not copyable (it owns a Mutex).
 class MemoryTracker {
  public:
+  MemoryTracker() = default;
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
   /// Registers `bytes` of newly allocated structure memory.
-  void Add(uint64_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
-  }
+  void Add(uint64_t bytes) TRUSS_EXCLUDES(mu_);
 
-  /// Registers that `bytes` of structure memory were freed.
-  void Release(uint64_t bytes) {
-    bytes = bytes > current_ ? current_ : bytes;
-    current_ -= bytes;
-  }
+  /// Registers that `bytes` of structure memory were freed. Clamped at the
+  /// live total, so an over-release cannot wrap the counter.
+  void Release(uint64_t bytes) TRUSS_EXCLUDES(mu_);
 
-  uint64_t current_bytes() const { return current_; }
-  uint64_t peak_bytes() const { return peak_; }
+  uint64_t current_bytes() const TRUSS_EXCLUDES(mu_);
+  uint64_t peak_bytes() const TRUSS_EXCLUDES(mu_);
 
-  void Reset() { current_ = peak_ = 0; }
+  void Reset() TRUSS_EXCLUDES(mu_);
 
  private:
-  uint64_t current_ = 0;
-  uint64_t peak_ = 0;
+  /// Guards both counters: peak_ must be updated atomically with current_
+  /// or two concurrent Adds could both miss the combined high-water mark.
+  mutable Mutex mu_;
+  uint64_t current_ TRUSS_GUARDED_BY(mu_) = 0;
+  uint64_t peak_ TRUSS_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII registration of a fixed-size structure with a tracker.

@@ -1,0 +1,61 @@
+// Annotated mutex shim: std::mutex with Clang Thread Safety Analysis
+// attributes attached.
+//
+// std::mutex itself carries no annotations, so state it guards is invisible
+// to -Wthread-safety. truss::Mutex wraps it as a declared capability and
+// truss::MutexLock is the RAII holder the analysis understands; together
+// they let members be declared TRUSS_GUARDED_BY(mu_) and have the compiler
+// prove every access happens under the lock (see
+// common/thread_annotations.h and docs/STATIC_ANALYSIS.md).
+//
+// Locking discipline for this repository: the compute hot paths are
+// lock-free by design (fork-join phases + relaxed atomics; see
+// common/parallel.h), so a Mutex belongs only on cold, genuinely shared
+// control state — accounting (MemoryTracker), future serving-layer
+// registries and snapshot swaps — never inside a peel or support loop.
+
+#ifndef TRUSS_COMMON_MUTEX_H_
+#define TRUSS_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace truss {
+
+/// A std::mutex declared as a thread-safety capability. Non-recursive;
+/// lock-order within the repo is documented at each multi-mutex site (none
+/// exist today).
+class TRUSS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TRUSS_ACQUIRE() { mu_.lock(); }
+  void Unlock() TRUSS_RELEASE() { mu_.unlock(); }
+  bool TryLock() TRUSS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock holder for truss::Mutex — the only sanctioned way to hold one
+/// (a bare Lock()/Unlock() pair cannot be matched across early returns, and
+/// the analysis flags it at the call site).
+class TRUSS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TRUSS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() TRUSS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_MUTEX_H_

@@ -11,6 +11,19 @@
 //   3. Exact accounting of the requested width: callers ask for N threads,
 //      EffectiveThreads() clamps to the item count and a process sanity cap,
 //      and that clamped width is what actually runs.
+//
+// Concurrency contract (the reason shard result collection needs no locks
+// and no annotations): each worker writes only its own shard's slot of any
+// per-shard result array (disjoint indices, no conflicting accesses), and
+// RunShards joins every worker before returning. std::thread construction
+// happens-before the worker body ([thread.thread.constr]), and worker
+// completion happens-before join() returns ([thread.thread.member]), so
+// everything written inside a shard is visible to the caller — and to the
+// workers of any later ParallelFor — without atomics or mutexes. State that
+// IS written concurrently from several shards must be relaxed-atomic
+// (common/flags.h ByteFlags, the parallel peel's support CAS) or guarded by
+// an annotated truss::Mutex (common/mutex.h); plain shared writes are a
+// data race the TSan CI job is wired to catch.
 
 #ifndef TRUSS_COMMON_PARALLEL_H_
 #define TRUSS_COMMON_PARALLEL_H_
@@ -36,7 +49,10 @@ uint32_t EffectiveThreads(uint32_t requested, uint64_t items);
 
 /// Runs body(shard) for shard = 0..shards-1, each shard on its own thread
 /// (shard 0 on the calling thread), and joins them all before returning.
-/// `body` must not throw.
+/// `body` must not throw. The join is the publication point: per-shard
+/// results written by body(s) may be read freely — by the caller or by a
+/// subsequent parallel phase — once RunShards returns (see the concurrency
+/// contract above).
 void RunShards(uint32_t shards, const std::function<void(uint32_t)>& body);
 
 /// Splits [0, n) into EffectiveThreads(threads, n) contiguous equal-width

@@ -1,0 +1,96 @@
+// Clang Thread Safety Analysis attribute wrappers.
+//
+// Clang's -Wthread-safety pass proves lock discipline at compile time: a
+// member annotated TRUSS_GUARDED_BY(mu_) may only be touched while mu_ is
+// held, a function annotated TRUSS_REQUIRES(mu_) may only be called with
+// mu_ held, and so on. The macros expand to the Clang attributes when the
+// compiler supports them and to nothing elsewhere, so annotated code
+// compiles identically under GCC/MSVC and the analysis runs wherever the
+// CMake option TRUSS_THREAD_SAFETY_ANALYSIS=ON meets a Clang toolchain
+// (the CI `static-analysis` job; see docs/STATIC_ANALYSIS.md).
+//
+// The annotation vocabulary follows the Clang documentation's capability
+// model (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html): a
+// "capability" is a resource (usually a mutex) that must be held to touch
+// the data it protects. truss::Mutex / truss::MutexLock (common/mutex.h)
+// are the annotated capability types this repository uses; raw std::mutex
+// is invisible to the analysis and should not guard annotated state.
+//
+// Note the analysis is lock-based only. The relaxed-atomic structures
+// (common/flags.h ByteFlags, the parallel peel's support array) are
+// correct without locks and carry prose contracts instead — attributes
+// cannot express "safe because every access is a relaxed atomic on its
+// own address and phases are separated by fork-join joins".
+
+#ifndef TRUSS_COMMON_THREAD_ANNOTATIONS_H_
+#define TRUSS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TRUSS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TRUSS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable resource). `x` is the
+/// capability kind shown in diagnostics, e.g. TRUSS_CAPABILITY("mutex").
+#define TRUSS_CAPABILITY(x) TRUSS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (see truss::MutexLock).
+#define TRUSS_SCOPED_CAPABILITY TRUSS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be read or written while the given capability is
+/// held.
+#define TRUSS_GUARDED_BY(x) TRUSS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability (the
+/// pointer itself may be read freely).
+#define TRUSS_PT_GUARDED_BY(x) TRUSS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) before calling, and still
+/// holds it after.
+#define TRUSS_REQUIRES(...) \
+  TRUSS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define TRUSS_REQUIRES_SHARED(...) \
+  TRUSS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it before
+/// returning.
+#define TRUSS_ACQUIRE(...) \
+  TRUSS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define TRUSS_ACQUIRE_SHARED(...) \
+  TRUSS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which the caller must hold).
+#define TRUSS_RELEASE(...) \
+  TRUSS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define TRUSS_RELEASE_SHARED(...) \
+  TRUSS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the boolean first argument
+/// states the return value that means "acquired".
+#define TRUSS_TRY_ACQUIRE(...) \
+  TRUSS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for
+/// self-locking APIs).
+#define TRUSS_EXCLUDES(...) TRUSS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held, teaching the analysis
+/// the fact without acquiring.
+#define TRUSS_ASSERT_CAPABILITY(x) \
+  TRUSS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define TRUSS_RETURN_CAPABILITY(x) TRUSS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define TRUSS_NO_THREAD_SAFETY_ANALYSIS \
+  TRUSS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TRUSS_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,6 +9,8 @@
 
 #include "common/memory_tracker.h"
 #include "common/timer.h"
+#include "engine/validate.h"
+#include "graph/validate.h"
 #include "truss/bottom_up.h"
 #include "truss/cohen.h"
 #include "truss/external_util.h"
@@ -50,6 +52,11 @@ class ScratchDir {
       owned_ = false;
       return;
     }
+    // Relaxed RMW would suffice (only uniqueness of the drawn value
+    // matters, and RMW coherence alone guarantees that), but the default
+    // seq_cst fetch_add is kept: concurrent Decompose calls hit this once
+    // per run, so the fence cost is unmeasurable and the default is
+    // self-documenting.
     static std::atomic<uint64_t> counter{0};
     const auto dir = std::filesystem::temp_directory_path() / "truss_engine" /
                      (std::to_string(::getpid()) + "_" +
@@ -118,6 +125,10 @@ Result<TrussDecompositionResult> RunInMemory(const Graph& g,
 Result<DecomposeOutput> Engine::Decompose(const Graph& g,
                                           const DecomposeOptions& options) {
   TRUSS_RETURN_IF_ERROR(options.Validate());
+  // Debug boundary validators (docs/STATIC_ANALYSIS.md): the input graph
+  // is structurally checked on the way in, the decomposition on the way
+  // out, so every Debug/ASan test run exercises both on every engine call.
+  graph::DCheckValidCsr(g);
   if (options.hooks.ShouldCancel()) {
     return Status::Cancelled("decomposition cancelled before start");
   }
@@ -161,6 +172,11 @@ Result<DecomposeOutput> Engine::Decompose(const Graph& g,
     }
   }
 
+  // Top-t queries leave out.result empty; everything else must be a
+  // plausible full decomposition of g.
+  if (out.result.truss_number.size() == g.num_edges()) {
+    DCheckDecomposeOutput(g, out.result);
+  }
   out.stats.wall_seconds = timer.Seconds();
   return out;
 }
@@ -210,6 +226,7 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
       auto run = RunInMemory(local.graph(), options, &stats);
       TRUSS_RETURN_IF_ERROR_RESULT(run);
       const TrussDecompositionResult result = run.MoveValue();
+      DCheckDecomposeOutput(local.graph(), result);
 
       auto writer = env.OpenWriter(classes_out);
       TRUSS_RETURN_IF_ERROR(writer.status());

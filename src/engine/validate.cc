@@ -1,0 +1,105 @@
+#include "engine/validate.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "triangle/triangle.h"
+
+namespace truss::engine {
+
+namespace {
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+std::string EdgeLabel(const Graph& g, EdgeId e) {
+  const Edge edge = g.edge(e);
+  return "edge " + std::to_string(e) + " = (" + std::to_string(edge.u) + "," +
+         std::to_string(edge.v) + ")";
+}
+
+}  // namespace
+
+bool ValidateDecomposeOutput(const Graph& g,
+                             const TrussDecompositionResult& result,
+                             std::string* error) {
+  const EdgeId m = g.num_edges();
+  if (result.truss_number.size() != m) {
+    return Fail(error, "truss_number has " +
+                           std::to_string(result.truss_number.size()) +
+                           " entries for " + std::to_string(m) + " edges");
+  }
+  if (m == 0) {
+    if (result.kmax != 0) {
+      return Fail(error, "kmax must be 0 for an edgeless graph");
+    }
+    return true;
+  }
+
+  uint32_t max_seen = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (result.truss_number[e] < 2) {
+      return Fail(error,
+                  EdgeLabel(g, e) + " has truss number " +
+                      std::to_string(result.truss_number[e]) + " < 2");
+    }
+    max_seen = std::max(max_seen, result.truss_number[e]);
+  }
+  if (result.kmax != max_seen) {
+    return Fail(error, "kmax " + std::to_string(result.kmax) +
+                           " != max truss number " + std::to_string(max_seen));
+  }
+
+  // Deterministic stride sample: every (m / kValidateSpotCheckEdges + 1)-th
+  // edge, so small graphs are covered exhaustively and coverage of a given
+  // graph never varies run to run.
+  const EdgeId stride =
+      static_cast<EdgeId>(m / kValidateSpotCheckEdges + 1);
+  for (EdgeId e = 0; e < m; e += stride) {
+    const Edge edge = g.edge(e);
+    const uint32_t k = result.truss_number[e];
+    uint64_t triangles = 0;
+    uint64_t at_level = 0;  // triangles whose other edges sit in T_k
+    ForEachCommonNeighbor(g, edge.u, edge.v,
+                          [&](VertexId, EdgeId uw, EdgeId vw) {
+                            ++triangles;
+                            if (result.truss_number[uw] >= k &&
+                                result.truss_number[vw] >= k) {
+                              ++at_level;
+                            }
+                          });
+    if (triangles > 0 && k < 3) {
+      return Fail(error, EdgeLabel(g, e) + " closes " +
+                             std::to_string(triangles) +
+                             " triangle(s) but has truss number " +
+                             std::to_string(k) + " < 3");
+    }
+    if (at_level + 2 < k) {
+      return Fail(error, EdgeLabel(g, e) + " has truss number " +
+                             std::to_string(k) + " but only " +
+                             std::to_string(at_level) +
+                             " triangles inside its own truss (need >= " +
+                             std::to_string(k - 2) + ")");
+    }
+  }
+  return true;
+}
+
+void DCheckDecomposeOutput(const Graph& g,
+                           const TrussDecompositionResult& result) {
+#if !defined(NDEBUG)
+  std::string error;
+  if (!ValidateDecomposeOutput(g, result, &error)) {
+    std::fprintf(stderr, "DCheckDecomposeOutput failed: %s\n", error.c_str());
+    std::abort();
+  }
+#else
+  (void)g;
+  (void)result;
+#endif
+}
+
+}  // namespace truss::engine

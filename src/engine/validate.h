@@ -1,0 +1,50 @@
+// Decomposition-output invariant validation (debug validators, leg 4 of
+// the static-analysis layer; see docs/STATIC_ANALYSIS.md).
+//
+// A truss decomposition admits cheap necessary conditions that catch whole
+// classes of algorithm bugs (mis-merged shards, off-by-one peel levels,
+// stale supports) without re-running a reference decomposition:
+//   - shape: one truss number per edge; kmax equals the maximum;
+//   - range: every truss number is >= 2 (Definition 3: phi(e) >= 2 for any
+//     edge), and any edge that closes at least one triangle has
+//     phi(e) >= 3 (its triangle alone is a 3-truss);
+//   - support consistency (spot check): for an edge e with phi(e) = k, the
+//     triangles through e whose other two edges both have truss number
+//     >= k must number at least k - 2 — e's support within T_k, which
+//     Definition 2 lower-bounds by k - 2.
+// The spot check walks a deterministic stride-sample of edges so the
+// validator stays cheap on big graphs while small test graphs (the common
+// case under Debug/ASan) are covered completely.
+
+#ifndef TRUSS_ENGINE_VALIDATE_H_
+#define TRUSS_ENGINE_VALIDATE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "truss/result.h"
+
+namespace truss::engine {
+
+/// Maximum edges the support-consistency spot check inspects per call;
+/// edges are sampled at a fixed stride so coverage is deterministic and
+/// graphs with at most this many edges are checked exhaustively.
+inline constexpr uint64_t kValidateSpotCheckEdges = 128;
+
+/// True iff `result` is a plausible truss decomposition of `g` under the
+/// invariants above. On failure returns false and, when `error` is
+/// non-null, stores a one-line description of the first violation.
+bool ValidateDecomposeOutput(const Graph& g,
+                             const TrussDecompositionResult& result,
+                             std::string* error = nullptr);
+
+/// Debug boundary check: aborts with the violation message when `result`
+/// violates the invariants; compiles to nothing under NDEBUG. The engine
+/// calls this after every full decomposition, so every Debug/ASan test run
+/// validates every algorithm's output.
+void DCheckDecomposeOutput(const Graph& g,
+                           const TrussDecompositionResult& result);
+
+}  // namespace truss::engine
+
+#endif  // TRUSS_ENGINE_VALIDATE_H_

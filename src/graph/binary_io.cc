@@ -13,6 +13,7 @@
 #include <system_error>
 
 #include "graph/graph.h"
+#include "graph/validate.h"
 
 namespace truss {
 
@@ -141,30 +142,14 @@ Result<Graph> Graph::LoadBinary(const std::string& path) {
     return Status::Corruption("trailing bytes in " + path);
   }
 
-  // Structural validation: offsets must be a monotone prefix-sum over the
-  // adjacency array, and adjacency entries must reference valid vertices
-  // and edges.
-  if (!g.offsets_.empty()) {
-    if (g.offsets_.front() != 0 || g.offsets_.back() != g.adj_.size()) {
-      return Status::Corruption("offset array does not span adjacency in " +
-                                path);
-    }
-    for (size_t v = 1; v < g.offsets_.size(); ++v) {
-      if (g.offsets_[v] < g.offsets_[v - 1]) {
-        return Status::Corruption("non-monotone offsets in " + path);
-      }
-    }
-  }
-  const VertexId n = g.num_vertices();
-  for (const AdjEntry& entry : g.adj_) {
-    if (entry.neighbor >= n || entry.edge >= g.edges_.size()) {
-      return Status::Corruption("out-of-range adjacency entry in " + path);
-    }
-  }
-  for (const Edge& e : g.edges_) {
-    if (e.u >= n || e.v >= n || e.u >= e.v) {
-      return Status::Corruption("invalid edge endpoints in " + path);
-    }
+  // Full structural validation (graph/validate.h): monotone offsets,
+  // sorted adjacency, symmetric entries, normalized sorted edges. Every
+  // algorithm assumes these invariants without rechecking, so a stale or
+  // crafted cache file must not be able to smuggle in, e.g., an unsorted
+  // adjacency list that would silently break the binary searches.
+  std::string violation;
+  if (!graph::ValidateCsrParts(g.offsets_, g.adj_, g.edges_, &violation)) {
+    return Status::Corruption(violation + " in " + path);
   }
   return g;
 }

@@ -76,6 +76,14 @@ class Graph {
   /// Total number of directed adjacency slots (2m).
   size_t adjacency_size() const { return adj_.size(); }
 
+  /// Raw CSR arrays. offsets()[v]..offsets()[v+1] delimit v's slice of
+  /// adjacency(); empty spans on a default-constructed graph. Exposed for
+  /// structure-level consumers — graph::ValidateCsr, SplitBalanced (the
+  /// offsets are a degree prefix sum), and snapshot/serving code that
+  /// walks the arrays wholesale.
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const AdjEntry> adjacency() const { return adj_; }
+
   /// Approximate heap footprint of this graph in bytes.
   uint64_t SizeBytes() const;
 

@@ -1,0 +1,111 @@
+#include "graph/validate.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace truss::graph {
+
+namespace {
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+std::string At(const char* what, uint64_t index) {
+  return std::string(what) + " at index " + std::to_string(index);
+}
+
+}  // namespace
+
+bool ValidateCsrParts(std::span<const uint64_t> offsets,
+                      std::span<const AdjEntry> adj,
+                      std::span<const Edge> edges, std::string* error) {
+  if (offsets.empty()) {
+    if (!adj.empty() || !edges.empty()) {
+      return Fail(error, "empty offsets with non-empty adjacency/edges");
+    }
+    return true;
+  }
+  if (offsets.front() != 0) return Fail(error, "offsets[0] != 0");
+  if (offsets.back() != adj.size()) {
+    return Fail(error, "offsets do not span the adjacency array");
+  }
+  if (adj.size() != 2 * edges.size()) {
+    return Fail(error, "adjacency size is not 2 * edge count");
+  }
+  const VertexId n = static_cast<VertexId>(offsets.size() - 1);
+  const EdgeId m = static_cast<EdgeId>(edges.size());
+
+  // Every directed entry must be matched by its reverse; because each
+  // entry also has to agree with edges[e], counting two references per
+  // edge id is equivalent to checking symmetry explicitly.
+  std::vector<uint8_t> edge_refs(m, 0);
+
+  // Monotonicity first: the per-entry walk below indexes adj with
+  // [offsets[u], offsets[u+1]) and would misattribute entries (or read a
+  // nonsense range) if a later offset ran backwards.
+  for (VertexId u = 0; u < n; ++u) {
+    if (offsets[u + 1] < offsets[u]) {
+      return Fail(error, At("non-monotone offsets", u));
+    }
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const AdjEntry& entry = adj[i];
+      if (entry.neighbor >= n) {
+        return Fail(error, At("out-of-range neighbor", i));
+      }
+      if (entry.neighbor == u) return Fail(error, At("self-loop", i));
+      if (entry.edge >= m) return Fail(error, At("out-of-range edge id", i));
+      if (i > offsets[u] && adj[i - 1].neighbor >= entry.neighbor) {
+        return Fail(error, At("unsorted or duplicate adjacency", i));
+      }
+      const Edge& e = edges[entry.edge];
+      const VertexId lo = u < entry.neighbor ? u : entry.neighbor;
+      const VertexId hi = u < entry.neighbor ? entry.neighbor : u;
+      if (e.u != lo || e.v != hi) {
+        return Fail(error, At("adjacency entry disagrees with its edge", i));
+      }
+      if (edge_refs[entry.edge] >= 2) {
+        return Fail(error, At("edge referenced more than twice", i));
+      }
+      ++edge_refs[entry.edge];
+    }
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    if (edge_refs[e] != 2) {
+      return Fail(error, At("asymmetric adjacency for edge", e));
+    }
+    if (edges[e].u >= edges[e].v) {
+      return Fail(error, At("non-normalized edge", e));
+    }
+    if (e > 0 && !(edges[e - 1] < edges[e])) {
+      return Fail(error, At("edge array not strictly sorted", e));
+    }
+  }
+  return true;
+}
+
+bool ValidateCsr(const Graph& g, std::string* error) {
+  return ValidateCsrParts(g.offsets(), g.adjacency(), g.edges(), error);
+}
+
+void DCheckValidCsr(const Graph& g) {
+#if !defined(NDEBUG)
+  std::string error;
+  if (!ValidateCsr(g, &error)) {
+    std::fprintf(stderr, "DCheckValidCsr failed: %s\n", error.c_str());
+    std::abort();
+  }
+#else
+  (void)g;
+#endif
+}
+
+}  // namespace truss::graph

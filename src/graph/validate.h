@@ -1,0 +1,58 @@
+// Structural CSR invariant validation (debug validators, leg 4 of the
+// static-analysis layer; see docs/STATIC_ANALYSIS.md).
+//
+// Every algorithm in this repository leans on the Graph representation
+// invariants without rechecking them: sorted adjacency (binary search and
+// two-pointer intersection in triangle/), symmetric directed entries (the
+// support/peel loops see each undirected edge from both endpoints), and
+// monotone offsets (degree arithmetic, SplitBalanced sharding). A Graph
+// built by GraphBuilder satisfies them by construction — but a graph
+// deserialized from a snapshot, or produced by future mutating code
+// (dynamic batch maintenance, serving-layer refresh), can silently break
+// them and corrupt results far from the cause. ValidateCsr is the single
+// checkable statement of those invariants: O(n + m), no allocation beyond
+// a per-edge counter, suitable to run always at load boundaries and under
+// TRUSS_DCHECK at algorithm boundaries.
+
+#ifndef TRUSS_GRAPH_VALIDATE_H_
+#define TRUSS_GRAPH_VALIDATE_H_
+
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace truss::graph {
+
+/// True iff (offsets, adj, edges) form a structurally valid CSR graph:
+///   - offsets: either empty (the empty graph; adj/edges must be empty
+///     too) or a monotone prefix sum with offsets[0] == 0 and
+///     offsets.back() == adj.size();
+///   - adj.size() == 2 * edges.size();
+///   - each vertex's adjacency slice is strictly increasing by neighbor id
+///     (sorted, no duplicate neighbors, no self-loops) with in-range
+///     neighbor and edge ids;
+///   - every directed entry (u -> v, e) agrees with edges[e] == (min(u,v),
+///     max(u,v)), and every edge id is referenced exactly twice (symmetry);
+///   - edges is strictly increasing lexicographically with u < v (the
+///     dense-EdgeId ordering contract of graph/types.h).
+/// On failure returns false and, when `error` is non-null, stores a
+/// one-line description of the first violation found.
+bool ValidateCsrParts(std::span<const uint64_t> offsets,
+                      std::span<const AdjEntry> adj,
+                      std::span<const Edge> edges,
+                      std::string* error = nullptr);
+
+/// ValidateCsrParts over a Graph's own arrays.
+bool ValidateCsr(const Graph& g, std::string* error = nullptr);
+
+/// Debug boundary check: aborts with the violation message when `g` is
+/// structurally invalid; compiles to nothing under NDEBUG. Algorithm entry
+/// points call this so every Debug/ASan test run exercises the invariants
+/// on every input graph.
+void DCheckValidCsr(const Graph& g);
+
+}  // namespace truss::graph
+
+#endif  // TRUSS_GRAPH_VALIDATE_H_

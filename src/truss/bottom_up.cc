@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "graph/validate.h"
 #include "io/edge_records.h"
 #include "io/external_sort.h"
 #include "triangle/triangle.h"
@@ -464,6 +465,7 @@ Result<TrussDecompositionResult> BottomUpDecompose(io::Env& env,
                                                    const Graph& g,
                                                    const ExternalConfig& config,
                                                    ExternalStats* stats) {
+  graph::DCheckValidCsr(g);
   const std::string graph_file = env.TempName("graph");
   TRUSS_RETURN_IF_ERROR(WriteGraphFile(env, g, graph_file));
   const std::string classes_file = env.TempName("classes");

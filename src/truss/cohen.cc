@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/timer.h"
+#include "graph/validate.h"
 #include "triangle/triangle.h"
 
 namespace truss {
@@ -11,6 +12,7 @@ TrussDecompositionResult CohenTrussDecomposition(const Graph& g,
                                                  MemoryTracker* tracker,
                                                  uint32_t threads,
                                                  PhaseTimings* timings) {
+  graph::DCheckValidCsr(g);
   const EdgeId m = g.num_edges();
   TrussDecompositionResult result;
   result.truss_number.assign(m, 0);

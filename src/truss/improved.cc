@@ -5,6 +5,7 @@
 #include "common/flags.h"
 #include "common/macros.h"
 #include "common/timer.h"
+#include "graph/validate.h"
 #include "triangle/triangle.h"
 
 namespace truss {
@@ -14,6 +15,13 @@ namespace {
 // Bin-sorted edge array (the truss analogue of [5]'s sorted degree array).
 // Maintains: sorted_ holds all edges ordered by current support; pos_[e] is
 // e's index; bin_start_[s] is the index of the first edge with support s.
+//
+// Thread confinement: SupportBins is NOT thread-safe and has no atomic
+// members by design — Decrement's four-array update must be observed
+// atomically as a unit, which no per-field memory ordering can provide.
+// The sequential peel owns it on one thread for its whole lifetime; the
+// parallel peel (truss/parallel_peel.cc) uses a different structure (a
+// clamped-CAS support array) precisely because bins cannot be shared.
 class SupportBins {
  public:
   SupportBins(std::vector<uint32_t>* sup, EdgeId m) : sup_(*sup) {
@@ -113,6 +121,7 @@ TrussDecompositionResult ImprovedTrussDecomposition(const Graph& g,
                                                     MemoryTracker* tracker,
                                                     uint32_t threads,
                                                     PhaseTimings* timings) {
+  graph::DCheckValidCsr(g);
   const WallTimer support_timer;
   std::vector<uint32_t> sup = ComputeEdgeSupports(g, threads);
   if (timings != nullptr) timings->support_seconds = support_timer.Seconds();

@@ -10,6 +10,7 @@
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "graph/validate.h"
 #include "triangle/triangle.h"
 
 namespace truss {
@@ -24,6 +25,15 @@ namespace {
 /// sub-frontier.
 void DecrementClamped(std::atomic<uint32_t>& sup, uint32_t level, EdgeId e,
                       std::vector<EdgeId>& next_queue) {
+  // Memory ordering: relaxed throughout. The only cross-thread agreement
+  // this loop needs is on the support VALUE, which CAS atomicity alone
+  // provides — the read-modify-write chain on one atomic is totally
+  // ordered even under relaxed ([atomics.order] note on RMW coherence),
+  // so exactly one thread observes the level+1 → level transition and
+  // enqueues e. No other memory is published through `sup`: next_queue is
+  // shard-private, and the frontier arrays the next sub-level reads are
+  // published by the RunShards join that ends this one (the release/
+  // acquire edge lives in common/parallel.h, not here).
   uint32_t cur = sup.load(std::memory_order_relaxed);
   while (cur > level) {
     if (sup.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
@@ -48,6 +58,7 @@ uint32_t ClampThreads(uint32_t threads, size_t items) {
 Result<TrussDecompositionResult> ParallelTrussDecomposition(
     const Graph& g, MemoryTracker* tracker, uint32_t threads,
     const ExecutionHooks* hooks, PhaseTimings* timings) {
+  graph::DCheckValidCsr(g);
   const EdgeId m = g.num_edges();
   TrussDecompositionResult result;
   result.truss_number.assign(m, 0);
@@ -70,6 +81,9 @@ Result<TrussDecompositionResult> ParallelTrussDecomposition(
               [&](uint64_t begin, uint64_t end, uint32_t shard) {
                 uint32_t local_min = std::numeric_limits<uint32_t>::max();
                 for (uint64_t i = begin; i < end; ++i) {
+                  // Relaxed store: each index is written by exactly one
+                  // shard, and the ParallelFor join publishes the whole
+                  // array to every later reader.
                   sup[i].store(init_sup[i], std::memory_order_relaxed);
                   local_min = std::min(local_min, init_sup[i]);
                 }
@@ -122,6 +136,9 @@ Result<TrussDecompositionResult> ParallelTrussDecomposition(
                   for (uint64_t i = begin; i < end; ++i) {
                     const EdgeId e = live[i];
                     if (processed.Test(e)) continue;
+                    // Relaxed load: the sub-levels that last wrote sup[e]
+                    // all joined before this scan started, so the value is
+                    // current; no shard writes supports during the scan.
                     const uint32_t s = sup[e].load(std::memory_order_relaxed);
                     if (s <= level) {
                       local_curr.push_back(e);
@@ -175,6 +192,10 @@ Result<TrussDecompositionResult> ParallelTrussDecomposition(
       const uint32_t tri_threads = ClampThreads(threads, weights.back());
       const uint32_t fshards = EffectiveThreads(tri_threads, curr.size());
       const std::vector<uint64_t> bounds = SplitBalanced(weights, fshards);
+      // Per-thread next-frontier queues: next_shard[s] is written only by
+      // shard s (no locks needed — disjoint slots, published by the
+      // RunShards join below; see common/parallel.h). The scheduling-
+      // dependent arrival order is erased afterwards by the sorted merge.
       std::vector<std::vector<EdgeId>> next_shard(fshards);
       RunShards(fshards, [&](uint32_t shard) {
         std::vector<EdgeId>& local_next = next_shard[shard];

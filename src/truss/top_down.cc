@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "graph/validate.h"
 #include "io/external_sort.h"
 #include "triangle/triangle.h"
 #include "truss/edge_map.h"
@@ -699,6 +700,7 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
 Result<TrussDecompositionResult> TopDownDecompose(io::Env& env, const Graph& g,
                                                   const ExternalConfig& config,
                                                   ExternalStats* stats) {
+  graph::DCheckValidCsr(g);
   TRUSS_CHECK_LT(config.top_t, 0);
   const std::string graph_file = env.TempName("graph");
   TRUSS_RETURN_IF_ERROR(WriteGraphFile(env, g, graph_file));
@@ -716,6 +718,7 @@ Result<TrussDecompositionResult> TopDownDecompose(io::Env& env, const Graph& g,
 Result<std::vector<io::ClassRecord>> TopDownTopClasses(
     io::Env& env, const Graph& g, const ExternalConfig& config,
     ExternalStats* stats) {
+  graph::DCheckValidCsr(g);
   const std::string graph_file = env.TempName("graph");
   TRUSS_RETURN_IF_ERROR(WriteGraphFile(env, g, graph_file));
   const std::string classes_file = env.TempName("classes");

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint_arch.py.
+
+Builds a throwaway fixture tree with one planted violation per rule,
+plus clean counterparts, and checks that the linter reports exactly the
+planted set — no more, no less — and that the allowlist suppresses.
+
+Run directly or via CTest (registered as lint_arch.selftest). The linter
+is located through $TRUSS_LINT_ARCH or, failing that, relative to this
+file, so the test works from any build directory.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+
+def load_linter():
+    path = os.environ.get("TRUSS_LINT_ARCH")
+    if not path:
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "scripts", "lint_arch.py")
+    spec = importlib.util.spec_from_file_location("lint_arch", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+lint_arch = load_linter()
+
+
+def write(root, relpath, content):
+    full = os.path.join(root, relpath)
+    os.makedirs(os.path.dirname(full), exist_ok=True)
+    with open(full, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def run_linter(root, allowlist=None):
+    linter = lint_arch.Linter(root, allowlist or {})
+    return linter.run()
+
+
+def rules_of(violations):
+    return sorted(v.split("[", 1)[1].split("]", 1)[0] for v in violations)
+
+
+class FixtureTreeTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_clean_tree_has_no_violations(self):
+        write(self.root, "src/common/parallel.cc",
+              "#include <thread>\n"
+              "void RunShards() { std::thread t; (void)t; }\n")
+        write(self.root, "src/truss/improved.cc",
+              "// time( and rand( in a comment are fine\n"
+              "static_assert(sizeof(int) == 4);\n"
+              "const char* s = \"calls time( nothing\";\n")
+        write(self.root, "bench/bench_ok.cc",
+              "#include \"truss/registry.h\"\n"
+              "void f() { printf(\"METRIC peel_seconds %.6f\\n\", 0.0); }\n")
+        write(self.root, "examples/ok.cpp",
+              "#include \"truss/result.h\"\n")
+        self.assertEqual(run_linter(self.root), [])
+
+    def test_each_rule_fires_once(self):
+        planted = {
+            "registry-dispatch": (
+                "bench/bench_bad_include.cc",
+                '#include "truss/improved.h"\n'),
+            "raw-thread": (
+                "src/truss/bad_thread.cc",
+                "#include <thread>\nstd::thread worker;\n"),
+            "libc-rand-time": (
+                "src/common/bad_rand.cc",
+                "int f() { return rand(); }\n"),
+            "metric-format": (
+                "bench/bench_bad_metric.cc",
+                'void f() { printf("METRIC too many fields %d\\n", 1); }\n'),
+            "bare-assert": (
+                "src/graph/bad_assert.cc",
+                "#include <cassert>\n"),
+        }
+        for relpath, content in planted.values():
+            write(self.root, relpath, content)
+        violations = run_linter(self.root)
+        self.assertEqual(rules_of(violations), sorted(planted))
+        for rule, (relpath, _) in planted.items():
+            matching = [v for v in violations if "[%s]" % rule in v]
+            self.assertEqual(len(matching), 1, violations)
+            self.assertIn(relpath, matching[0])
+
+    def test_algorithm_headers_allowed_outside_bench_and_examples(self):
+        write(self.root, "src/engine/engine.cc",
+              '#include "truss/improved.h"\n')
+        write(self.root, "tests/improved_test.cc",
+              '#include "truss/improved.h"\n')
+        self.assertEqual(run_linter(self.root), [])
+
+    def test_rand_time_allowed_outside_src(self):
+        write(self.root, "bench/bench_uses_time.cc",
+              "long f() { return time(nullptr); }\n")
+        self.assertEqual(run_linter(self.root), [])
+
+    def test_wall_time_identifier_is_not_flagged(self):
+        write(self.root, "src/common/timer.cc",
+              "double wall_time();\n"
+              "double f() { return wall_time(); }\n")
+        self.assertEqual(run_linter(self.root), [])
+
+    def test_metric_missing_newline_is_flagged(self):
+        write(self.root, "bench/bench_no_newline.cc",
+              'void f() { printf("METRIC key %d", 1); }\n')
+        self.assertEqual(rules_of(run_linter(self.root)), ["metric-format"])
+
+    def test_block_comment_spanning_lines_is_ignored(self):
+        write(self.root, "src/common/doc.cc",
+              "/* discussion of std::thread usage\n"
+              "   and of rand() pitfalls */\n"
+              "int x = 0;\n")
+        self.assertEqual(run_linter(self.root), [])
+
+    def test_allowlist_suppresses_only_listed_path(self):
+        write(self.root, "bench/bench_micro.cc",
+              '#include "truss/improved.h"\n')
+        write(self.root, "bench/bench_other.cc",
+              '#include "truss/improved.h"\n')
+        allowlist = {"registry-dispatch": {
+            "bench/bench_micro.cc": "times internal kernels directly"}}
+        violations = run_linter(self.root, allowlist)
+        self.assertEqual(len(violations), 1, violations)
+        self.assertIn("bench/bench_other.cc", violations[0])
+
+    def test_allowlist_validation_rejects_empty_reason(self):
+        path = os.path.join(self.root, "allow.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"raw-thread": {"src/x.cc": ""}}, f)
+        with self.assertRaises(ValueError):
+            lint_arch.load_allowlist(path)
+
+    def test_main_exit_codes(self):
+        write(self.root, "src/common/ok.cc", "int x = 0;\n")
+        self.assertEqual(lint_arch.main(["--root", self.root]), 0)
+        write(self.root, "src/common/bad.cc", "std::thread t;\n")
+        self.assertEqual(lint_arch.main(["--root", self.root]), 1)
+        self.assertEqual(
+            lint_arch.main(["--root", os.path.join(self.root, "nope")]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

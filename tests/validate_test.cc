@@ -1,0 +1,317 @@
+// Unit tests for the debug invariant validators (graph/validate.h,
+// engine/validate.h): every structural CSR violation and every
+// decomposition-output violation must be detected with a useful message,
+// the strengthened LoadBinary must reject snapshots that pass the header
+// checks but violate CSR invariants, and — Debug/ASan builds only — the
+// DCheck boundary wrappers must abort on corrupted inputs.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/validate.h"
+#include "graph/graph.h"
+#include "graph/validate.h"
+#include "truss/improved.h"
+
+namespace truss {
+namespace {
+
+Graph TwoTriangles() {
+  // Triangles {0,1,2} and {2,3,4} sharing vertex 2.
+  return Graph::FromEdges({MakeEdge(0, 1), MakeEdge(0, 2), MakeEdge(1, 2),
+                           MakeEdge(2, 3), MakeEdge(2, 4), MakeEdge(3, 4)});
+}
+
+/// Mutable copies of a graph's CSR arrays, for corruption tests.
+struct Parts {
+  std::vector<uint64_t> offsets;
+  std::vector<AdjEntry> adj;
+  std::vector<Edge> edges;
+
+  explicit Parts(const Graph& g)
+      : offsets(g.offsets().begin(), g.offsets().end()),
+        adj(g.adjacency().begin(), g.adjacency().end()),
+        edges(g.edges().begin(), g.edges().end()) {}
+
+  bool Validate(std::string* error = nullptr) const {
+    return graph::ValidateCsrParts(offsets, adj, edges, error);
+  }
+};
+
+TEST(ValidateCsrTest, AcceptsEmptyGraph) {
+  EXPECT_TRUE(graph::ValidateCsr(Graph()));
+  EXPECT_TRUE(graph::ValidateCsrParts({}, {}, {}));
+}
+
+TEST(ValidateCsrTest, AcceptsBuilderGraphs) {
+  std::string error;
+  EXPECT_TRUE(graph::ValidateCsr(TwoTriangles(), &error)) << error;
+  EXPECT_TRUE(graph::ValidateCsr(Graph::FromEdges({MakeEdge(0, 1)}), &error))
+      << error;
+  // Isolated trailing vertex.
+  EXPECT_TRUE(graph::ValidateCsr(
+      Graph::FromEdges({MakeEdge(0, 1)}, /*num_vertices=*/4), &error))
+      << error;
+}
+
+TEST(ValidateCsrTest, RejectsEmptyOffsetsWithEdges) {
+  const Parts p(TwoTriangles());
+  std::string error;
+  EXPECT_FALSE(graph::ValidateCsrParts({}, p.adj, p.edges, &error));
+  EXPECT_NE(error.find("empty offsets"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsBadOffsetEnds) {
+  Parts p(TwoTriangles());
+  p.offsets.front() = 1;
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("offsets[0]"), std::string::npos) << error;
+
+  Parts q(TwoTriangles());
+  q.offsets.back() += 1;
+  EXPECT_FALSE(q.Validate(&error));
+  EXPECT_NE(error.find("span"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsNonMonotoneOffsets) {
+  Parts p(TwoTriangles());
+  // Vertex 2 has degree 4; push its start past its end.
+  p.offsets[2] = p.offsets[3] + 1;
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("monotone"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsAdjacencyEdgeCountMismatch) {
+  Parts p(TwoTriangles());
+  p.edges.pop_back();
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("2 * edge count"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsOutOfRangeNeighbor) {
+  Parts p(TwoTriangles());
+  p.adj[0].neighbor = 100;
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("out-of-range neighbor"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsSelfLoopEntry) {
+  Parts p(TwoTriangles());
+  p.adj[0].neighbor = 0;  // first entry belongs to vertex 0
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("self-loop"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsOutOfRangeEdgeId) {
+  Parts p(TwoTriangles());
+  p.adj[0].edge = static_cast<EdgeId>(p.edges.size());
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("out-of-range edge id"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsUnsortedAdjacency) {
+  const Graph g = TwoTriangles();
+  Parts p(g);
+  // Vertex 0 has neighbors {1, 2}; swapping them breaks the sort without
+  // touching any other invariant.
+  ASSERT_GE(g.degree(0), 2u);
+  std::swap(p.adj[0], p.adj[1]);
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("unsorted"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsEntryEdgeDisagreement) {
+  Parts p(TwoTriangles());
+  // Point vertex 0's (0,1) entry at the (0,2) edge record: the entry and
+  // edges[e] disagree.
+  p.adj[0].edge = p.adj[1].edge;
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_NE(error.find("disagrees"), std::string::npos) << error;
+}
+
+TEST(ValidateCsrTest, RejectsAsymmetricAdjacency) {
+  const Graph g = TwoTriangles();
+  Parts p(g);
+  // Rewrite vertex 3's entry for neighbor 4 to neighbor 2's edge (2,3):
+  // edge (2,3) becomes triple-referenced / edge (3,4) single-referenced.
+  bool rewrote = false;
+  for (uint64_t i = p.offsets[3]; i < p.offsets[4]; ++i) {
+    if (p.adj[i].neighbor == 4) {
+      const EdgeId e23 = g.FindEdge(2, 3);
+      ASSERT_NE(e23, kInvalidEdge);
+      p.adj[i].neighbor = 2;
+      p.adj[i].edge = e23;
+      rewrote = true;
+    }
+  }
+  ASSERT_TRUE(rewrote);
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  // Fails as duplicate/unsorted neighbor or double-reference depending on
+  // adjacency order; either way it must fail.
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ValidateCsrTest, RejectsNonNormalizedOrUnsortedEdges) {
+  Parts p(TwoTriangles());
+  std::swap(p.edges[0].u, p.edges[0].v);
+  std::string error;
+  EXPECT_FALSE(p.Validate(&error));
+  EXPECT_FALSE(error.empty());
+
+  Parts q(TwoTriangles());
+  std::swap(q.edges[0], q.edges[1]);
+  EXPECT_FALSE(q.Validate(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+// The strengthened LoadBinary routes through ValidateCsrParts, so a
+// snapshot that passes every header/size check but carries an unsorted
+// adjacency list must be rejected as Corruption instead of silently
+// breaking the binary searches downstream.
+TEST(ValidateCsrTest, LoadBinaryRejectsUnsortedAdjacency) {
+  const Graph g = TwoTriangles();
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("truss_validate_" + std::to_string(::getpid()) + ".trsb"))
+          .string();
+  ASSERT_TRUE(g.SaveBinary(path).ok());
+
+  // File layout: 32-byte header, offsets array, adjacency array. Swap
+  // vertex 0's two adjacency entries in place.
+  constexpr uint64_t kHeaderBytes = 32;
+  const uint64_t adj_base = kHeaderBytes + g.offsets().size() * 8;
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  AdjEntry first, second;
+  ASSERT_EQ(std::fseek(f, static_cast<long>(adj_base), SEEK_SET), 0);
+  ASSERT_EQ(std::fread(&first, sizeof(first), 1, f), 1u);
+  ASSERT_EQ(std::fread(&second, sizeof(second), 1, f), 1u);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(adj_base), SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&second, sizeof(second), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&first, sizeof(first), 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  const auto loaded = Graph::LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("unsorted"), std::string::npos)
+      << loaded.status().message();
+  std::filesystem::remove(path);
+}
+
+TEST(ValidateDecomposeOutputTest, AcceptsRealDecompositions) {
+  const Graph g = TwoTriangles();
+  const TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  std::string error;
+  EXPECT_TRUE(engine::ValidateDecomposeOutput(g, result, &error)) << error;
+
+  const Graph empty;
+  EXPECT_TRUE(
+      engine::ValidateDecomposeOutput(empty, TrussDecompositionResult{}));
+}
+
+TEST(ValidateDecomposeOutputTest, RejectsWrongSize) {
+  const Graph g = TwoTriangles();
+  TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  result.truss_number.pop_back();
+  std::string error;
+  EXPECT_FALSE(engine::ValidateDecomposeOutput(g, result, &error));
+  EXPECT_NE(error.find("entries"), std::string::npos) << error;
+}
+
+TEST(ValidateDecomposeOutputTest, RejectsEdgelessKmax) {
+  TrussDecompositionResult result;
+  result.kmax = 3;
+  std::string error;
+  EXPECT_FALSE(engine::ValidateDecomposeOutput(Graph(), result, &error));
+  EXPECT_NE(error.find("edgeless"), std::string::npos) << error;
+}
+
+TEST(ValidateDecomposeOutputTest, RejectsTrussNumberBelowTwo) {
+  const Graph g = TwoTriangles();
+  TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  result.truss_number[0] = 1;
+  std::string error;
+  EXPECT_FALSE(engine::ValidateDecomposeOutput(g, result, &error));
+  EXPECT_NE(error.find("< 2"), std::string::npos) << error;
+}
+
+TEST(ValidateDecomposeOutputTest, RejectsKmaxMismatch) {
+  const Graph g = TwoTriangles();
+  TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  result.kmax += 1;
+  std::string error;
+  EXPECT_FALSE(engine::ValidateDecomposeOutput(g, result, &error));
+  EXPECT_NE(error.find("kmax"), std::string::npos) << error;
+}
+
+TEST(ValidateDecomposeOutputTest, RejectsTriangleEdgeAtTwo) {
+  const Graph g = TwoTriangles();
+  TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  // Every edge of this graph closes a triangle, so flattening them all to
+  // 2 violates the triangle-edge rule (and keeps kmax consistent).
+  for (auto& t : result.truss_number) t = 2;
+  result.RecomputeKmax();
+  std::string error;
+  EXPECT_FALSE(engine::ValidateDecomposeOutput(g, result, &error));
+  EXPECT_NE(error.find("triangle"), std::string::npos) << error;
+}
+
+TEST(ValidateDecomposeOutputTest, RejectsInflatedTrussNumber) {
+  const Graph g = TwoTriangles();
+  TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  // kmax here is 3; claiming a 5 fails the support-consistency spot check
+  // (an edge of truss number 5 needs 3 triangles inside its own truss).
+  result.truss_number[0] = 5;
+  result.RecomputeKmax();
+  std::string error;
+  EXPECT_FALSE(engine::ValidateDecomposeOutput(g, result, &error));
+  EXPECT_NE(error.find("inside its own truss"), std::string::npos) << error;
+}
+
+// Death tests: the DCheck boundary wrappers must abort with the violation
+// message on corrupted inputs. Debug/ASan builds only — the wrappers
+// compile to nothing under NDEBUG.
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+
+TEST(ValidateDeathTest, DCheckDecomposeOutputAbortsOnCorruption) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Graph g = TwoTriangles();
+  TrussDecompositionResult result = ImprovedTrussDecomposition(g);
+  result.truss_number[0] = 1;
+  EXPECT_DEATH(engine::DCheckDecomposeOutput(g, result),
+               "DCheckDecomposeOutput failed");
+}
+
+TEST(ValidateDeathTest, DCheckValidCsrPassesThenCheckAbortsOnCorruptParts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Graph g = TwoTriangles();
+  graph::DCheckValidCsr(g);  // must not abort on a valid graph
+  Parts p(g);
+  std::swap(p.adj[0], p.adj[1]);
+  // A Graph cannot be corrupted from outside (LoadBinary validates, the
+  // builder is correct by construction), so the CSR death path is driven
+  // through the parts overload the boundary wrapper rests on.
+  EXPECT_DEATH(
+      TRUSS_CHECK(graph::ValidateCsrParts(p.offsets, p.adj, p.edges)),
+      "TRUSS_CHECK failed");
+}
+
+#endif  // !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+
+}  // namespace
+}  // namespace truss
