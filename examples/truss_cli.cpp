@@ -112,15 +112,25 @@ int main(int argc, char** argv) {
   }
 
   // Load and decompose through the engine facade. --input goes through
-  // DecomposeSnapFile so --threads accelerates ingestion (the chunked
-  // parallel reader), not just decomposition.
+  // LoadGraphFile, which sniffs the format: SNAP text edge lists parse
+  // with the chunked parallel reader (--threads accelerates ingestion),
+  // and TRSB binary snapshots (truss_server --save-index graphs,
+  // bench cache files) load directly.
   truss::Graph g;
   truss::Result<truss::engine::DecomposeOutput> out =
       truss::Status::Internal("unset");
   if (!input.empty()) {
-    truss::LoadedGraph loaded;
-    out = truss::engine::Engine::DecomposeSnapFile(input, options, &loaded);
-    if (out.ok()) g = std::move(loaded.graph);
+    truss::WallTimer load_timer;
+    auto loaded = truss::engine::Engine::LoadGraphFile(input, options.threads);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    const double load_seconds = load_timer.Seconds();
+    g = std::move(loaded.value().graph);
+    out = truss::engine::Engine::Decompose(g, options);
+    if (out.ok()) out.value().stats.ingest_seconds = load_seconds;
   } else {
     g = truss::datasets::DatasetByName(dataset).generate();
     out = truss::engine::Engine::Decompose(g, options);

@@ -1,0 +1,218 @@
+// truss_server: the truss query daemon.
+//
+// Usage:
+//   truss_server (--input FILE | --dataset NAME | --load-index FILE)
+//                [--save-index FILE] [--algo NAME] [--threads N]
+//                [--port P] [--workers W]
+//
+// Builds (or loads) a TrussIndex, publishes it as snapshot v1, and serves
+// the line protocol documented in docs/SERVING.md on 127.0.0.1:PORT until
+// SIGINT/SIGTERM. --port 0 (the default) binds an ephemeral port; the
+// chosen port is announced on the "SERVING ..." stdout line so harnesses
+// (tests/serve_smoke_test.py) can parse it. --load-index restores a
+// --save-index file and skips the decomposition entirely; the REBUILD
+// command still works, re-decomposing the embedded graph.
+//
+// On clean shutdown the server prints its counters as METRIC lines,
+// matching the bench binaries' reporting convention.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "datasets/datasets.h"
+#include "engine/engine.h"
+#include "serve/server.h"
+
+namespace {
+
+void Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s (--input FILE | --dataset NAME | --load-index FILE)"
+               " [--save-index FILE] [--algo NAME] [--threads N] [--port P]"
+               " [--workers W]\n\nalgorithms:\n",
+               prog);
+  for (const truss::engine::AlgorithmInfo& info :
+       truss::engine::Engine::Algorithms()) {
+    std::fprintf(stderr, "  %-9s %s\n", info.name, info.summary);
+  }
+}
+
+// Signal handlers may only touch async-signal-safe state; RequestStop is a
+// lock-free atomic store, which qualifies.
+truss::serve::TrussServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, dataset, load_index, save_index, algo = "improved";
+  truss::engine::DecomposeOptions options;
+  truss::serve::ServerOptions server_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      input = next();
+    } else if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--load-index") {
+      load_index = next();
+    } else if (arg == "--save-index") {
+      save_index = next();
+    } else if (arg == "--algo") {
+      algo = next();
+    } else if (arg == "--threads") {
+      options.threads = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--port") {
+      server_options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      server_options.workers = static_cast<uint32_t>(std::atoi(next()));
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  const int sources = (!input.empty() ? 1 : 0) + (!dataset.empty() ? 1 : 0) +
+                      (!load_index.empty() ? 1 : 0);
+  if (sources != 1) {
+    std::fprintf(stderr, "error: exactly one of --input / --dataset / "
+                         "--load-index is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  if (server_options.workers < 1 || server_options.workers > 64) {
+    std::fprintf(stderr, "error: --workers must be in [1, 64]\n");
+    return 2;
+  }
+
+  const truss::engine::AlgorithmInfo* info =
+      truss::engine::Engine::FindAlgorithm(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  options.algorithm = info->id;
+  const truss::Status valid = options.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  // Obtain the initial snapshot: load a persisted index, or load/generate
+  // the graph and decompose it once.
+  truss::WallTimer build_timer;
+  std::shared_ptr<const truss::serve::TrussIndex> index;
+  std::string provenance;
+  if (!load_index.empty()) {
+    auto loaded = truss::serve::TrussIndex::Load(load_index);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    index = loaded.MoveValue();
+    provenance = "loaded from " + load_index;
+  } else {
+    std::shared_ptr<const truss::Graph> graph;
+    if (!input.empty()) {
+      auto loaded =
+          truss::engine::Engine::LoadGraphFile(input, options.threads);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      graph = std::make_shared<truss::Graph>(std::move(loaded.value().graph));
+    } else {
+      bool known = false;
+      for (const auto& spec : truss::datasets::PaperDatasets()) {
+        known = known || spec.name == dataset;
+      }
+      if (!known) {
+        std::fprintf(stderr, "error: unknown dataset '%s'\n",
+                     dataset.c_str());
+        return 2;
+      }
+      graph = std::make_shared<truss::Graph>(
+          truss::datasets::DatasetByName(dataset).generate());
+    }
+    auto built = truss::serve::TrussIndex::Build(
+        graph, truss::serve::IndexBuildPlan::WithOptions(options));
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(built.value().index);
+    provenance = "algo=" + std::string(info->name) +
+                 " threads=" + std::to_string(options.threads);
+  }
+  const double build_seconds = build_timer.Seconds();
+
+  if (!save_index.empty()) {
+    const truss::Status saved = index->Save(save_index);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("index saved to %s (%llu bytes in memory)\n",
+                save_index.c_str(),
+                static_cast<unsigned long long>(index->SizeBytes()));
+  }
+
+  truss::serve::SnapshotRegistry registry;
+  std::shared_ptr<const truss::Graph> graph = index->graph_ptr();
+  const uint64_t version =
+      registry.Publish(std::move(index), provenance, build_seconds);
+
+  server_options.rebuild_options = options;
+  truss::serve::TrussServer server(graph, &registry, server_options);
+  const truss::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Harness-parseable startup announcement (keep the key=value layout
+  // stable; tests/serve_smoke_test.py reads "port=").
+  std::printf("SERVING port=%u version=%llu vertices=%u edges=%u "
+              "workers=%u\n",
+              server.port(), static_cast<unsigned long long>(version),
+              graph->num_vertices(), graph->num_edges(),
+              server_options.workers);
+  std::fflush(stdout);
+
+  server.Serve();
+  g_server = nullptr;
+
+  const truss::serve::ServerStats stats = server.stats();
+  std::printf("METRIC serve_connections %llu\n",
+              static_cast<unsigned long long>(stats.connections));
+  std::printf("METRIC serve_queries %llu\n",
+              static_cast<unsigned long long>(stats.queries));
+  std::printf("METRIC serve_errors %llu\n",
+              static_cast<unsigned long long>(stats.errors));
+  std::printf("METRIC serve_rebuilds %llu\n",
+              static_cast<unsigned long long>(stats.rebuilds));
+  std::printf("METRIC serve_final_version %llu\n",
+              static_cast<unsigned long long>(registry.current_version()));
+  return 0;
+}

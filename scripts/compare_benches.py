@@ -8,7 +8,10 @@ the threshold. New or removed benches are reported but never fail the run;
 benches whose baseline or current run did not exit 0 are skipped (a failed
 bench is a correctness problem for CTest, not a perf signal), as are pairs
 whose `threads` fields differ (a 1-thread baseline against an 8-thread run
-is not a like-for-like comparison).
+is not a like-for-like comparison). Pairs recorded on machines with
+different `hardware_concurrency` are refused outright (exit 2): unlike a
+per-bench thread-cap mismatch, a core-count mismatch poisons every number
+in the artifact, so the whole comparison is meaningless.
 
 Usage:
   scripts/compare_benches.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
@@ -37,6 +40,20 @@ def load_results(directory: pathlib.Path) -> dict:
         name = data.get("bench", path.stem)
         results[name] = data
     return results
+
+
+def hardware_concurrency(results: dict) -> set:
+    """Distinct core counts recorded across a directory's artifacts.
+
+    Artifacts written before the field existed contribute nothing; the
+    cross-machine refusal only fires between runs that actually recorded
+    where they ran."""
+    counts = set()
+    for data in results.values():
+        cores = data.get("hardware_concurrency")
+        if cores is not None:
+            counts.add(int(cores))
+    return counts
 
 
 def report_metrics(baseline: dict, current: dict) -> None:
@@ -94,6 +111,15 @@ def main() -> int:
     current = load_results(args.current)
     if not baseline or not current:
         print("error: no BENCH_*.json artifacts to compare", file=sys.stderr)
+        return 2
+
+    base_cores = hardware_concurrency(baseline)
+    cur_cores = hardware_concurrency(current)
+    if base_cores and cur_cores and base_cores != cur_cores:
+        print("error: refusing to compare runs from different core counts: "
+              f"baseline recorded hardware_concurrency {sorted(base_cores)}, "
+              f"current recorded {sorted(cur_cores)}; wall-clock deltas "
+              "across machines are not a perf signal", file=sys.stderr)
         return 2
 
     regressions = []

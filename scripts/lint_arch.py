@@ -3,11 +3,13 @@
 
 Enforces repo-level conventions that the compiler cannot:
 
-  registry-dispatch   bench/ and examples/ must reach algorithms through
-                      the registry (truss/registry.h) or the engine, never
-                      by including a concrete algorithm header. Keeping
-                      drivers registry-only is what lets a new algorithm
-                      show up in every bench and example for free.
+  registry-dispatch   bench/, examples/, and src/serve/ must reach
+                      algorithms through the registry (truss/registry.h)
+                      or the engine, never by including a concrete
+                      algorithm header. Keeping drivers and the serving
+                      layer registry-only is what lets a new algorithm
+                      show up in every bench, example, and REBUILD
+                      command for free.
   raw-thread          std::thread / std::async appear only in
                       src/common/parallel.{h,cc}. Everything else goes
                       through parallel::RunShards so thread-count policy,
@@ -21,6 +23,15 @@ Enforces repo-level conventions that the compiler cannot:
                       malformed literal silently drops the metric.
   bare-assert         use TRUSS_CHECK / TRUSS_DCHECK (common/macros.h)
                       instead of assert(); static_assert is fine.
+  annotated-mutex     raw std::mutex / std::shared_mutex /
+                      std::condition_variable appear only in
+                      src/common/mutex.h. Everything else in src/ guards
+                      shared state with truss::Mutex + TRUSS_GUARDED_BY
+                      so Clang's thread-safety analysis (the CI
+                      static-analysis gate) can see every lock. This is
+                      what keeps the serving layer's snapshot registry
+                      analyzable: an unannotated mutex is invisible to
+                      -Wthread-safety.
 
 Exceptions live in scripts/lint_arch_allowlist.json as
 {rule_id: {relative_path: reason}}. Exit status 0 when clean, 1 when any
@@ -43,9 +54,16 @@ ALGORITHM_HEADERS = (
 
 PARALLEL_IMPL = ("src/common/parallel.h", "src/common/parallel.cc")
 
+# The one place raw standard-library mutexes may appear: the annotated
+# shim that wraps them in thread-safety-capability types.
+MUTEX_IMPL = ("src/common/mutex.h",)
+
 SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 
 RAW_THREAD_RE = re.compile(r"\bstd::(thread|async)\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(_any)?)\b")
 RAND_TIME_RE = re.compile(r"(^|[^_A-Za-z0-9:])(std::)?(rand|srand|time)\s*\(")
 BARE_ASSERT_RE = re.compile(r"(^|[^_A-Za-z0-9])assert\s*\(")
 CASSERT_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
@@ -124,6 +142,10 @@ class Linter:
         top = relpath.split("/", 1)[0]
         in_bench_or_example = top in ("bench", "examples")
         in_src = top == "src"
+        # The serving layer is a driver over the engine facade, exactly
+        # like a bench or example: it must stay registry-dispatched so
+        # REBUILD <algo> picks up new algorithms with zero serve changes.
+        registry_only = in_bench_or_example or relpath.startswith("src/serve/")
         try:
             with open(os.path.join(self.root, relpath),
                       encoding="utf-8", errors="replace") as f:
@@ -137,7 +159,7 @@ class Linter:
             code, full, literals, in_block_comment = split_code_and_literals(
                 raw.rstrip("\n"), in_block_comment)
 
-            if in_bench_or_example:
+            if registry_only:
                 for header in ALGORITHM_HEADERS:
                     if re.search(r'#\s*include\s*"%s"' % re.escape(header),
                                  full):
@@ -151,6 +173,14 @@ class Linter:
                     "raw-thread", relpath, lineno,
                     "raw std::thread/std::async; use parallel::RunShards "
                     "(src/common/parallel.h)")
+
+            if (in_src and relpath not in MUTEX_IMPL
+                    and RAW_MUTEX_RE.search(code)):
+                self.report(
+                    "annotated-mutex", relpath, lineno,
+                    "raw standard-library mutex/condvar; use truss::Mutex "
+                    "with TRUSS_GUARDED_BY (src/common/mutex.h) so "
+                    "thread-safety analysis sees the lock")
 
             if in_src and RAND_TIME_RE.search(code):
                 self.report(

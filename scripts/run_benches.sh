@@ -26,11 +26,12 @@ THREADS="${TRUSS_BENCH_THREADS:-8}"
 # Seconds-scale benches, safe to run on every PR. (The external-memory
 # tables 4-6 run 2-10 minutes each; reach them with --all.)
 QUICK_SET=(bench_ablation bench_clique_pruning bench_ingest
-           bench_micro_kernels bench_table3_inmem)
+           bench_micro_kernels bench_serve bench_table3_inmem)
 # Full sweep, including dataset generation and external-memory runs.
 ALL_SET=(bench_ablation bench_clique_pruning bench_ingest bench_micro_kernels
-         bench_table2_datasets bench_table3_inmem bench_table4_bottomup_vs_mr
-         bench_table5_topdown bench_table6_truss_vs_core)
+         bench_serve bench_table2_datasets bench_table3_inmem
+         bench_table4_bottomup_vs_mr bench_table5_topdown
+         bench_table6_truss_vs_core)
 
 RUN_SET=()
 USE_ALL=0
@@ -83,7 +84,7 @@ for bench in "${RUN_SET[@]}"; do
   # python3 writes the JSON so embedded bench output is escaped correctly.
   python3 - "${json}" "${bench}" "${status}" "${wall}" "${GIT_REV}" \
       "${TIMESTAMP}" "${log}" "${THREADS}" <<'PYEOF'
-import json, pathlib, socket, sys
+import json, os, pathlib, socket, sys
 out, bench, status, wall, rev, ts, log, threads = sys.argv[1:9]
 lines = pathlib.Path(log).read_text(errors="replace").splitlines()
 # Benches may emit "METRIC <key> <value>" lines — bench_ingest's MB/s
@@ -106,6 +107,11 @@ pathlib.Path(out).write_text(json.dumps({
     "exit_code": int(status),
     "wall_seconds": float(wall),
     "threads": int(threads),
+    # Physical parallelism of the machine the run happened on. Numbers from
+    # a 1-core CI container and an 8-core workstation are not comparable
+    # even at the same --threads cap (oversubscription vs real cores), so
+    # compare_benches.py refuses to diff across differing core counts.
+    "hardware_concurrency": os.cpu_count() or 1,
     "git_rev": rev,
     "timestamp_utc": ts,
     "host": socket.gethostname(),

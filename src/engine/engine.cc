@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <system_error>
 #include <utility>
@@ -265,6 +266,36 @@ Result<DecomposeOutput> Engine::DecomposeSnapFile(const std::string& path,
   out.value().stats.ingest_seconds = ingest_seconds;
   if (loaded != nullptr) *loaded = parsed.MoveValue();
   return out;
+}
+
+Result<LoadedGraph> Engine::LoadGraphFile(const std::string& path,
+                                          uint32_t threads) {
+  // Sniff the TRSB magic (graph/binary_io.cc) rather than trusting file
+  // extensions; a short or unreadable file falls through to the text
+  // reader, whose error messages name the real problem.
+  bool is_binary = false;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError("cannot open " + path);
+    }
+    uint32_t magic = 0;
+    is_binary = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+                magic == 0x42535254;  // "TRSB" little-endian
+    std::fclose(f);
+  }
+  if (is_binary) {
+    auto g = Graph::LoadBinary(path);
+    TRUSS_RETURN_IF_ERROR_RESULT(g);
+    LoadedGraph loaded;
+    loaded.graph = g.MoveValue();
+    loaded.original_id.resize(loaded.graph.num_vertices());
+    for (VertexId v = 0; v < loaded.graph.num_vertices(); ++v) {
+      loaded.original_id[v] = v;
+    }
+    return loaded;
+  }
+  return ReadSnapEdgeList(path, threads);
 }
 
 std::span<const AlgorithmInfo> Engine::Algorithms() { return kRegistry; }

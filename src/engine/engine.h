@@ -115,6 +115,14 @@ class Engine {
       const std::string& path, const DecomposeOptions& options,
       LoadedGraph* loaded = nullptr);
 
+  /// Loads a graph file, sniffing the format from its magic bytes: a TRSB
+  /// binary CSR snapshot (Graph::SaveBinary) loads directly and skips
+  /// parsing/normalization; anything else parses as a SNAP text edge list
+  /// with `threads` reader workers. Binary snapshots carry compact ids
+  /// already, so their original_id mapping is the identity.
+  static Result<LoadedGraph> LoadGraphFile(const std::string& path,
+                                           uint32_t threads = 1);
+
   /// The registry: the paper's four algorithms in presentation order, with
   /// the PKT-style parallel peel listed beside its sequential sibling.
   static std::span<const AlgorithmInfo> Algorithms();

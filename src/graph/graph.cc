@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "graph/validate.h"
+
 namespace truss {
+
+Result<Graph> Graph::FromCsrParts(std::vector<uint64_t> offsets,
+                                  std::vector<AdjEntry> adj,
+                                  std::vector<Edge> edges) {
+  std::string violation;
+  if (!graph::ValidateCsrParts(offsets, adj, edges, &violation)) {
+    return Status::Corruption("invalid CSR arrays: " + violation);
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  g.edges_ = std::move(edges);
+  return g;
+}
 
 Graph Graph::FromEdges(std::vector<Edge> edges, VertexId num_vertices) {
   // Normalize: sort lexicographically and drop duplicates. EdgeId order is

@@ -32,6 +32,16 @@ class Graph {
   /// endpoint + 1 to include isolated vertices; pass 0 to infer it.
   static Graph FromEdges(std::vector<Edge> edges, VertexId num_vertices = 0);
 
+  /// Adopts pre-built CSR arrays after full structural validation
+  /// (graph::ValidateCsrParts); fails with Corruption on any invariant
+  /// violation. This is the entry point for deserializers that carry the
+  /// three arrays inside a larger container (e.g. the serving layer's
+  /// TrussIndex snapshots) and therefore cannot go through LoadBinary's
+  /// whole-file path.
+  static Result<Graph> FromCsrParts(std::vector<uint64_t> offsets,
+                                    std::vector<AdjEntry> adj,
+                                    std::vector<Edge> edges);
+
   /// Number of vertices n (IDs are 0..n-1).
   VertexId num_vertices() const {
     return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);

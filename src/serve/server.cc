@@ -1,0 +1,386 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/parallel.h"
+#include "engine/engine.h"
+
+namespace truss::serve {
+namespace {
+
+// Splits on single spaces; empty fields (double spaces) are rejected by
+// the strict parsers below, so no trimming is needed beyond the \r strip
+// done by the caller.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t space = line.find(' ', start);
+    if (space == std::string_view::npos) space = line.size();
+    tokens.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return tokens;
+}
+
+// Strict decimal parse: the whole token must be digits and fit.
+bool ParseU32(std::string_view token, uint32_t* out) {
+  if (token.empty()) return false;
+  const char* end = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(token.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string FormatDouble(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+// Appends "id:k:vertices:density" for one TOP entry.
+void AppendCommunityEntry(std::string* out, CommunityId id,
+                          const CommunityInfo& info) {
+  out->append(std::to_string(id));
+  out->push_back(':');
+  out->append(std::to_string(info.k));
+  out->push_back(':');
+  out->append(std::to_string(info.num_vertices));
+  out->push_back(':');
+  out->append(FormatDouble("%.6g", info.density));
+}
+
+// Writes all of `data`, retrying short writes and EINTR. MSG_NOSIGNAL:
+// a peer that closed mid-response must produce an error return, not
+// SIGPIPE. Returns false once the connection is unusable.
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 250);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TrussServer::TrussServer(std::shared_ptr<const Graph> graph,
+                         SnapshotRegistry* registry, ServerOptions options)
+    : graph_(std::move(graph)),
+      registry_(registry),
+      rebuilder_(graph_, registry),
+      options_(std::move(options)) {
+  TRUSS_CHECK(graph_ != nullptr);
+  TRUSS_CHECK(registry_ != nullptr);
+  TRUSS_CHECK(options_.workers >= 1);
+}
+
+TrussServer::~TrussServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status TrussServer::Start() {
+  TRUSS_CHECK(listen_fd_ < 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed, errno=" + std::to_string(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:" + std::to_string(options_.port) +
+                           ") failed, errno=" + std::to_string(errno));
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    return Status::IOError("listen() failed, errno=" + std::to_string(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return Status::IOError("getsockname() failed, errno=" +
+                           std::to_string(errno));
+  }
+  // Non-blocking listen socket: several workers may poll() it at once, and
+  // the one that loses the accept race must get EAGAIN instead of
+  // blocking past the stop flag.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void TrussServer::Serve() {
+  TRUSS_CHECK(listen_fd_ >= 0);
+  RunShards(options_.workers, [this](uint32_t) { ServeWorker(); });
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TrussServer::Stop() { RequestStop(); }
+
+void TrussServer::ServeWorker() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) continue;  // lost the accept race, or transient error
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void TrussServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;  // timeout: recheck the stop flag
+    if (pfd.revents & (POLLERR | POLLNVAL)) return;
+
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string_view line(buffer.data(), newline);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      const bool quit = (line == "QUIT");
+      std::string response = HandleLine(line);
+      if (!response.empty()) {
+        response.push_back('\n');
+        if (!SendAll(fd, response)) return;
+      }
+      if (quit) return;
+      buffer.erase(0, newline + 1);
+    }
+    if (buffer.size() > options_.max_line_bytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, "ERR BAD_REQUEST line exceeds limit\n");
+      return;
+    }
+  }
+}
+
+std::string TrussServer::HandleLine(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.empty()) return "";
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  auto err = [this](std::string_view code, std::string_view msg) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    std::string out = "ERR ";
+    out.append(code);
+    out.push_back(' ');
+    out.append(msg);
+    return out;
+  };
+
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  const std::string_view cmd = tokens[0];
+
+  if (cmd == "PING") {
+    if (tokens.size() != 1) return err("BAD_REQUEST", "usage: PING");
+    return "OK PONG";
+  }
+  if (cmd == "QUIT") {
+    if (tokens.size() != 1) return err("BAD_REQUEST", "usage: QUIT");
+    return "OK BYE";
+  }
+  if (cmd == "VERSION") {
+    if (tokens.size() != 1) return err("BAD_REQUEST", "usage: VERSION");
+    return "OK VERSION " + std::to_string(registry_->current_version());
+  }
+  if (cmd == "REBUILD") {
+    if (tokens.size() > 2) return err("BAD_REQUEST", "usage: REBUILD [algo]");
+    engine::DecomposeOptions options = options_.rebuild_options;
+    if (tokens.size() == 2) {
+      const engine::AlgorithmInfo* info = engine::Engine::FindAlgorithm(tokens[1]);
+      if (info == nullptr) {
+        return err("BAD_REQUEST",
+                   "unknown algorithm '" + std::string(tokens[1]) + "'");
+      }
+      options.algorithm = info->id;
+    }
+    auto outcome = rebuilder_.RebuildAndPublish(options);
+    if (!outcome.ok()) {
+      if (outcome.status().code() == StatusCode::kFailedPrecondition) {
+        return err("BUSY", outcome.status().message());
+      }
+      return err("INTERNAL", outcome.status().message());
+    }
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    return "OK REBUILD version=" + std::to_string(outcome.value().version) +
+           " seconds=" + FormatDouble("%.3f", outcome.value().total_seconds);
+  }
+
+  // Every remaining command reads the index. One Current() call per line:
+  // the snapshot pins a consistent index for the whole answer even if a
+  // REBUILD publishes concurrently.
+  const ServingSnapshot snapshot = registry_->Current();
+
+  if (cmd == "STATS") {
+    if (tokens.size() != 1) return err("BAD_REQUEST", "usage: STATS");
+    std::string out = "OK STATS version=" + std::to_string(snapshot.version);
+    if (snapshot.index != nullptr) {
+      const TrussIndex& index = *snapshot.index;
+      out += " vertices=" + std::to_string(index.graph().num_vertices()) +
+             " edges=" + std::to_string(index.graph().num_edges()) +
+             " kmax=" + std::to_string(index.kmax()) +
+             " communities=" + std::to_string(index.num_communities()) +
+             " index_bytes=" + std::to_string(index.SizeBytes());
+    }
+    const ServerStats s = stats();
+    out += " connections=" + std::to_string(s.connections) +
+           " queries=" + std::to_string(s.queries) +
+           " errors=" + std::to_string(s.errors) +
+           " rebuilds=" + std::to_string(s.rebuilds);
+    return out;
+  }
+
+  if (snapshot.index == nullptr) {
+    return err("UNAVAILABLE", "no snapshot published");
+  }
+  const TrussIndex& index = *snapshot.index;
+
+  if (cmd == "TRUSS") {
+    uint32_t u, v;
+    if (tokens.size() != 3 || !ParseU32(tokens[1], &u) ||
+        !ParseU32(tokens[2], &v)) {
+      return err("BAD_REQUEST", "usage: TRUSS <u> <v>");
+    }
+    truss_queries_.fetch_add(1, std::memory_order_relaxed);
+    // 0 means {u, v} is not an edge; real edges always report >= 2.
+    return "OK TRUSS " + std::to_string(index.EdgeTrussNumber(u, v));
+  }
+
+  if (cmd == "MAXK") {
+    uint32_t v;
+    if (tokens.size() != 2 || !ParseU32(tokens[1], &v)) {
+      return err("BAD_REQUEST", "usage: MAXK <v>");
+    }
+    maxk_queries_.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t k = index.VertexMaxK(v);
+    std::string out = "OK MAXK k=" + std::to_string(k);
+    const CommunityId c = index.DeepestCommunity(v);
+    if (c == kInvalidCommunity) {
+      out += " community=none";
+    } else {
+      out += " community=" + std::to_string(c) +
+             " size=" + std::to_string(index.Community(c).num_vertices);
+    }
+    return out;
+  }
+
+  if (cmd == "COMM") {
+    uint32_t v, k;
+    if (tokens.size() != 3 || !ParseU32(tokens[1], &v) ||
+        !ParseU32(tokens[2], &k)) {
+      return err("BAD_REQUEST", "usage: COMM <v> <k>");
+    }
+    comm_queries_.fetch_add(1, std::memory_order_relaxed);
+    const CommunityId c = index.CommunityAt(v, k);
+    if (c == kInvalidCommunity) {
+      return err("NOT_FOUND", "vertex " + std::to_string(v) +
+                                  " is in no " + std::to_string(k) + "-truss");
+    }
+    const CommunityInfo& info = index.Community(c);
+    return "OK COMM id=" + std::to_string(c) + " k=" + std::to_string(info.k) +
+           " vertices=" + std::to_string(info.num_vertices) +
+           " edges=" + std::to_string(info.num_edges) +
+           " density=" + FormatDouble("%.6g", info.density);
+  }
+
+  if (cmd == "TOP") {
+    uint32_t t;
+    if (tokens.size() != 2 || !ParseU32(tokens[1], &t) || t == 0) {
+      return err("BAD_REQUEST", "usage: TOP <t>  (t >= 1)");
+    }
+    top_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (t > options_.top_cap) t = options_.top_cap;
+    const auto top = index.DensestCommunities(t);
+    std::string out = "OK TOP " + std::to_string(top.size());
+    for (CommunityId id : top) {
+      out.push_back(' ');
+      AppendCommunityEntry(&out, id, index.Community(id));
+    }
+    return out;
+  }
+
+  if (cmd == "MEMBERS") {
+    uint32_t c;
+    if (tokens.size() != 2 || !ParseU32(tokens[1], &c)) {
+      return err("BAD_REQUEST", "usage: MEMBERS <c>");
+    }
+    if (c >= index.num_communities()) {
+      return err("NOT_FOUND", "no community " + std::to_string(c));
+    }
+    const auto vertices = index.CommunityVertices(c);
+    std::string out = "OK MEMBERS " + std::to_string(vertices.size());
+    const size_t listed =
+        std::min<size_t>(vertices.size(), options_.members_cap);
+    for (size_t i = 0; i < listed; ++i) {
+      out.push_back(' ');
+      out.append(std::to_string(vertices[i]));
+    }
+    return out;
+  }
+
+  return err("BAD_REQUEST", "unknown command '" + std::string(cmd) + "'");
+}
+
+ServerStats TrussServer::stats() const {
+  ServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.truss_queries = truss_queries_.load(std::memory_order_relaxed);
+  s.maxk_queries = maxk_queries_.load(std::memory_order_relaxed);
+  s.comm_queries = comm_queries_.load(std::memory_order_relaxed);
+  s.top_queries = top_queries_.load(std::memory_order_relaxed);
+  s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace truss::serve

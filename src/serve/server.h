@@ -1,0 +1,156 @@
+// TrussServer — a TCP line-protocol query server over a SnapshotRegistry.
+//
+// Protocol (newline-delimited ASCII; full grammar in docs/SERVING.md):
+//
+//   TRUSS <u> <v>     truss number of edge {u, v}
+//   MAXK <v>          deepest truss level of vertex v + its community there
+//   COMM <v> <k>      the level-k community containing v
+//   TOP <t>           the t densest communities
+//   MEMBERS <c>       member vertices of community c (size-capped)
+//   STATS             index + server statistics
+//   VERSION           current snapshot version
+//   REBUILD [algo]    re-decompose and atomically publish a new snapshot
+//   PING / QUIT       liveness / close connection
+//
+// Every response is a single line: "OK ..." or "ERR <CODE> ...".
+//
+// Threading model: Serve() runs `workers` threads through
+// truss::RunShards (the repo's only sanctioned thread-creation path —
+// see scripts/lint_arch.py). All workers block in accept() on the shared
+// listening socket; the kernel load-balances incoming connections, so
+// there is no connection queue and no shared accept state. Each worker
+// then owns its connection outright: reads, query execution, and writes
+// touch only worker-local state plus (a) the SnapshotRegistry, whose
+// swap/acquire is mutex-annotated and whose query path is lock-free on the
+// immutable snapshot, and (b) the server's atomic stat counters. Polling
+// with a short timeout (rather than indefinite blocking) is what makes
+// Stop() graceful: workers finish the request in flight, notice the flag,
+// and exit; RunShards' join returns Serve() to the caller.
+//
+// A REBUILD command runs synchronously on the worker that received it;
+// the other workers keep serving the old snapshot until the atomic
+// publish, which is the whole point of the snapshot layer.
+
+#ifndef TRUSS_SERVE_SERVER_H_
+#define TRUSS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/options.h"
+#include "serve/snapshot.h"
+
+namespace truss::serve {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back from port() after Start). Loopback-only by design: production
+  /// deployments put a local proxy or mesh sidecar in front rather than
+  /// exposing the bare line protocol.
+  uint16_t port = 0;
+  /// Worker threads (= maximum concurrent connections served).
+  uint32_t workers = 4;
+  /// Template options for REBUILD commands; the command's optional
+  /// algorithm argument overrides `rebuild_options.algorithm`.
+  engine::DecomposeOptions rebuild_options;
+  /// Per-line size cap; a client exceeding it gets ERR BAD_REQUEST and is
+  /// disconnected (protects worker memory from a hostile peer).
+  uint32_t max_line_bytes = 4096;
+  /// Cap on TOP t and MEMBERS responses, keeping single-line replies
+  /// bounded.
+  uint32_t top_cap = 64;
+  uint32_t members_cap = 1024;
+  /// Poll interval for the accept/read loops; bounds Stop() latency.
+  int poll_interval_ms = 100;
+};
+
+/// Monotonic server counters (a consistent-enough snapshot of the atomic
+/// counters; see stats()).
+struct ServerStats {
+  uint64_t connections = 0;
+  uint64_t queries = 0;  // protocol lines answered, excluding blank lines
+  uint64_t errors = 0;   // ERR responses
+  uint64_t truss_queries = 0;
+  uint64_t maxk_queries = 0;
+  uint64_t comm_queries = 0;
+  uint64_t top_queries = 0;
+  uint64_t rebuilds = 0;  // successful REBUILDs
+};
+
+class TrussServer {
+ public:
+  /// `graph` is the base topology REBUILD re-decomposes; `registry` is
+  /// where snapshots are read and published (callers publish the initial
+  /// snapshot before Start, or clients see ERR UNAVAILABLE). `registry`
+  /// must outlive the server.
+  TrussServer(std::shared_ptr<const Graph> graph, SnapshotRegistry* registry,
+              ServerOptions options);
+  ~TrussServer();
+
+  TrussServer(const TrussServer&) = delete;
+  TrussServer& operator=(const TrussServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:options.port. Fails with IOError when
+  /// the port is taken or sockets are unavailable.
+  Status Start();
+
+  /// Accept-and-serve loop; blocks until Stop()/RequestStop(). Requires a
+  /// successful Start().
+  void Serve();
+
+  /// Graceful shutdown: workers finish their in-flight request and exit.
+  /// Safe from any thread; returns immediately (Serve() unblocks within
+  /// ~poll_interval_ms).
+  void Stop();
+
+  /// Async-signal-safe subset of Stop() (a lock-free atomic store), for
+  /// SIGINT/SIGTERM handlers. Shutdown latency is one poll interval.
+  void RequestStop() { stopping_.store(true, std::memory_order_relaxed); }
+
+  /// The bound port (after Start); useful with options.port == 0.
+  uint16_t port() const { return port_; }
+
+  /// Executes one protocol line and returns the response line (without the
+  /// trailing newline). Exposed for unit tests and in-process callers; the
+  /// socket path funnels through here. Returns an empty string for blank
+  /// input (which the socket path does not answer).
+  std::string HandleLine(std::string_view line);
+
+  ServerStats stats() const;
+
+ private:
+  void ServeWorker();
+  void HandleConnection(int fd);
+
+  std::shared_ptr<const Graph> graph_;
+  SnapshotRegistry* const registry_;
+  SnapshotRebuilder rebuilder_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  // Set by Stop()/RequestStop(), polled by every worker loop. Plain
+  // flag semantics: no data is published through it (relaxed ordering),
+  // workers just exit when they observe it.
+  std::atomic<bool> stopping_{false};
+
+  // Monotonic counters, incremented with relaxed ordering: they are
+  // sums with no cross-thread ordering requirement, read only by stats()
+  // reporting.
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> truss_queries_{0};
+  std::atomic<uint64_t> maxk_queries_{0};
+  std::atomic<uint64_t> comm_queries_{0};
+  std::atomic<uint64_t> top_queries_{0};
+  std::atomic<uint64_t> rebuilds_{0};
+};
+
+}  // namespace truss::serve
+
+#endif  // TRUSS_SERVE_SERVER_H_

@@ -1,0 +1,76 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace truss::serve {
+
+uint64_t SnapshotRegistry::Publish(std::shared_ptr<const TrussIndex> index,
+                                   std::string description,
+                                   double build_seconds) {
+  TRUSS_CHECK(index != nullptr);
+  MutexLock lock(&mu_);
+  current_.index = std::move(index);
+  current_.version += 1;
+  current_.description = std::move(description);
+  current_.build_seconds = build_seconds;
+  return current_.version;
+}
+
+ServingSnapshot SnapshotRegistry::Current() const {
+  MutexLock lock(&mu_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::current_version() const {
+  MutexLock lock(&mu_);
+  return current_.version;
+}
+
+SnapshotRebuilder::SnapshotRebuilder(std::shared_ptr<const Graph> graph,
+                                     SnapshotRegistry* registry)
+    : graph_(std::move(graph)), registry_(registry) {
+  TRUSS_CHECK(graph_ != nullptr);
+  TRUSS_CHECK(registry_ != nullptr);
+}
+
+Result<RebuildOutcome> SnapshotRebuilder::RebuildAndPublish(
+    const engine::DecomposeOptions& options) {
+  {
+    MutexLock lock(&mu_);
+    if (in_flight_) {
+      return Status::FailedPrecondition("a rebuild is already in flight");
+    }
+    in_flight_ = true;
+  }
+  // The decomposition runs outside the lock: readers keep querying the old
+  // snapshot, and InFlight() stays observable, for the whole rebuild.
+  WallTimer timer;
+  auto built =
+      TrussIndex::Build(graph_, IndexBuildPlan::WithOptions(options));
+  Result<RebuildOutcome> result = Status::Internal("unset");
+  if (built.ok()) {
+    RebuildOutcome outcome;
+    outcome.decompose_seconds = built.value().decompose_stats.wall_seconds;
+    outcome.total_seconds = timer.Seconds();
+    outcome.version = registry_->Publish(
+        std::move(built.value().index),
+        std::string("algo=") + engine::AlgorithmName(options.algorithm) +
+            " threads=" + std::to_string(options.threads),
+        outcome.total_seconds);
+    result = outcome;
+  } else {
+    result = built.status();
+  }
+  MutexLock lock(&mu_);
+  in_flight_ = false;
+  return result;
+}
+
+bool SnapshotRebuilder::InFlight() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+}  // namespace truss::serve

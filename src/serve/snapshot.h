@@ -1,0 +1,119 @@
+// Immutable-snapshot versioning for the serving layer.
+//
+// A server must answer queries continuously while a fresh decomposition is
+// computed and swapped in. The scheme here is the classic read-copy-publish
+// shape:
+//
+//   - A snapshot is an immutable TrussIndex plus a monotonically increasing
+//     version. Snapshots are never mutated after publication.
+//   - SnapshotRegistry holds the current snapshot behind a truss::Mutex.
+//     Publish() swaps the shared_ptr under the lock; Current() copies it
+//     out under the lock. Both critical sections are a few pointer writes —
+//     nanoseconds — and, crucially, the *query path* takes no lock at all:
+//     once a reader holds the shared_ptr, every TrussIndex method is
+//     lock-free against the immutable object, and the shared_ptr keeps the
+//     old snapshot alive until its last in-flight reader drops it.
+//   - SnapshotRebuilder produces new snapshots by re-running a
+//     decomposition through the engine registry (never a concrete
+//     algorithm header) and publishing the result. At most one rebuild
+//     runs at a time; concurrent requests are rejected as
+//     FailedPrecondition so callers (the server's REBUILD command) can
+//     surface "busy" instead of queueing unbounded work.
+//
+// Shared state is annotated with TRUSS_GUARDED_BY and proven by the Clang
+// thread-safety CI job; the TSan suite exercises readers racing Publish().
+
+#ifndef TRUSS_SERVE_SNAPSHOT_H_
+#define TRUSS_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "engine/options.h"
+#include "serve/truss_index.h"
+
+namespace truss::serve {
+
+/// One published snapshot: an immutable index plus its version metadata.
+/// Copyable; copies share the index.
+struct ServingSnapshot {
+  std::shared_ptr<const TrussIndex> index;
+  /// Monotonic from 1; 0 only in the empty sentinel returned by Current()
+  /// before the first Publish().
+  uint64_t version = 0;
+  /// Human-readable provenance, e.g. "algo=parallel threads=4".
+  std::string description;
+  /// Wall seconds spent producing the snapshot (decompose + index build).
+  double build_seconds = 0.0;
+};
+
+/// Holder of the current snapshot. All methods are thread-safe; see the
+/// file comment for the locking story.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Publishes `index` as the next version and returns that version.
+  /// Readers holding the previous snapshot are unaffected; the previous
+  /// index is destroyed when its last holder releases it.
+  uint64_t Publish(std::shared_ptr<const TrussIndex> index,
+                   std::string description, double build_seconds);
+
+  /// The current snapshot (version 0 with a null index before the first
+  /// Publish). The returned copy is the reader's to keep for as long as it
+  /// wants; queries on snapshot.index take no lock.
+  ServingSnapshot Current() const;
+
+  /// Version of the current snapshot (0 before the first Publish).
+  uint64_t current_version() const;
+
+ private:
+  mutable Mutex mu_;
+  ServingSnapshot current_ TRUSS_GUARDED_BY(mu_);
+};
+
+/// Outcome of one successful rebuild.
+struct RebuildOutcome {
+  uint64_t version = 0;
+  double decompose_seconds = 0.0;
+  /// Decompose + hierarchy/index build, i.e. the snapshot's build_seconds.
+  double total_seconds = 0.0;
+};
+
+/// Re-decomposes a fixed base graph through the engine registry and
+/// publishes the result. Thread-safe; at most one rebuild in flight.
+class SnapshotRebuilder {
+ public:
+  /// `graph` is the base topology every rebuild decomposes (shared with
+  /// the indexes, which only hold references to it). `registry` must
+  /// outlive the rebuilder.
+  SnapshotRebuilder(std::shared_ptr<const Graph> graph,
+                    SnapshotRegistry* registry);
+
+  /// Runs one decomposition with `options` (any registry algorithm),
+  /// builds a TrussIndex, and publishes it. Returns FailedPrecondition
+  /// when another rebuild is already in flight, and propagates engine
+  /// failures (invalid options, cancellation) without publishing.
+  Result<RebuildOutcome> RebuildAndPublish(
+      const engine::DecomposeOptions& options);
+
+  /// True while a RebuildAndPublish call is running (on any thread).
+  bool InFlight() const;
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  SnapshotRegistry* const registry_;
+  mutable Mutex mu_;
+  bool in_flight_ TRUSS_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace truss::serve
+
+#endif  // TRUSS_SERVE_SNAPSHOT_H_

@@ -1,0 +1,437 @@
+#include "serve/truss_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <system_error>
+#include <utility>
+
+#include "engine/engine.h"
+
+namespace truss::serve {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x49535254;  // "TRSI" little-endian
+constexpr uint32_t kVersion = 1;
+
+// The save format below writes raw arrays; keep the element sizes pinned
+// so a drifting struct layout cannot silently change the file format.
+static_assert(sizeof(uint64_t) == 8);
+static_assert(sizeof(AdjEntry) == 8);
+static_assert(sizeof(Edge) == 8);
+static_assert(sizeof(uint32_t) == 4);
+
+struct IndexHeader {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint32_t kmax = 0;
+  uint32_t reserved = 0;
+  // Graph CSR array lengths (same meaning as the TRSB snapshot header).
+  uint64_t offsets_count = 0;
+  uint64_t adj_count = 0;
+  uint64_t edges_count = 0;
+  // Index array lengths.
+  uint64_t community_count = 0;
+  uint64_t community_vertices_count = 0;
+  uint64_t member_count = 0;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+Status WriteSpan(std::FILE* f, std::span<const T> data,
+                 const std::string& path) {
+  if (data.empty()) return Status::OK();
+  if (std::fwrite(data.data(), sizeof(T), data.size(), f) != data.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadArray(std::FILE* f, std::vector<T>* data, uint64_t count,
+                 const std::string& path) {
+  data->resize(count);
+  if (count == 0) return Status::OK();
+  if (std::fread(data->data(), sizeof(T), count, f) != count) {
+    return Status::Corruption("truncated index file: " + path);
+  }
+  return Status::OK();
+}
+
+double Density(uint32_t num_vertices, uint64_t num_edges) {
+  if (num_vertices < 2) return 0.0;
+  const double pairs =
+      0.5 * static_cast<double>(num_vertices) *
+      static_cast<double>(num_vertices - 1);
+  return static_cast<double>(num_edges) / pairs;
+}
+
+std::vector<uint32_t> ComputeVertexKmax(const Graph& g,
+                                        std::span<const uint32_t> truss) {
+  std::vector<uint32_t> vertex_kmax(g.num_vertices(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge edge = g.edge(e);
+    vertex_kmax[edge.u] = std::max(vertex_kmax[edge.u], truss[e]);
+    vertex_kmax[edge.v] = std::max(vertex_kmax[edge.v], truss[e]);
+  }
+  return vertex_kmax;
+}
+
+}  // namespace
+
+std::shared_ptr<const TrussIndex> TrussIndex::Build(
+    std::shared_ptr<const Graph> graph, const TrussDecompositionResult& r) {
+  TRUSS_CHECK(graph != nullptr);
+  TRUSS_CHECK_EQ(r.truss_number.size(), graph->num_edges());
+  std::shared_ptr<TrussIndex> idx(new TrussIndex());
+  const Graph& g = *graph;
+  idx->graph_ = std::move(graph);
+  idx->kmax_ = r.kmax;
+  idx->truss_number_ = r.truss_number;
+  idx->vertex_kmax_ = ComputeVertexKmax(g, idx->truss_number_);
+
+  // Flatten the community hierarchy. CommunityId is the position in the
+  // hierarchy's (k, smallest member vertex) order.
+  const TrussHierarchy h = BuildTrussHierarchy(g, r);
+  const size_t communities = h.communities.size();
+  idx->community_info_.resize(communities);
+  idx->community_vertex_offsets_.assign(communities + 1, 0);
+  for (size_t c = 0; c < communities; ++c) {
+    const TrussCommunity& src = h.communities[c];
+    CommunityInfo& info = idx->community_info_[c];
+    info.k = src.k;
+    info.num_vertices = static_cast<uint32_t>(src.vertices.size());
+    info.num_edges = src.edges;
+    info.density = Density(info.num_vertices, info.num_edges);
+    idx->community_vertex_offsets_[c + 1] =
+        idx->community_vertex_offsets_[c] + src.vertices.size();
+  }
+  idx->community_vertices_.reserve(idx->community_vertex_offsets_.back());
+  for (const TrussCommunity& src : h.communities) {
+    idx->community_vertices_.insert(idx->community_vertices_.end(),
+                                    src.vertices.begin(), src.vertices.end());
+  }
+
+  // Per-vertex membership chains. A vertex's community levels are exactly
+  // 3..vertex_kmax (T_k ⊇ T_{k+1}: any incident edge with ϕ >= k keeps v
+  // in every shallower truss), so the chain is dense in k and CommunityAt
+  // is one subtraction and one load.
+  const VertexId n = g.num_vertices();
+  idx->member_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t chain =
+        idx->vertex_kmax_[v] >= 3 ? idx->vertex_kmax_[v] - 2 : 0;
+    idx->member_offsets_[v + 1] = idx->member_offsets_[v] + chain;
+  }
+  idx->members_.assign(idx->member_offsets_.back(), kInvalidCommunity);
+  for (size_t c = 0; c < communities; ++c) {
+    const uint32_t k = idx->community_info_[c].k;
+    for (const VertexId v : idx->CommunityVertices(
+             static_cast<CommunityId>(c))) {
+      idx->members_[idx->member_offsets_[v] + (k - 3)] =
+          static_cast<CommunityId>(c);
+    }
+  }
+#if !defined(NDEBUG)
+  // Every chain slot must have been filled by exactly the level it encodes.
+  for (const CommunityId m : idx->members_) {
+    TRUSS_DCHECK_NE(m, kInvalidCommunity);
+  }
+#endif
+
+  // Densest-first order, ties towards the smaller id for determinism.
+  idx->density_order_.resize(communities);
+  for (size_t c = 0; c < communities; ++c) {
+    idx->density_order_[c] = static_cast<CommunityId>(c);
+  }
+  std::sort(idx->density_order_.begin(), idx->density_order_.end(),
+            [&](CommunityId a, CommunityId b) {
+              const double da = idx->community_info_[a].density;
+              const double db = idx->community_info_[b].density;
+              if (da != db) return da > db;
+              return a < b;
+            });
+  return idx;
+}
+
+Result<IndexBuildOutput> TrussIndex::Build(std::shared_ptr<const Graph> graph,
+                                           const IndexBuildPlan& plan) {
+  TRUSS_CHECK(graph != nullptr);
+  auto out = engine::Engine::Decompose(*graph, plan.options());
+  if (!out.ok()) return out.status();
+  if (out.value().result.truss_number.size() != graph->num_edges()) {
+    return Status::InvalidArgument(
+        "index build requires a full decomposition (top_t must be -1)");
+  }
+  IndexBuildOutput built;
+  built.decompose_stats = out.value().stats;
+  built.index = Build(std::move(graph), out.value().result);
+  return built;
+}
+
+uint32_t TrussIndex::EdgeTrussNumber(VertexId u, VertexId v) const {
+  const VertexId n = graph_->num_vertices();
+  if (u >= n || v >= n || u == v) return 0;
+  const EdgeId e = graph_->FindEdge(u, v);
+  return e == kInvalidEdge ? 0 : truss_number_[e];
+}
+
+uint64_t TrussIndex::SizeBytes() const {
+  return truss_number_.size() * sizeof(uint32_t) +
+         vertex_kmax_.size() * sizeof(uint32_t) +
+         community_info_.size() * sizeof(CommunityInfo) +
+         community_vertex_offsets_.size() * sizeof(uint64_t) +
+         community_vertices_.size() * sizeof(VertexId) +
+         member_offsets_.size() * sizeof(uint64_t) +
+         members_.size() * sizeof(CommunityId) +
+         density_order_.size() * sizeof(CommunityId);
+}
+
+Status TrussIndex::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+
+  std::vector<uint32_t> community_k(community_info_.size());
+  std::vector<uint64_t> community_edges(community_info_.size());
+  for (size_t c = 0; c < community_info_.size(); ++c) {
+    community_k[c] = community_info_[c].k;
+    community_edges[c] = community_info_[c].num_edges;
+  }
+
+  IndexHeader header;
+  header.kmax = kmax_;
+  header.offsets_count = graph_->offsets().size();
+  header.adj_count = graph_->adjacency().size();
+  header.edges_count = graph_->edges().size();
+  header.community_count = community_info_.size();
+  header.community_vertices_count = community_vertices_.size();
+  header.member_count = members_.size();
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IOError("short write to " + path);
+  }
+
+  TRUSS_RETURN_IF_ERROR(WriteSpan(f.get(), graph_->offsets(), path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan(f.get(), graph_->adjacency(), path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan(f.get(), graph_->edges(), path));
+  TRUSS_RETURN_IF_ERROR(
+      WriteSpan<uint32_t>(f.get(), truss_number_, path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan<uint32_t>(f.get(), vertex_kmax_, path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan<uint32_t>(f.get(), community_k, path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan<uint64_t>(f.get(), community_edges, path));
+  TRUSS_RETURN_IF_ERROR(
+      WriteSpan<uint64_t>(f.get(), community_vertex_offsets_, path));
+  TRUSS_RETURN_IF_ERROR(
+      WriteSpan<VertexId>(f.get(), community_vertices_, path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan<uint64_t>(f.get(), member_offsets_, path));
+  TRUSS_RETURN_IF_ERROR(WriteSpan<CommunityId>(f.get(), members_, path));
+
+  std::FILE* raw = f.release();
+  if (std::fclose(raw) != 0) {
+    return Status::IOError("close failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const TrussIndex>> TrussIndex::Load(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+
+  IndexHeader header;
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    return Status::Corruption("truncated index header: " + path);
+  }
+  if (header.magic != kMagic) {
+    return Status::Corruption("bad magic in " + path +
+                              " (not a TRSI index file)");
+  }
+  if (header.version != kVersion) {
+    return Status::Corruption("unsupported index version " +
+                              std::to_string(header.version) + " in " + path);
+  }
+
+  // Check header counts against the actual file size before any
+  // allocation, exactly like Graph::LoadBinary: a bit-flipped count must
+  // surface as Corruption, not a giant resize() aborting the process.
+  const VertexId vertex_count =
+      header.offsets_count == 0
+          ? 0
+          : static_cast<VertexId>(header.offsets_count - 1);
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+  const uint64_t max_count = file_size / sizeof(uint32_t);
+  if (header.offsets_count > max_count || header.adj_count > max_count ||
+      header.edges_count > max_count || header.community_count > max_count ||
+      header.community_vertices_count > max_count ||
+      header.member_count > max_count) {
+    return Status::Corruption("array lengths exceed file size in " + path);
+  }
+  const uint64_t expected =
+      sizeof(IndexHeader) + header.offsets_count * sizeof(uint64_t) +
+      header.adj_count * sizeof(AdjEntry) + header.edges_count * sizeof(Edge) +
+      header.edges_count * sizeof(uint32_t) +          // truss_number
+      static_cast<uint64_t>(vertex_count) * sizeof(uint32_t) +  // vertex_kmax
+      header.community_count * (sizeof(uint32_t) + sizeof(uint64_t)) +
+      (header.community_count + 1) * sizeof(uint64_t) +
+      header.community_vertices_count * sizeof(VertexId) +
+      (static_cast<uint64_t>(vertex_count) + 1) * sizeof(uint64_t) +
+      header.member_count * sizeof(CommunityId);
+  if (file_size != expected) {
+    return Status::Corruption("file size does not match header in " + path);
+  }
+
+  std::vector<uint64_t> offsets;
+  std::vector<AdjEntry> adj;
+  std::vector<Edge> edges;
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &offsets, header.offsets_count, path));
+  TRUSS_RETURN_IF_ERROR(ReadArray(f.get(), &adj, header.adj_count, path));
+  TRUSS_RETURN_IF_ERROR(ReadArray(f.get(), &edges, header.edges_count, path));
+
+  std::shared_ptr<TrussIndex> idx(new TrussIndex());
+  std::vector<uint32_t> community_k;
+  std::vector<uint64_t> community_edges;
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &idx->truss_number_, header.edges_count, path));
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &idx->vertex_kmax_, vertex_count, path));
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &community_k, header.community_count, path));
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &community_edges, header.community_count, path));
+  TRUSS_RETURN_IF_ERROR(ReadArray(f.get(), &idx->community_vertex_offsets_,
+                                  header.community_count + 1, path));
+  TRUSS_RETURN_IF_ERROR(ReadArray(f.get(), &idx->community_vertices_,
+                                  header.community_vertices_count, path));
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &idx->member_offsets_,
+                static_cast<uint64_t>(vertex_count) + 1, path));
+  TRUSS_RETURN_IF_ERROR(
+      ReadArray(f.get(), &idx->members_, header.member_count, path));
+
+  // The embedded graph gets the full structural revalidation; the index
+  // arrays are then cross-checked against it so a corrupt file cannot
+  // smuggle in out-of-range lookups.
+  auto graph = Graph::FromCsrParts(std::move(offsets), std::move(adj),
+                                   std::move(edges));
+  if (!graph.ok()) {
+    return Status::Corruption(graph.status().message() + " in " + path);
+  }
+  idx->graph_ = std::make_shared<const Graph>(graph.MoveValue());
+  idx->kmax_ = header.kmax;
+
+  const Graph& g = *idx->graph_;
+  uint32_t recomputed_kmax = 0;
+  for (const uint32_t t : idx->truss_number_) {
+    if (t < 2) return Status::Corruption("truss number < 2 in " + path);
+    recomputed_kmax = std::max(recomputed_kmax, t);
+  }
+  if (recomputed_kmax != idx->kmax_) {
+    return Status::Corruption("kmax does not match truss numbers in " + path);
+  }
+  if (ComputeVertexKmax(g, idx->truss_number_) != idx->vertex_kmax_) {
+    return Status::Corruption("vertex kmax table inconsistent in " + path);
+  }
+
+  const uint64_t communities = header.community_count;
+  if (idx->community_vertex_offsets_.front() != 0 ||
+      idx->community_vertex_offsets_.back() !=
+          header.community_vertices_count ||
+      !std::is_sorted(idx->community_vertex_offsets_.begin(),
+                      idx->community_vertex_offsets_.end())) {
+    return Status::Corruption("bad community vertex offsets in " + path);
+  }
+  if (idx->member_offsets_.front() != 0 ||
+      idx->member_offsets_.back() != header.member_count ||
+      !std::is_sorted(idx->member_offsets_.begin(),
+                      idx->member_offsets_.end())) {
+    return Status::Corruption("bad membership offsets in " + path);
+  }
+  for (VertexId v = 0; v < vertex_count; ++v) {
+    const uint64_t chain =
+        idx->vertex_kmax_[v] >= 3 ? idx->vertex_kmax_[v] - 2 : 0;
+    if (idx->member_offsets_[v + 1] - idx->member_offsets_[v] != chain) {
+      return Status::Corruption("membership chain length mismatch in " +
+                                path);
+    }
+  }
+  for (const CommunityId m : idx->members_) {
+    if (m >= communities) {
+      return Status::Corruption("membership id out of range in " + path);
+    }
+  }
+  idx->community_info_.resize(communities);
+  for (uint64_t c = 0; c < communities; ++c) {
+    if (community_k[c] < 3 || community_k[c] > idx->kmax_) {
+      return Status::Corruption("community level out of range in " + path);
+    }
+    const uint64_t nv = idx->community_vertex_offsets_[c + 1] -
+                        idx->community_vertex_offsets_[c];
+    if (nv == 0) {
+      return Status::Corruption("empty community in " + path);
+    }
+    CommunityInfo& info = idx->community_info_[c];
+    info.k = community_k[c];
+    info.num_vertices = static_cast<uint32_t>(nv);
+    info.num_edges = community_edges[c];
+    info.density = Density(info.num_vertices, info.num_edges);
+  }
+  for (const VertexId v : idx->community_vertices_) {
+    if (v >= vertex_count) {
+      return Status::Corruption("community vertex out of range in " + path);
+    }
+  }
+
+  idx->density_order_.resize(communities);
+  for (uint64_t c = 0; c < communities; ++c) {
+    idx->density_order_[c] = static_cast<CommunityId>(c);
+  }
+  std::sort(idx->density_order_.begin(), idx->density_order_.end(),
+            [&](CommunityId a, CommunityId b) {
+              const double da = idx->community_info_[a].density;
+              const double db = idx->community_info_[b].density;
+              if (da != db) return da > db;
+              return a < b;
+            });
+  return std::shared_ptr<const TrussIndex>(std::move(idx));
+}
+
+TrussIndexStatistics TrussIndexStatistics::Compute(const TrussIndex& index) {
+  TrussIndexStatistics stats;
+  stats.num_vertices = index.graph().num_vertices();
+  stats.num_edges = index.graph().num_edges();
+  stats.kmax = index.kmax();
+  stats.num_communities = index.num_communities();
+  stats.index_bytes = index.SizeBytes();
+  for (CommunityId c = 0; c < index.num_communities(); ++c) {
+    const CommunityInfo& info = index.Community(c);
+    stats.largest_community_vertices = std::max<uint64_t>(
+        stats.largest_community_vertices, info.num_vertices);
+    stats.max_density = std::max(stats.max_density, info.density);
+  }
+  return stats;
+}
+
+void TrussIndexStatistics::Print(std::ostream& os) const {
+  os << "TrussIndex: " << num_vertices << " vertices, " << num_edges
+     << " edges, kmax " << kmax << ", " << num_communities
+     << " communities (largest " << largest_community_vertices
+     << " vertices, max density " << max_density << "), index "
+     << index_bytes << " bytes\n";
+}
+
+}  // namespace truss::serve

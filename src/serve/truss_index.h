@@ -1,0 +1,240 @@
+// TrussIndex — the read side of the truss query serving layer.
+//
+// Everything under src/truss computes a decomposition and exits; a serving
+// system needs the opposite shape: pay the decomposition once, then answer
+// point queries in microseconds, forever, from many threads at once. A
+// TrussIndex is that materialization. It is built from a Graph plus a
+// TrussDecompositionResult (and the TrussHierarchy derived from it) and
+// lays the answers out for O(1)/O(log d) lookup:
+//
+//   - edge -> truss number       (EdgeTrussNumber: CSR binary search + flat
+//                                 array)
+//   - vertex -> max k            (VertexMaxK: flat array)
+//   - (vertex, k) -> community   (CommunityAt: per-vertex membership chain,
+//                                 O(1) — a vertex's community levels are
+//                                 contiguous in k because T_k ⊇ T_{k+1})
+//   - top-t densest communities  (DensestCommunities: precomputed order)
+//
+// A TrussIndex is immutable after construction. That is the concurrency
+// story of the whole serving layer: queries against a built index need no
+// locking whatsoever, and refresh is handled one level up by swapping
+// whole indexes (serve/snapshot.h), never by mutating one in place.
+//
+// Construction follows the plan/statistics API shape of Katana's ktruss
+// analytics (SNIPPETS.md Snippet 3): an IndexBuildPlan selects how the
+// decomposition is obtained (always through the engine registry — never a
+// concrete algorithm header), and TrussIndexStatistics::Compute summarizes
+// a built index. Save/Load persist the index as a single binary file so a
+// server restart skips re-decomposition entirely.
+
+#ifndef TRUSS_SERVE_TRUSS_INDEX_H_
+#define TRUSS_SERVE_TRUSS_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "graph/graph.h"
+#include "truss/communities.h"
+#include "truss/result.h"
+
+namespace truss::serve {
+
+/// Dense id of a community within one index. Ids are assigned in
+/// (k, smallest member vertex) order and are only meaningful relative to
+/// the index (snapshot) that produced them.
+using CommunityId = uint32_t;
+inline constexpr CommunityId kInvalidCommunity =
+    std::numeric_limits<CommunityId>::max();
+
+/// Per-community summary, laid out for point queries.
+struct CommunityInfo {
+  /// Truss level of this community (>= 3).
+  uint32_t k = 0;
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  /// Edge density 2m / (n(n-1)) of the community's induced k-truss edges.
+  double density = 0.0;
+};
+
+/// How a TrussIndex obtains its decomposition: always through the engine
+/// registry, parameterized by DecomposeOptions. Modeled on Katana's
+/// KTrussPlan — not directly constructible, so there is exactly one way to
+/// configure a build.
+class IndexBuildPlan {
+ public:
+  /// The in-memory default algorithm, single-threaded.
+  static IndexBuildPlan Default() { return IndexBuildPlan({}); }
+
+  /// Fully caller-specified engine options (algorithm, threads, hooks...).
+  static IndexBuildPlan WithOptions(engine::DecomposeOptions options) {
+    return IndexBuildPlan(std::move(options));
+  }
+
+  const engine::DecomposeOptions& options() const { return options_; }
+
+ private:
+  explicit IndexBuildPlan(engine::DecomposeOptions options)
+      : options_(std::move(options)) {}
+
+  engine::DecomposeOptions options_;
+};
+
+class TrussIndex;
+
+/// Result of a plan-driven build: the index plus the engine's run stats
+/// (the snapshot layer records decompose time per published version).
+struct IndexBuildOutput {
+  std::shared_ptr<const TrussIndex> index;
+  engine::DecomposeStats decompose_stats;
+};
+
+/// Immutable truss query index over one graph snapshot. All const methods
+/// are safe to call concurrently from any number of threads with no
+/// synchronization (the object is never mutated after construction).
+class TrussIndex {
+ public:
+  /// Builds from an existing decomposition (no engine run). `r` must be
+  /// the decomposition of `*graph`; graph must be non-null.
+  static std::shared_ptr<const TrussIndex> Build(
+      std::shared_ptr<const Graph> graph, const TrussDecompositionResult& r);
+
+  /// Decomposes `*graph` through the engine registry per `plan`, then
+  /// builds. Fails if the engine run fails (bad options, cancellation).
+  static Result<IndexBuildOutput> Build(std::shared_ptr<const Graph> graph,
+                                        const IndexBuildPlan& plan);
+
+  // --- point queries (lock-free) ---------------------------------------
+
+  /// Truss number of edge {u, v}; 0 when the edge does not exist (truss
+  /// numbers of real edges are always >= 2). Out-of-range ids return 0.
+  uint32_t EdgeTrussNumber(VertexId u, VertexId v) const;
+
+  /// Largest k such that vertex v is in the k-truss: max truss number over
+  /// v's incident edges. 0 for isolated/out-of-range vertices, 2 for
+  /// vertices with edges but no triangle.
+  uint32_t VertexMaxK(VertexId v) const {
+    return v < vertex_kmax_.size() ? vertex_kmax_[v] : 0;
+  }
+
+  /// The community containing v at level k (communities at one level are
+  /// vertex-disjoint, so there is at most one); kInvalidCommunity when v
+  /// is not in any k-truss or k < 3.
+  CommunityId CommunityAt(VertexId v, uint32_t k) const {
+    if (k < 3 || v >= vertex_kmax_.size() || vertex_kmax_[v] < k) {
+      return kInvalidCommunity;
+    }
+    return members_[member_offsets_[v] + (k - 3)];
+  }
+
+  /// The community of v at its deepest level (VertexMaxK(v));
+  /// kInvalidCommunity when v is in no 3-truss.
+  CommunityId DeepestCommunity(VertexId v) const {
+    return CommunityAt(v, VertexMaxK(v));
+  }
+
+  /// v's full nested community chain: element i is the community at level
+  /// 3 + i, for i in [0, VertexMaxK(v) - 2). Empty if v is in no 3-truss.
+  std::span<const CommunityId> MembershipChain(VertexId v) const {
+    if (v >= vertex_kmax_.size()) return {};
+    return {members_.data() + member_offsets_[v],
+            members_.data() + member_offsets_[v + 1]};
+  }
+
+  /// Ids of the t densest communities, best first. Ties break towards the
+  /// smaller id, so the order is deterministic. Returns fewer than t when
+  /// the index holds fewer communities.
+  std::span<const CommunityId> DensestCommunities(uint32_t t) const {
+    const size_t n = std::min<size_t>(t, density_order_.size());
+    return {density_order_.data(), n};
+  }
+
+  /// Summary of one community. `c` must be a valid id for this index.
+  const CommunityInfo& Community(CommunityId c) const {
+    TRUSS_DCHECK_LT(c, community_info_.size());
+    return community_info_[c];
+  }
+
+  /// Sorted member vertices of one community.
+  std::span<const VertexId> CommunityVertices(CommunityId c) const {
+    TRUSS_DCHECK_LT(c, community_info_.size());
+    return {community_vertices_.data() + community_vertex_offsets_[c],
+            community_vertices_.data() + community_vertex_offsets_[c + 1]};
+  }
+
+  uint32_t kmax() const { return kmax_; }
+  uint64_t num_communities() const { return community_info_.size(); }
+  const Graph& graph() const { return *graph_; }
+  std::shared_ptr<const Graph> graph_ptr() const { return graph_; }
+  std::span<const uint32_t> truss_numbers() const { return truss_number_; }
+
+  /// Approximate heap footprint of the index structures (excluding the
+  /// shared graph).
+  uint64_t SizeBytes() const;
+
+  // --- persistence ------------------------------------------------------
+
+  /// Writes the full index (including the graph's CSR arrays) as one
+  /// binary file ("TRSI" magic + version header). A server restart loads
+  /// it back and skips re-decomposition.
+  Status Save(const std::string& path) const;
+
+  /// Reads a Save() file. Fails with IOError on unreadable files and
+  /// Corruption on bad magic/version, size mismatches, or structural
+  /// inconsistencies (the embedded graph is revalidated via
+  /// Graph::FromCsrParts; index arrays are cross-checked against it).
+  static Result<std::shared_ptr<const TrussIndex>> Load(
+      const std::string& path);
+
+ private:
+  TrussIndex() = default;
+
+  std::shared_ptr<const Graph> graph_;
+  uint32_t kmax_ = 0;
+
+  // Per-edge truss numbers, indexed by EdgeId (copy of the decomposition).
+  std::vector<uint32_t> truss_number_;
+  // Per-vertex max truss level over incident edges.
+  std::vector<uint32_t> vertex_kmax_;
+
+  // Community summaries indexed by CommunityId, ordered by (k, smallest
+  // member vertex).
+  std::vector<CommunityInfo> community_info_;
+  // CSR of sorted member vertices per community.
+  std::vector<uint64_t> community_vertex_offsets_;  // size communities + 1
+  std::vector<VertexId> community_vertices_;
+  // CSR of per-vertex membership chains: vertex v's slice holds its
+  // community at levels 3..vertex_kmax_[v], in ascending k.
+  std::vector<uint64_t> member_offsets_;  // size n + 1
+  std::vector<CommunityId> members_;
+  // All community ids ordered by descending density (ties: ascending id).
+  std::vector<CommunityId> density_order_;
+};
+
+/// Human-facing summary of a built index, in the shape of Katana's
+/// KTrussStatistics.
+struct TrussIndexStatistics {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t kmax = 0;
+  uint64_t num_communities = 0;
+  uint64_t largest_community_vertices = 0;
+  double max_density = 0.0;
+  uint64_t index_bytes = 0;
+
+  static TrussIndexStatistics Compute(const TrussIndex& index);
+
+  /// Prints the statistics in a human readable form.
+  void Print(std::ostream& os) const;
+};
+
+}  // namespace truss::serve
+
+#endif  // TRUSS_SERVE_TRUSS_INDEX_H_

@@ -32,20 +32,21 @@ class UnionFind {
 
 }  // namespace
 
-std::vector<const TrussCommunity*> TrussHierarchy::AtLevel(uint32_t k) const {
-  std::vector<const TrussCommunity*> out;
-  for (const TrussCommunity& c : communities) {
-    if (c.k == k) out.push_back(&c);
+std::vector<uint32_t> TrussHierarchy::AtLevel(uint32_t k) const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < communities.size(); ++i) {
+    if (communities[i].k == k) out.push_back(static_cast<uint32_t>(i));
   }
   return out;
 }
 
-const TrussCommunity* TrussHierarchy::DeepestCommunityOf(VertexId v) const {
-  const TrussCommunity* best = nullptr;
-  for (const TrussCommunity& c : communities) {
-    if ((best == nullptr || c.k > best->k) &&
+uint32_t TrussHierarchy::DeepestCommunityOf(VertexId v) const {
+  uint32_t best = kNoCommunity;
+  for (size_t i = 0; i < communities.size(); ++i) {
+    const TrussCommunity& c = communities[i];
+    if ((best == kNoCommunity || c.k > communities[best].k) &&
         std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
-      best = &c;
+      best = static_cast<uint32_t>(i);
     }
   }
   return best;

@@ -12,6 +12,7 @@
 #define TRUSS_TRUSS_COMMUNITIES_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "graph/graph.h"
@@ -26,17 +27,26 @@ struct TrussCommunity {
   uint64_t edges = 0;
 };
 
+/// Sentinel returned by lookups that find no community.
+inline constexpr uint32_t kNoCommunity = std::numeric_limits<uint32_t>::max();
+
 /// The communities of every level 3..kmax.
+///
+/// Lookups return indices into `communities` rather than pointers: an index
+/// stays valid when the hierarchy is copied or moved, which matters to
+/// consumers (the serving layer's TrussIndex) that hold lookup results
+/// across snapshot lifetimes where a raw pointer would dangle.
 struct TrussHierarchy {
   /// All communities, ordered by (k, smallest member vertex).
   std::vector<TrussCommunity> communities;
 
-  /// Communities of one level.
-  std::vector<const TrussCommunity*> AtLevel(uint32_t k) const;
+  /// Indices into `communities` of the level-k communities, in storage
+  /// order (ascending smallest member vertex).
+  std::vector<uint32_t> AtLevel(uint32_t k) const;
 
-  /// The largest k whose truss contains vertex v, and the community there.
-  /// Returns nullptr if v is in no 3-truss.
-  const TrussCommunity* DeepestCommunityOf(VertexId v) const;
+  /// Index of the community at the largest k whose truss contains vertex v;
+  /// kNoCommunity if v is in no 3-truss.
+  uint32_t DeepestCommunityOf(VertexId v) const;
 };
 
 /// Builds the full hierarchy from a decomposition. O(Σ_k |T_k|) time.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine.h"
 #include "gen/fixtures.h"
 #include "gen/generators.h"
 #include "truss/improved.h"
@@ -46,18 +47,38 @@ TEST(CommunitiesTest, Figure2Hierarchy) {
   EXPECT_EQ(h.AtLevel(3).size(), 1u);
   ASSERT_EQ(h.AtLevel(4).size(), 2u);
   EXPECT_EQ(h.AtLevel(5).size(), 1u);
-  EXPECT_EQ(h.AtLevel(5)[0]->vertices.size(), 5u);  // clique {a..e}
-  EXPECT_EQ(h.AtLevel(4)[0]->edges, 10u);           // K5 component
-  EXPECT_EQ(h.AtLevel(4)[1]->edges, 6u);            // K4 component
+  EXPECT_EQ(h.communities[h.AtLevel(5)[0]].vertices.size(),
+            5u);                                          // clique {a..e}
+  EXPECT_EQ(h.communities[h.AtLevel(4)[0]].edges, 10u);   // K5 component
+  EXPECT_EQ(h.communities[h.AtLevel(4)[1]].edges, 6u);    // K4 component
 
   // Vertex a (id 0) bottoms out in the 5-truss.
-  const TrussCommunity* deepest = h.DeepestCommunityOf(0);
-  ASSERT_NE(deepest, nullptr);
-  EXPECT_EQ(deepest->k, 5u);
+  uint32_t deepest = h.DeepestCommunityOf(0);
+  ASSERT_NE(deepest, kNoCommunity);
+  EXPECT_EQ(h.communities[deepest].k, 5u);
   // Vertex k (id 10) only reaches the 3-truss.
   deepest = h.DeepestCommunityOf(10);
-  ASSERT_NE(deepest, nullptr);
-  EXPECT_EQ(deepest->k, 3u);
+  ASSERT_NE(deepest, kNoCommunity);
+  EXPECT_EQ(h.communities[deepest].k, 3u);
+  // Vertex ids beyond the graph are in no community.
+  EXPECT_EQ(h.DeepestCommunityOf(1000), kNoCommunity);
+}
+
+TEST(CommunitiesTest, IndicesSurviveCopyAndMove) {
+  // The reason AtLevel/DeepestCommunityOf return indices, not pointers: a
+  // lookup result must stay valid across copies/moves of the hierarchy
+  // (the serving layer holds them across snapshot lifetimes).
+  const gen::Figure2Fixture fx = gen::Figure2Graph();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(fx.graph);
+  TrussHierarchy h = BuildTrussHierarchy(fx.graph, r);
+
+  const uint32_t deepest = h.DeepestCommunityOf(0);
+  ASSERT_NE(deepest, kNoCommunity);
+  const TrussHierarchy copy = h;
+  const TrussHierarchy moved = std::move(h);
+  EXPECT_EQ(copy.communities[deepest].k, 5u);
+  EXPECT_EQ(moved.communities[deepest].k, 5u);
+  EXPECT_EQ(copy.DeepestCommunityOf(0), deepest);
 }
 
 TEST(CommunitiesTest, NestingInvariant) {
@@ -70,8 +91,9 @@ TEST(CommunitiesTest, NestingInvariant) {
   for (const TrussCommunity& child : h.communities) {
     if (child.k <= 3) continue;
     bool contained = false;
-    for (const auto* parent : h.AtLevel(child.k - 1)) {
-      if (std::includes(parent->vertices.begin(), parent->vertices.end(),
+    for (const uint32_t parent_id : h.AtLevel(child.k - 1)) {
+      const TrussCommunity& parent = h.communities[parent_id];
+      if (std::includes(parent.vertices.begin(), parent.vertices.end(),
                         child.vertices.begin(), child.vertices.end())) {
         contained = true;
         break;
@@ -104,6 +126,56 @@ TEST(CommunitiesTest, IsolatedVerticesNeverAppear) {
   const auto communities = KTrussCommunities(g, r, 3);
   ASSERT_EQ(communities.size(), 1u);
   EXPECT_EQ(communities[0].vertices, (std::vector<VertexId>{0, 1, 2}));
+}
+
+bool SameCommunities(const std::vector<TrussCommunity>& a,
+                     const std::vector<TrussCommunity>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].k != b[i].k || a[i].edges != b[i].edges ||
+        a[i].vertices != b[i].vertices) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Equivalence sweep: the community structure is a function of the
+// decomposition alone, so every registry algorithm — at every thread
+// count — must yield an identical TrussHierarchy and identical per-level
+// KTrussCommunities. This is the contract the serving layer's TrussIndex
+// relies on when a background rebuild switches algorithms.
+TEST(CommunitiesTest, HierarchyIdenticalAcrossRegistryAlgorithms) {
+  const std::vector<Graph> graphs = {
+      gen::Figure2Graph().graph,
+      gen::PlantClique(gen::PlantedCommunities(8, 8, 0.8, 77, 3), 9, 4),
+      gen::ErdosRenyiGnm(80, 400, 11),
+  };
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    const TrussDecompositionResult baseline = ImprovedTrussDecomposition(g);
+    const TrussHierarchy expected = BuildTrussHierarchy(g, baseline);
+    for (const engine::AlgorithmInfo& info : engine::Engine::Algorithms()) {
+      for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+        engine::DecomposeOptions options;
+        options.algorithm = info.id;
+        options.threads = threads;
+        auto out = engine::Engine::Decompose(g, options);
+        ASSERT_TRUE(out.ok()) << info.name << " t=" << threads << ": "
+                              << out.status().ToString();
+        const TrussHierarchy h = BuildTrussHierarchy(g, out.value().result);
+        EXPECT_TRUE(SameCommunities(expected.communities, h.communities))
+            << "graph " << gi << ", algo " << info.name << ", t=" << threads;
+        for (uint32_t k = 3; k <= baseline.kmax; ++k) {
+          EXPECT_TRUE(SameCommunities(KTrussCommunities(g, baseline, k),
+                                      KTrussCommunities(g, out.value().result,
+                                                        k)))
+              << "graph " << gi << ", algo " << info.name << ", t=" << threads
+              << ", k=" << k;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

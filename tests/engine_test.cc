@@ -425,6 +425,43 @@ TEST_F(EngineSnapFileTest, InvalidOptionsFailBeforeIngestion) {
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- LoadGraphFile: format sniffing ------------------------------------
+
+TEST_F(EngineSnapFileTest, LoadGraphFileReadsTextAndBinaryIdentically) {
+  const Graph g = gen::PlantClique(gen::ErdosRenyiGnm(40, 150, 9), 6, 3);
+  const std::string text_path = WriteFixture(g);
+  const std::string binary_path = (dir_ / "graph.trsb").string();
+  ASSERT_TRUE(g.SaveBinary(binary_path).ok());
+
+  auto from_text = Engine::LoadGraphFile(text_path);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  auto from_binary = Engine::LoadGraphFile(binary_path);
+  ASSERT_TRUE(from_binary.ok()) << from_binary.status().ToString();
+
+  // The binary path must reproduce the graph exactly, with an identity
+  // original_id mapping (TRSB files carry compact ids already). The text
+  // path re-interns labels by first appearance (and never sees isolated
+  // vertices), so only the edge count is directly comparable.
+  const Graph& bg = from_binary.value().graph;
+  ASSERT_EQ(bg.num_vertices(), g.num_vertices());
+  ASSERT_EQ(bg.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(bg.edges()[e].u, g.edges()[e].u);
+    ASSERT_EQ(bg.edges()[e].v, g.edges()[e].v);
+  }
+  ASSERT_EQ(from_binary.value().original_id.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(from_binary.value().original_id[v], v);
+  }
+  EXPECT_EQ(from_text.value().graph.num_edges(), g.num_edges());
+}
+
+TEST_F(EngineSnapFileTest, LoadGraphFileMissingFileIsIOError) {
+  auto out = Engine::LoadGraphFile((dir_ / "absent.trsb").string());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kIOError);
+}
+
 // --- hooks: progress + cancellation ------------------------------------
 
 TEST(EngineHooksTest, CancelBeforeStartReturnsCancelled) {

@@ -88,6 +88,9 @@ class FixtureTreeTest(unittest.TestCase):
             "bare-assert": (
                 "src/graph/bad_assert.cc",
                 "#include <cassert>\n"),
+            "annotated-mutex": (
+                "src/serve/bad_mutex.cc",
+                "#include <mutex>\nstd::mutex registry_mu;\n"),
         }
         for relpath, content in planted.values():
             write(self.root, relpath, content)
@@ -104,6 +107,28 @@ class FixtureTreeTest(unittest.TestCase):
         write(self.root, "tests/improved_test.cc",
               '#include "truss/improved.h"\n')
         self.assertEqual(run_linter(self.root), [])
+
+    def test_serve_layer_must_dispatch_through_registry(self):
+        write(self.root, "src/serve/bad_rebuild.cc",
+              '#include "truss/parallel_peel.h"\n')
+        violations = run_linter(self.root)
+        self.assertEqual(rules_of(violations), ["registry-dispatch"])
+        self.assertIn("src/serve/bad_rebuild.cc", violations[0])
+
+    def test_annotated_mutex_rule_scope(self):
+        # The annotated shim itself wraps std::mutex; everywhere else in
+        # src/ must use it. Tests and benches are out of scope.
+        write(self.root, "src/common/mutex.h",
+              "#include <mutex>\nclass Mutex { std::mutex mu_; };\n")
+        write(self.root, "tests/some_test.cc",
+              "#include <mutex>\nstd::mutex test_mu;\n")
+        self.assertEqual(run_linter(self.root), [])
+        write(self.root, "src/serve/bad_condvar.cc",
+              "#include <condition_variable>\n"
+              "std::condition_variable cv;\n")
+        violations = run_linter(self.root)
+        self.assertEqual(rules_of(violations), ["annotated-mutex"])
+        self.assertIn("src/serve/bad_condvar.cc", violations[0])
 
     def test_rand_time_allowed_outside_src(self):
         write(self.root, "bench/bench_uses_time.cc",

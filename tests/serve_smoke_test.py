@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the truss_server binary.
+
+Runs as a CTest case (examples.truss_server.smoke): starts the server on an
+ephemeral port against a bundled edge-list fixture, speaks the line
+protocol over a real TCP socket — every query type plus a REBUILD swap —
+then sends SIGTERM and asserts a clean shutdown with METRIC reporting.
+
+Usage: serve_smoke_test.py <truss_server-binary> <edge-list-fixture>
+"""
+
+import re
+import signal
+import socket
+import subprocess
+import sys
+
+
+def fail(msg, server=None):
+    if server is not None:
+        server.kill()
+        out, _ = server.communicate(timeout=10)
+        sys.stderr.write("--- server output ---\n" + out)
+    sys.stderr.write("FAIL: %s\n" % msg)
+    sys.exit(1)
+
+
+def expect(line, pattern, server):
+    if re.fullmatch(pattern, line) is None:
+        fail("response %r does not match %r" % (line, pattern), server)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: serve_smoke_test.py <truss_server> <fixture>")
+    binary, fixture = sys.argv[1], sys.argv[2]
+
+    server = subprocess.Popen(
+        [binary, "--input", fixture, "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+    # The SERVING line is printed (and flushed) once the socket is bound.
+    serving = server.stdout.readline()
+    match = re.search(r"\bport=(\d+)\b", serving)
+    if match is None:
+        fail("no SERVING port= line, got %r" % serving, server)
+    port = int(match.group(1))
+
+    conn = socket.create_connection(("127.0.0.1", port), timeout=10)
+    reader = conn.makefile("r", encoding="ascii", newline="\n")
+
+    def ask(query):
+        conn.sendall((query + "\n").encode("ascii"))
+        return reader.readline().rstrip("\n")
+
+    # two_triangles.txt: triangles {0,1,2} and {1,2,3} sharing edge (1,2),
+    # plus pendant vertex 4. The 3-truss is one community {0,1,2,3} with 5
+    # edges; edge (3,4) stays in the 2-class.
+    expect(ask("PING"), r"OK PONG", server)
+    expect(ask("TRUSS 0 1"), r"OK TRUSS 3", server)
+    expect(ask("TRUSS 3 4"), r"OK TRUSS 2", server)  # pendant edge
+    expect(ask("TRUSS 0 3"), r"OK TRUSS 0", server)  # not an edge
+    expect(ask("MAXK 2"), r"OK MAXK k=3 community=\d+ size=4", server)
+    expect(ask("MAXK 4"), r"OK MAXK k=2 community=none", server)
+    expect(ask("COMM 0 3"), r"OK COMM id=\d+ k=3 vertices=4 edges=5 .*",
+           server)
+    expect(ask("COMM 0 4"), r"ERR NOT_FOUND .*", server)
+    expect(ask("TOP 5"), r"OK TOP 1 \d+:3:4:[0-9.]+", server)
+    expect(ask("MEMBERS 0"), r"OK MEMBERS 4 0 1 2 3", server)
+    expect(ask("VERSION"), r"OK VERSION 1", server)
+    expect(ask("REBUILD parallel"),
+           r"OK REBUILD version=2 seconds=[0-9.]+", server)
+    expect(ask("VERSION"), r"OK VERSION 2", server)
+    expect(ask("TRUSS 0 1"), r"OK TRUSS 3", server)  # same answer post-swap
+    expect(ask("NONSENSE"), r"ERR BAD_REQUEST .*", server)
+    expect(ask("STATS"), r"OK STATS version=2 .*kmax=3.*", server)
+    expect(ask("QUIT"), r"OK BYE", server)
+    if reader.readline() != "":
+        fail("connection not closed after QUIT", server)
+    conn.close()
+
+    server.send_signal(signal.SIGTERM)
+    try:
+        out, _ = server.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        fail("server did not shut down on SIGTERM", server)
+    if server.returncode != 0:
+        fail("server exited %d\n%s" % (server.returncode, out))
+    for metric in ("serve_connections", "serve_queries", "serve_rebuilds",
+                   "serve_final_version"):
+        if not re.search(r"^METRIC %s \d+$" % metric, out, re.MULTILINE):
+            fail("missing METRIC %s in shutdown output:\n%s" % (metric, out))
+
+    print("serve smoke test passed")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

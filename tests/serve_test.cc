@@ -1,0 +1,575 @@
+// Tests for the serving layer: TrussIndex point queries and persistence,
+// SnapshotRegistry atomic swaps under concurrent readers (the TSan
+// target), SnapshotRebuilder's single-flight guard, and TrussServer's
+// protocol — both HandleLine in-process and a real socket round trip.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sched.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "truss/communities.h"
+#include "truss/improved.h"
+
+namespace truss::serve {
+namespace {
+
+std::shared_ptr<const Graph> Figure2() {
+  return std::make_shared<Graph>(gen::Figure2Graph().graph);
+}
+
+std::shared_ptr<const TrussIndex> BuildIndex(
+    std::shared_ptr<const Graph> graph) {
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  return TrussIndex::Build(std::move(graph), r);
+}
+
+// ---------------------------------------------------------------------------
+// TrussIndex queries
+// ---------------------------------------------------------------------------
+
+TEST(TrussIndexTest, EdgeTrussNumbersMatchDecomposition) {
+  auto graph = Figure2();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  auto index = TrussIndex::Build(graph, r);
+
+  ASSERT_EQ(index->kmax(), r.kmax);
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    const Edge edge = graph->edges()[e];
+    EXPECT_EQ(index->EdgeTrussNumber(edge.u, edge.v), r.truss_number[e]);
+    EXPECT_EQ(index->EdgeTrussNumber(edge.v, edge.u), r.truss_number[e]);
+  }
+  // Non-edges and out-of-range ids answer 0, never crash.
+  EXPECT_EQ(index->EdgeTrussNumber(0, 0), 0u);
+  EXPECT_EQ(index->EdgeTrussNumber(0, 10'000), 0u);
+  EXPECT_EQ(index->EdgeTrussNumber(10'000, 10'001), 0u);
+}
+
+TEST(TrussIndexTest, VertexMaxKMatchesIncidentEdges) {
+  auto graph = Figure2();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  auto index = TrussIndex::Build(graph, r);
+
+  std::vector<uint32_t> expected(graph->num_vertices(), 0);
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    const Edge edge = graph->edges()[e];
+    expected[edge.u] = std::max(expected[edge.u], r.truss_number[e]);
+    expected[edge.v] = std::max(expected[edge.v], r.truss_number[e]);
+  }
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    EXPECT_EQ(index->VertexMaxK(v), expected[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(index->VertexMaxK(10'000), 0u);
+}
+
+TEST(TrussIndexTest, CommunityChainsMatchHierarchy) {
+  auto graph = Figure2();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  const TrussHierarchy h = BuildTrussHierarchy(*graph, r);
+  auto index = TrussIndex::Build(graph, r);
+
+  ASSERT_EQ(index->num_communities(), h.communities.size());
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    const uint32_t vmax = index->VertexMaxK(v);
+    const auto chain = index->MembershipChain(v);
+    ASSERT_EQ(chain.size(), vmax >= 3 ? vmax - 2 : 0) << "vertex " << v;
+    for (uint32_t k = 3; k <= vmax; ++k) {
+      const CommunityId c = index->CommunityAt(v, k);
+      ASSERT_NE(c, kInvalidCommunity) << "v=" << v << " k=" << k;
+      EXPECT_EQ(chain[k - 3], c);
+      const CommunityInfo& info = index->Community(c);
+      EXPECT_EQ(info.k, k);
+      // The community's member list must contain v (members are sorted).
+      const auto members = index->CommunityVertices(c);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), v));
+    }
+    // Above the vertex's max level there is no community.
+    EXPECT_EQ(index->CommunityAt(v, vmax + 1), kInvalidCommunity);
+    EXPECT_EQ(index->CommunityAt(v, 2), kInvalidCommunity);
+    // DeepestCommunity agrees with the chain's last element.
+    if (vmax >= 3) {
+      EXPECT_EQ(index->DeepestCommunity(v), chain.back());
+    } else {
+      EXPECT_EQ(index->DeepestCommunity(v), kInvalidCommunity);
+    }
+  }
+  EXPECT_EQ(index->CommunityAt(10'000, 3), kInvalidCommunity);
+  EXPECT_TRUE(index->MembershipChain(10'000).empty());
+}
+
+TEST(TrussIndexTest, CommunitySummariesMatchHierarchy) {
+  auto graph = std::make_shared<Graph>(
+      gen::PlantClique(gen::PlantedCommunities(8, 8, 0.8, 77, 3), 9, 4));
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  const TrussHierarchy h = BuildTrussHierarchy(*graph, r);
+  auto index = TrussIndex::Build(graph, r);
+
+  ASSERT_EQ(index->num_communities(), h.communities.size());
+  // Each hierarchy community must appear in the index at the same level
+  // with the same vertex set and edge count (ids may be permuted).
+  for (const auto& hc : h.communities) {
+    ASSERT_FALSE(hc.vertices.empty());
+    const CommunityId c = index->CommunityAt(hc.vertices[0], hc.k);
+    ASSERT_NE(c, kInvalidCommunity);
+    const CommunityInfo& info = index->Community(c);
+    EXPECT_EQ(info.k, hc.k);
+    EXPECT_EQ(info.num_edges, hc.edges);
+    const auto members = index->CommunityVertices(c);
+    ASSERT_EQ(members.size(), hc.vertices.size());
+    EXPECT_TRUE(std::equal(members.begin(), members.end(),
+                           hc.vertices.begin()));
+    EXPECT_EQ(info.num_vertices, hc.vertices.size());
+  }
+}
+
+TEST(TrussIndexTest, DensestCommunitiesAreSortedAndDeterministic) {
+  auto graph = std::make_shared<Graph>(gen::ErdosRenyiGnm(80, 400, 11));
+  auto index = BuildIndex(graph);
+
+  const auto all = index->DensestCommunities(
+      static_cast<uint32_t>(index->num_communities()) + 10);
+  EXPECT_EQ(all.size(), index->num_communities());
+  for (size_t i = 1; i < all.size(); ++i) {
+    const double prev = index->Community(all[i - 1]).density;
+    const double cur = index->Community(all[i]).density;
+    EXPECT_TRUE(prev > cur || (prev == cur && all[i - 1] < all[i]))
+        << "order violated at " << i;
+  }
+  // A prefix query returns exactly the head of the full order.
+  const auto top2 = index->DensestCommunities(2);
+  ASSERT_LE(top2.size(), 2u);
+  for (size_t i = 0; i < top2.size(); ++i) EXPECT_EQ(top2[i], all[i]);
+}
+
+TEST(TrussIndexTest, PlanBuildMatchesResultBuildAcrossAlgorithms) {
+  auto graph = std::make_shared<Graph>(
+      gen::PlantClique(gen::ErdosRenyiGnm(60, 240, 5), 7, 6));
+  auto baseline = BuildIndex(graph);
+
+  for (const engine::AlgorithmInfo& info : engine::Engine::Algorithms()) {
+    engine::DecomposeOptions options;
+    options.algorithm = info.id;
+    options.threads = info.id == engine::Algorithm::kParallel ? 4 : 1;
+    auto built =
+        TrussIndex::Build(graph, IndexBuildPlan::WithOptions(options));
+    ASSERT_TRUE(built.ok()) << info.name << ": "
+                            << built.status().ToString();
+    const TrussIndex& index = *built.value().index;
+    ASSERT_EQ(index.kmax(), baseline->kmax()) << info.name;
+    ASSERT_EQ(index.num_communities(), baseline->num_communities())
+        << info.name;
+    for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+      const Edge edge = graph->edges()[e];
+      ASSERT_EQ(index.EdgeTrussNumber(edge.u, edge.v),
+                baseline->EdgeTrussNumber(edge.u, edge.v))
+          << info.name << " edge " << e;
+    }
+    for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+      ASSERT_EQ(index.VertexMaxK(v), baseline->VertexMaxK(v))
+          << info.name << " vertex " << v;
+    }
+  }
+}
+
+TEST(TrussIndexTest, PlanBuildRejectsTopT) {
+  auto graph = Figure2();
+  engine::DecomposeOptions options;
+  options.algorithm = engine::Algorithm::kTopDown;
+  options.top_t = 2;
+  auto built = TrussIndex::Build(graph, IndexBuildPlan::WithOptions(options));
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// TrussIndex persistence
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TrussIndexPersistenceTest, SaveLoadRoundTrip) {
+  auto graph = std::make_shared<Graph>(
+      gen::PlantClique(gen::PlantedCommunities(6, 7, 0.7, 31, 2), 8, 9));
+  auto index = BuildIndex(graph);
+  const std::string path = TempPath("roundtrip.trsi");
+  ASSERT_TRUE(index->Save(path).ok());
+
+  auto loaded = TrussIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TrussIndex& a = *index;
+  const TrussIndex& b = *loaded.value();
+
+  ASSERT_EQ(b.kmax(), a.kmax());
+  ASSERT_EQ(b.num_communities(), a.num_communities());
+  ASSERT_EQ(b.graph().num_vertices(), a.graph().num_vertices());
+  ASSERT_EQ(b.graph().num_edges(), a.graph().num_edges());
+  for (EdgeId e = 0; e < a.graph().num_edges(); ++e) {
+    const Edge edge = a.graph().edges()[e];
+    ASSERT_EQ(b.EdgeTrussNumber(edge.u, edge.v),
+              a.EdgeTrussNumber(edge.u, edge.v));
+  }
+  for (VertexId v = 0; v < a.graph().num_vertices(); ++v) {
+    ASSERT_EQ(b.VertexMaxK(v), a.VertexMaxK(v));
+    const auto ca = a.MembershipChain(v);
+    const auto cb = b.MembershipChain(v);
+    ASSERT_EQ(cb.size(), ca.size());
+    for (size_t i = 0; i < ca.size(); ++i) ASSERT_EQ(cb[i], ca[i]);
+  }
+  for (CommunityId c = 0; c < a.num_communities(); ++c) {
+    ASSERT_EQ(b.Community(c).k, a.Community(c).k);
+    ASSERT_EQ(b.Community(c).num_vertices, a.Community(c).num_vertices);
+    ASSERT_EQ(b.Community(c).num_edges, a.Community(c).num_edges);
+  }
+  const auto ta = a.DensestCommunities(16);
+  const auto tb = b.DensestCommunities(16);
+  ASSERT_EQ(tb.size(), ta.size());
+  for (size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(tb[i], ta[i]);
+}
+
+TEST(TrussIndexPersistenceTest, LoadRejectsMissingAndCorruptFiles) {
+  EXPECT_EQ(TrussIndex::Load(TempPath("nope.trsi")).status().code(),
+            StatusCode::kIOError);
+
+  auto index = BuildIndex(Figure2());
+  const std::string path = TempPath("corrupt.trsi");
+  ASSERT_TRUE(index->Save(path).ok());
+
+  {  // Bad magic.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const uint32_t bad = 0xdeadbeef;
+    ASSERT_EQ(std::fwrite(&bad, sizeof(bad), 1, f), 1u);
+    std::fclose(f);
+    EXPECT_EQ(TrussIndex::Load(path).status().code(),
+              StatusCode::kCorruption);
+  }
+
+  ASSERT_TRUE(index->Save(path).ok());
+  {  // Truncation.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+    EXPECT_EQ(TrussIndex::Load(path).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRegistry + SnapshotRebuilder
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRegistryTest, EmptySentinelThenMonotonicVersions) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.current_version(), 0u);
+  EXPECT_EQ(registry.Current().index, nullptr);
+
+  auto index = BuildIndex(Figure2());
+  EXPECT_EQ(registry.Publish(index, "first", 0.5), 1u);
+  EXPECT_EQ(registry.Publish(index, "second", 0.25), 2u);
+  const ServingSnapshot snap = registry.Current();
+  EXPECT_EQ(snap.version, 2u);
+  EXPECT_EQ(snap.description, "second");
+  EXPECT_EQ(snap.index, index);
+}
+
+// The TSan target: readers hammer Current() and query the index while a
+// publisher swaps fresh snapshots in. Asserts per-reader version
+// monotonicity and that every observed snapshot answers queries
+// consistently (an in-flight swap must never expose a torn index).
+TEST(SnapshotRegistryTest, ConcurrentReadersDuringSwap) {
+  auto graph = Figure2();
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  auto index = TrussIndex::Build(graph, r);
+  const uint32_t expected_kmax = index->kmax();
+
+  SnapshotRegistry registry;
+  registry.Publish(index, "seed", 0.0);
+
+  constexpr uint32_t kReaders = 3;
+  constexpr uint32_t kPublishes = 50;
+  constexpr uint32_t kReadsPerReader = 2000;
+  std::atomic<uint32_t> torn{0};
+
+  RunShards(kReaders + 1, [&](uint32_t shard) {
+    if (shard == 0) {
+      for (uint32_t i = 0; i < kPublishes; ++i) {
+        // Each publish builds a brand-new index object so old snapshots
+        // really are freed under the readers' feet when refcounts drop.
+        registry.Publish(TrussIndex::Build(graph, r), std::to_string(i),
+                         0.0);
+        sched_yield();
+      }
+      return;
+    }
+    uint64_t last_version = 0;
+    for (uint32_t i = 0; i < kReadsPerReader; ++i) {
+      const ServingSnapshot snap = registry.Current();
+      if (snap.index == nullptr || snap.version < last_version ||
+          snap.index->kmax() != expected_kmax ||
+          snap.index->VertexMaxK(0) != 5 ||
+          snap.index->CommunityAt(0, 3) == kInvalidCommunity) {
+        torn.fetch_add(1);
+      }
+      last_version = snap.version;
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(registry.current_version(), kPublishes + 1);
+}
+
+TEST(SnapshotRebuilderTest, RebuildPublishesNextVersion) {
+  auto graph = Figure2();
+  SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  SnapshotRebuilder rebuilder(graph, &registry);
+  EXPECT_FALSE(rebuilder.InFlight());
+  engine::DecomposeOptions options;
+  options.algorithm = engine::Algorithm::kParallel;
+  options.threads = 2;
+  auto outcome = rebuilder.RebuildAndPublish(options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().version, 2u);
+  EXPECT_FALSE(rebuilder.InFlight());
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(registry.Current().description, "algo=parallel threads=2");
+}
+
+TEST(SnapshotRebuilderTest, ConcurrentRebuildReturnsBusy) {
+  auto graph = Figure2();
+  SnapshotRegistry registry;
+  SnapshotRebuilder rebuilder(graph, &registry);
+
+  // The progress hook fires on the rebuild thread at the start of the
+  // decomposition; parking there holds in_flight long enough for the
+  // second shard to observe it deterministically.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  engine::DecomposeOptions slow;
+  slow.hooks.progress = [&](const ProgressEvent&) {
+    started.store(true);
+    while (!release.load()) sched_yield();
+  };
+
+  Result<RebuildOutcome> first = Status::Internal("unset");
+  Result<RebuildOutcome> second = Status::Internal("unset");
+  RunShards(2, [&](uint32_t shard) {
+    if (shard == 0) {
+      first = rebuilder.RebuildAndPublish(slow);
+    } else {
+      while (!started.load()) sched_yield();
+      EXPECT_TRUE(rebuilder.InFlight());
+      second = rebuilder.RebuildAndPublish(engine::DecomposeOptions{});
+      release.store(true);
+    }
+  });
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().version, 1u);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(rebuilder.InFlight());
+}
+
+// ---------------------------------------------------------------------------
+// TrussServer: protocol unit tests through HandleLine (no sockets)
+// ---------------------------------------------------------------------------
+
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  ServerProtocolTest()
+      : graph_(Figure2()), server_(graph_, &registry_, ServerOptions{}) {}
+
+  void PublishSeed() { registry_.Publish(BuildIndex(graph_), "seed", 0.0); }
+
+  std::shared_ptr<const Graph> graph_;
+  SnapshotRegistry registry_;
+  TrussServer server_;
+};
+
+TEST_F(ServerProtocolTest, UnavailableBeforeFirstPublish) {
+  EXPECT_EQ(server_.HandleLine("TRUSS 0 1"),
+            "ERR UNAVAILABLE no snapshot published");
+  EXPECT_EQ(server_.HandleLine("VERSION"), "OK VERSION 0");
+  EXPECT_EQ(server_.HandleLine("PING"), "OK PONG");
+}
+
+TEST_F(ServerProtocolTest, AnswersEveryQueryType) {
+  PublishSeed();
+  // Figure 2: vertices a..e (0..4) form a 5-truss clique; edge {a,b} has
+  // truss number 5; vertex k (10) only reaches the 3-truss.
+  EXPECT_EQ(server_.HandleLine("TRUSS 0 1"), "OK TRUSS 5");
+  EXPECT_EQ(server_.HandleLine("TRUSS 0 999"), "OK TRUSS 0");
+  EXPECT_EQ(server_.HandleLine("MAXK 10"),
+            "OK MAXK k=3 community=0 size=12");
+  EXPECT_EQ(server_.HandleLine("VERSION"), "OK VERSION 1");
+  EXPECT_EQ(server_.HandleLine("QUIT"), "OK BYE");
+
+  const std::string comm = server_.HandleLine("COMM 0 5");
+  EXPECT_TRUE(comm.rfind("OK COMM id=", 0) == 0) << comm;
+  EXPECT_NE(comm.find(" k=5 vertices=5 "), std::string::npos) << comm;
+
+  const std::string top = server_.HandleLine("TOP 3");
+  EXPECT_TRUE(top.rfind("OK TOP 3 ", 0) == 0) << top;
+
+  const std::string members = server_.HandleLine("MEMBERS 0");
+  EXPECT_TRUE(members.rfind("OK MEMBERS 12 ", 0) == 0) << members;
+
+  const std::string stats = server_.HandleLine("STATS");
+  EXPECT_TRUE(stats.rfind("OK STATS version=1 ", 0) == 0) << stats;
+  EXPECT_NE(stats.find("kmax=5"), std::string::npos) << stats;
+}
+
+TEST_F(ServerProtocolTest, RejectsMalformedRequests) {
+  PublishSeed();
+  EXPECT_EQ(server_.HandleLine("TRUSS 0"),
+            "ERR BAD_REQUEST usage: TRUSS <u> <v>");
+  EXPECT_EQ(server_.HandleLine("TRUSS a b"),
+            "ERR BAD_REQUEST usage: TRUSS <u> <v>");
+  EXPECT_EQ(server_.HandleLine("MAXK -3"),
+            "ERR BAD_REQUEST usage: MAXK <v>");
+  EXPECT_EQ(server_.HandleLine("TOP 0"),
+            "ERR BAD_REQUEST usage: TOP <t>  (t >= 1)");
+  EXPECT_EQ(server_.HandleLine("COMM 10 5"),
+            "ERR NOT_FOUND vertex 10 is in no 5-truss");
+  EXPECT_EQ(server_.HandleLine("MEMBERS 999"),
+            "ERR NOT_FOUND no community 999");
+  EXPECT_EQ(server_.HandleLine("FROB"),
+            "ERR BAD_REQUEST unknown command 'FROB'");
+  EXPECT_EQ(server_.HandleLine("REBUILD nope"),
+            "ERR BAD_REQUEST unknown algorithm 'nope'");
+  EXPECT_EQ(server_.HandleLine(""), "");
+
+  const ServerStats stats = server_.stats();
+  EXPECT_EQ(stats.errors, 8u);
+  EXPECT_EQ(stats.queries, 8u);  // blank line is not a query
+}
+
+TEST_F(ServerProtocolTest, RebuildSwapsVersionForLiveSnapshots) {
+  PublishSeed();
+  const std::string rebuilt = server_.HandleLine("REBUILD parallel");
+  EXPECT_TRUE(rebuilt.rfind("OK REBUILD version=2 ", 0) == 0) << rebuilt;
+  EXPECT_EQ(server_.HandleLine("VERSION"), "OK VERSION 2");
+  // The answers survive the swap byte-for-byte.
+  EXPECT_EQ(server_.HandleLine("TRUSS 0 1"), "OK TRUSS 5");
+  EXPECT_EQ(server_.stats().rebuilds, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TrussServer: socket round trip
+// ---------------------------------------------------------------------------
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAllFd(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer->data(), newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    char chunk[1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+TEST(ServerSocketTest, AnswersQueriesOverTcp) {
+  auto graph = Figure2();
+  SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  ServerOptions options;
+  options.workers = 2;
+  options.poll_interval_ms = 20;
+  TrussServer server(graph, &registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  RunShards(2, [&](uint32_t shard) {
+    if (shard == 0) {
+      server.Serve();
+      return;
+    }
+    const int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    std::string buffer, line;
+    // Pipelined batch in one write, plus split writes across a line
+    // boundary, exercise the server's line reassembly.
+    EXPECT_TRUE(SendAllFd(fd, "PING\nTRUSS 0 1\nMA"));
+    EXPECT_TRUE(SendAllFd(fd, "XK 0\nTOP 1\n"));
+    EXPECT_TRUE(RecvLine(fd, &buffer, &line));
+    EXPECT_EQ(line, "OK PONG");
+    EXPECT_TRUE(RecvLine(fd, &buffer, &line));
+    EXPECT_EQ(line, "OK TRUSS 5");
+    EXPECT_TRUE(RecvLine(fd, &buffer, &line));
+    EXPECT_TRUE(line.rfind("OK MAXK k=5 ", 0) == 0) << line;
+    EXPECT_TRUE(RecvLine(fd, &buffer, &line));
+    EXPECT_TRUE(line.rfind("OK TOP 1 ", 0) == 0) << line;
+    EXPECT_TRUE(SendAllFd(fd, "QUIT\n"));
+    EXPECT_TRUE(RecvLine(fd, &buffer, &line));
+    EXPECT_EQ(line, "OK BYE");
+    ::close(fd);
+
+    // A second connection still works (workers loop back to accept).
+    const int fd2 = ConnectLoopback(server.port());
+    ASSERT_GE(fd2, 0);
+    buffer.clear();
+    EXPECT_TRUE(SendAllFd(fd2, "VERSION\n"));
+    EXPECT_TRUE(RecvLine(fd2, &buffer, &line));
+    EXPECT_EQ(line, "OK VERSION 1");
+    ::close(fd2);
+
+    server.Stop();
+  });
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections, 2u);
+  EXPECT_GE(stats.queries, 6u);
+}
+
+}  // namespace
+}  // namespace truss::serve
