@@ -1,0 +1,5 @@
+"""truss-tidy: the repo's pluggable semantic static-analysis framework.
+
+See scripts/analysis/run.py for the CLI and docs/STATIC_ANALYSIS.md for
+the pass catalog.
+"""

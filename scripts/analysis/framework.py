@@ -1,0 +1,163 @@
+"""truss-tidy pass framework: violations, suppressions, registry, runner.
+
+A pass is a subclass of `Pass` registered with `@register`. Passes share
+one `RepoModel` per run and report through a `Reporter`, which applies
+the unified suppression list (scripts/analysis/suppressions.json,
+`{rule: {relative_path: reason}}` — same shape for every pass, so one
+file documents every accepted exception in the repo).
+
+Violation strings keep the historical lint_arch format
+(`path:line: [rule] message`) so editors, CI log scrapers, and the
+back-compat shim all keep working.
+"""
+
+import json
+import os
+import time
+
+
+class Violation:
+    __slots__ = ("rule", "relpath", "lineno", "message")
+
+    def __init__(self, rule, relpath, lineno, message):
+        self.rule = rule
+        self.relpath = relpath
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (
+            self.relpath, self.lineno, self.rule, self.message)
+
+
+def load_suppressions(path):
+    """Loads and validates a `{rule: {path: reason}}` suppression file."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError("suppressions must be a JSON object")
+    for rule, entries in data.items():
+        if not isinstance(entries, dict):
+            raise ValueError(
+                "suppressions[%r] must map path -> reason" % rule)
+        for relpath, reason in entries.items():
+            if not isinstance(reason, str) or not reason.strip():
+                raise ValueError(
+                    "suppressions[%r][%r] needs a non-empty reason"
+                    % (rule, relpath))
+    return data
+
+
+class Reporter:
+    """Collects violations, dropping ones the suppression list covers."""
+
+    def __init__(self, suppressions=None):
+        self.suppressions = suppressions or {}
+        self.violations = []
+        self.used_suppressions = set()  # (rule, path) actually exercised
+
+    def report(self, rule, relpath, lineno, message):
+        if relpath in self.suppressions.get(rule, {}):
+            self.used_suppressions.add((rule, relpath))
+            return
+        self.violations.append(Violation(rule, relpath, lineno, message))
+
+    def unused_suppressions(self):
+        """Suppression entries that matched nothing this run (stale)."""
+        stale = []
+        for rule, entries in sorted(self.suppressions.items()):
+            for relpath in sorted(entries):
+                if (rule, relpath) not in self.used_suppressions:
+                    stale.append((rule, relpath))
+        return stale
+
+
+class Pass:
+    """Base class. Subclasses set `name`, `description`, `rules` and
+    implement `run(model, reporter)`. Passes with a safe automatic
+    remedy implement `fix(model) -> [relpath, ...]` returning the files
+    rewritten (run() is re-run afterwards to verify)."""
+
+    name = None
+    description = ""
+    rules = ()
+    fixable = False
+
+    def run(self, model, reporter):
+        raise NotImplementedError
+
+    def fix(self, model):
+        raise NotImplementedError("%s has no --fix support" % self.name)
+
+
+_REGISTRY = {}
+
+
+def register(pass_cls):
+    assert pass_cls.name, "pass needs a name"
+    assert pass_cls.name not in _REGISTRY, "duplicate pass " + pass_cls.name
+    _REGISTRY[pass_cls.name] = pass_cls
+    return pass_cls
+
+
+def all_passes():
+    """Registered pass classes in registration order."""
+    _load_builtin_passes()
+    return list(_REGISTRY.values())
+
+
+def get_pass(name):
+    _load_builtin_passes()
+    return _REGISTRY.get(name)
+
+
+_BUILTINS_LOADED = False
+
+
+def _load_builtin_passes():
+    # Imported lazily so `model`/`framework` stay importable on their own
+    # (the self-tests construct fixture trees before touching any pass).
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from analysis.passes import arch, atomics, layering, nodiscard  # noqa: F401
+
+
+def default_suppressions_path(root):
+    return os.path.join(root, "scripts", "analysis", "suppressions.json")
+
+
+class PassResult:
+    __slots__ = ("name", "violations", "seconds", "files_scanned",
+                 "used_suppressions")
+
+    def __init__(self, name, violations, seconds, files_scanned,
+                 used_suppressions):
+        self.name = name
+        self.violations = violations
+        self.seconds = seconds
+        self.files_scanned = files_scanned
+        self.used_suppressions = used_suppressions
+
+
+def run_passes(model, pass_names, suppressions=None):
+    """Runs the named passes over `model`; returns [PassResult, ...].
+
+    Each pass gets its own Reporter so per-pass violation counts and
+    suppression bookkeeping stay separable, but they share the parsed
+    model (the expensive part).
+    """
+    results = []
+    for name in pass_names:
+        pass_cls = get_pass(name)
+        if pass_cls is None:
+            raise KeyError("unknown pass: %s" % name)
+        reporter = Reporter(suppressions)
+        start = time.monotonic()
+        pass_cls().run(model, reporter)
+        seconds = time.monotonic() - start
+        results.append(PassResult(name, reporter.violations, seconds,
+                                  len(model.files),
+                                  reporter.used_suppressions))
+    return results

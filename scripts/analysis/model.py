@@ -1,0 +1,183 @@
+"""Shared source-tree model for the truss-tidy analysis passes.
+
+One walk, one parse: every pass reads the same `RepoModel`, so adding a
+pass never adds another os.walk or another comment-stripping regex. The
+model knows three things about each first-party source file:
+
+  * its lines, each split into comment-free code, code-with-literals
+    (for #include rules), the string-literal bodies, and the comment
+    text (for passes that read justification tags);
+  * its quoted #include targets with line numbers;
+  * which top-level directory and src/ module it belongs to.
+"""
+
+import os
+import re
+
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+TOP_DIRS = ("src", "bench", "examples", "tests")
+
+STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+CHAR_LITERAL_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def split_code_and_literals(line, in_block_comment):
+    """Splits one raw line into its lexical layers.
+
+    Returns (code, full, literals, comment, in_block_comment):
+      code      line with comments removed and string-literal contents
+                blanked, so regex rules never fire inside strings or
+                comments;
+      full      same but with literals kept, for #include rules whose
+                target is itself a quoted string;
+      literals  string-literal bodies found outside comments;
+      comment   concatenated comment text found on the line (// and /* */
+                bodies), for passes that read machine-readable tags.
+    """
+    code = []
+    full = []
+    literals = []
+    comment = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                comment.append(line[i:])
+                return ("".join(code), "".join(full), literals,
+                        " ".join(comment), True)
+            comment.append(line[i:end])
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            comment.append(line[i + 2:])
+            break
+        if ch == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch == '"':
+            match = STRING_LITERAL_RE.match(line, i)
+            if match:
+                literals.append(match.group(1))
+                code.append('""')
+                full.append(match.group(0))
+                i = match.end()
+                continue
+        if ch == "'":
+            # Skip char literals like '\n' so their contents are not
+            # mistaken for code (or for a comment/string opener).
+            match = CHAR_LITERAL_RE.match(line, i)
+            if match:
+                code.append("''")
+                full.append("''")
+                i = match.end()
+                continue
+        code.append(ch)
+        full.append(ch)
+        i += 1
+    return ("".join(code), "".join(full), literals,
+            " ".join(comment), in_block_comment)
+
+
+class SourceLine:
+    """One parsed source line (1-indexed via SourceFile.lines)."""
+
+    __slots__ = ("raw", "code", "full", "literals", "comment")
+
+    def __init__(self, raw, code, full, literals, comment):
+        self.raw = raw
+        self.code = code
+        self.full = full
+        self.literals = literals
+        self.comment = comment
+
+
+class SourceFile:
+    """A parsed first-party source file."""
+
+    def __init__(self, relpath, lines):
+        self.relpath = relpath
+        self.lines = lines  # list of SourceLine
+        self.top = relpath.split("/", 1)[0]
+        parts = relpath.split("/")
+        # src/<module>/<file...> -> module name; None elsewhere.
+        self.module = parts[1] if self.top == "src" and len(parts) > 2 else None
+        self.includes = []  # [(lineno, target)] for quoted includes
+        for lineno, line in enumerate(lines, start=1):
+            for match in INCLUDE_RE.finditer(line.full):
+                self.includes.append((lineno, match.group(1)))
+
+    @property
+    def is_header(self):
+        return self.relpath.endswith((".h", ".hpp"))
+
+
+class RepoModel:
+    """Parsed view of the repo's first-party sources."""
+
+    def __init__(self, root, top_dirs=TOP_DIRS):
+        self.root = os.path.abspath(root)
+        self.top_dirs = top_dirs
+        self.files = {}  # relpath -> SourceFile
+        self.unreadable = []  # [(relpath, error string)]
+        self._walk()
+
+    def _walk(self):
+        for top in self.top_dirs:
+            base = os.path.join(self.root, top)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _, filenames in os.walk(base):
+                for name in sorted(filenames):
+                    if not name.endswith(SOURCE_SUFFIXES):
+                        continue
+                    full = os.path.join(dirpath, name)
+                    relpath = os.path.relpath(full, self.root)
+                    relpath = relpath.replace(os.sep, "/")
+                    self._parse(full, relpath)
+
+    def _parse(self, fullpath, relpath):
+        try:
+            with open(fullpath, encoding="utf-8", errors="replace") as f:
+                raw_lines = f.readlines()
+        except OSError as err:
+            self.unreadable.append((relpath, str(err)))
+            return
+        lines = []
+        in_block = False
+        for raw in raw_lines:
+            raw = raw.rstrip("\n")
+            code, full, literals, comment, in_block = split_code_and_literals(
+                raw, in_block)
+            lines.append(SourceLine(raw, code, full, literals, comment))
+        self.files[relpath] = SourceFile(relpath, lines)
+
+    def iter_files(self, top=None, module=None, headers_only=False):
+        for relpath in sorted(self.files):
+            f = self.files[relpath]
+            if top is not None and f.top != top:
+                continue
+            if module is not None and f.module != module:
+                continue
+            if headers_only and not f.is_header:
+                continue
+            yield f
+
+    def src_modules(self):
+        """Names of the directories directly under src/ that hold sources."""
+        mods = set()
+        for f in self.files.values():
+            if f.module is not None:
+                mods.add(f.module)
+        return sorted(mods)
+
+    def include_edges(self):
+        """Yields (from_file, lineno, target_relpath) for quoted includes
+        that resolve to a file under src/ (targets are src-relative)."""
+        for f in self.iter_files():
+            for lineno, target in f.includes:
+                yield f, lineno, "src/" + target

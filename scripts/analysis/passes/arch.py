@@ -1,0 +1,132 @@
+"""Architectural lint pass (the rules formerly in scripts/lint_arch.py).
+
+Enforces repo-level conventions the compiler cannot:
+
+  registry-dispatch   bench/, examples/, and src/serve/ must reach
+                      algorithms through the registry (truss/registry.h)
+                      or the engine, never by including a concrete
+                      algorithm header.
+  raw-thread          std::thread / std::async appear only in
+                      src/common/parallel.{h,cc}; everything else goes
+                      through parallel::RunShards.
+  libc-rand-time      no rand()/srand()/time() in src/: library code must
+                      be deterministic and testable; benches own timing.
+  metric-format       METRIC string literals in bench/ must be exactly
+                      "METRIC <key> <value>\\n" — run_benches.sh keeps
+                      only 3-field lines, so a malformed literal silently
+                      drops the metric.
+  bare-assert         use TRUSS_CHECK / TRUSS_DCHECK (common/macros.h)
+                      instead of assert(); static_assert is fine.
+  annotated-mutex     raw std::mutex / std::shared_mutex /
+                      std::condition_variable appear only in
+                      src/common/mutex.h; everything else guards shared
+                      state with truss::Mutex + TRUSS_GUARDED_BY so
+                      Clang's thread-safety analysis sees every lock.
+"""
+
+import re
+
+from analysis.framework import Pass, register
+
+ALGORITHM_HEADERS = (
+    "truss/improved.h",
+    "truss/cohen.h",
+    "truss/bottom_up.h",
+    "truss/top_down.h",
+    "truss/parallel_peel.h",
+)
+
+PARALLEL_IMPL = ("src/common/parallel.h", "src/common/parallel.cc")
+
+# The one place raw standard-library mutexes may appear: the annotated
+# shim that wraps them in thread-safety-capability types.
+MUTEX_IMPL = ("src/common/mutex.h",)
+
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|async)\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(_any)?)\b")
+RAND_TIME_RE = re.compile(r"(^|[^_A-Za-z0-9:])(std::)?(rand|srand|time)\s*\(")
+BARE_ASSERT_RE = re.compile(r"(^|[^_A-Za-z0-9])assert\s*\(")
+CASSERT_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+METRIC_LITERAL_RE = re.compile(r"METRIC[^\"]*")
+
+ALGORITHM_INCLUDE_RES = [
+    (header, re.compile(r'#\s*include\s*"%s"' % re.escape(header)))
+    for header in ALGORITHM_HEADERS
+]
+
+
+@register
+class ArchPass(Pass):
+    name = "arch"
+    description = ("architectural conventions: registry-only dispatch, "
+                   "RunShards-only threading, annotated mutexes, "
+                   "deterministic src/, METRIC format, no bare assert")
+    rules = ("registry-dispatch", "raw-thread", "libc-rand-time",
+             "metric-format", "bare-assert", "annotated-mutex")
+
+    def run(self, model, reporter):
+        for relpath, err in model.unreadable:
+            reporter.report("io", relpath, 0, "unreadable: %s" % err)
+        for f in model.iter_files():
+            self._lint_file(f, reporter)
+
+    def _lint_file(self, f, reporter):
+        relpath = f.relpath
+        in_bench_or_example = f.top in ("bench", "examples")
+        in_src = f.top == "src"
+        # The serving layer is a driver over the engine facade, exactly
+        # like a bench or example: it must stay registry-dispatched so
+        # REBUILD <algo> picks up new algorithms with zero serve changes.
+        registry_only = in_bench_or_example or relpath.startswith("src/serve/")
+
+        for lineno, line in enumerate(f.lines, start=1):
+            code, full, literals = line.code, line.full, line.literals
+
+            if registry_only:
+                for header, include_re in ALGORITHM_INCLUDE_RES:
+                    if include_re.search(full):
+                        reporter.report(
+                            "registry-dispatch", relpath, lineno,
+                            'includes "%s"; dispatch through '
+                            "truss/registry.h or the engine instead" % header)
+
+            if relpath not in PARALLEL_IMPL and RAW_THREAD_RE.search(code):
+                reporter.report(
+                    "raw-thread", relpath, lineno,
+                    "raw std::thread/std::async; use parallel::RunShards "
+                    "(src/common/parallel.h)")
+
+            if (in_src and relpath not in MUTEX_IMPL
+                    and RAW_MUTEX_RE.search(code)):
+                reporter.report(
+                    "annotated-mutex", relpath, lineno,
+                    "raw standard-library mutex/condvar; use truss::Mutex "
+                    "with TRUSS_GUARDED_BY (src/common/mutex.h) so "
+                    "thread-safety analysis sees the lock")
+
+            if in_src and RAND_TIME_RE.search(code):
+                reporter.report(
+                    "libc-rand-time", relpath, lineno,
+                    "rand()/srand()/time() in library code; keep src/ "
+                    "deterministic (benches own timing)")
+
+            if f.top == "bench":
+                for literal in literals:
+                    for metric in METRIC_LITERAL_RE.findall(literal):
+                        parts = metric.split(" ")
+                        if (len(parts) != 3 or parts[0] != "METRIC"
+                                or not parts[1] or not parts[2]
+                                or not parts[2].endswith("\\n")):
+                            reporter.report(
+                                "metric-format", relpath, lineno,
+                                'METRIC literal "%s" is not '
+                                '"METRIC <key> <value>\\n"; '
+                                "run_benches.sh would drop it" % metric)
+
+            if BARE_ASSERT_RE.search(code) or CASSERT_RE.search(full):
+                reporter.report(
+                    "bare-assert", relpath, lineno,
+                    "bare assert()/<cassert>; use TRUSS_CHECK or "
+                    "TRUSS_DCHECK from common/macros.h")

@@ -1,0 +1,93 @@
+"""Atomics audit pass: every explicit memory ordering is justified.
+
+Relaxed atomics are correct only for a reason — a counter nobody reads
+until after a join, a flag with no data dependence, a clamped CAS whose
+reread tolerates staleness. Those reasons used to live in free-form
+comments; this pass makes them machine-readable and therefore
+enforceable. Every `memory_order_*` (or `memory_order::*`) site in src/
+must carry a tag, on the same line or in the comment block immediately
+above:
+
+    // ordering: relaxed — stat counter; read only after workers join
+
+The named ordering must match the one the code actually uses (a stale
+tag is worse than none), and the justification must be non-empty. When
+an ordering is strengthened or weakened, the tag has to change in the
+same diff — that is the point.
+"""
+
+import re
+
+from analysis.framework import Pass, register
+
+ORDER_USE_RE = re.compile(r"\bmemory_order(?:::|_)([a-z_]+)\b")
+TAG_RE = re.compile(
+    r"ordering:\s*(?P<orders>[a-z_]+(?:\s*,\s*[a-z_]+)*)(?P<just>.*)")
+KNOWN_ORDERS = {"relaxed", "consume", "acquire", "release", "acq_rel",
+                "seq_cst"}
+# How far above the use the tag's comment block may start.
+MAX_COMMENT_BLOCK = 6
+
+
+def find_tag(f, lineno):
+    """Returns the ordering tag covering line `lineno` (1-indexed), as a
+    (orders set, justification) tuple, or None. Looks at the line's own
+    comment first, then the contiguous comment-only block above it."""
+    texts = [f.lines[lineno - 1].comment]
+    i = lineno - 2
+    while i >= 0 and lineno - 1 - i <= MAX_COMMENT_BLOCK:
+        line = f.lines[i]
+        if line.code.strip() or not line.comment.strip():
+            break
+        texts.append(line.comment)
+        i -= 1
+    for text in texts:
+        match = TAG_RE.search(text)
+        if match:
+            orders = {o.strip() for o in match.group("orders").split(",")}
+            just = match.group("just").strip().lstrip("—–-:() ").strip()
+            return orders, just
+    return None
+
+
+@register
+class AtomicsPass(Pass):
+    name = "atomics"
+    description = ("every memory_order_* site in src/ carries a matching "
+                   "machine-readable '// ordering:' justification tag")
+    rules = ("ordering-tag", "ordering-mismatch")
+
+    def run(self, model, reporter):
+        for f in model.iter_files(top="src"):
+            for lineno, line in enumerate(f.lines, start=1):
+                used = set(ORDER_USE_RE.findall(line.code))
+                if not used:
+                    continue
+                tag = find_tag(f, lineno)
+                if tag is None:
+                    reporter.report(
+                        "ordering-tag", f.relpath, lineno,
+                        "memory_order_%s without an '// ordering:' "
+                        "justification tag on the line or in the comment "
+                        "block above" % "/".join(sorted(used)))
+                    continue
+                orders, just = tag
+                bogus = sorted(orders - KNOWN_ORDERS)
+                if bogus:
+                    reporter.report(
+                        "ordering-mismatch", f.relpath, lineno,
+                        "ordering tag names unknown ordering(s): %s"
+                        % ", ".join(bogus))
+                    continue
+                uncovered = sorted(used - orders)
+                if uncovered:
+                    reporter.report(
+                        "ordering-mismatch", f.relpath, lineno,
+                        "code uses memory_order_%s but the tag declares "
+                        "'%s' — stale tag?"
+                        % ("/".join(uncovered), ", ".join(sorted(orders))))
+                elif not just:
+                    reporter.report(
+                        "ordering-mismatch", f.relpath, lineno,
+                        "ordering tag has no justification text; say why "
+                        "'%s' is sufficient" % ", ".join(sorted(orders)))

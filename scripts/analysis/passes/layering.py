@@ -1,0 +1,190 @@
+"""Include-layering pass: the src/ module graph must match the manifest.
+
+`scripts/analysis/layers.json` declares, for every module directory
+under src/, the modules it may depend on (`{"modules": {name: [deps]}}`)
+— the checked-in architecture:
+
+    common -> io -> graph -> {triangle, kcore, gen, partition, ...}
+           -> truss -> engine -> serve
+
+The pass parses every quoted #include in src/ and fails on:
+
+  layering-manifest  manifest missing/invalid, module on disk missing
+                     from the manifest (or vice versa), or the declared
+                     dependency graph itself containing a cycle;
+  include-layering   an #include edge from module X to module Y that the
+                     manifest does not allow for X;
+  include-cycle      a cycle in the file-level include graph (possible
+                     even when the module graph is clean, via two files
+                     of the same module).
+
+There is no transitivity: if X needs Y, X declares Y. That keeps the
+manifest an explicit record of who talks to whom, not a lattice to
+puzzle over.
+"""
+
+import json
+import os
+
+from analysis.framework import Pass, register
+
+MANIFEST_RELPATH = "scripts/analysis/layers.json"
+
+
+def load_manifest(root):
+    """Returns (modules dict or None, error string or None)."""
+    path = os.path.join(root, MANIFEST_RELPATH)
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as err:
+        return None, "cannot read manifest: %s" % err
+    except json.JSONDecodeError as err:
+        return None, "manifest is not valid JSON: %s" % err
+    modules = data.get("modules") if isinstance(data, dict) else None
+    if not isinstance(modules, dict):
+        return None, 'manifest needs a top-level {"modules": {...}} object'
+    for name, deps in modules.items():
+        if (not isinstance(deps, list)
+                or any(not isinstance(d, str) for d in deps)):
+            return None, "modules[%r] must be a list of module names" % name
+    return modules, None
+
+
+def find_declared_cycle(modules):
+    """Returns one cycle in the declared module graph as a list of names,
+    or None. Deterministic: neighbors visited in sorted order."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in modules}
+    stack = []
+
+    def dfs(node):
+        color[node] = GREY
+        stack.append(node)
+        for dep in sorted(modules.get(node, [])):
+            if dep not in color:
+                continue
+            if color[dep] == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cycle = dfs(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for m in sorted(modules):
+        if color[m] == WHITE:
+            cycle = dfs(m)
+            if cycle:
+                return cycle
+    return None
+
+
+def find_file_cycle(graph):
+    """Returns one cycle in a file-level include graph (dict path ->
+    iterable of paths), or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {p: WHITE for p in graph}
+    stack = []
+
+    def dfs(node):
+        color[node] = GREY
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if nxt not in color:
+                continue
+            if color[nxt] == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color[nxt] == WHITE:
+                cycle = dfs(nxt)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for p in sorted(graph):
+        if color[p] == WHITE:
+            cycle = dfs(p)
+            if cycle:
+                return cycle
+    return None
+
+
+@register
+class LayeringPass(Pass):
+    name = "layering"
+    description = ("src/ #include edges must match the module-dependency "
+                   "manifest (scripts/analysis/layers.json) and contain "
+                   "no cycles")
+    rules = ("layering-manifest", "include-layering", "include-cycle")
+
+    def run(self, model, reporter):
+        on_disk = set(model.src_modules())
+        if not on_disk:
+            return
+        modules, err = load_manifest(model.root)
+        if modules is None:
+            reporter.report("layering-manifest", MANIFEST_RELPATH, 0, err)
+            return
+
+        declared = set(modules)
+        for missing in sorted(on_disk - declared):
+            reporter.report(
+                "layering-manifest", MANIFEST_RELPATH, 0,
+                "module src/%s exists on disk but is not declared in the "
+                "manifest" % missing)
+        for stale in sorted(declared - on_disk):
+            reporter.report(
+                "layering-manifest", MANIFEST_RELPATH, 0,
+                "manifest declares module '%s' but src/%s does not exist"
+                % (stale, stale))
+        unknown_deps = sorted(
+            (name, dep) for name, deps in modules.items()
+            for dep in deps if dep not in declared)
+        for name, dep in unknown_deps:
+            reporter.report(
+                "layering-manifest", MANIFEST_RELPATH, 0,
+                "modules[%r] depends on undeclared module %r" % (name, dep))
+
+        cycle = find_declared_cycle(modules)
+        if cycle:
+            reporter.report(
+                "layering-manifest", MANIFEST_RELPATH, 0,
+                "declared module dependencies contain a cycle: %s"
+                % " -> ".join(cycle))
+            return  # layer checks are meaningless against a cyclic manifest
+
+        # Edge check: every cross-module include must be declared.
+        for f in model.iter_files(top="src"):
+            if f.module is None:
+                continue
+            allowed = set(modules.get(f.module, []))
+            for lineno, target in f.includes:
+                dep = target.split("/", 1)[0]
+                if dep == f.module or dep not in on_disk:
+                    continue
+                if dep not in allowed:
+                    reporter.report(
+                        "include-layering", f.relpath, lineno,
+                        'includes "%s" but the manifest does not allow '
+                        "%s -> %s (declared deps: %s)"
+                        % (target, f.module, dep,
+                           ", ".join(sorted(allowed)) or "none"))
+
+        # File-level cycle check over src/ quoted includes.
+        graph = {}
+        for f in model.iter_files(top="src"):
+            targets = set()
+            for _, target in f.includes:
+                target_rel = "src/" + target
+                if target_rel in model.files:
+                    targets.add(target_rel)
+            graph[f.relpath] = targets
+        file_cycle = find_file_cycle(graph)
+        if file_cycle:
+            reporter.report(
+                "include-cycle", file_cycle[0], 0,
+                "include cycle: %s" % " -> ".join(file_cycle))

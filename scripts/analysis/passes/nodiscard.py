@@ -1,0 +1,93 @@
+"""nodiscard pass: Status-returning APIs must carry TRUSS_NODISCARD.
+
+`truss::Status` and `truss::Result<T>` are the repo's only error
+channel; a silently dropped return value turns a failed save, socket
+write, or rebuild into silent data loss. The classes themselves are
+declared `TRUSS_NODISCARD` (so the *compiler* rejects a discarded call
+through any code path, including ones this pass cannot see), and this
+pass keeps the contract visible at the API boundary: every function
+declared in a src/ header with return type `Status` or `Result<...>`
+must spell the annotation on its declaration.
+
+`--fix` inserts the annotation in place — safe because adding
+[[nodiscard]] never changes runtime behavior, only surfaces discards at
+the next compile.
+"""
+
+import os
+import re
+
+from analysis.framework import Pass, register
+
+# A declaration line: optional template intro, optional annotation,
+# declaration specifiers, then a Status/Result return type followed by a
+# function name and '('. Matching on comment-stripped code means doc
+# text like "returns Status::OK()" never fires.
+DECL_RE = re.compile(
+    r"^\s*"
+    r"(?:template\s*<[^;]*>\s*)?"
+    r"(?P<nodiscard>TRUSS_NODISCARD\s+)?"
+    r"(?P<specs>(?:static|friend|inline|constexpr|virtual|explicit)\s+)*"
+    r"(?:::)?(?:truss::)?(?P<ret>Status|Result<.+?>)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(")
+
+
+@register
+class NodiscardPass(Pass):
+    name = "nodiscard"
+    description = ("every Status/Result-returning API declared in a src/ "
+                   "header carries TRUSS_NODISCARD")
+    rules = ("nodiscard",)
+    fixable = True
+
+    def run(self, model, reporter):
+        for f in model.iter_files(top="src", headers_only=True):
+            for lineno, match in self._unannotated(f):
+                reporter.report(
+                    "nodiscard", f.relpath, lineno,
+                    "%s-returning %s() lacks TRUSS_NODISCARD; a dropped "
+                    "%s is silent data loss (--fix inserts it)"
+                    % (match.group("ret").split("<")[0], match.group("name"),
+                       match.group("ret").split("<")[0]))
+
+    def _unannotated(self, f):
+        """Yields (lineno, match) for declarations missing the annotation."""
+        found = []
+        for lineno, line in enumerate(f.lines, start=1):
+            match = DECL_RE.match(line.code)
+            if not match or match.group("nodiscard"):
+                continue
+            # Annotation may sit alone on the previous code line (wrapped
+            # by clang-format).
+            prev = self._prev_code(f, lineno)
+            if prev is not None and prev.rstrip().endswith("TRUSS_NODISCARD"):
+                continue
+            found.append((lineno, match))
+        return found
+
+    @staticmethod
+    def _prev_code(f, lineno):
+        for i in range(lineno - 2, -1, -1):
+            code = f.lines[i].code
+            if code.strip():
+                return code
+        return None
+
+    def fix(self, model):
+        fixed = []
+        for f in model.iter_files(top="src", headers_only=True):
+            missing = [lineno for lineno, _ in self._unannotated(f)]
+            if not missing:
+                continue
+            path = os.path.join(model.root, f.relpath)
+            with open(path, encoding="utf-8") as fp:
+                lines = fp.readlines()
+            for lineno in missing:
+                raw = lines[lineno - 1]
+                indent = len(raw) - len(raw.lstrip())
+                lines[lineno - 1] = (raw[:indent] + "TRUSS_NODISCARD "
+                                     + raw[indent:])
+            with open(path, "w", encoding="utf-8") as fp:
+                fp.writelines(lines)
+            fixed.append(f.relpath)
+        return fixed

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""truss-tidy: run the repo's semantic static-analysis passes.
+
+Usage:
+  scripts/analysis/run.py --all [--fix] [--root DIR]
+  scripts/analysis/run.py --pass NAME [--pass NAME ...] [--fix]
+  scripts/analysis/run.py --list
+
+Passes share one parsed view of the tree (scripts/analysis/model.py) and
+one suppression list (scripts/analysis/suppressions.json,
+{rule: {path: reason}}). Each run prints per-pass timing as
+"METRIC analysis_<pass>_seconds <s>" so CI tracks analysis cost the same
+way it tracks bench cost.
+
+Exit status: 0 clean, 1 violations found, 2 usage/configuration error.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from analysis import framework  # noqa: E402
+from analysis.model import RepoModel  # noqa: E402
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: auto-detected from "
+                             "this script's location)")
+    parser.add_argument("--suppressions", default=None,
+                        help="suppression JSON (default: "
+                             "<root>/scripts/analysis/suppressions.json)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered pass")
+    parser.add_argument("--pass", dest="passes", action="append", default=[],
+                        metavar="NAME", help="run one pass (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply safe automatic fixes before checking")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for pass_cls in framework.all_passes():
+            fix = " [--fix]" if pass_cls.fixable else ""
+            print("%-10s %s%s" % (pass_cls.name, pass_cls.description, fix))
+        return 0
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    root = os.path.abspath(root)
+    if not os.path.isdir(root):
+        print("truss-tidy: no such directory: %s" % root, file=sys.stderr)
+        return 2
+
+    known = [p.name for p in framework.all_passes()]
+    if args.all:
+        selected = known
+    else:
+        selected = args.passes
+    if not selected:
+        parser.print_usage(sys.stderr)
+        print("truss-tidy: nothing to do (use --all, --pass, or --list)",
+              file=sys.stderr)
+        return 2
+    unknown = [name for name in selected if framework.get_pass(name) is None]
+    if unknown:
+        print("truss-tidy: unknown pass(es): %s (known: %s)"
+              % (", ".join(unknown), ", ".join(known)), file=sys.stderr)
+        return 2
+
+    suppressions_path = args.suppressions or \
+        framework.default_suppressions_path(root)
+    suppressions = {}
+    if os.path.exists(suppressions_path):
+        try:
+            suppressions = framework.load_suppressions(suppressions_path)
+        except (ValueError, OSError) as err:
+            print("truss-tidy: bad suppressions %s: %s"
+                  % (suppressions_path, err), file=sys.stderr)
+            return 2
+
+    model = RepoModel(root)
+
+    if args.fix:
+        for name in selected:
+            pass_cls = framework.get_pass(name)
+            if not pass_cls.fixable:
+                continue
+            fixed = pass_cls().fix(model)
+            for relpath in fixed:
+                print("truss-tidy: fixed [%s] %s" % (name, relpath))
+        if any(framework.get_pass(n).fixable for n in selected):
+            model = RepoModel(root)  # re-parse the rewritten files
+
+    try:
+        results = framework.run_passes(model, selected, suppressions)
+    except KeyError as err:
+        print("truss-tidy: %s" % err, file=sys.stderr)
+        return 2
+
+    total = 0
+    used = set()
+    for result in results:
+        for violation in result.violations:
+            print(violation)
+        total += len(result.violations)
+        used |= result.used_suppressions
+        print("METRIC analysis_%s_seconds %.3f" % (result.name,
+                                                   result.seconds))
+
+    # Stale suppression entries are reported (not fatal) only when the
+    # whole pass set ran — a single-pass run cannot tell "unused" from
+    # "used by a pass that did not run".
+    if args.all:
+        for rule, relpath in sorted(suppressions_to_pairs(suppressions)
+                                    - used):
+            print("truss-tidy: note: unused suppression [%s] %s"
+                  % (rule, relpath), file=sys.stderr)
+
+    if total:
+        print("truss-tidy: %d violation(s) in %d file(s) scanned"
+              % (total, len(model.files)), file=sys.stderr)
+        return 1
+    print("truss-tidy: OK (%d passes, %d files scanned)"
+          % (len(results), len(model.files)))
+    return 0
+
+
+def suppressions_to_pairs(suppressions):
+    return {(rule, relpath)
+            for rule, entries in suppressions.items()
+            for relpath in entries}
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

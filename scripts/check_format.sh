@@ -3,24 +3,48 @@
 # changed relative to a base ref, so formatting is enforced on new work
 # without requiring a whole-tree reformat in one PR.
 #
-# Usage: scripts/check_format.sh [base_ref]
+# Usage: scripts/check_format.sh [--require] [base_ref]
 #
-#   base_ref  git ref to diff against; defaults to $GITHUB_BASE_REF
-#             (set on pull_request CI runs) and then to HEAD~1.
+#   --require  fail (exit 3) when clang-format is not installed instead
+#              of skipping; CI passes this so a missing tool can never
+#              masquerade as a clean check.
+#   base_ref   git ref to diff against; defaults to $GITHUB_BASE_REF
+#              (set on pull_request CI runs) and then to HEAD~1.
 #
-# Exits 0 with a loud SKIPPED message when clang-format is not
-# installed; the CI static-analysis job installs it and is the gate.
+# Exit codes (distinguish "tool absent" from "tool found problems"):
+#   0  clean, or clang-format absent without --require (loud SKIPPED)
+#   1  formatting violations found
+#   2  usage error
+#   3  clang-format absent but --require was given
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
 
+require=0
+base_ref=""
+for arg in "$@"; do
+  case "${arg}" in
+    --require) require=1 ;;
+    --*)
+      echo "check_format.sh: unknown flag ${arg}" >&2
+      exit 2
+      ;;
+    *) base_ref="${arg}" ;;
+  esac
+done
+
 if ! command -v clang-format >/dev/null 2>&1; then
+  if [[ "${require}" -eq 1 ]]; then
+    echo "check_format.sh: FAILED — clang-format required but not on" \
+         "PATH (exit 3)." >&2
+    exit 3
+  fi
   echo "check_format.sh: SKIPPED — clang-format not found on PATH." >&2
   exit 0
 fi
 
-base_ref="${1:-${GITHUB_BASE_REF:-}}"
+base_ref="${base_ref:-${GITHUB_BASE_REF:-}}"
 if [[ -n "${base_ref}" ]] && ! git rev-parse --verify -q "${base_ref}" \
     >/dev/null; then
   # On pull_request runs GITHUB_BASE_REF is a branch name that may not

@@ -1,242 +1,57 @@
 #!/usr/bin/env python3
-"""Architectural lint for the truss repo.
+"""Back-compat shim over the truss-tidy `arch` pass.
 
-Enforces repo-level conventions that the compiler cannot:
+The architectural lint rules that used to live here (registry-dispatch,
+raw-thread, libc-rand-time, metric-format, bare-assert, annotated-mutex)
+are now one pass of the truss-tidy framework — see
+scripts/analysis/passes/arch.py for the rules and docs/STATIC_ANALYSIS.md
+for the full pass catalog. Run the whole suite with:
 
-  registry-dispatch   bench/, examples/, and src/serve/ must reach
-                      algorithms through the registry (truss/registry.h)
-                      or the engine, never by including a concrete
-                      algorithm header. Keeping drivers and the serving
-                      layer registry-only is what lets a new algorithm
-                      show up in every bench, example, and REBUILD
-                      command for free.
-  raw-thread          std::thread / std::async appear only in
-                      src/common/parallel.{h,cc}. Everything else goes
-                      through parallel::RunShards so thread-count policy,
-                      shard sizing, and the join-as-publication contract
-                      live in one place.
-  libc-rand-time      no rand()/srand()/time() in src/: library code must
-                      be deterministic and testable; benches own timing.
-  metric-format       METRIC string literals in bench/ must be exactly
-                      "METRIC <key> <value>\\n" — scripts/run_benches.sh
-                      splits on spaces and keeps only 3-field lines, so a
-                      malformed literal silently drops the metric.
-  bare-assert         use TRUSS_CHECK / TRUSS_DCHECK (common/macros.h)
-                      instead of assert(); static_assert is fine.
-  annotated-mutex     raw std::mutex / std::shared_mutex /
-                      std::condition_variable appear only in
-                      src/common/mutex.h. Everything else in src/ guards
-                      shared state with truss::Mutex + TRUSS_GUARDED_BY
-                      so Clang's thread-safety analysis (the CI
-                      static-analysis gate) can see every lock. This is
-                      what keeps the serving layer's snapshot registry
-                      analyzable: an unannotated mutex is invisible to
-                      -Wthread-safety.
+    python3 scripts/analysis/run.py --all
 
-Exceptions live in scripts/lint_arch_allowlist.json as
-{rule_id: {relative_path: reason}}. Exit status 0 when clean, 1 when any
-violation is found, 2 on usage errors.
+This wrapper keeps the historical surface working unchanged:
+
+  * CLI: `lint_arch.py [--root R] [--allowlist F]`, exit 0 clean /
+    1 violations / 2 usage errors, `path:line: [rule] message` output;
+  * Python: `Linter(root, allowlist).run()`, `.files_scanned`,
+    `load_allowlist(path)` (tests/lint_arch_test.py drives these).
+
+Exceptions live in scripts/analysis/suppressions.json — the unified
+per-pass suppression file, same `{rule: {path: reason}}` shape the old
+lint_arch_allowlist.json used.
 """
 
 import argparse
-import json
 import os
-import re
 import sys
 
-ALGORITHM_HEADERS = (
-    "truss/improved.h",
-    "truss/cohen.h",
-    "truss/bottom_up.h",
-    "truss/top_down.h",
-    "truss/parallel_peel.h",
-)
+# Make the sibling `analysis` package importable whether this file is run
+# as a script or loaded via importlib (as tests/lint_arch_test.py does).
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-PARALLEL_IMPL = ("src/common/parallel.h", "src/common/parallel.cc")
+from analysis import framework  # noqa: E402
+from analysis import model  # noqa: E402
 
-# The one place raw standard-library mutexes may appear: the annotated
-# shim that wraps them in thread-safety-capability types.
-MUTEX_IMPL = ("src/common/mutex.h",)
-
-SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
-
-RAW_THREAD_RE = re.compile(r"\bstd::(thread|async)\b")
-RAW_MUTEX_RE = re.compile(
-    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
-    r"shared_mutex|shared_timed_mutex|condition_variable(_any)?)\b")
-RAND_TIME_RE = re.compile(r"(^|[^_A-Za-z0-9:])(std::)?(rand|srand|time)\s*\(")
-BARE_ASSERT_RE = re.compile(r"(^|[^_A-Za-z0-9])assert\s*\(")
-CASSERT_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
-METRIC_LITERAL_RE = re.compile(r"METRIC[^\"]*")
-STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
-
-
-def split_code_and_literals(line, in_block_comment):
-    """Returns (code, full, literals, in_block_comment).
-
-    `code` is the line with comments removed and string-literal contents
-    blanked (so regex rules never fire inside strings or comments);
-    `full` is the same but with literals kept, for #include rules whose
-    target is itself a quoted string; `literals` is the list of
-    string-literal bodies found outside comments (for metric-format).
-    """
-    code = []
-    full = []
-    literals = []
-    i, n = 0, len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end < 0:
-                return "".join(code), "".join(full), literals, True
-            i = end + 2
-            in_block_comment = False
-            continue
-        ch = line[i]
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if ch == "/" and i + 1 < n and line[i + 1] == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        if ch == '"':
-            match = STRING_LITERAL_RE.match(line, i)
-            if match:
-                literals.append(match.group(1))
-                code.append('""')
-                full.append(match.group(0))
-                i = match.end()
-                continue
-        if ch == "'":
-            # Skip char literals like '\n' so their contents are not
-            # mistaken for code (or for a comment/string opener).
-            match = re.match(r"'(?:[^'\\]|\\.)*'", line[i:])
-            if match:
-                code.append("''")
-                full.append("''")
-                i += match.end()
-                continue
-        code.append(ch)
-        full.append(ch)
-        i += 1
-    return "".join(code), "".join(full), literals, in_block_comment
+# The unified loader validates the same shape the old allowlist had, so
+# it serves as load_allowlist verbatim.
+load_allowlist = framework.load_suppressions
 
 
 class Linter:
+    """Historical facade: the `arch` pass over a fresh RepoModel."""
+
     def __init__(self, root, allowlist):
         self.root = root
         self.allowlist = allowlist
         self.violations = []
         self.files_scanned = 0
 
-    def allowed(self, rule, relpath):
-        return relpath in self.allowlist.get(rule, {})
-
-    def report(self, rule, relpath, lineno, message):
-        if not self.allowed(rule, relpath):
-            self.violations.append(
-                "%s:%d: [%s] %s" % (relpath, lineno, rule, message))
-
-    def lint_file(self, relpath):
-        self.files_scanned += 1
-        top = relpath.split("/", 1)[0]
-        in_bench_or_example = top in ("bench", "examples")
-        in_src = top == "src"
-        # The serving layer is a driver over the engine facade, exactly
-        # like a bench or example: it must stay registry-dispatched so
-        # REBUILD <algo> picks up new algorithms with zero serve changes.
-        registry_only = in_bench_or_example or relpath.startswith("src/serve/")
-        try:
-            with open(os.path.join(self.root, relpath),
-                      encoding="utf-8", errors="replace") as f:
-                lines = f.readlines()
-        except OSError as err:
-            self.violations.append("%s:0: [io] unreadable: %s" % (relpath, err))
-            return
-
-        in_block_comment = False
-        for lineno, raw in enumerate(lines, start=1):
-            code, full, literals, in_block_comment = split_code_and_literals(
-                raw.rstrip("\n"), in_block_comment)
-
-            if registry_only:
-                for header in ALGORITHM_HEADERS:
-                    if re.search(r'#\s*include\s*"%s"' % re.escape(header),
-                                 full):
-                        self.report(
-                            "registry-dispatch", relpath, lineno,
-                            'includes "%s"; dispatch through '
-                            "truss/registry.h or the engine instead" % header)
-
-            if relpath not in PARALLEL_IMPL and RAW_THREAD_RE.search(code):
-                self.report(
-                    "raw-thread", relpath, lineno,
-                    "raw std::thread/std::async; use parallel::RunShards "
-                    "(src/common/parallel.h)")
-
-            if (in_src and relpath not in MUTEX_IMPL
-                    and RAW_MUTEX_RE.search(code)):
-                self.report(
-                    "annotated-mutex", relpath, lineno,
-                    "raw standard-library mutex/condvar; use truss::Mutex "
-                    "with TRUSS_GUARDED_BY (src/common/mutex.h) so "
-                    "thread-safety analysis sees the lock")
-
-            if in_src and RAND_TIME_RE.search(code):
-                self.report(
-                    "libc-rand-time", relpath, lineno,
-                    "rand()/srand()/time() in library code; keep src/ "
-                    "deterministic (benches own timing)")
-
-            if top == "bench":
-                for literal in literals:
-                    for metric in METRIC_LITERAL_RE.findall(literal):
-                        parts = metric.split(" ")
-                        if (len(parts) != 3 or parts[0] != "METRIC"
-                                or not parts[1] or not parts[2]
-                                or not parts[2].endswith("\\n")):
-                            self.report(
-                                "metric-format", relpath, lineno,
-                                'METRIC literal "%s" is not '
-                                '"METRIC <key> <value>\\n"; '
-                                "run_benches.sh would drop it" % metric)
-
-            if BARE_ASSERT_RE.search(code) or CASSERT_RE.search(full):
-                self.report(
-                    "bare-assert", relpath, lineno,
-                    "bare assert()/<cassert>; use TRUSS_CHECK or "
-                    "TRUSS_DCHECK from common/macros.h")
-
     def run(self):
-        for top in ("src", "bench", "examples", "tests"):
-            base = os.path.join(self.root, top)
-            if not os.path.isdir(base):
-                continue
-            for dirpath, _, filenames in os.walk(base):
-                for name in sorted(filenames):
-                    if name.endswith(SOURCE_SUFFIXES):
-                        full = os.path.join(dirpath, name)
-                        relpath = os.path.relpath(full, self.root)
-                        relpath = relpath.replace(os.sep, "/")
-                        self.lint_file(relpath)
+        repo = model.RepoModel(self.root)
+        result = framework.run_passes(repo, ["arch"], self.allowlist)[0]
+        self.files_scanned = result.files_scanned
+        self.violations = [str(v) for v in result.violations]
         return self.violations
-
-
-def load_allowlist(path):
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    if not isinstance(data, dict):
-        raise ValueError("allowlist must be a JSON object")
-    for rule, entries in data.items():
-        if not isinstance(entries, dict):
-            raise ValueError(
-                "allowlist[%r] must map path -> reason" % rule)
-        for relpath, reason in entries.items():
-            if not isinstance(reason, str) or not reason.strip():
-                raise ValueError(
-                    "allowlist[%r][%r] needs a non-empty reason"
-                    % (rule, relpath))
-    return data
 
 
 def main(argv):
@@ -244,21 +59,20 @@ def main(argv):
     parser.add_argument("--root", default=".",
                         help="repository root to lint (default: cwd)")
     parser.add_argument("--allowlist", default=None,
-                        help="allowlist JSON (default: "
-                             "<root>/scripts/lint_arch_allowlist.json)")
+                        help="suppression JSON (default: "
+                             "<root>/scripts/analysis/suppressions.json)")
     args = parser.parse_args(argv)
 
     root = os.path.abspath(args.root)
     if not os.path.isdir(root):
         print("lint_arch: no such directory: %s" % root, file=sys.stderr)
         return 2
-    allowlist_path = args.allowlist or os.path.join(
-        root, "scripts", "lint_arch_allowlist.json")
+    allowlist_path = args.allowlist or framework.default_suppressions_path(root)
     allowlist = {}
     if os.path.exists(allowlist_path):
         try:
             allowlist = load_allowlist(allowlist_path)
-        except (ValueError, json.JSONDecodeError) as err:
+        except (ValueError, OSError) as err:
             print("lint_arch: bad allowlist %s: %s"
                   % (allowlist_path, err), file=sys.stderr)
             return 2

@@ -2,29 +2,52 @@
 # Runs clang-tidy (config: .clang-tidy) over the first-party sources,
 # driving compile flags from a CMake compile_commands.json.
 #
-# Usage: scripts/run_clang_tidy.sh [build_dir]
+# Usage: scripts/run_clang_tidy.sh [--require] [build_dir]
 #
+#   --require  fail (exit 3) when clang-tidy is not installed instead of
+#              skipping; CI passes this so a missing tool can never
+#              masquerade as a clean check.
 #   build_dir  directory containing compile_commands.json; defaults to
 #              the first of build/release, build that has one. Configure
 #              with any preset first — CMAKE_EXPORT_COMPILE_COMMANDS is
 #              always on.
 #
-# Exits 0 with a loud SKIPPED message when clang-tidy is not installed
-# (e.g. the GCC-only dev container) so local ctest/verify runs are not
-# blocked; the CI static-analysis job installs clang-tidy and is the
-# blocking gate.
+# Exit codes (distinguish "tool absent" from "tool found problems"):
+#   0  clean, or clang-tidy absent without --require (loud SKIPPED —
+#      e.g. the GCC-only dev container, so local ctest/verify runs are
+#      not blocked)
+#   1  clang-tidy diagnostics reported
+#   2  usage/configuration error (no compile_commands.json)
+#   3  clang-tidy absent but --require was given
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
 
+require=0
+build_dir=""
+for arg in "$@"; do
+  case "${arg}" in
+    --require) require=1 ;;
+    --*)
+      echo "run_clang_tidy.sh: unknown flag ${arg}" >&2
+      exit 2
+      ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ "${require}" -eq 1 ]]; then
+    echo "run_clang_tidy.sh: FAILED — clang-tidy required but not on" \
+         "PATH (exit 3)." >&2
+    exit 3
+  fi
   echo "run_clang_tidy.sh: SKIPPED — clang-tidy not found on PATH." >&2
   echo "  Install clang-tidy (or run in CI) to execute this check." >&2
   exit 0
 fi
 
-build_dir="${1:-}"
 if [[ -z "${build_dir}" ]]; then
   for candidate in build/release build; do
     if [[ -f "${candidate}/compile_commands.json" ]]; then

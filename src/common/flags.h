@@ -57,24 +57,24 @@ class ByteFlags {
 
   bool Test(size_t i) const {
     TRUSS_DCHECK_LT(i, flags_.size());
-    // Relaxed load: no happens-before edge is needed here. Within a phase
-    // the callers tolerate observing a stale value for a concurrently-set
-    // flag; across phases the fork-join join already ordered the writes
-    // (file comment above).
+    // ordering: relaxed — no happens-before edge is needed here. Within a
+    // phase the callers tolerate observing a stale value for a
+    // concurrently-set flag; across phases the fork-join join already
+    // ordered the writes (file comment above).
     return flags_[i].load(std::memory_order_relaxed) != 0;
   }
 
   void Set(size_t i) {
     TRUSS_DCHECK_LT(i, flags_.size());
-    // Relaxed store: publication to other threads is the job of the owning
-    // phase's join, not of this store. Nothing is ordered against the flag
-    // byte itself.
+    // ordering: relaxed — publication to other threads is the job of the
+    // owning phase's join, not of this store. Nothing is ordered against
+    // the flag byte itself.
     flags_[i].store(1, std::memory_order_relaxed);
   }
 
   void Clear(size_t i) {
     TRUSS_DCHECK_LT(i, flags_.size());
-    // Relaxed store; same publication contract as Set.
+    // ordering: relaxed — same publication contract as Set.
     flags_[i].store(0, std::memory_order_relaxed);
   }
 

@@ -10,6 +10,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+// Marks a type or function whose return value must never be silently
+// discarded. Applied to truss::Status / truss::Result at the class level
+// (so the compiler flags a dropped return through *any* signature) and to
+// every Status/Result-returning API declaration (enforced by the
+// truss-tidy `nodiscard` pass, scripts/analysis/run.py).
+#define TRUSS_NODISCARD [[nodiscard]]
+
 // Aborts with a message when `condition` is false. Usable in any build type.
 #define TRUSS_CHECK(condition)                                              \
   do {                                                                      \

@@ -30,33 +30,36 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic error indicator. A default-constructed Status is OK.
-class Status {
+/// Class-level TRUSS_NODISCARD: discarding any returned Status is a
+/// compile error — route it through TRUSS_RETURN_IF_ERROR, TRUSS_CHECK_OK,
+/// or an explicit branch.
+class TRUSS_NODISCARD Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  TRUSS_NODISCARD static Status OK() { return Status(); }
+  TRUSS_NODISCARD static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  TRUSS_NODISCARD static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  TRUSS_NODISCARD static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  TRUSS_NODISCARD static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  TRUSS_NODISCARD static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  TRUSS_NODISCARD static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  TRUSS_NODISCARD static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  TRUSS_NODISCARD static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 
@@ -77,7 +80,7 @@ class Status {
 
 /// Holds either a value of type T or a non-OK Status.
 template <typename T>
-class Result {
+class TRUSS_NODISCARD Result {
  public:
   Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
   Result(Status status) : value_(std::move(status)) {    // NOLINT(runtime/explicit)

@@ -5,8 +5,8 @@
 // a normalized pair (u < v) and give every edge a dense EdgeId so per-edge
 // algorithm state (support, truss number, bounds) lives in flat arrays.
 
-#ifndef TRUSS_GRAPH_TYPES_H_
-#define TRUSS_GRAPH_TYPES_H_
+#ifndef TRUSS_COMMON_TYPES_H_
+#define TRUSS_COMMON_TYPES_H_
 
 #include <cstdint>
 #include <functional>
@@ -58,4 +58,4 @@ struct AdjEntry {
 
 }  // namespace truss
 
-#endif  // TRUSS_GRAPH_TYPES_H_
+#endif  // TRUSS_COMMON_TYPES_H_

@@ -92,14 +92,14 @@ class Engine {
   /// DecomposeOptions::scratch_dir) and project the classes back onto `g`'s
   /// edge ids. Fails with InvalidArgument/FailedPrecondition on incoherent
   /// options (Validate) and Cancelled when the cancel hook fires.
-  static Result<DecomposeOutput> Decompose(const Graph& g,
+  TRUSS_NODISCARD static Result<DecomposeOutput> Decompose(const Graph& g,
                                            const DecomposeOptions& options);
 
   /// File-to-file decomposition over `env`: reads `graph_file` (a
   /// (u,v)-sorted GEdgeRecord file; consumed), writes one ClassRecord per
   /// classified edge to `classes_out`. The external algorithms stream; the
   /// in-memory ones materialize the file's graph first (it must fit).
-  static Result<DecomposeStats> DecomposeFile(io::Env& env,
+  TRUSS_NODISCARD static Result<DecomposeStats> DecomposeFile(io::Env& env,
                                               const std::string& graph_file,
                                               VertexId num_vertices,
                                               const DecomposeOptions& options,
@@ -111,7 +111,7 @@ class Engine {
   /// `loaded` is non-null the parsed graph and original-id mapping are
   /// moved there, so callers can run follow-up queries (k-truss extraction,
   /// communities) without re-reading the file.
-  static Result<DecomposeOutput> DecomposeSnapFile(
+  TRUSS_NODISCARD static Result<DecomposeOutput> DecomposeSnapFile(
       const std::string& path, const DecomposeOptions& options,
       LoadedGraph* loaded = nullptr);
 
@@ -120,7 +120,7 @@ class Engine {
   /// parsing/normalization; anything else parses as a SNAP text edge list
   /// with `threads` reader workers. Binary snapshots carry compact ids
   /// already, so their original_id mapping is the identity.
-  static Result<LoadedGraph> LoadGraphFile(const std::string& path,
+  TRUSS_NODISCARD static Result<LoadedGraph> LoadGraphFile(const std::string& path,
                                            uint32_t threads = 1);
 
   /// The registry: the paper's four algorithms in presentation order, with

@@ -84,7 +84,7 @@ struct DecomposeOptions {
   /// Rejects incoherent combinations: a zero memory budget or block size,
   /// top_t values other than -1 or >= 1, top_t with a non-topdown
   /// algorithm, and threads outside [1, kMaxParallelThreads].
-  Status Validate() const;
+  TRUSS_NODISCARD Status Validate() const;
 
   /// Projects these options onto the external algorithms' config.
   ExternalConfig ToExternalConfig() const;

@@ -2,7 +2,7 @@
 
 #include <unordered_map>
 
-#include "graph/types.h"
+#include "common/types.h"
 
 namespace truss::gen {
 

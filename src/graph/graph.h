@@ -16,7 +16,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
-#include "graph/types.h"
+#include "common/types.h"
 
 namespace truss {
 
@@ -38,7 +38,7 @@ class Graph {
   /// three arrays inside a larger container (e.g. the serving layer's
   /// TrussIndex snapshots) and therefore cannot go through LoadBinary's
   /// whole-file path.
-  static Result<Graph> FromCsrParts(std::vector<uint64_t> offsets,
+  TRUSS_NODISCARD static Result<Graph> FromCsrParts(std::vector<uint64_t> offsets,
                                     std::vector<AdjEntry> adj,
                                     std::vector<Edge> edges);
 
@@ -101,12 +101,12 @@ class Graph {
   /// version header, then the raw offset/adjacency/edge arrays). Loading a
   /// snapshot skips the edge normalization and sorting of FromEdges, which
   /// is what makes it suitable as a dataset cache (see bench/bench_util.h).
-  Status SaveBinary(const std::string& path) const;
+  TRUSS_NODISCARD Status SaveBinary(const std::string& path) const;
 
   /// Reads a SaveBinary snapshot. Fails with IOError on unreadable files
   /// and Corruption on bad magic, unsupported versions, or structural
   /// inconsistencies (truncation, non-monotone offsets, size mismatches).
-  static Result<Graph> LoadBinary(const std::string& path);
+  TRUSS_NODISCARD static Result<Graph> LoadBinary(const std::string& path);
 
  private:
   friend class GraphBuilder;

@@ -69,17 +69,17 @@ struct SnapReadOptions {
 /// are collapsed to undirected simple edges, self-loops dropped) with the
 /// chunked parallel parser. Fails with IOError / Corruption on unreadable
 /// files or malformed rows.
-Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
+TRUSS_NODISCARD Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
                                      const SnapReadOptions& options);
 
 /// Convenience overload: default options with `threads` workers.
-Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
+TRUSS_NODISCARD Result<LoadedGraph> ReadSnapEdgeList(const std::string& path,
                                      uint32_t threads = 1);
 
 /// The sequential line-at-a-time reference reader. Same grammar, same
 /// results, same error messages as ReadSnapEdgeList; kept as the oracle the
 /// parallel reader is compared against (tests, bench_ingest).
-Result<LoadedGraph> ReadSnapEdgeListSequential(
+TRUSS_NODISCARD Result<LoadedGraph> ReadSnapEdgeListSequential(
     const std::string& path, uint64_t max_distinct_ids = kInvalidVertex);
 
 /// True when two parse results are structurally identical: the same
@@ -90,7 +90,7 @@ Result<LoadedGraph> ReadSnapEdgeListSequential(
 bool SameLoadedGraph(const LoadedGraph& a, const LoadedGraph& b);
 
 /// Writes `g` as a text edge list (one "u v" row per edge, u < v).
-Status WriteEdgeList(const Graph& g, const std::string& path);
+TRUSS_NODISCARD Status WriteEdgeList(const Graph& g, const std::string& path);
 
 }  // namespace truss
 

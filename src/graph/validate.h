@@ -21,7 +21,7 @@
 #include <string>
 
 #include "graph/graph.h"
-#include "graph/types.h"
+#include "common/types.h"
 
 namespace truss::graph {
 
@@ -36,7 +36,7 @@ namespace truss::graph {
 ///   - every directed entry (u -> v, e) agrees with edges[e] == (min(u,v),
 ///     max(u,v)), and every edge id is referenced exactly twice (symmetry);
 ///   - edges is strictly increasing lexicographically with u < v (the
-///     dense-EdgeId ordering contract of graph/types.h).
+///     dense-EdgeId ordering contract of common/types.h).
 /// On failure returns false and, when `error` is non-null, stores a
 /// one-line description of the first violation found.
 bool ValidateCsrParts(std::span<const uint64_t> offsets,

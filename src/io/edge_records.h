@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "graph/types.h"
+#include "common/types.h"
 
 namespace truss::io {
 

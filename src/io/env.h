@@ -107,7 +107,7 @@ class BlockWriter {
   /// Flushes the final partial block and closes the file, reporting any
   /// error. The destructor also flushes and closes, but silently; call
   /// Close() whenever write durability matters.
-  Status Close();
+  TRUSS_NODISCARD Status Close();
 
  private:
   friend class Env;
@@ -137,15 +137,15 @@ class Env {
   void ResetStats() { stats_ = IoStats{}; }
 
   /// Opens `name` (relative to the root) for sequential reading.
-  Result<std::unique_ptr<BlockReader>> OpenReader(const std::string& name);
+  TRUSS_NODISCARD Result<std::unique_ptr<BlockReader>> OpenReader(const std::string& name);
 
   /// Opens `name` for writing (truncates).
-  Result<std::unique_ptr<BlockWriter>> OpenWriter(const std::string& name);
+  TRUSS_NODISCARD Result<std::unique_ptr<BlockWriter>> OpenWriter(const std::string& name);
 
   bool FileExists(const std::string& name) const;
-  Result<uint64_t> FileSize(const std::string& name) const;
-  Status DeleteFile(const std::string& name);
-  Status RenameFile(const std::string& from, const std::string& to);
+  TRUSS_NODISCARD Result<uint64_t> FileSize(const std::string& name) const;
+  TRUSS_NODISCARD Status DeleteFile(const std::string& name);
+  TRUSS_NODISCARD Status RenameFile(const std::string& from, const std::string& to);
 
   /// Returns a unique file name with the given prefix (not yet created).
   std::string TempName(const std::string& prefix);

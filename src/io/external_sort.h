@@ -22,7 +22,7 @@ namespace truss::io {
 /// `memory_budget_bytes` of record buffer. `Record` must be trivially
 /// copyable; `Less` must be a strict weak order.
 template <typename Record, typename Less>
-Status ExternalSort(Env& env, const std::string& input,
+TRUSS_NODISCARD Status ExternalSort(Env& env, const std::string& input,
                     const std::string& output, Less less,
                     uint64_t memory_budget_bytes) {
   const uint64_t chunk_records =

@@ -32,7 +32,7 @@ class FileBuffer {
 
   /// Loads `path` in its entirety. Fails with IOError on unreadable files
   /// (including mmap failure under Mode::kMmap).
-  static Result<FileBuffer> Load(const std::string& path,
+  TRUSS_NODISCARD static Result<FileBuffer> Load(const std::string& path,
                                  Mode mode = Mode::kAuto);
 
   FileBuffer() = default;

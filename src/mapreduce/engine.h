@@ -75,7 +75,7 @@ class Engine {
 
   /// Runs one round: inputs[i] is mapped by mappers[i]; the merged keyed
   /// stream is shuffled and reduced into `output`.
-  Status Run(const std::vector<std::string>& inputs,
+  TRUSS_NODISCARD Status Run(const std::vector<std::string>& inputs,
              const std::vector<MapFn>& mappers, const ReduceFn& reducer,
              const std::string& output);
 

@@ -36,12 +36,12 @@ struct MrTrussStats {
 };
 
 /// Full truss decomposition of `g` via iterated MapReduce peeling.
-Result<TrussDecompositionResult> MapReduceTrussDecomposition(
+TRUSS_NODISCARD Result<TrussDecompositionResult> MapReduceTrussDecomposition(
     io::Env& env, const Graph& g, const MrTrussOptions& options,
     MrTrussStats* stats = nullptr);
 
 /// Computes the edge ids of the single k-truss T_k of `g`.
-Result<std::vector<EdgeId>> MapReduceKTruss(io::Env& env, const Graph& g,
+TRUSS_NODISCARD Result<std::vector<EdgeId>> MapReduceKTruss(io::Env& env, const Graph& g,
                                             uint32_t k,
                                             const MrTrussOptions& options,
                                             MrTrussStats* stats = nullptr);

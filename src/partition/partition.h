@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/types.h"
+#include "common/types.h"
 
 namespace truss::partition {
 

@@ -64,7 +64,7 @@ void AppendCommunityEntry(std::string* out, CommunityId id,
 // Writes all of `data`, retrying short writes and EINTR. MSG_NOSIGNAL:
 // a peer that closed mid-response must produce an error return, not
 // SIGPIPE. Returns false once the connection is unusable.
-bool SendAll(int fd, std::string_view data) {
+TRUSS_NODISCARD bool SendAll(int fd, std::string_view data) {
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n > 0) {
@@ -79,6 +79,21 @@ bool SendAll(int fd, std::string_view data) {
     return false;
   }
   return true;
+}
+
+// One audited increment for the server's monotonic stat counters, so the
+// ordering contract lives in one place instead of at every ++ site.
+void BumpStat(std::atomic<uint64_t>& counter) {
+  // ordering: relaxed — counters carry no data dependencies; the live
+  // STATS reader tolerates an instantaneously stale view, and the final
+  // report reads them after the RunShards join in Serve() has already
+  // ordered every worker's updates.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t ReadStat(const std::atomic<uint64_t>& counter) {
+  // ordering: relaxed — same monotonic-stat-counter contract as BumpStat.
+  return counter.load(std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -134,6 +149,8 @@ Status TrussServer::Start() {
 
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
+  // ordering: relaxed — Start() runs before any worker exists; the
+  // RunShards fork in Serve() publishes this store to every worker.
   stopping_.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -148,6 +165,8 @@ void TrussServer::Serve() {
 void TrussServer::Stop() { RequestStop(); }
 
 void TrussServer::ServeWorker() {
+  // ordering: relaxed — pure quit flag with no data payload; a worker that
+  // reads a stale false only runs one extra <= poll_interval_ms iteration.
   while (!stopping_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
@@ -155,7 +174,7 @@ void TrussServer::ServeWorker() {
     int fd = ::accept4(listen_fd_, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) continue;  // lost the accept race, or transient error
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(connections_);
     HandleConnection(fd);
     ::close(fd);
   }
@@ -164,6 +183,7 @@ void TrussServer::ServeWorker() {
 void TrussServer::HandleConnection(int fd) {
   std::string buffer;
   char chunk[4096];
+  // ordering: relaxed — same quit-flag contract as ServeWorker's loop.
   while (!stopping_.load(std::memory_order_relaxed)) {
     pollfd pfd{fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
@@ -196,8 +216,10 @@ void TrussServer::HandleConnection(int fd) {
       buffer.erase(0, newline + 1);
     }
     if (buffer.size() > options_.max_line_bytes) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      SendAll(fd, "ERR BAD_REQUEST line exceeds limit\n");
+      BumpStat(errors_);
+      // Best-effort courtesy reply: the connection is being dropped either
+      // way, and the error was already counted above.
+      (void)SendAll(fd, "ERR BAD_REQUEST line exceeds limit\n");
       return;
     }
   }
@@ -206,10 +228,10 @@ void TrussServer::HandleConnection(int fd) {
 std::string TrussServer::HandleLine(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   if (line.empty()) return "";
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  BumpStat(queries_);
 
   auto err = [this](std::string_view code, std::string_view msg) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(errors_);
     std::string out = "ERR ";
     out.append(code);
     out.push_back(' ');
@@ -250,7 +272,7 @@ std::string TrussServer::HandleLine(std::string_view line) {
       }
       return err("INTERNAL", outcome.status().message());
     }
-    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(rebuilds_);
     return "OK REBUILD version=" + std::to_string(outcome.value().version) +
            " seconds=" + FormatDouble("%.3f", outcome.value().total_seconds);
   }
@@ -290,7 +312,7 @@ std::string TrussServer::HandleLine(std::string_view line) {
         !ParseU32(tokens[2], &v)) {
       return err("BAD_REQUEST", "usage: TRUSS <u> <v>");
     }
-    truss_queries_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(truss_queries_);
     // 0 means {u, v} is not an edge; real edges always report >= 2.
     return "OK TRUSS " + std::to_string(index.EdgeTrussNumber(u, v));
   }
@@ -300,7 +322,7 @@ std::string TrussServer::HandleLine(std::string_view line) {
     if (tokens.size() != 2 || !ParseU32(tokens[1], &v)) {
       return err("BAD_REQUEST", "usage: MAXK <v>");
     }
-    maxk_queries_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(maxk_queries_);
     const uint32_t k = index.VertexMaxK(v);
     std::string out = "OK MAXK k=" + std::to_string(k);
     const CommunityId c = index.DeepestCommunity(v);
@@ -319,7 +341,7 @@ std::string TrussServer::HandleLine(std::string_view line) {
         !ParseU32(tokens[2], &k)) {
       return err("BAD_REQUEST", "usage: COMM <v> <k>");
     }
-    comm_queries_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(comm_queries_);
     const CommunityId c = index.CommunityAt(v, k);
     if (c == kInvalidCommunity) {
       return err("NOT_FOUND", "vertex " + std::to_string(v) +
@@ -337,7 +359,7 @@ std::string TrussServer::HandleLine(std::string_view line) {
     if (tokens.size() != 2 || !ParseU32(tokens[1], &t) || t == 0) {
       return err("BAD_REQUEST", "usage: TOP <t>  (t >= 1)");
     }
-    top_queries_.fetch_add(1, std::memory_order_relaxed);
+    BumpStat(top_queries_);
     if (t > options_.top_cap) t = options_.top_cap;
     const auto top = index.DensestCommunities(t);
     std::string out = "OK TOP " + std::to_string(top.size());
@@ -372,14 +394,14 @@ std::string TrussServer::HandleLine(std::string_view line) {
 
 ServerStats TrussServer::stats() const {
   ServerStats s;
-  s.connections = connections_.load(std::memory_order_relaxed);
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
-  s.truss_queries = truss_queries_.load(std::memory_order_relaxed);
-  s.maxk_queries = maxk_queries_.load(std::memory_order_relaxed);
-  s.comm_queries = comm_queries_.load(std::memory_order_relaxed);
-  s.top_queries = top_queries_.load(std::memory_order_relaxed);
-  s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  s.connections = ReadStat(connections_);
+  s.queries = ReadStat(queries_);
+  s.errors = ReadStat(errors_);
+  s.truss_queries = ReadStat(truss_queries_);
+  s.maxk_queries = ReadStat(maxk_queries_);
+  s.comm_queries = ReadStat(comm_queries_);
+  s.top_queries = ReadStat(top_queries_);
+  s.rebuilds = ReadStat(rebuilds_);
   return s;
 }
 

@@ -96,7 +96,7 @@ class TrussServer {
 
   /// Binds and listens on 127.0.0.1:options.port. Fails with IOError when
   /// the port is taken or sockets are unavailable.
-  Status Start();
+  TRUSS_NODISCARD Status Start();
 
   /// Accept-and-serve loop; blocks until Stop()/RequestStop(). Requires a
   /// successful Start().
@@ -109,6 +109,8 @@ class TrussServer {
 
   /// Async-signal-safe subset of Stop() (a lock-free atomic store), for
   /// SIGINT/SIGTERM handlers. Shutdown latency is one poll interval.
+  // ordering: relaxed — pure quit flag, no data published through it; the
+  // worker loops poll it and tolerate one stale read (one extra poll tick).
   void RequestStop() { stopping_.store(true, std::memory_order_relaxed); }
 
   /// The bound port (after Start); useful with options.port == 0.

@@ -101,7 +101,7 @@ class SnapshotRebuilder {
   /// builds a TrussIndex, and publishes it. Returns FailedPrecondition
   /// when another rebuild is already in flight, and propagates engine
   /// failures (invalid options, cancellation) without publishing.
-  Result<RebuildOutcome> RebuildAndPublish(
+  TRUSS_NODISCARD Result<RebuildOutcome> RebuildAndPublish(
       const engine::DecomposeOptions& options);
 
   /// True while a RebuildAndPublish call is running (on any thread).

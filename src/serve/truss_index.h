@@ -108,7 +108,7 @@ class TrussIndex {
 
   /// Decomposes `*graph` through the engine registry per `plan`, then
   /// builds. Fails if the engine run fails (bad options, cancellation).
-  static Result<IndexBuildOutput> Build(std::shared_ptr<const Graph> graph,
+  TRUSS_NODISCARD static Result<IndexBuildOutput> Build(std::shared_ptr<const Graph> graph,
                                         const IndexBuildPlan& plan);
 
   // --- point queries (lock-free) ---------------------------------------
@@ -184,13 +184,13 @@ class TrussIndex {
   /// Writes the full index (including the graph's CSR arrays) as one
   /// binary file ("TRSI" magic + version header). A server restart loads
   /// it back and skips re-decomposition.
-  Status Save(const std::string& path) const;
+  TRUSS_NODISCARD Status Save(const std::string& path) const;
 
   /// Reads a Save() file. Fails with IOError on unreadable files and
   /// Corruption on bad magic/version, size mismatches, or structural
   /// inconsistencies (the embedded graph is revalidated via
   /// Graph::FromCsrParts; index arrays are cross-checked against it).
-  static Result<std::shared_ptr<const TrussIndex>> Load(
+  TRUSS_NODISCARD static Result<std::shared_ptr<const TrussIndex>> Load(
       const std::string& path);
 
  private:

@@ -25,7 +25,7 @@ namespace truss {
 /// Runs the full bottom-up decomposition over `graph_file` (a (u,v)-sorted
 /// GEdgeRecord file; consumed). Writes one ClassRecord per edge to
 /// `classes_out` and returns execution statistics.
-Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
+TRUSS_NODISCARD Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
                                             const std::string& graph_file,
                                             VertexId num_vertices,
                                             const ExternalConfig& config,
@@ -34,7 +34,7 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
 /// Convenience wrapper: ships `g` through the Env, runs the external
 /// algorithm, and projects the classes back onto `g`'s edge ids (used by
 /// tests and benchmarks, where the reference graph fits in memory anyway).
-Result<TrussDecompositionResult> BottomUpDecompose(
+TRUSS_NODISCARD Result<TrussDecompositionResult> BottomUpDecompose(
     io::Env& env, const Graph& g, const ExternalConfig& config,
     ExternalStats* stats = nullptr);
 

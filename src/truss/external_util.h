@@ -22,11 +22,11 @@ namespace truss {
 /// Writes `g` as a GEdgeRecord file (sorted by (u, v), sup_acc = 0,
 /// phi_lb = 2) named `file` under `env`. This is the on-disk input format of
 /// the external algorithms.
-Status WriteGraphFile(io::Env& env, const Graph& g, const std::string& file);
+TRUSS_NODISCARD Status WriteGraphFile(io::Env& env, const Graph& g, const std::string& file);
 
 /// Reads a ClassRecord file and projects it onto `g`'s edge ids.
 /// Fails if a record's edge is absent from `g` or an edge is missing a class.
-Result<TrussDecompositionResult> LoadClassesAsDecomposition(
+TRUSS_NODISCARD Result<TrussDecompositionResult> LoadClassesAsDecomposition(
     io::Env& env, const std::string& classes_file, const Graph& g);
 
 /// An in-memory graph materialized from (u, v)-sorted edge records, with the
@@ -84,7 +84,7 @@ class LocalGraphView {
 
 /// Reads all records of a file into a vector (caller asserts it fits).
 template <typename Record>
-Result<std::vector<Record>> ReadAllRecords(io::Env& env,
+TRUSS_NODISCARD Result<std::vector<Record>> ReadAllRecords(io::Env& env,
                                            const std::string& file) {
   auto reader = env.OpenReader(file);
   TRUSS_RETURN_IF_ERROR(reader.status());
@@ -96,7 +96,7 @@ Result<std::vector<Record>> ReadAllRecords(io::Env& env,
 
 /// Writes all records of a vector to a file.
 template <typename Record>
-Status WriteAllRecords(io::Env& env, const std::string& file,
+TRUSS_NODISCARD Status WriteAllRecords(io::Env& env, const std::string& file,
                        const std::vector<Record>& records) {
   auto writer = env.OpenWriter(file);
   TRUSS_RETURN_IF_ERROR(writer.status());
@@ -107,7 +107,7 @@ Status WriteAllRecords(io::Env& env, const std::string& file,
 /// One sequential pass over an edge-record file: per-vertex degrees and the
 /// edge count of the file's graph.
 template <typename Record>
-Status ScanDegrees(io::Env& env, const std::string& file, VertexId n,
+TRUSS_NODISCARD Status ScanDegrees(io::Env& env, const std::string& file, VertexId n,
                    std::vector<uint32_t>* degrees, uint64_t* num_edges) {
   degrees->assign(n, 0);
   *num_edges = 0;

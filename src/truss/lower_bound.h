@@ -22,7 +22,7 @@
 
 #include <string>
 
-#include "graph/types.h"
+#include "common/types.h"
 #include "io/env.h"
 #include "truss/external.h"
 
@@ -48,7 +48,7 @@ struct LowerBoundingOutput {
 /// Runs Algorithm 3 on `graph_file` (a (u,v)-sorted GEdgeRecord file, which
 /// is consumed). Φ2 edges are appended to `class_out`. `num_vertices` bounds
 /// vertex ids in the file.
-Result<LowerBoundingOutput> RunLowerBounding(io::Env& env,
+TRUSS_NODISCARD Result<LowerBoundingOutput> RunLowerBounding(io::Env& env,
                                              const std::string& graph_file,
                                              VertexId num_vertices,
                                              const ExternalConfig& config,
@@ -60,7 +60,7 @@ Result<LowerBoundingOutput> RunLowerBounding(io::Env& env,
 /// scheme (no classification, no removal from the caller's perspective).
 /// Output: a (u,v)-sorted GEdgeRecord file whose sup_acc holds the exact
 /// support. Used by the overflow Procedures 9/10 to certify termination.
-Result<std::string> ComputeExactSupports(io::Env& env,
+TRUSS_NODISCARD Result<std::string> ComputeExactSupports(io::Env& env,
                                          const std::string& edge_file,
                                          VertexId num_vertices,
                                          const ExternalConfig& config);

@@ -25,17 +25,21 @@ namespace {
 /// sub-frontier.
 void DecrementClamped(std::atomic<uint32_t>& sup, uint32_t level, EdgeId e,
                       std::vector<EdgeId>& next_queue) {
-  // Memory ordering: relaxed throughout. The only cross-thread agreement
-  // this loop needs is on the support VALUE, which CAS atomicity alone
-  // provides — the read-modify-write chain on one atomic is totally
-  // ordered even under relaxed ([atomics.order] note on RMW coherence),
-  // so exactly one thread observes the level+1 → level transition and
-  // enqueues e. No other memory is published through `sup`: next_queue is
-  // shard-private, and the frontier arrays the next sub-level reads are
-  // published by the RunShards join that ends this one (the release/
-  // acquire edge lives in common/parallel.h, not here).
+  // Relaxed throughout. The only cross-thread agreement this loop needs
+  // is on the support VALUE, which CAS atomicity alone provides — the
+  // read-modify-write chain on one atomic is totally ordered even under
+  // relaxed ([atomics.order] note on RMW coherence), so exactly one
+  // thread observes the level+1 → level transition and enqueues e. No
+  // other memory is published through `sup`: next_queue is shard-private,
+  // and the frontier arrays the next sub-level reads are published by the
+  // RunShards join that ends this one (the release/acquire edge lives in
+  // common/parallel.h, not here).
+  //
+  // ordering: relaxed — value-only CAS chain; RMW coherence decides the
+  // unique level+1 → level winner (full argument above).
   uint32_t cur = sup.load(std::memory_order_relaxed);
   while (cur > level) {
+    // ordering: relaxed — same RMW-coherence argument as the load above.
     if (sup.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
       if (cur == level + 1) next_queue.push_back(e);
       return;
@@ -81,9 +85,9 @@ Result<TrussDecompositionResult> ParallelTrussDecomposition(
               [&](uint64_t begin, uint64_t end, uint32_t shard) {
                 uint32_t local_min = std::numeric_limits<uint32_t>::max();
                 for (uint64_t i = begin; i < end; ++i) {
-                  // Relaxed store: each index is written by exactly one
-                  // shard, and the ParallelFor join publishes the whole
-                  // array to every later reader.
+                  // ordering: relaxed — each index is written by exactly
+                  // one shard, and the ParallelFor join publishes the
+                  // whole array to every later reader.
                   sup[i].store(init_sup[i], std::memory_order_relaxed);
                   local_min = std::min(local_min, init_sup[i]);
                 }
@@ -136,9 +140,10 @@ Result<TrussDecompositionResult> ParallelTrussDecomposition(
                   for (uint64_t i = begin; i < end; ++i) {
                     const EdgeId e = live[i];
                     if (processed.Test(e)) continue;
-                    // Relaxed load: the sub-levels that last wrote sup[e]
-                    // all joined before this scan started, so the value is
-                    // current; no shard writes supports during the scan.
+                    // ordering: relaxed — the sub-levels that last wrote
+                    // sup[e] all joined before this scan started, so the
+                    // value is current; no shard writes supports during
+                    // the scan.
                     const uint32_t s = sup[e].load(std::memory_order_relaxed);
                     if (s <= level) {
                       local_curr.push_back(e);

@@ -44,7 +44,7 @@ namespace truss {
 /// as stage "peel" with k = level + 2, and cancellation aborts the run
 /// with Status::Cancelled. `timings` (optional) receives the support/peel
 /// phase split.
-Result<TrussDecompositionResult> ParallelTrussDecomposition(
+TRUSS_NODISCARD Result<TrussDecompositionResult> ParallelTrussDecomposition(
     const Graph& g, MemoryTracker* tracker = nullptr, uint32_t threads = 1,
     const ExecutionHooks* hooks = nullptr, PhaseTimings* timings = nullptr);
 

@@ -30,7 +30,7 @@ namespace truss {
 /// computed; with top_t = t ≥ 1 the walk stops after the t highest
 /// non-empty classes. Φ2 records are always emitted (they fall out of
 /// stage 1 for free). ClassRecords are written to `classes_out`.
-Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
+TRUSS_NODISCARD Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
                                            const std::string& graph_file,
                                            VertexId num_vertices,
                                            const ExternalConfig& config,
@@ -38,13 +38,13 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
 
 /// Convenience wrapper for full decompositions (config.top_t must be -1):
 /// returns the truss numbers projected onto `g`'s edge ids.
-Result<TrussDecompositionResult> TopDownDecompose(
+TRUSS_NODISCARD Result<TrussDecompositionResult> TopDownDecompose(
     io::Env& env, const Graph& g, const ExternalConfig& config,
     ExternalStats* stats = nullptr);
 
 /// Convenience wrapper for top-t queries: returns the raw class records
 /// (the t highest classes, plus Φ2).
-Result<std::vector<io::ClassRecord>> TopDownTopClasses(
+TRUSS_NODISCARD Result<std::vector<io::ClassRecord>> TopDownTopClasses(
     io::Env& env, const Graph& g, const ExternalConfig& config,
     ExternalStats* stats = nullptr);
 

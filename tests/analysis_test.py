@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""Self-test for the truss-tidy framework (scripts/analysis/).
+
+Mirrors tests/lint_arch_test.py: builds throwaway fixture trees with one
+planted violation per rule plus clean counterparts, and checks that each
+pass reports exactly the planted set. Also covers the suppression
+round-trip (suppressed violations vanish, stale entries are detected),
+the layering manifest/DAG machinery, and the nodiscard --fix rewrite.
+
+The arch pass keeps its dedicated coverage in tests/lint_arch_test.py
+(via the back-compat shim); here it only gets a smoke test through the
+shared runner.
+
+Run directly or via CTest (registered as analysis.selftest). The
+package is located through $TRUSS_ANALYSIS_SCRIPTS or, failing that,
+relative to this file, so the test works from any build directory.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+
+def scripts_dir():
+    path = os.environ.get("TRUSS_ANALYSIS_SCRIPTS")
+    if not path:
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "scripts")
+    return os.path.abspath(path)
+
+
+sys.path.insert(0, scripts_dir())
+
+from analysis import framework  # noqa: E402
+from analysis import model  # noqa: E402
+from analysis.passes import layering  # noqa: E402
+from analysis.passes import nodiscard  # noqa: E402
+
+
+def load_runner():
+    path = os.path.join(scripts_dir(), "analysis", "run.py")
+    spec = importlib.util.spec_from_file_location("truss_tidy_run", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(root, relpath, content):
+    full = os.path.join(root, relpath)
+    os.makedirs(os.path.dirname(full), exist_ok=True)
+    with open(full, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def write_manifest(root, modules):
+    write(root, "scripts/analysis/layers.json",
+          json.dumps({"modules": modules}))
+
+
+def run_pass(root, name, suppressions=None):
+    repo = model.RepoModel(root)
+    result = framework.run_passes(repo, [name], suppressions)[0]
+    return [str(v) for v in result.violations]
+
+
+def rules_of(violations):
+    return sorted(v.split("[", 1)[1].split("]", 1)[0] for v in violations)
+
+
+class FixtureCase(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+
+class ModelTest(FixtureCase):
+    def test_line_layers_and_includes(self):
+        write(self.root, "src/common/x.h",
+              '#include "common/y.h"  // pulls in Y\n'
+              '/* block\n'
+              '   comment */ int x = 0;  // trailing: note\n'
+              'const char* s = "in a string // not a comment";\n')
+        repo = model.RepoModel(self.root)
+        f = repo.files["src/common/x.h"]
+        self.assertEqual(f.includes, [(1, "common/y.h")])
+        self.assertEqual(f.module, "common")
+        self.assertTrue(f.is_header)
+        self.assertIn("comment", f.lines[2].comment)
+        self.assertIn("trailing: note", f.lines[2].comment)
+        self.assertIn("int x = 0;", f.lines[2].code)
+        self.assertEqual(f.lines[3].literals,
+                         ["in a string // not a comment"])
+        self.assertNotIn("not a comment", f.lines[3].code)
+
+    def test_scope_is_first_party_tops_only(self):
+        write(self.root, "src/common/a.h", "int a;\n")
+        write(self.root, "third_party/skip.h", "int b;\n")
+        write(self.root, "src/common/notes.txt", "not source\n")
+        repo = model.RepoModel(self.root)
+        self.assertEqual(sorted(repo.files), ["src/common/a.h"])
+
+
+class SuppressionTest(FixtureCase):
+    def test_round_trip_suppresses_and_tracks_stale(self):
+        write(self.root, "src/truss/bad.cc", "std::thread t;\n")
+        suppressions = {
+            "raw-thread": {"src/truss/bad.cc": "fixture: planted"},
+            "bare-assert": {"src/never/was.cc": "fixture: stale entry"},
+        }
+        repo = model.RepoModel(self.root)
+        result = framework.run_passes(repo, ["arch"], suppressions)[0]
+        self.assertEqual(result.violations, [])
+        self.assertEqual(result.used_suppressions,
+                         {("raw-thread", "src/truss/bad.cc")})
+        reporter = framework.Reporter(suppressions)
+        reporter.used_suppressions = result.used_suppressions
+        self.assertEqual(reporter.unused_suppressions(),
+                         [("bare-assert", "src/never/was.cc")])
+
+    def test_loader_rejects_bad_shapes(self):
+        path = os.path.join(self.root, "s.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"raw-thread": {"src/x.cc": ""}}, f)
+        with self.assertRaises(ValueError):
+            framework.load_suppressions(path)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"raw-thread": ["src/x.cc"]}, f)
+        with self.assertRaises(ValueError):
+            framework.load_suppressions(path)
+
+
+class NodiscardTest(FixtureCase):
+    def test_missing_annotation_is_flagged(self):
+        write(self.root, "src/io/env.h",
+              "Status WriteFile(const std::string& path);\n"
+              "Result<int> ReadCount();\n"
+              "static Status Helper();\n")
+        violations = run_pass(self.root, "nodiscard")
+        self.assertEqual(rules_of(violations),
+                         ["nodiscard", "nodiscard", "nodiscard"])
+        self.assertIn("WriteFile", violations[0])
+
+    def test_annotated_declarations_are_clean(self):
+        write(self.root, "src/io/env.h",
+              "TRUSS_NODISCARD Status WriteFile(const std::string& path);\n"
+              "TRUSS_NODISCARD\n"
+              "Result<int> ReadCount();\n"
+              "template <typename T>\n"
+              "TRUSS_NODISCARD Result<T> Parse(const char* s);\n")
+        self.assertEqual(run_pass(self.root, "nodiscard"), [])
+
+    def test_scope_is_src_headers_only(self):
+        write(self.root, "src/io/env.cc", "Status WriteFile() { ... }\n")
+        write(self.root, "tests/env_test.h", "Status Fixture();\n")
+        write(self.root, "src/io/doc.h",
+              "// returns Status::OK() on success\n"
+              'const char* kMsg = "Status Save(x) failed";\n')
+        self.assertEqual(run_pass(self.root, "nodiscard"), [])
+
+    def test_fix_inserts_annotation_and_is_idempotent(self):
+        write(self.root, "src/io/env.h",
+              "class Env {\n"
+              " public:\n"
+              "  Status WriteFile(const std::string& path);\n"
+              "};\n")
+        repo = model.RepoModel(self.root)
+        fixed = nodiscard.NodiscardPass().fix(repo)
+        self.assertEqual(fixed, ["src/io/env.h"])
+        with open(os.path.join(self.root, "src/io/env.h"),
+                  encoding="utf-8") as f:
+            content = f.read()
+        self.assertIn("  TRUSS_NODISCARD Status WriteFile", content)
+        self.assertEqual(run_pass(self.root, "nodiscard"), [])
+        self.assertEqual(nodiscard.NodiscardPass().fix(
+            model.RepoModel(self.root)), [])
+
+
+class LayeringTest(FixtureCase):
+    def _tree(self):
+        write(self.root, "src/common/base.h", "int b;\n")
+        write(self.root, "src/graph/graph.h", '#include "common/base.h"\n')
+        write(self.root, "src/truss/peel.h", '#include "graph/graph.h"\n')
+
+    def test_matching_manifest_is_clean(self):
+        self._tree()
+        write_manifest(self.root, {"common": [], "graph": ["common"],
+                                   "truss": ["graph"]})
+        self.assertEqual(run_pass(self.root, "layering"), [])
+
+    def test_undeclared_edge_is_flagged(self):
+        self._tree()
+        write_manifest(self.root, {"common": [], "graph": ["common"],
+                                   "truss": []})
+        violations = run_pass(self.root, "layering")
+        self.assertEqual(rules_of(violations), ["include-layering"])
+        self.assertIn("truss -> graph", violations[0])
+
+    def test_missing_and_stale_manifest_modules(self):
+        self._tree()
+        write_manifest(self.root, {"common": [], "graph": ["common"],
+                                   "truss": ["graph"], "ghost": []})
+        violations = run_pass(self.root, "layering")
+        self.assertEqual(rules_of(violations), ["layering-manifest"])
+        self.assertIn("ghost", violations[0])
+        write_manifest(self.root, {"common": [], "graph": ["common"]})
+        violations = run_pass(self.root, "layering")
+        # The undeclared module is flagged, and its include edges (which
+        # now have an empty allow set) fall out as layering violations too.
+        self.assertEqual(rules_of(violations),
+                         ["include-layering", "layering-manifest"])
+        self.assertTrue(any("src/truss" in v for v in violations))
+
+    def test_absent_manifest_is_flagged(self):
+        self._tree()
+        violations = run_pass(self.root, "layering")
+        self.assertEqual(rules_of(violations), ["layering-manifest"])
+        self.assertIn("cannot read manifest", violations[0])
+
+    def test_declared_cycle_is_flagged(self):
+        self._tree()
+        write_manifest(self.root, {"common": ["truss"], "graph": ["common"],
+                                   "truss": ["graph"]})
+        violations = run_pass(self.root, "layering")
+        self.assertEqual(rules_of(violations), ["layering-manifest"])
+        self.assertIn("cycle", violations[0])
+
+    def test_file_level_cycle_is_flagged(self):
+        write(self.root, "src/common/a.h", '#include "common/b.h"\n')
+        write(self.root, "src/common/b.h", '#include "common/a.h"\n')
+        write_manifest(self.root, {"common": []})
+        violations = run_pass(self.root, "layering")
+        self.assertEqual(rules_of(violations), ["include-cycle"])
+        self.assertIn("src/common/a.h -> src/common/b.h -> src/common/a.h",
+                      violations[0])
+
+    def test_cycle_finders_directly(self):
+        self.assertIsNone(layering.find_declared_cycle(
+            {"a": ["b"], "b": []}))
+        cycle = layering.find_declared_cycle({"a": ["b"], "b": ["a"]})
+        self.assertEqual(cycle, ["a", "b", "a"])
+        self.assertIsNone(layering.find_file_cycle({"x": {"y"}, "y": set()}))
+        self.assertEqual(layering.find_file_cycle({"x": {"x"}}),
+                         ["x", "x"])
+
+
+class AtomicsTest(FixtureCase):
+    def test_untagged_use_is_flagged(self):
+        write(self.root, "src/common/c.cc",
+              "c.fetch_add(1, std::memory_order_relaxed);\n")
+        violations = run_pass(self.root, "atomics")
+        self.assertEqual(rules_of(violations), ["ordering-tag"])
+
+    def test_tag_on_line_or_block_above_is_clean(self):
+        write(self.root, "src/common/c.cc",
+              "// ordering: relaxed — stat counter, read after join\n"
+              "c.fetch_add(1, std::memory_order_relaxed);\n"
+              "f.store(true, std::memory_order_release);"
+              "  // ordering: release — publishes the buffer\n")
+        self.assertEqual(run_pass(self.root, "atomics"), [])
+
+    def test_stale_tag_is_flagged(self):
+        write(self.root, "src/common/c.cc",
+              "// ordering: relaxed — was relaxed before the fix\n"
+              "f.store(true, std::memory_order_release);\n")
+        violations = run_pass(self.root, "atomics")
+        self.assertEqual(rules_of(violations), ["ordering-mismatch"])
+        self.assertIn("stale", violations[0])
+
+    def test_unknown_order_and_empty_justification_are_flagged(self):
+        write(self.root, "src/common/c.cc",
+              "// ordering: sloppy — not a real ordering\n"
+              "c.load(std::memory_order_relaxed);\n")
+        self.assertEqual(rules_of(run_pass(self.root, "atomics")),
+                         ["ordering-mismatch"])
+        write(self.root, "src/common/c.cc",
+              "// ordering: relaxed\n"
+              "c.load(std::memory_order_relaxed);\n")
+        violations = run_pass(self.root, "atomics")
+        self.assertEqual(rules_of(violations), ["ordering-mismatch"])
+        self.assertIn("no justification", violations[0])
+
+    def test_multi_order_line_needs_every_order_tagged(self):
+        write(self.root, "src/common/c.cc",
+              "// ordering: acq_rel — CAS success publishes, failure "
+              "re-reads\n"
+              "c.compare_exchange_weak(e, d, std::memory_order_acq_rel,\n"
+              "                        std::memory_order_acquire);\n")
+        violations = run_pass(self.root, "atomics")
+        # The second line's acquire is a separate site with no tag of its
+        # own and no covering block (the code line above breaks the block).
+        self.assertEqual(rules_of(violations), ["ordering-tag"])
+        write(self.root, "src/common/c.cc",
+              "// ordering: acq_rel, acquire — success publishes, failure "
+              "path only re-reads\n"
+              "c.compare_exchange_weak(\n"
+              "    e, d, std::memory_order_acq_rel, "
+              "std::memory_order_acquire);  "
+              "// ordering: acq_rel, acquire — see block above\n")
+        self.assertEqual(run_pass(self.root, "atomics"), [])
+
+    def test_scope_is_src_only_and_comments_never_fire(self):
+        write(self.root, "tests/t.cc",
+              "c.load(std::memory_order_seq_cst);\n")
+        write(self.root, "src/common/doc.cc",
+              "// prose mentioning memory_order_relaxed is fine untagged\n"
+              "int x = 0;\n")
+        self.assertEqual(run_pass(self.root, "atomics"), [])
+
+
+class RunnerTest(FixtureCase):
+    def test_exit_codes_and_metrics(self):
+        runner = load_runner()
+        write(self.root, "src/common/ok.cc", "int x = 0;\n")
+        write_manifest(self.root, {"common": []})
+        self.assertEqual(runner.main(["--root", self.root, "--all"]), 0)
+        write(self.root, "src/common/bad.cc", "std::thread t;\n")
+        self.assertEqual(runner.main(["--root", self.root, "--all"]), 1)
+        self.assertEqual(runner.main(["--root", self.root]), 2)
+        self.assertEqual(
+            runner.main(["--root", self.root, "--pass", "nope"]), 2)
+        self.assertEqual(
+            runner.main(["--root", os.path.join(self.root, "gone"),
+                         "--all"]), 2)
+
+    def test_fix_flag_repairs_nodiscard(self):
+        runner = load_runner()
+        write(self.root, "src/io/env.h", "Status Save();\n")
+        write_manifest(self.root, {"io": []})
+        self.assertEqual(runner.main(["--root", self.root, "--pass",
+                                      "nodiscard"]), 1)
+        self.assertEqual(runner.main(["--root", self.root, "--pass",
+                                      "nodiscard", "--fix"]), 0)
+        with open(os.path.join(self.root, "src/io/env.h"),
+                  encoding="utf-8") as f:
+            self.assertIn("TRUSS_NODISCARD Status Save();", f.read())
+
+
+if __name__ == "__main__":
+    unittest.main()
