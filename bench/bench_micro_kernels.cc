@@ -17,6 +17,7 @@
 #include "gen/generators.h"
 #include "graph/graph.h"
 #include "kcore/kcore.h"
+#include "layout/layout.h"
 #include "triangle/triangle.h"
 #include "truss/edge_map.h"
 #include "truss/improved.h"
@@ -183,6 +184,56 @@ void BM_TriangleEnumHashVsIntersect(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(triangles));
 }
 BENCHMARK(BM_TriangleEnumHashVsIntersect)->Arg(0)->Arg(1);
+
+// Support initialization on the Blog-scale stand-in: the per-edge
+// undirected intersection (range(0) == 0, the historical path, kept as
+// ComputeEdgeSupportsNaive) vs the DODG forward listing that replaced it
+// (range(0) == 1). Each triangle costs three adjacency intersections in
+// the former and one — over √(2m)-bounded out-lists — in the latter.
+void BM_SupportDodgVsUndirected(benchmark::State& state) {
+  const truss::Graph& g = truss::bench::GetDataset("Blog");
+  const bool dodg = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dodg ? truss::ComputeEdgeSupports(g)
+                                  : truss::ComputeEdgeSupportsNaive(g));
+  }
+  state.SetLabel(dodg ? "dodg" : "undirected");
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SupportDodgVsUndirected)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Reorder-policy sweep on the Blog stand-in: support initialization on the
+// graph as generated (range(0) == 0) vs after the degree-descending
+// renumber (range(0) == 1), where the DODG's id_ordered fast path engages
+// and hub adjacency is packed at the front of the CSR. The reorder itself
+// runs outside the timed region — BM_ReorderBlog prices it separately.
+void BM_SupportByLayout(benchmark::State& state) {
+  const truss::Graph& original = truss::bench::GetDataset("Blog");
+  const auto policy = state.range(0) != 0 ? truss::layout::Policy::kDegree
+                                          : truss::layout::Policy::kNone;
+  const truss::layout::PermutedGraph permuted = truss::layout::ApplyPermutation(
+      original, truss::layout::ComputeOrder(original, policy));
+  const truss::Graph& g = permuted.graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::ComputeEdgeSupports(g));
+  }
+  state.SetLabel(truss::layout::PolicyName(policy));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SupportByLayout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The reorder cost itself (ComputeOrder + CSR rebuild): what layout=degree
+// must win back from the support/peel phases to pay off end to end.
+void BM_ReorderBlog(benchmark::State& state) {
+  const truss::Graph& g = truss::bench::GetDataset("Blog");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truss::layout::ApplyPermutation(
+        g, truss::layout::ComputeOrder(g, truss::layout::Policy::kDegree)));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ReorderBlog)->Unit(benchmark::kMillisecond);
 
 // The peel phase alone (support initialization hoisted out), so peel-side
 // changes show up undiluted by triangle counting.

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   truss_cli --input FILE.txt [--algo NAME] [--budget-mb N] [--top-t T]
-//             [--threads N] [--truss K] [--communities K]
+//             [--threads N] [--layout none|degree] [--truss K]
+//             [--communities K]
 //   truss_cli --dataset NAME [...]          (registry stand-in by name)
 //
 // Reads a SNAP-format edge list (or a registry dataset), runs the chosen
@@ -29,7 +30,8 @@ namespace {
 void Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s (--input FILE | --dataset NAME) [--algo NAME] "
-               "[--budget-mb N] [--top-t T] [--threads N] [--truss K] "
+               "[--budget-mb N] [--top-t T] [--threads N] "
+               "[--layout none|degree] [--truss K] "
                "[--communities K]\n\nalgorithms:\n",
                prog);
   for (const truss::engine::AlgorithmInfo& info :
@@ -67,6 +69,13 @@ int main(int argc, char** argv) {
       options.top_t = std::atoi(next());
     } else if (arg == "--threads") {
       options.threads = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--layout") {
+      const char* name = next();
+      if (!truss::layout::PolicyFromName(name, &options.layout)) {
+        std::fprintf(stderr, "error: unknown layout '%s'\n", name);
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--truss") {
       truss_k = std::atol(next());
       truss_set = true;

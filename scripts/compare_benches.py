@@ -69,25 +69,38 @@ def report_metrics(baseline: dict, current: dict) -> None:
     lower-better overhead percentages that can legitimately be negative),
     so only the raw values and a relative delta are shown; the delta is
     suppressed for non-positive baselines, where a ratio would be
-    meaningless or sign-inverted."""
+    meaningless or sign-inverted.
+
+    Keys present in only one side are reported as "new" / "removed"
+    rather than silently dropped — a renamed or vanished METRIC line
+    (e.g. a bench losing its reorder_seconds instrumentation) should be
+    visible in the comparison, not erased by an intersection."""
     rows = []
     for name in sorted(baseline.keys() & current.keys()):
         base_metrics = baseline[name].get("metrics") or {}
         cur_metrics = current[name].get("metrics") or {}
-        for key in sorted(base_metrics.keys() & cur_metrics.keys()):
+        for key in sorted(base_metrics.keys() | cur_metrics.keys()):
+            if key not in cur_metrics:
+                rows.append((key, f"{base_metrics[key]:.4g}", "-", "-",
+                             "removed"))
+                continue
+            if key not in base_metrics:
+                rows.append((key, "-", f"{cur_metrics[key]:.4g}", "-", "new"))
+                continue
             base_v, cur_v = base_metrics[key], cur_metrics[key]
             delta = (f"{(cur_v - base_v) / base_v * 100.0:+.1f}%"
                      if base_v > 0 else "-")
             # %.4g keeps sub-second phase timings readable (0.1873, not
             # 0.2) without blowing up large MB/s figures.
-            rows.append((key, f"{base_v:.4g}", f"{cur_v:.4g}", delta))
+            rows.append((key, f"{base_v:.4g}", f"{cur_v:.4g}", delta, ""))
     if not rows:
         return
-    header = ("metric", "base", "current", "delta")
-    widths = [max(len(row[i]) for row in rows + [header]) for i in range(4)]
+    header = ("metric", "base", "current", "delta", "status")
+    widths = [max(len(row[i]) for row in rows + [header]) for i in range(5)]
     print("\nmetrics (informational, never blocking):")
     for row in (header,) + tuple(rows):
-        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        print("  ".join(cell.ljust(widths[i])
+                        for i, cell in enumerate(row)).rstrip())
 
 
 def main() -> int:

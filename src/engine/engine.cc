@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "engine/validate.h"
 #include "graph/validate.h"
+#include "layout/layout.h"
 #include "truss/bottom_up.h"
 #include "truss/cohen.h"
 #include "truss/external_util.h"
@@ -121,20 +122,11 @@ Result<TrussDecompositionResult> RunInMemory(const Graph& g,
   return result;
 }
 
-}  // namespace
-
-Result<DecomposeOutput> Engine::Decompose(const Graph& g,
+/// The dispatch proper: runs `options.algorithm` on `g` as-is (no layout
+/// handling, no validation — Engine::Decompose owns both) and fills every
+/// stat except wall_seconds.
+Result<DecomposeOutput> DecomposeDispatch(const Graph& g,
                                           const DecomposeOptions& options) {
-  TRUSS_RETURN_IF_ERROR(options.Validate());
-  // Debug boundary validators (docs/STATIC_ANALYSIS.md): the input graph
-  // is structurally checked on the way in, the decomposition on the way
-  // out, so every Debug/ASan test run exercises both on every engine call.
-  graph::DCheckValidCsr(g);
-  if (options.hooks.ShouldCancel()) {
-    return Status::Cancelled("decomposition cancelled before start");
-  }
-
-  WallTimer timer;
   DecomposeOutput out;
   out.stats.algorithm = options.algorithm;
 
@@ -178,6 +170,53 @@ Result<DecomposeOutput> Engine::Decompose(const Graph& g,
   if (out.result.truss_number.size() == g.num_edges()) {
     DCheckDecomposeOutput(g, out.result);
   }
+  return out;
+}
+
+}  // namespace
+
+Result<DecomposeOutput> Engine::Decompose(const Graph& g,
+                                          const DecomposeOptions& options) {
+  TRUSS_RETURN_IF_ERROR(options.Validate());
+  // Debug boundary validators (docs/STATIC_ANALYSIS.md): the input graph
+  // is structurally checked on the way in, the decomposition on the way
+  // out, so every Debug/ASan test run exercises both on every engine call.
+  graph::DCheckValidCsr(g);
+  if (options.hooks.ShouldCancel()) {
+    return Status::Cancelled("decomposition cancelled before start");
+  }
+
+  WallTimer timer;
+  if (options.layout == layout::Policy::kNone) {
+    auto out = DecomposeDispatch(g, options);
+    TRUSS_RETURN_IF_ERROR_RESULT(out);
+    out.value().stats.wall_seconds = timer.Seconds();
+    return out;
+  }
+
+  // Layout path: renumber, decompose in the permuted id space (any
+  // registry algorithm — the external ones stream the permuted graph
+  // through their Env like any other), then scatter the truss numbers
+  // back so the caller sees g's own edge ids. Validate() already rejected
+  // top-t, so the result is always a full decomposition.
+  WallTimer reorder_timer;
+  const layout::VertexPermutation perm =
+      layout::ComputeOrder(g, options.layout, options.threads);
+  const layout::PermutedGraph permuted =
+      layout::ApplyPermutation(g, perm, options.threads);
+  const double reorder_seconds = reorder_timer.Seconds();
+
+  auto run = DecomposeDispatch(permuted.graph, options);
+  TRUSS_RETURN_IF_ERROR_RESULT(run);
+  DecomposeOutput out = run.MoveValue();
+  if (out.result.truss_number.size() == permuted.graph.num_edges()) {
+    out.result.truss_number = layout::MapEdgeValuesToOriginal(
+        permuted.original_edge, out.result.truss_number);
+    // Truss numbers are invariant under relabeling; re-check in the
+    // original space so a bad edge mapping cannot escape a Debug run.
+    DCheckDecomposeOutput(g, out.result);
+  }
+  out.stats.reorder_seconds = reorder_seconds;
   out.stats.wall_seconds = timer.Seconds();
   return out;
 }
@@ -190,6 +229,14 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
   TRUSS_RETURN_IF_ERROR(options.Validate());
   if (options.hooks.ShouldCancel()) {
     return Status::Cancelled("decomposition cancelled before start");
+  }
+  if (options.layout != layout::Policy::kNone &&
+      (options.algorithm == Algorithm::kBottomUp ||
+       options.algorithm == Algorithm::kTopDown)) {
+    return Status::InvalidArgument(
+        "layout reordering is not supported for external algorithms in "
+        "DecomposeFile: the graph streams from disk and is never "
+        "materialized to reorder; use Engine::Decompose, or layout=none");
   }
 
   DecomposeStats stats;
@@ -219,15 +266,16 @@ Result<DecomposeStats> Engine::DecomposeFile(io::Env& env,
       // Materialize the file's graph (the in-memory algorithms need it
       // anyway), decompose, and emit ClassRecords in the file's original
       // vertex ids. Matches the external entry points' contract: the input
-      // file is consumed.
+      // file is consumed. Routing through Decompose (rather than the bare
+      // in-memory runner) is what lets this path inherit the layout
+      // option — reorder, run, map back — plus the Debug validators.
       WallTimer timer;
       auto records = ReadAllRecords<io::GEdgeRecord>(env, graph_file);
       TRUSS_RETURN_IF_ERROR_RESULT(records);
       const LocalGraphView local(records.value());
-      auto run = RunInMemory(local.graph(), options, &stats);
+      auto run = Decompose(local.graph(), options);
       TRUSS_RETURN_IF_ERROR_RESULT(run);
-      const TrussDecompositionResult result = run.MoveValue();
-      DCheckDecomposeOutput(local.graph(), result);
+      const TrussDecompositionResult& result = run.value().result;
 
       auto writer = env.OpenWriter(classes_out);
       TRUSS_RETURN_IF_ERROR(writer.status());

@@ -65,6 +65,12 @@ struct DecomposeStats {
   /// stage accounting lives in `external`).
   double support_seconds = 0.0;
   double peel_seconds = 0.0;
+  /// Time spent computing and applying the vertex reordering when
+  /// DecomposeOptions::layout != kNone (0 otherwise). Included in
+  /// wall_seconds. bench_table3_inmem emits it as a METRIC line, so
+  /// BENCH_table3_inmem.json tracks the reorder overhead against the
+  /// support/peel time it buys back.
+  double reorder_seconds = 0.0;
   /// Peak structure memory from MemoryTracker (in-memory algorithms).
   uint64_t peak_memory_bytes = 0;
   /// I/O counters and stage statistics (external algorithms).
@@ -90,7 +96,10 @@ class Engine {
   /// Decomposes an in-memory graph with the selected algorithm. External
   /// algorithms ship `g` through a scratch Env (see
   /// DecomposeOptions::scratch_dir) and project the classes back onto `g`'s
-  /// edge ids. Fails with InvalidArgument/FailedPrecondition on incoherent
+  /// edge ids. With DecomposeOptions::layout != kNone the graph is
+  /// renumbered first (any registry algorithm) and the truss numbers are
+  /// mapped back before returning, so results are always in `g`'s edge-id
+  /// space. Fails with InvalidArgument/FailedPrecondition on incoherent
   /// options (Validate) and Cancelled when the cancel hook fires.
   TRUSS_NODISCARD static Result<DecomposeOutput> Decompose(const Graph& g,
                                            const DecomposeOptions& options);

@@ -40,6 +40,12 @@ Status DecomposeOptions::Validate() const {
         std::string("top_t requires the topdown algorithm; '") +
         AlgorithmName(algorithm) + "' always computes all classes");
   }
+  if (layout != layout::Policy::kNone && top_t >= 1) {
+    return Status::InvalidArgument(
+        "layout reordering is incompatible with top_t class queries (class "
+        "records carry vertex ids, which a reorder would leave in the "
+        "renumbered space); use layout=none for top-t");
+  }
   if (threads == 0) {
     return Status::InvalidArgument("threads must be >= 1");
   }

@@ -16,6 +16,7 @@
 
 #include "common/hooks.h"
 #include "common/status.h"
+#include "layout/layout.h"
 #include "partition/partition.h"
 #include "truss/external.h"
 
@@ -65,6 +66,17 @@ struct DecomposeOptions {
   /// memory grows linearly with this knob. Default 1 (fully sequential).
   uint32_t threads = 1;
 
+  /// Cache-aware vertex reordering applied before dispatch (see
+  /// docs/LAYOUT.md). kDegree renumbers vertices degree-descending, runs
+  /// the decomposition in the new id space — where the triangle kernels'
+  /// degree-ordered orientation becomes a rank-free adjacency prefix —
+  /// and maps the truss numbers back, so callers see their own edge ids
+  /// either way. Truss numbers are byte-identical to a kNone run; the
+  /// reorder cost lands in DecomposeStats::reorder_seconds. Incompatible
+  /// with top_t queries (Validate() rejects the combination). Default
+  /// kNone: no reordering.
+  layout::Policy layout = layout::Policy::kNone;
+
   /// Scratch directory for the external algorithms' Env. Empty = the engine
   /// creates (and removes) a unique directory under the system temp dir; a
   /// caller-supplied directory is reused and left in place.
@@ -83,7 +95,8 @@ struct DecomposeOptions {
 
   /// Rejects incoherent combinations: a zero memory budget or block size,
   /// top_t values other than -1 or >= 1, top_t with a non-topdown
-  /// algorithm, and threads outside [1, kMaxParallelThreads].
+  /// algorithm, top_t combined with layout reordering, and threads
+  /// outside [1, kMaxParallelThreads].
   TRUSS_NODISCARD Status Validate() const;
 
   /// Projects these options onto the external algorithms' config.

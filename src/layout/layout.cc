@@ -1,0 +1,203 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/parallel.h"
+#include "graph/validate.h"
+
+namespace truss::layout {
+
+namespace {
+
+/// Debug-only bijection check: the two maps must be mutual inverses over
+/// [0, n). Compiled out under NDEBUG (the loop itself, not just the
+/// assertions).
+void DCheckPermutation(const VertexPermutation& perm, VertexId n) {
+#ifndef NDEBUG
+  TRUSS_DCHECK_EQ(perm.new_id.size(), static_cast<size_t>(n));
+  TRUSS_DCHECK_EQ(perm.old_id.size(), static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    TRUSS_DCHECK_LT(perm.new_id[v], n);
+    TRUSS_DCHECK_EQ(perm.old_id[perm.new_id[v]], v);
+  }
+#else
+  (void)perm;
+  (void)n;
+#endif
+}
+
+VertexPermutation IdentityPermutation(VertexId n) {
+  VertexPermutation perm;
+  perm.new_id.resize(n);
+  std::iota(perm.new_id.begin(), perm.new_id.end(), 0);
+  perm.old_id = perm.new_id;
+  return perm;
+}
+
+}  // namespace
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kNone:
+      return "none";
+    case Policy::kDegree:
+      return "degree";
+  }
+  return "unknown";
+}
+
+bool PolicyFromName(std::string_view name, Policy* policy) {
+  if (name == "none") {
+    *policy = Policy::kNone;
+    return true;
+  }
+  if (name == "degree") {
+    *policy = Policy::kDegree;
+    return true;
+  }
+  return false;
+}
+
+VertexPermutation ComputeOrder(const Graph& g, Policy policy,
+                               uint32_t threads) {
+  const VertexId n = g.num_vertices();
+  if (policy == Policy::kNone) return IdentityPermutation(n);
+
+  // Degree-descending counting sort. All three passes shard [0, n) with the
+  // same clamped worker count, so the per-shard histograms line up with the
+  // placement ranges and the result is byte-identical for every thread
+  // count.
+  const uint32_t workers = EffectiveThreads(threads, n);
+
+  // Pass 1: maximum degree (per-shard maxima in disjoint slots).
+  std::vector<uint32_t> shard_max(workers, 0);
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t shard) {
+    uint32_t mx = 0;
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      mx = std::max(mx, g.degree(v));
+    }
+    shard_max[shard] = mx;
+  });
+  const uint32_t dmax = *std::max_element(shard_max.begin(), shard_max.end());
+
+  // Pass 2: per-shard degree histograms. Buffers are allocated here on the
+  // calling thread so an allocation failure surfaces normally (RunShards
+  // bodies must not throw).
+  std::vector<std::vector<uint64_t>> hist(workers);
+  for (std::vector<uint64_t>& h : hist) {
+    h.assign(static_cast<size_t>(dmax) + 1, 0);
+  }
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t shard) {
+    std::vector<uint64_t>& h = hist[shard];
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      ++h[g.degree(v)];
+    }
+  });
+
+  // Exclusive scan across shards per degree (hist[s][d] becomes the count
+  // of degree-d vertices in shards before s), then the bucket starts with
+  // degree buckets laid out from dmax down to 0.
+  std::vector<uint64_t> total(static_cast<size_t>(dmax) + 1, 0);
+  for (uint32_t d = 0; d <= dmax; ++d) {
+    uint64_t running = 0;
+    for (uint32_t s = 0; s < workers; ++s) {
+      const uint64_t count = hist[s][d];
+      hist[s][d] = running;
+      running += count;
+    }
+    total[d] = running;
+  }
+  std::vector<uint64_t> bucket_start(static_cast<size_t>(dmax) + 1, 0);
+  uint64_t placed = 0;
+  for (uint32_t d = dmax;; --d) {
+    bucket_start[d] = placed;
+    placed += total[d];
+    if (d == 0) break;
+  }
+
+  // Pass 3: placement. Each shard advances its own cursors, seeded from the
+  // exclusive scan; within a shard old ids ascend and across shards the
+  // scan keeps them ascending, so equal-degree ties land in ascending old
+  // id order regardless of the thread count.
+  VertexPermutation perm;
+  perm.new_id.resize(n);
+  perm.old_id.resize(n);
+  std::vector<std::vector<uint64_t>> cursor(workers);
+  for (uint32_t s = 0; s < workers; ++s) {
+    cursor[s].resize(static_cast<size_t>(dmax) + 1);
+    for (uint32_t d = 0; d <= dmax; ++d) {
+      cursor[s][d] = bucket_start[d] + hist[s][d];
+    }
+  }
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t shard) {
+    std::vector<uint64_t>& c = cursor[shard];
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      perm.new_id[v] = static_cast<VertexId>(c[g.degree(v)]++);
+    }
+  });
+  // Invert. new_id is a bijection, so every old_id slot is written exactly
+  // once (disjoint indices across shards — no conflicting accesses).
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      perm.old_id[perm.new_id[v]] = v;
+    }
+  });
+  DCheckPermutation(perm, n);
+  return perm;
+}
+
+PermutedGraph ApplyPermutation(const Graph& g, const VertexPermutation& perm,
+                               uint32_t threads) {
+  const VertexId n = g.num_vertices();
+  TRUSS_CHECK_EQ(perm.new_id.size(), static_cast<size_t>(n));
+  TRUSS_CHECK_EQ(perm.old_id.size(), static_cast<size_t>(n));
+  DCheckPermutation(perm, n);
+  const EdgeId m = g.num_edges();
+
+  // Tag each renumbered edge with its source id and sort into the new
+  // lexicographic order. Graph::FromEdges assigns EdgeIds in exactly that
+  // order, so after the rebuild the tags line up with the new ids
+  // positionally.
+  struct Tagged {
+    Edge edge;
+    EdgeId original;
+  };
+  std::vector<Tagged> tagged(m);
+  const uint32_t workers = EffectiveThreads(threads, m);
+  ParallelFor(workers, m, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
+      const Edge& src = g.edge(e);
+      tagged[e] = Tagged{MakeEdge(perm.new_id[src.u], perm.new_id[src.v]), e};
+    }
+  });
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) { return a.edge < b.edge; });
+
+  PermutedGraph out;
+  std::vector<Edge> edges(m);
+  out.original_edge.resize(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    edges[e] = tagged[e].edge;
+    out.original_edge[e] = tagged[e].original;
+  }
+  out.graph = Graph::FromEdges(std::move(edges), n);
+  // A bijection of a simple graph cannot merge, drop, or create edges.
+  TRUSS_CHECK_EQ(out.graph.num_edges(), m);
+  graph::DCheckValidCsr(out.graph);
+  return out;
+}
+
+std::vector<uint32_t> MapEdgeValuesToOriginal(
+    std::span<const EdgeId> original_edge, std::span<const uint32_t> values) {
+  TRUSS_CHECK_EQ(original_edge.size(), values.size());
+  std::vector<uint32_t> out(values.size(), 0);
+  for (size_t e = 0; e < values.size(); ++e) {
+    out[original_edge[e]] = values[e];
+  }
+  return out;
+}
+
+}  // namespace truss::layout

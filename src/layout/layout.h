@@ -1,0 +1,91 @@
+// Cache-aware graph layout: vertex reordering policies and the CSR rebuild
+// that applies them.
+//
+// Triangle enumeration — the support-initialization bottleneck of every
+// in-memory algorithm (§3) — walks sorted adjacency. Its locality is
+// therefore a function of the vertex id assignment: with ids assigned in
+// degree-descending order the hub vertices cluster at the front of every
+// CSR array, the degree-ordered orientation (triangle/triangle.h Dodg)
+// collapses to "out-neighbors are the adjacency prefix below v", and the
+// out-degree of every vertex is bounded by O(√m) by construction. This
+// module computes such orders (ComputeOrder), materializes them as a
+// renumbered graph (ApplyPermutation), and maps per-edge results back to
+// the caller's id space (MapEdgeValuesToOriginal) — the engine wires the
+// three together behind DecomposeOptions::layout, so external ids go in
+// and external ids come out (see docs/LAYOUT.md for the contract).
+
+#ifndef TRUSS_LAYOUT_LAYOUT_H_
+#define TRUSS_LAYOUT_LAYOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace truss::layout {
+
+/// Vertex-reordering policy.
+enum class Policy : uint8_t {
+  /// Identity: keep the caller's ids. ComputeOrder returns the identity
+  /// permutation; the engine skips reordering entirely.
+  kNone,
+  /// Degree-descending: new id 0 is the highest-degree vertex; ties break
+  /// by ascending old id, so the order (and everything downstream of it)
+  /// is deterministic.
+  kDegree,
+};
+
+/// Stable name of a policy ("none", "degree") for CLI flags and METRIC /
+/// bench labels.
+const char* PolicyName(Policy policy);
+
+/// Parses a PolicyName back to its Policy. Returns false (leaving *policy
+/// untouched) for unknown names.
+bool PolicyFromName(std::string_view name, Policy* policy);
+
+/// A vertex renumbering as both maps: new_id is the forward direction
+/// (old id -> new id), old_id the inverse (new id -> old id). Producers
+/// guarantee the two are mutual inverses over [0, n).
+struct VertexPermutation {
+  std::vector<VertexId> new_id;
+  std::vector<VertexId> old_id;
+
+  VertexId size() const { return static_cast<VertexId>(new_id.size()); }
+};
+
+/// Computes the permutation realizing `policy` on `g`. kDegree runs a
+/// counting sort on degrees with per-shard histograms (parallel via
+/// RunShards/ParallelFor; deterministic — byte-identical for every thread
+/// count). The result is Debug-validated as a true bijection.
+VertexPermutation ComputeOrder(const Graph& g, Policy policy,
+                               uint32_t threads = 1);
+
+/// A reordered graph plus the edge-id correspondence needed to translate
+/// per-edge results back: edge e of `graph` is edge original_edge[e] of
+/// the source graph.
+struct PermutedGraph {
+  Graph graph;
+  std::vector<EdgeId> original_edge;
+};
+
+/// Rebuilds `g`'s CSR in the id space of `perm` (new id = perm.new_id[old
+/// id]). Vertex and edge counts are preserved exactly — a bijection of a
+/// simple graph never merges edges — and edge ids are reassigned in the
+/// new lexicographic order, with original_edge recording where each one
+/// came from. The rebuilt CSR is Debug-validated with graph::ValidateCsr.
+PermutedGraph ApplyPermutation(const Graph& g, const VertexPermutation& perm,
+                               uint32_t threads = 1);
+
+/// Scatters per-edge values computed on a permuted graph back into the
+/// source graph's edge-id space: result[original_edge[e]] = values[e].
+/// `original_edge` must be the mapping ApplyPermutation produced for that
+/// graph (sizes must match).
+std::vector<uint32_t> MapEdgeValuesToOriginal(
+    std::span<const EdgeId> original_edge, std::span<const uint32_t> values);
+
+}  // namespace truss::layout
+
+#endif  // TRUSS_LAYOUT_LAYOUT_H_

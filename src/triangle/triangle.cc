@@ -7,6 +7,65 @@
 
 namespace truss {
 
+Dodg::Dodg(const Graph& g, uint32_t threads) {
+  const VertexId n = g.num_vertices();
+  const uint32_t workers = EffectiveThreads(threads, n);
+
+  // Fast-path detection: ids already degree-descending means "u precedes v
+  // in (degree desc, id asc) order" is exactly "u < v", so no position
+  // array is needed at all.
+  id_ordered_ = true;
+  for (VertexId v = 1; v < n; ++v) {
+    if (g.degree(v) > g.degree(v - 1)) {
+      id_ordered_ = false;
+      break;
+    }
+  }
+
+  // General path: position of each vertex in the (degree desc, id asc)
+  // order. One O(n log n) sort; the entries themselves never need sorting
+  // because filtering preserves the adjacency's ascending-id order.
+  std::vector<VertexId> pos;
+  if (!id_ordered_) {
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      const uint32_t da = g.degree(a), db = g.degree(b);
+      return da != db ? da > db : a < b;
+    });
+    pos.resize(n);
+    for (VertexId r = 0; r < n; ++r) pos[order[r]] = r;
+  }
+  const auto precedes = [&](VertexId u, VertexId v) {
+    return id_ordered_ ? u < v : pos[u] < pos[v];
+  };
+
+  // Out-degree count: each shard writes a disjoint offsets_ slice.
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      uint64_t out_deg = 0;
+      for (const AdjEntry& a : g.neighbors(v)) {
+        if (precedes(a.neighbor, v)) ++out_deg;
+      }
+      offsets_[v + 1] = out_deg;
+    }
+  });
+  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  entries_.resize(offsets_.back());
+
+  // Fill: vertex slices of entries_ are disjoint, and the filtered copy
+  // stays id-sorted for free.
+  ParallelFor(workers, n, [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      uint64_t cursor = offsets_[v];
+      for (const AdjEntry& a : g.neighbors(v)) {
+        if (precedes(a.neighbor, v)) entries_[cursor++] = a;
+      }
+    }
+  });
+}
+
 OrientedAdjacency::OrientedAdjacency(const Graph& g, uint32_t threads) {
   const VertexId n = g.num_vertices();
   const uint32_t workers = EffectiveThreads(threads, n);
@@ -61,12 +120,25 @@ uint64_t CountTriangles(const Graph& g) {
 
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
   std::vector<uint32_t> sup(g.num_edges(), 0);
-  ForEachTriangle(g, [&](VertexId, VertexId, VertexId, EdgeId e1, EdgeId e2,
-                         EdgeId e3) {
-    ++sup[e1];
-    ++sup[e2];
-    ++sup[e3];
-  });
+  const Dodg dodg(g);
+#ifndef NDEBUG
+  uint64_t listed = 0;
+#endif
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ForEachTriangleEdgesAt(dodg, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+      ++sup[e1];
+      ++sup[e2];
+      ++sup[e3];
+#ifndef NDEBUG
+      ++listed;
+#endif
+    });
+  }
+#ifndef NDEBUG
+  // Exactly-once cross-check against the independent rank-oriented
+  // enumeration: the DODG must list |△G| triangles, no more, no fewer.
+  TRUSS_DCHECK_EQ(listed, CountTriangles(g));
+#endif
   return sup;
 }
 
@@ -76,12 +148,11 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g, uint32_t threads) {
   const uint32_t workers = EffectiveThreads(threads, n);
   if (workers <= 1) return ComputeEdgeSupports(g);
 
-  const OrientedAdjacency oriented(g, workers);
-  // Degree-balanced vertex shards: the forward algorithm's work at u is
+  const Dodg dodg(g, workers);
+  // Work-balanced vertex shards: the forward algorithm's work at v is
   // proportional to its oriented out-entries, whose prefix sum is exactly
-  // the orientation's CSR offsets.
-  const std::vector<uint64_t> bounds = SplitBalanced(oriented.offsets(),
-                                                     workers);
+  // the DODG's CSR offsets.
+  const std::vector<uint64_t> bounds = SplitBalanced(dodg.offsets(), workers);
 
   // Each worker counts its shard's triangles into a private buffer; an edge
   // may gain support from triangles found by different shards, so buffers
@@ -91,19 +162,29 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g, uint32_t threads) {
   // escaping a worker (RunShards bodies must not throw).
   std::vector<std::vector<uint32_t>> local(workers);
   for (std::vector<uint32_t>& buffer : local) buffer.assign(m, 0);
+#ifndef NDEBUG
+  std::vector<uint64_t> listed(workers, 0);
+#endif
   RunShards(workers, [&](uint32_t shard) {
     std::vector<uint32_t>& sup = local[shard];
-    for (VertexId u = static_cast<VertexId>(bounds[shard]);
-         u < bounds[shard + 1]; ++u) {
-      ForEachTriangleAt(oriented, u,
-                        [&](VertexId, VertexId, VertexId, EdgeId e1, EdgeId e2,
-                            EdgeId e3) {
-                          ++sup[e1];
-                          ++sup[e2];
-                          ++sup[e3];
-                        });
+    for (VertexId v = static_cast<VertexId>(bounds[shard]);
+         v < bounds[shard + 1]; ++v) {
+      ForEachTriangleEdgesAt(dodg, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+        ++sup[e1];
+        ++sup[e2];
+        ++sup[e3];
+#ifndef NDEBUG
+        ++listed[shard];
+#endif
+      });
     }
   });
+#ifndef NDEBUG
+  // Same exactly-once cross-check as the sequential path; shard counters
+  // are summed after the join, so the hot loop stays atomics-free.
+  TRUSS_DCHECK_EQ(std::accumulate(listed.begin(), listed.end(), uint64_t{0}),
+                  CountTriangles(g));
+#endif
 
   // Merge in shard order over disjoint edge ranges. uint32_t addition is
   // exact and order-independent, so the result matches the sequential path

@@ -1,19 +1,34 @@
 // In-memory triangle counting and listing.
 //
-// Implements the degree-ordered "forward" algorithm (Schank [27]; Latapy
-// [20]): orient every edge from its lower-ranked endpoint to its
-// higher-ranked endpoint, where rank orders vertices by (degree, id)
-// ascending; every out-neighborhood then has size O(√m) and intersecting the
+// Two related structures implement the degree-ordered "forward" algorithm
+// (Schank [27]; Latapy [20]): orient every edge from its lower-ordered
+// endpoint to its higher-ordered endpoint in a degree-monotone vertex
+// order; every out-neighborhood then has size O(√m) and intersecting the
 // out-lists of an edge's endpoints lists each triangle exactly once, for
 // O(m^1.5) total work — the lower-bound complexity the paper's Theorem 1
-// matches. Support initialization for both in-memory truss algorithms (§3)
-// and the local computations of the external algorithms (§5, §6) run on it.
+// matches.
+//
+//   - Dodg, the degree-ordered directed graph, is the hot-path structure:
+//     one 8-byte AdjEntry per undirected edge, out-lists kept in the CSR's
+//     ascending-id order so intersections run directly on vertex ids with
+//     the shared merge/galloping kernel. Support initialization for the
+//     in-memory truss algorithms (§3) and the local computations of the
+//     external algorithms (§5, §6) run on it (ComputeEdgeSupports). When
+//     the graph has been renumbered degree-descending (layout::
+//     ApplyPermutation with Policy::kDegree), the orientation collapses to
+//     "toward the smaller id" and the build is a rank-free prefix copy.
+//   - OrientedAdjacency is the rank-indexed variant: entries carry the
+//     (degree, id) rank so enumeration visits corners in rank order —
+//     the contract ForEachTriangle's callback exposes, which the truss
+//     lower-bound machinery and verification depend on. It also serves as
+//     the independent cross-check the Dodg paths assert against in Debug.
 
 #ifndef TRUSS_TRIANGLE_TRIANGLE_H_
 #define TRUSS_TRIANGLE_TRIANGLE_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -21,35 +36,31 @@
 
 namespace truss {
 
-/// Degree ratio beyond which ForEachCommonNeighbor switches from the
+/// Degree ratio beyond which the intersection kernel switches from the
 /// linear merge walk to galloping (binary search in the longer list).
 /// Below the ratio the merge's sequential scans are cache-friendlier;
 /// above it the O(min_deg · log max_deg) search wins.
 inline constexpr size_t kGallopDegreeRatio = 32;
 
-/// Enumerates the triangles through the edge (u, v) with no hash table:
-/// the sorted adjacency lists of u and v are intersected directly, and
-/// because every AdjEntry carries its edge id, both remaining triangle
-/// edges come out of the walk for free. Calls cb(w, e_uw, e_vw) for every
-/// common neighbor w. Cost is O(deg(u) + deg(v)) via a two-pointer merge,
-/// dropping to O(min_deg · log(max_deg)) by galloping when the degrees are
-/// skewed by more than kGallopDegreeRatio — this replaces the expected-O(1)
-/// hash probes of Algorithm 2 Step 8 with branch-predictable scans over
-/// contiguous memory (see truss/edge_map.h for the hash table it displaced
-/// from the peel hot loop; bench_micro_kernels BM_TriangleEnumHashVsIntersect
-/// measures the two side by side).
-template <typename CommonNeighborCallback>
-void ForEachCommonNeighbor(const Graph& g, VertexId u, VertexId v,
-                           CommonNeighborCallback&& cb) {
-  std::span<const AdjEntry> a = g.neighbors(u);  // yields e_uw
-  std::span<const AdjEntry> b = g.neighbors(v);  // yields e_vw
+/// Intersects two id-sorted AdjEntry spans and calls cb(ea, eb) for every
+/// vertex present in both, where ea always comes from `a` and eb from `b`.
+/// Two-pointer merge in O(|a| + |b|), dropping to O(min · log max) by
+/// galloping (binary search over a window that only ever narrows) when the
+/// sizes are skewed by more than kGallopDegreeRatio. This is the one
+/// intersection kernel behind both the undirected per-edge enumeration
+/// (ForEachCommonNeighbor) and the DODG triangle listing
+/// (ForEachTriangleEdgesAt).
+template <typename EntryPairCallback>
+void IntersectSortedEntries(std::span<const AdjEntry> a,
+                            std::span<const AdjEntry> b,
+                            EntryPairCallback&& cb) {
   const bool swapped = a.size() > b.size();
   if (swapped) std::swap(a, b);
   auto emit = [&](const AdjEntry& ea, const AdjEntry& eb) {
     if (swapped) {
-      cb(ea.neighbor, eb.edge, ea.edge);
+      cb(eb, ea);
     } else {
-      cb(ea.neighbor, ea.edge, eb.edge);
+      cb(ea, eb);
     }
   };
   if (a.size() * kGallopDegreeRatio < b.size()) {
@@ -85,8 +96,90 @@ void ForEachCommonNeighbor(const Graph& g, VertexId u, VertexId v,
   }
 }
 
+/// Enumerates the triangles through the edge (u, v) with no hash table:
+/// the sorted adjacency lists of u and v are intersected directly, and
+/// because every AdjEntry carries its edge id, both remaining triangle
+/// edges come out of the walk for free. Calls cb(w, e_uw, e_vw) for every
+/// common neighbor w. This replaces the expected-O(1) hash probes of
+/// Algorithm 2 Step 8 with branch-predictable scans over contiguous memory
+/// (see truss/edge_map.h for the hash table it displaced from the peel hot
+/// loop; bench_micro_kernels BM_TriangleEnumHashVsIntersect measures the
+/// two side by side).
+template <typename CommonNeighborCallback>
+void ForEachCommonNeighbor(const Graph& g, VertexId u, VertexId v,
+                           CommonNeighborCallback&& cb) {
+  IntersectSortedEntries(g.neighbors(u), g.neighbors(v),
+                         [&](const AdjEntry& ea, const AdjEntry& eb) {
+                           cb(ea.neighbor, ea.edge, eb.edge);
+                         });
+}
+
+/// Degree-ordered directed graph (DODG): every undirected edge stored
+/// exactly once, oriented toward the endpoint that comes earlier in the
+/// degree-descending vertex order (ties toward the lower id) — i.e. out(v)
+/// holds the neighbors of v that precede v in that order, so
+/// |out(v)| ≤ √(2m). Out-lists are subsequences of the CSR adjacency:
+/// same ascending-id order, edge ids carried along, which is what lets the
+/// triangle listing intersect them with the shared id-keyed kernel and no
+/// rank indirection.
+///
+/// When the graph's ids already run degree-descending — deg(v)
+/// non-increasing in v, which is exactly what layout::ApplyPermutation
+/// with layout::Policy::kDegree produces — the orientation predicate
+/// collapses to `u < v`: out(v) is the adjacency prefix below v, no order
+/// array is built at all, and enumeration touches renumbered ids that
+/// cluster hubs at the front of every array. The collapse is detected
+/// automatically (id_ordered()); on arbitrary graphs a (degree desc, id
+/// asc) position array restores the same bound.
+class Dodg {
+ public:
+  /// Builds the orientation. `threads` > 1 parallelizes the out-degree
+  /// count and fill passes over vertex ranges; the result is identical for
+  /// every thread count.
+  explicit Dodg(const Graph& g, uint32_t threads = 1);
+
+  /// Out-neighbors of v (the neighbors preceding v in the degree order),
+  /// sorted by ascending vertex id, each entry carrying its source EdgeId.
+  std::span<const AdjEntry> out(VertexId v) const {
+    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+  }
+
+  /// CSR offsets of the out-lists: offsets()[v]..offsets()[v+1] delimit
+  /// out(v). Being a prefix sum of out-degrees — the unit of forward-
+  /// algorithm work — this is the natural weight input for SplitBalanced.
+  std::span<const uint64_t> offsets() const { return offsets_; }
+
+  /// True when the source graph's ids already ran degree-descending and
+  /// the build took the rank-free prefix path.
+  bool id_ordered() const { return id_ordered_; }
+
+ private:
+  bool id_ordered_ = false;
+  std::vector<uint64_t> offsets_;
+  std::vector<AdjEntry> entries_;
+};
+
+/// Enumerates the triangles whose latest-ordered corner is `v`, exactly
+/// once each, as edge-id triples cb(e_uv, e_uw, e_vw): u runs over out(v)
+/// and w over the common out-neighbors closing the triangle. Distinct `v`
+/// values enumerate disjoint triangle sets, so per-vertex calls are the
+/// unit of parallel work (out-lists are only read).
+template <typename TriangleEdgesCallback>
+void ForEachTriangleEdgesAt(const Dodg& dodg, VertexId v,
+                            TriangleEdgesCallback&& cb) {
+  const std::span<const AdjEntry> out_v = dodg.out(v);
+  for (const AdjEntry& uv : out_v) {
+    IntersectSortedEntries(dodg.out(uv.neighbor), out_v,
+                           [&](const AdjEntry& uw, const AdjEntry& vw) {
+                             cb(uv.edge, uw.edge, vw.edge);
+                           });
+  }
+}
+
 /// Degree-ordered orientation of a graph: each vertex's out-list holds only
-/// higher-ranked neighbors, sorted by rank.
+/// higher-ranked neighbors, sorted by rank (by (degree, id) ascending).
+/// This is the rank-indexed sibling of Dodg: 12-byte entries and a rank
+/// indirection buy the rank-ordered corner contract of ForEachTriangle.
 class OrientedAdjacency {
  public:
   struct Entry {
@@ -159,11 +252,14 @@ void ForEachTriangle(const Graph& g, TriangleCallback&& cb) {
 /// Total number of triangles |△G|.
 uint64_t CountTriangles(const Graph& g);
 
-/// Per-edge supports sup(e) (Definition 1), indexed by EdgeId.
+/// Per-edge supports sup(e) (Definition 1), indexed by EdgeId. Runs the
+/// DODG listing: each triangle is enumerated exactly once (cross-checked
+/// against the independent rank-oriented count in Debug builds) and its
+/// three covering edges incremented.
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
 
-/// Parallel support computation: shards vertices into degree-balanced
-/// contiguous ranges (balanced on oriented out-degree, the unit of forward-
+/// Parallel support computation on the DODG: shards vertices into
+/// contiguous ranges balanced on oriented out-degree (the unit of forward-
 /// algorithm work), accumulates each shard's triangle increments into a
 /// per-thread buffer, and merges the buffers in shard order — no atomics on
 /// the hot path, and the output is byte-identical to the sequential version
@@ -173,8 +269,10 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g, uint32_t threads);
 
 /// Naive O(Σ deg²) support computation via per-edge neighbor-list
-/// intersection — the initialization step the paper's Algorithm 1 describes
-/// literally (Steps 2-3). Kept as a test oracle and micro-bench baseline.
+/// intersection over the *undirected* adjacency — the initialization step
+/// the paper's Algorithm 1 describes literally (Steps 2-3), discovering
+/// each triangle three times. Kept as a test oracle and as the baseline
+/// the DODG path is benched against (BM_SupportDodgVsUndirected).
 std::vector<uint32_t> ComputeEdgeSupportsNaive(const Graph& g);
 
 }  // namespace truss

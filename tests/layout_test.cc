@@ -1,0 +1,346 @@
+// Unit tests for the cache-aware layout module (src/layout) and the DODG
+// triangle enumeration it feeds: permutation properties, the degree-layout
+// invariance of every registry algorithm's truss numbers, and the DODG's
+// exactly-once triangle contract.
+
+#include "layout/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "triangle/triangle.h"
+
+namespace truss {
+namespace {
+
+using engine::Algorithm;
+using engine::DecomposeOptions;
+using engine::Engine;
+
+// Degree skew fixture shared with the parallel-support tests: a star hub
+// plus a small clique, so the degree counting sort sees heavy ties.
+Graph SkewedHubGraph() {
+  std::vector<Edge> edges;
+  const VertexId hub = 0;
+  for (VertexId v = 1; v <= 300; ++v) edges.push_back(MakeEdge(hub, v));
+  for (VertexId i = 1; i <= 12; ++i) {
+    for (VertexId j = i + 1; j <= 12; ++j) edges.push_back(MakeEdge(i, j));
+  }
+  return Graph::FromEdges(std::move(edges), 0);
+}
+
+bool IsBijection(const layout::VertexPermutation& perm, VertexId n) {
+  if (perm.new_id.size() != n || perm.old_id.size() != n) return false;
+  for (VertexId v = 0; v < n; ++v) {
+    if (perm.new_id[v] >= n || perm.old_id[perm.new_id[v]] != v) return false;
+  }
+  return true;
+}
+
+// --- policy names -------------------------------------------------------
+
+TEST(LayoutTest, PolicyNamesRoundTrip) {
+  for (const layout::Policy policy :
+       {layout::Policy::kNone, layout::Policy::kDegree}) {
+    layout::Policy parsed = layout::Policy::kNone;
+    EXPECT_TRUE(layout::PolicyFromName(layout::PolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+}
+
+TEST(LayoutTest, PolicyFromNameRejectsUnknown) {
+  layout::Policy parsed = layout::Policy::kDegree;
+  EXPECT_FALSE(layout::PolicyFromName("zigzag", &parsed));
+  EXPECT_EQ(parsed, layout::Policy::kDegree) << "must leave *policy untouched";
+  EXPECT_FALSE(layout::PolicyFromName("", &parsed));
+}
+
+// --- ComputeOrder -------------------------------------------------------
+
+TEST(LayoutTest, NonePolicyIsIdentity) {
+  const Graph g = gen::ErdosRenyiGnm(40, 200, 3);
+  const auto perm = layout::ComputeOrder(g, layout::Policy::kNone);
+  ASSERT_TRUE(IsBijection(perm, g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(perm.new_id[v], v);
+    EXPECT_EQ(perm.old_id[v], v);
+  }
+}
+
+TEST(LayoutTest, DegreeOrderIsDegreeDescendingWithStableTies) {
+  const Graph graphs[] = {
+      gen::ErdosRenyiGnm(60, 400, 7), gen::BarabasiAlbert(200, 4, 11),
+      gen::Star(80),                  SkewedHubGraph(),
+      Graph(),                        gen::Figure2Graph().graph,
+  };
+  for (size_t i = 0; i < std::size(graphs); ++i) {
+    const Graph& g = graphs[i];
+    const auto perm = layout::ComputeOrder(g, layout::Policy::kDegree);
+    ASSERT_TRUE(IsBijection(perm, g.num_vertices())) << "graph " << i;
+    for (VertexId r = 1; r < g.num_vertices(); ++r) {
+      const VertexId prev = perm.old_id[r - 1], cur = perm.old_id[r];
+      // Degree non-increasing along new ids; equal degrees keep old-id order.
+      EXPECT_GE(g.degree(prev), g.degree(cur)) << "graph " << i;
+      if (g.degree(prev) == g.degree(cur)) {
+        EXPECT_LT(prev, cur) << "graph " << i << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(LayoutTest, ComputeOrderIsThreadCountInvariant) {
+  const Graph g = gen::BarabasiAlbert(300, 5, 17);
+  const auto sequential = layout::ComputeOrder(g, layout::Policy::kDegree, 1);
+  for (const uint32_t threads : {2u, 4u, 8u, 64u}) {
+    const auto parallel =
+        layout::ComputeOrder(g, layout::Policy::kDegree, threads);
+    EXPECT_EQ(parallel.new_id, sequential.new_id) << "threads " << threads;
+    EXPECT_EQ(parallel.old_id, sequential.old_id) << "threads " << threads;
+  }
+}
+
+// --- ApplyPermutation ---------------------------------------------------
+
+TEST(LayoutTest, ApplyPermutationPreservesStructure) {
+  const Graph g = gen::ErdosRenyiGnm(50, 300, 5);
+  const auto perm = layout::ComputeOrder(g, layout::Policy::kDegree);
+  const layout::PermutedGraph permuted = layout::ApplyPermutation(g, perm);
+
+  ASSERT_EQ(permuted.graph.num_vertices(), g.num_vertices());
+  ASSERT_EQ(permuted.graph.num_edges(), g.num_edges());
+  ASSERT_EQ(permuted.original_edge.size(), g.num_edges());
+
+  // original_edge is a bijection on edge ids, and translating each permuted
+  // edge's endpoints back through the inverse map recovers the source edge.
+  std::vector<bool> seen(g.num_edges(), false);
+  for (EdgeId e = 0; e < permuted.graph.num_edges(); ++e) {
+    const EdgeId original = permuted.original_edge[e];
+    ASSERT_LT(original, g.num_edges());
+    EXPECT_FALSE(seen[original]) << "edge mapped twice";
+    seen[original] = true;
+    const Edge& pe = permuted.graph.edge(e);
+    EXPECT_EQ(MakeEdge(perm.old_id[pe.u], perm.old_id[pe.v]),
+              g.edge(original));
+  }
+}
+
+TEST(LayoutTest, DegreeLayoutYieldsDegreeMonotoneGraph) {
+  const Graph g = gen::BarabasiAlbert(150, 4, 23);
+  const auto perm = layout::ComputeOrder(g, layout::Policy::kDegree);
+  const layout::PermutedGraph permuted = layout::ApplyPermutation(g, perm);
+  for (VertexId v = 1; v < permuted.graph.num_vertices(); ++v) {
+    EXPECT_LE(permuted.graph.degree(v), permuted.graph.degree(v - 1));
+  }
+  // A degree-monotone id space is exactly the Dodg fast path.
+  EXPECT_TRUE(Dodg(permuted.graph).id_ordered());
+}
+
+TEST(LayoutTest, ApplyPermutationIsThreadCountInvariant) {
+  const Graph g = gen::ErdosRenyiGnm(80, 500, 29);
+  const auto perm = layout::ComputeOrder(g, layout::Policy::kDegree);
+  const layout::PermutedGraph sequential = layout::ApplyPermutation(g, perm, 1);
+  for (const uint32_t threads : {2u, 4u, 8u}) {
+    const layout::PermutedGraph parallel =
+        layout::ApplyPermutation(g, perm, threads);
+    EXPECT_EQ(parallel.original_edge, sequential.original_edge);
+    ASSERT_EQ(parallel.graph.num_edges(), sequential.graph.num_edges());
+    for (EdgeId e = 0; e < parallel.graph.num_edges(); ++e) {
+      EXPECT_EQ(parallel.graph.edge(e), sequential.graph.edge(e));
+    }
+  }
+}
+
+TEST(LayoutTest, MapEdgeValuesRoundTripsSupports) {
+  // Edge supports are an isomorphism invariant: computing them on the
+  // permuted graph and mapping back must reproduce the direct computation.
+  const Graph g = gen::ErdosRenyiGnm(60, 450, 31);
+  const auto perm = layout::ComputeOrder(g, layout::Policy::kDegree);
+  const layout::PermutedGraph permuted = layout::ApplyPermutation(g, perm);
+  const std::vector<uint32_t> mapped = layout::MapEdgeValuesToOriginal(
+      permuted.original_edge, ComputeEdgeSupports(permuted.graph));
+  EXPECT_EQ(mapped, ComputeEdgeSupports(g));
+}
+
+TEST(LayoutTest, EmptyGraph) {
+  const Graph g;
+  const auto perm = layout::ComputeOrder(g, layout::Policy::kDegree);
+  EXPECT_EQ(perm.size(), 0u);
+  const layout::PermutedGraph permuted = layout::ApplyPermutation(g, perm);
+  EXPECT_EQ(permuted.graph.num_vertices(), 0u);
+  EXPECT_EQ(permuted.graph.num_edges(), 0u);
+  EXPECT_TRUE(permuted.original_edge.empty());
+}
+
+// --- Dodg ---------------------------------------------------------------
+
+TEST(DodgTest, OutDegreeBoundedBySqrt2M) {
+  // Orienting each edge toward its (degree desc, id asc)-earlier endpoint
+  // bounds every out-degree by √(2m): a vertex of degree ≤ √(2m) has at
+  // most that many neighbors at all, and fewer than √(2m) vertices can
+  // have degree above it.
+  const Graph g = gen::BarabasiAlbert(400, 5, 9);
+  const Dodg dodg(g);
+  const double bound = std::sqrt(2.0 * static_cast<double>(g.num_edges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(static_cast<double>(dodg.out(v).size()), bound);
+  }
+}
+
+TEST(DodgTest, EachTriangleListedExactlyOnce) {
+  const Graph graphs[] = {
+      gen::ErdosRenyiGnm(40, 300, 3), gen::Complete(10),
+      gen::Star(50),                  SkewedHubGraph(),
+      gen::Figure2Graph().graph,
+  };
+  for (size_t i = 0; i < std::size(graphs); ++i) {
+    const Graph& g = graphs[i];
+    const Dodg dodg(g);
+    std::set<std::array<EdgeId, 3>> seen;
+    uint64_t listed = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ForEachTriangleEdgesAt(dodg, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+        std::array<EdgeId, 3> t = {e1, e2, e3};
+        std::sort(t.begin(), t.end());
+        EXPECT_TRUE(seen.insert(t).second) << "duplicate triangle, graph " << i;
+        ++listed;
+      });
+    }
+    EXPECT_EQ(listed, CountTriangles(g)) << "graph " << i;
+  }
+}
+
+TEST(DodgTest, ListedEdgesFormTheTriangle) {
+  const Graph g = gen::ErdosRenyiGnm(30, 200, 5);
+  const Dodg dodg(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ForEachTriangleEdgesAt(dodg, v, [&](EdgeId uv, EdgeId uw, EdgeId vw) {
+      // The three edges must pairwise share exactly the triangle's corners.
+      const Edge a = g.edge(uv), b = g.edge(uw), c = g.edge(vw);
+      std::set<VertexId> corners = {a.u, a.v, b.u, b.v, c.u, c.v};
+      EXPECT_EQ(corners.size(), 3u);
+    });
+  }
+}
+
+TEST(DodgTest, FastPathDetection) {
+  // gen::Star numbers the hub 0, so ids are already degree-descending.
+  EXPECT_TRUE(Dodg(gen::Star(20)).id_ordered());
+  EXPECT_TRUE(Dodg(gen::Complete(6)).id_ordered());  // all degrees equal
+  EXPECT_TRUE(Dodg(Graph()).id_ordered());
+  // A path's endpoints have degree 1 and its middle degree 2, so ids are
+  // not degree-monotone and the general position path must engage.
+  const Graph path = gen::Path(10);
+  const Dodg dodg(path);
+  EXPECT_FALSE(dodg.id_ordered());
+  // Both paths agree on supports regardless.
+  EXPECT_EQ(ComputeEdgeSupports(path), ComputeEdgeSupportsNaive(path));
+}
+
+TEST(DodgTest, ThreadCountInvariantConstruction) {
+  const Graph g = gen::BarabasiAlbert(200, 5, 31);
+  const Dodg sequential(g);
+  for (const uint32_t threads : {2u, 4u, 8u}) {
+    const Dodg parallel(g, threads);
+    ASSERT_TRUE(std::ranges::equal(sequential.offsets(), parallel.offsets()));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto a = sequential.out(v);
+      const auto b = parallel.out(v);
+      ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].neighbor, b[i].neighbor);
+        EXPECT_EQ(a[i].edge, b[i].edge);
+      }
+    }
+  }
+}
+
+// --- options validation -------------------------------------------------
+
+TEST(DecomposeOptionsLayoutTest, LayoutRejectsTopT) {
+  DecomposeOptions options;
+  options.algorithm = Algorithm::kTopDown;
+  options.top_t = 2;
+  options.layout = layout::Policy::kDegree;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.layout = layout::Policy::kNone;
+  EXPECT_TRUE(options.Validate().ok());
+  options.layout = layout::Policy::kDegree;
+  options.top_t = -1;  // full decomposition reorders fine
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+// --- end-to-end invariance ----------------------------------------------
+
+class LayoutInvarianceTest : public ::testing::TestWithParam<uint32_t> {};
+
+// The acceptance bar of the layout feature: with layout=degree every
+// registry algorithm must return truss numbers byte-identical (in the
+// original edge-id space) to a layout=none run, for every thread count and
+// graph shape.
+TEST_P(LayoutInvarianceTest, TrussNumbersInvariantUnderDegreeLayout) {
+  const uint32_t threads = GetParam();
+  const Graph graphs[] = {
+      gen::ErdosRenyiGnm(60, 400, 13),  // random
+      gen::Star(60),                    // triangle-free
+      gen::BarabasiAlbert(120, 4, 23),  // power-law skew
+      Graph(),                          // empty
+      gen::Figure2Graph().graph,        // the paper's running example
+  };
+  for (size_t i = 0; i < std::size(graphs); ++i) {
+    const Graph& g = graphs[i];
+    for (const engine::AlgorithmInfo& info : Engine::Algorithms()) {
+      DecomposeOptions options;
+      options.algorithm = info.id;
+      options.threads = threads;
+      options.memory_budget_bytes = 1 << 20;  // exercise external staging
+
+      options.layout = layout::Policy::kNone;
+      auto plain = Engine::Decompose(g, options);
+      ASSERT_TRUE(plain.ok())
+          << info.name << " graph " << i << ": " << plain.status().ToString();
+
+      options.layout = layout::Policy::kDegree;
+      auto reordered = Engine::Decompose(g, options);
+      ASSERT_TRUE(reordered.ok()) << info.name << " graph " << i << ": "
+                                  << reordered.status().ToString();
+
+      EXPECT_EQ(reordered.value().result.truss_number,
+                plain.value().result.truss_number)
+          << info.name << " graph " << i << " threads " << threads;
+      EXPECT_EQ(reordered.value().result.kmax, plain.value().result.kmax)
+          << info.name << " graph " << i;
+      EXPECT_EQ(plain.value().stats.reorder_seconds, 0.0);
+      EXPECT_GE(reordered.value().stats.reorder_seconds, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, LayoutInvarianceTest,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(LayoutInvarianceTest, Figure2GroundTruthWithLayout) {
+  const gen::Figure2Fixture fig = gen::Figure2Graph();
+  DecomposeOptions options;
+  options.layout = layout::Policy::kDegree;
+  auto out = Engine::Decompose(fig.graph, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().result.truss_number, fig.expected_truss);
+  EXPECT_EQ(out.value().result.kmax, fig.expected_kmax);
+}
+
+}  // namespace
+}  // namespace truss
