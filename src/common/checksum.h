@@ -1,0 +1,93 @@
+// Streaming 64-bit checksum for snapshot files.
+//
+// Not cryptographic — the goal is detecting torn writes, truncation, and
+// bit flips in our own snapshot files (TRSB graph snapshots, TRSI truss
+// indexes), not resisting an adversary. The state absorbs the payload one
+// 64-bit word at a time through the SplitMix64 finalizer (the same mixer
+// common/rng.h seeds with), and the digest folds in the total byte count,
+// so a file truncated at a word boundary still fails verification.
+
+#ifndef TRUSS_COMMON_CHECKSUM_H_
+#define TRUSS_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace truss {
+
+/// SplitMix64 finalizer: a cheap full-avalanche 64-bit mixer.
+inline uint64_t MixChecksumWord(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Incremental checksum: feed bytes in any chunking, read Digest() at the
+/// end. Equal byte streams produce equal digests regardless of chunking.
+class Checksum64 {
+ public:
+  void Update(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    bytes_ += n;
+    // Top up a partial word left by a previous chunk.
+    while (pending_len_ > 0 && n > 0) {
+      AbsorbByte(*p++);
+      --n;
+    }
+    while (n >= 8) {
+      uint64_t w;
+      std::memcpy(&w, p, 8);
+      state_ = MixChecksumWord(state_ ^ w);
+      p += 8;
+      n -= 8;
+    }
+    while (n > 0) {
+      AbsorbByte(*p++);
+      --n;
+    }
+  }
+
+  /// Digest over everything fed so far (the length is part of the digest).
+  uint64_t Digest() const {
+    uint64_t h = state_;
+    if (pending_len_ > 0) {
+      // Tag the tail with its length (< 8, so the top byte is free) to
+      // distinguish e.g. a 1-byte tail of 0x00 from a 2-byte one.
+      h = MixChecksumWord(
+          h ^ pending_ ^ (static_cast<uint64_t>(pending_len_) << 56));
+    }
+    return MixChecksumWord(h ^ bytes_);
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  void AbsorbByte(unsigned char b) {
+    pending_ |= static_cast<uint64_t>(b) << (8 * pending_len_);
+    if (++pending_len_ == 8) {
+      state_ = MixChecksumWord(state_ ^ pending_);
+      pending_ = 0;
+      pending_len_ = 0;
+    }
+  }
+
+  uint64_t state_ = 0x9e3779b97f4a7c15ULL;  // golden-ratio seed
+  uint64_t bytes_ = 0;
+  uint64_t pending_ = 0;
+  unsigned pending_len_ = 0;
+};
+
+/// One-shot convenience over a contiguous buffer.
+inline uint64_t Checksum64Of(const void* data, size_t n) {
+  Checksum64 sum;
+  sum.Update(data, n);
+  return sum.Digest();
+}
+
+}  // namespace truss
+
+#endif  // TRUSS_COMMON_CHECKSUM_H_

@@ -17,11 +17,15 @@
 #ifndef TRUSS_COMMON_MUTEX_H_
 #define TRUSS_COMMON_MUTEX_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.h"
 
 namespace truss {
+
+class CondVar;
 
 /// A std::mutex declared as a thread-safety capability. Non-recursive;
 /// lock-order within the repo is documented at each multi-mutex site (none
@@ -37,8 +41,51 @@ class TRUSS_CAPABILITY("mutex") Mutex {
   void Unlock() TRUSS_RELEASE() { mu_.unlock(); }
   bool TryLock() TRUSS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  // BasicLockable spelling for CondVar only: std::condition_variable_any
+  // unlocks/relocks through internal library helpers (which friendship
+  // cannot reach), so these must be public. They are deliberately
+  // unannotated — the wait-time unlock/relock happens inside the standard
+  // library, invisible to the analysis either way. Everything else in the
+  // repo locks via MutexLock; the code-review convention (and the
+  // annotated Lock/Unlock being the documented surface) keeps it that way.
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
  private:
   std::mutex mu_;
+};
+
+/// Condition variable paired with truss::Mutex — the sanctioned way to
+/// block on a predicate change (the concurrency arch pass confines
+/// std::condition_variable to this header, like std::mutex).
+///
+/// Usage mirrors absl::CondVar: hold the Mutex (via MutexLock), loop on the
+/// predicate around Wait/WaitFor, Signal/SignalAll after mutating guarded
+/// state. Wait atomically releases the mutex while blocked and re-acquires
+/// it before returning; the analysis models the caller as holding the lock
+/// throughout, which matches the visible lock state at every statement.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until a Signal/SignalAll (or spuriously); caller must hold mu.
+  void Wait(Mutex* mu) TRUSS_REQUIRES(mu) { cv_.wait(*mu); }
+
+  /// Waits at most `timeout_ms`; returns false on timeout. Spurious
+  /// wakeups return true, so callers must re-check their predicate either
+  /// way.
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) TRUSS_REQUIRES(mu) {
+    return cv_.wait_for(*mu, std::chrono::milliseconds(timeout_ms)) ==
+           std::cv_status::no_timeout;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 /// RAII lock holder for truss::Mutex — the only sanctioned way to hold one

@@ -68,4 +68,13 @@ std::vector<uint64_t> SplitBalanced(std::span<const uint64_t> prefix,
   return bounds;
 }
 
+BackgroundThread::BackgroundThread(std::function<void()> body)
+    : thread_(std::move(body)) {}
+
+BackgroundThread::~BackgroundThread() { Join(); }
+
+void BackgroundThread::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
 }  // namespace truss

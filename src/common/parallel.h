@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <thread>
 #include <vector>
 
 namespace truss {
@@ -72,6 +73,30 @@ void ParallelFor(
 /// degree-balanced ranges.
 std::vector<uint64_t> SplitBalanced(std::span<const uint64_t> prefix,
                                     uint32_t shards);
+
+/// One long-lived background thread, started at construction and joined at
+/// destruction (or by an explicit Join). The fork-join helpers above cover
+/// compute parallelism; this is for supervisory loops that must run off
+/// the latency-sensitive threads — e.g. the serving tier's rebuild-retry
+/// supervisor. Lives here because common/parallel.{h,cc} is the repo's
+/// only sanctioned thread-creation site (see the concurrency arch pass).
+///
+/// `body` must return on its own once the owner asks it to stop (typically
+/// via a CondVar-signalled flag); Join blocks until it does.
+class BackgroundThread {
+ public:
+  explicit BackgroundThread(std::function<void()> body);
+  ~BackgroundThread();
+
+  BackgroundThread(const BackgroundThread&) = delete;
+  BackgroundThread& operator=(const BackgroundThread&) = delete;
+
+  /// Blocks until the body returns. Idempotent.
+  void Join();
+
+ private:
+  std::thread thread_;
+};
 
 }  // namespace truss
 

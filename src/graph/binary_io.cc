@@ -2,10 +2,14 @@
 //
 // Layout: a fixed header {magic "TRSB", format version, array lengths}
 // followed by the three raw arrays of the CSR representation (offsets,
-// adjacency, edges). Loading performs structural validation — magic,
-// version, exact file length, monotone offsets summing to the adjacency
-// length — so a stale or torn cache file is rejected as Corruption rather
-// than producing an inconsistent graph.
+// adjacency, edges), then an io::ChecksumFooter over everything before it.
+// Saving is crash-safe — the file streams into a temp name and is renamed
+// over the destination only after the footer is flushed (see
+// io/checksum_file.h) — and loading verifies the checksum before parsing,
+// then performs structural validation — magic, version, exact file length,
+// monotone offsets summing to the adjacency length — so a stale, torn, or
+// bit-flipped cache file is rejected as Corruption rather than producing
+// an inconsistent graph.
 
 #include <cstdio>
 #include <filesystem>
@@ -14,13 +18,15 @@
 
 #include "graph/graph.h"
 #include "graph/validate.h"
+#include "io/checksum_file.h"
 
 namespace truss {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x42535254;  // "TRSB" little-endian
-constexpr uint32_t kVersion = 1;
+// Version 2 appended the checksum footer and made saves atomic.
+constexpr uint32_t kVersion = 2;
 
 // The size validation in LoadBinary assumes 8-byte array elements.
 static_assert(sizeof(uint64_t) == 8);
@@ -43,16 +49,6 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 template <typename T>
-Status WriteArray(std::FILE* f, const std::vector<T>& data,
-                  const std::string& path) {
-  if (data.empty()) return Status::OK();
-  if (std::fwrite(data.data(), sizeof(T), data.size(), f) != data.size()) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
-}
-
-template <typename T>
 Status ReadArray(std::FILE* f, std::vector<T>* data, uint64_t count,
                  const std::string& path) {
   data->resize(count);
@@ -66,29 +62,25 @@ Status ReadArray(std::FILE* f, std::vector<T>* data, uint64_t count,
 }  // namespace
 
 Status Graph::SaveBinary(const std::string& path) const {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
+  io::AtomicFileWriter w(path);
+  TRUSS_RETURN_IF_ERROR(w.Open());
 
   SnapshotHeader header;
   header.offsets_count = offsets_.size();
   header.adj_count = adj_.size();
   header.edges_count = edges_.size();
-  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
-    return Status::IOError("short write to " + path);
-  }
-  TRUSS_RETURN_IF_ERROR(WriteArray(f.get(), offsets_, path));
-  TRUSS_RETURN_IF_ERROR(WriteArray(f.get(), adj_, path));
-  TRUSS_RETURN_IF_ERROR(WriteArray(f.get(), edges_, path));
-
-  std::FILE* raw = f.release();
-  const bool closed_ok = std::fclose(raw) == 0;
-  if (!closed_ok) return Status::IOError("close failed for " + path);
-  return Status::OK();
+  TRUSS_RETURN_IF_ERROR(w.Append(&header, sizeof(header)));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(offsets_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(adj_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(edges_));
+  return w.Commit();
 }
 
 Result<Graph> Graph::LoadBinary(const std::string& path) {
+  // Whole-file integrity first: a torn or bit-flipped snapshot must fail
+  // here with Corruption before any of its bytes are interpreted.
+  TRUSS_RETURN_IF_ERROR(io::VerifyChecksummedFile(path).status());
+
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return Status::IOError("cannot open " + path + " for reading");
@@ -127,7 +119,8 @@ Result<Graph> Graph::LoadBinary(const std::string& path) {
   const uint64_t expected = sizeof(SnapshotHeader) +
                             header.offsets_count * sizeof(uint64_t) +
                             header.adj_count * sizeof(AdjEntry) +
-                            header.edges_count * sizeof(Edge);
+                            header.edges_count * sizeof(Edge) +
+                            sizeof(io::ChecksumFooter);
   if (file_size != expected) {
     return Status::Corruption("file size does not match header in " + path);
   }
@@ -138,6 +131,10 @@ Result<Graph> Graph::LoadBinary(const std::string& path) {
   TRUSS_RETURN_IF_ERROR(ReadArray(f.get(), &g.adj_, header.adj_count, path));
   TRUSS_RETURN_IF_ERROR(
       ReadArray(f.get(), &g.edges_, header.edges_count, path));
+  io::ChecksumFooter footer;
+  if (std::fread(&footer, sizeof(footer), 1, f.get()) != 1) {
+    return Status::Corruption("truncated checksum footer in " + path);
+  }
   if (std::fgetc(f.get()) != EOF) {
     return Status::Corruption("trailing bytes in " + path);
   }

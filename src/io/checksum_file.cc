@@ -1,0 +1,191 @@
+#include "io/checksum_file.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+
+namespace truss::io {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Distinguishes temp files of concurrent writers within one process; the
+/// pid distinguishes processes sharing a directory.
+std::string NextTempSuffix() {
+  static std::atomic<uint64_t> counter{0};
+  // ordering: relaxed — the counter only needs uniqueness, not ordering.
+  const uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  return ".tmp." + std::to_string(::getpid()) + "." + std::to_string(seq);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + NextTempSuffix()) {}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+void AtomicFileWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::error_code ec;
+  fs::remove(tmp_path_, ec);
+}
+
+Status AtomicFileWriter::Open() {
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IOError("cannot open " + tmp_path_ + " for writing");
+  }
+  return status_;
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t n) {
+  if (!status_.ok()) return status_;
+  if (n == 0) return Status::OK();
+  if (std::fwrite(data, 1, n, file_) != n) {
+    status_ = Status::IOError("short write to " + tmp_path_);
+    Abandon();
+    return status_;
+  }
+  sum_.Update(data, n);
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!status_.ok()) {
+    Abandon();
+    return status_;
+  }
+  ChecksumFooter footer;
+  footer.payload_bytes = sum_.bytes();
+  footer.checksum = sum_.Digest();
+  if (std::fwrite(&footer, sizeof(footer), 1, file_) != 1 ||
+      std::fflush(file_) != 0) {
+    status_ = Status::IOError("short write to " + tmp_path_);
+    Abandon();
+    return status_;
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    status_ = Status::IOError("close failed for " + tmp_path_);
+    Abandon();
+    return status_;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path_, path_, ec);
+  if (ec) {
+    status_ =
+        Status::IOError("cannot rename " + tmp_path_ + " -> " + path_);
+    Abandon();
+    return status_;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> VerifyChecksummedFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  std::error_code ec;
+  const uint64_t file_size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+  if (file_size < sizeof(ChecksumFooter)) {
+    return Status::Corruption("missing checksum footer in " + path);
+  }
+  const uint64_t payload = file_size - sizeof(ChecksumFooter);
+
+  Checksum64 sum;
+  std::vector<char> buf(64 * 1024);
+  uint64_t remaining = payload;
+  while (remaining > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(remaining, buf.size()));
+    if (std::fread(buf.data(), 1, want, f) != want) {
+      return Status::Corruption("truncated payload in " + path);
+    }
+    sum.Update(buf.data(), want);
+    remaining -= want;
+  }
+
+  ChecksumFooter footer;
+  if (std::fread(&footer, sizeof(footer), 1, f) != 1) {
+    return Status::Corruption("truncated checksum footer in " + path);
+  }
+  if (footer.magic != kChecksumFooterMagic) {
+    return Status::Corruption("bad checksum footer magic in " + path);
+  }
+  // Reserved bytes are written as zero; validating them keeps every footer
+  // byte covered by corruption detection.
+  if (footer.reserved != 0) {
+    return Status::Corruption("nonzero reserved footer bytes in " + path);
+  }
+  if (footer.payload_bytes != payload) {
+    return Status::Corruption("checksum footer length mismatch in " + path);
+  }
+  if (footer.checksum != sum.Digest()) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  return payload;
+}
+
+Status RewriteChecksumFooter(const std::string& path) {
+  std::error_code ec;
+  const uint64_t file_size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+  if (file_size < sizeof(ChecksumFooter)) {
+    return Status::Corruption("missing checksum footer in " + path);
+  }
+  const uint64_t payload = file_size - sizeof(ChecksumFooter);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for rewriting");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  Checksum64 sum;
+  std::vector<char> buf(64 * 1024);
+  uint64_t remaining = payload;
+  while (remaining > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(remaining, buf.size()));
+    if (std::fread(buf.data(), 1, want, f) != want) {
+      return Status::Corruption("truncated payload in " + path);
+    }
+    sum.Update(buf.data(), want);
+    remaining -= want;
+  }
+
+  // Update-mode streams require a positioning call between a read and the
+  // following write (C17 7.21.5.3/7); the no-op seek is that call.
+  if (std::fseek(f, 0, SEEK_CUR) != 0) {
+    return Status::IOError("cannot seek in " + path);
+  }
+  ChecksumFooter footer;
+  footer.payload_bytes = payload;
+  footer.checksum = sum.Digest();
+  if (std::fwrite(&footer, sizeof(footer), 1, f) != 1 ||
+      std::fflush(f) != 0) {
+    return Status::IOError("cannot rewrite footer of " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace truss::io

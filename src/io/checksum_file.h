@@ -1,0 +1,106 @@
+// Crash-safe file writing: write-to-temp + checksum footer + atomic rename.
+//
+// Snapshot files (TRSB graph snapshots, TRSI truss indexes) are written
+// through AtomicFileWriter: the payload streams into a temp file next to
+// the destination, a ChecksumFooter over the payload is appended, the file
+// is flushed and closed, and only then renamed over the destination. A
+// crash at any point leaves either the old file or the new file — never a
+// half-written hybrid — and a tear the rename discipline cannot prevent
+// (e.g. a corrupted sector after the fact) is caught by the footer:
+// VerifyChecksummedFile re-checksums the payload on load and rejects any
+// mismatch as Status::Corruption.
+
+#ifndef TRUSS_IO_CHECKSUM_FILE_H_
+#define TRUSS_IO_CHECKSUM_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/status.h"
+
+namespace truss::io {
+
+inline constexpr uint32_t kChecksumFooterMagic = 0x46535254;  // "TRSF"
+
+/// Trailing 24 bytes of every checksummed snapshot file.
+struct ChecksumFooter {
+  uint32_t magic = kChecksumFooterMagic;
+  uint32_t reserved = 0;
+  uint64_t payload_bytes = 0;  // file size minus this footer
+  uint64_t checksum = 0;       // Checksum64 over the payload bytes
+};
+static_assert(sizeof(ChecksumFooter) == 24);
+
+/// Writes `path` atomically. Usage:
+///
+///   AtomicFileWriter w(path);
+///   TRUSS_RETURN_IF_ERROR(w.Open());
+///   TRUSS_RETURN_IF_ERROR(w.Append(&header, sizeof(header)));
+///   TRUSS_RETURN_IF_ERROR(w.AppendSpan<uint64_t>(offsets));
+///   return w.Commit();
+///
+/// Until Commit() returns OK the destination is untouched; any failure (or
+/// destruction before Commit) removes the temp file. Not thread-safe, but
+/// concurrent writers to the same destination are safe against each other:
+/// each streams into its own temp file and the rename is atomic.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates the temp file. Must be called (and succeed) before Append.
+  TRUSS_NODISCARD Status Open();
+
+  /// Appends payload bytes, folding them into the running checksum.
+  TRUSS_NODISCARD Status Append(const void* data, size_t n);
+
+  template <typename T>
+  TRUSS_NODISCARD Status AppendSpan(std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Append(data.data(), data.size() * sizeof(T));
+  }
+
+  template <typename T>
+  TRUSS_NODISCARD Status AppendVector(const std::vector<T>& data) {
+    return AppendSpan(std::span<const T>(data));
+  }
+
+  /// Appends the footer, flushes, closes, and renames over the
+  /// destination. Returns the first error of the writer's lifetime; on
+  /// error the destination is untouched and the temp file removed.
+  TRUSS_NODISCARD Status Commit();
+
+ private:
+  void Abandon();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  Checksum64 sum_;
+  Status status_;
+};
+
+/// Verifies the footer of `path`: footer magic, payload length against the
+/// file size, and the checksum over the payload. Returns the payload byte
+/// count on success, Status::Corruption on any mismatch. Streams the file
+/// once; callers re-read the payload afterwards for parsing.
+TRUSS_NODISCARD Result<uint64_t> VerifyChecksummedFile(
+    const std::string& path);
+
+/// Recomputes the checksum over the existing payload of `path` (which must
+/// already end in a well-formed footer) and rewrites the footer in place.
+/// For tests and recovery tooling that deliberately edit a payload and then
+/// need the file loadable again; production writes go through
+/// AtomicFileWriter only.
+TRUSS_NODISCARD Status RewriteChecksumFooter(const std::string& path);
+
+}  // namespace truss::io
+
+#endif  // TRUSS_IO_CHECKSUM_FILE_H_

@@ -10,23 +10,47 @@ namespace fs = std::filesystem;
 
 // ---------------------------------------------------------------- reader --
 
-BlockReader::BlockReader(std::FILE* f, size_t block_size, IoStats* stats)
-    : file_(f), stats_(stats), buffer_(block_size) {}
+BlockReader::BlockReader(std::FILE* f, Env* env, std::string name,
+                         FaultInjector* injector)
+    : file_(f),
+      env_(env),
+      name_(std::move(name)),
+      injector_(injector),
+      buffer_(env->block_size_) {}
 
 BlockReader::~BlockReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void BlockReader::Fail(Status st) {
+  if (!status_.ok()) return;
+  status_ = st;
+  env_->RecordStreamError(st);
+}
+
 bool BlockReader::Fill() {
-  if (eof_) return false;
+  if (eof_ || !status_.ok()) return false;
+  if (injector_ != nullptr) {
+    for (int attempt = 0;; ++attempt) {
+      const FaultDecision d = injector_->OnReadBlock(name_);
+      if (d.status.ok()) break;
+      if (d.transient && attempt < kTransientRetryLimit) continue;
+      Fail(d.status);
+      eof_ = true;
+      return false;
+    }
+  }
   limit_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
   pos_ = 0;
   if (limit_ == 0) {
+    if (std::ferror(file_) != 0) {
+      Fail(Status::IOError("read failed on " + name_));
+    }
     eof_ = true;
     return false;
   }
-  ++stats_->block_reads;
-  stats_->bytes_read += limit_;
+  ++env_->stats_.block_reads;
+  env_->stats_.bytes_read += limit_;
   return true;
 }
 
@@ -45,8 +69,13 @@ size_t BlockReader::Read(void* out, size_t n) {
 
 // ---------------------------------------------------------------- writer --
 
-BlockWriter::BlockWriter(std::FILE* f, size_t block_size, IoStats* stats)
-    : file_(f), stats_(stats), buffer_(block_size) {}
+BlockWriter::BlockWriter(std::FILE* f, Env* env, std::string name,
+                         FaultInjector* injector)
+    : file_(f),
+      env_(env),
+      name_(std::move(name)),
+      injector_(injector),
+      buffer_(env->block_size_) {}
 
 BlockWriter::~BlockWriter() {
   // Flush-and-close on destruction so error paths that unwind past a writer
@@ -59,16 +88,48 @@ BlockWriter::~BlockWriter() {
   }
 }
 
+void BlockWriter::Fail(Status st) {
+  if (!status_.ok()) return;
+  status_ = st;
+  env_->RecordStreamError(st);
+}
+
 void BlockWriter::FlushBlock() {
-  if (pos_ == 0) return;
-  const size_t wrote = std::fwrite(buffer_.data(), 1, pos_, file_);
-  TRUSS_CHECK_EQ(wrote, pos_);
-  ++stats_->block_writes;
-  stats_->bytes_written += pos_;
+  const size_t n = pos_;
   pos_ = 0;
+  if (n == 0) return;
+  // Sticky failure: once a block transfer has failed, the file's contents
+  // are undefined anyway — drop the data rather than write a gap after the
+  // tear. Close() reports the first error.
+  if (!status_.ok()) return;
+  if (injector_ != nullptr) {
+    for (int attempt = 0;; ++attempt) {
+      const FaultDecision d = injector_->OnWriteBlock(name_, n);
+      if (d.status.ok()) break;
+      if (d.transient && attempt < kTransientRetryLimit) continue;
+      // Torn block: persist the prefix the injector asked for (what a real
+      // short write or crash would leave behind), then go sticky.
+      const size_t keep = std::min(d.short_bytes, n);
+      if (keep > 0) {
+        const size_t wrote = std::fwrite(buffer_.data(), 1, keep, file_);
+        env_->stats_.bytes_written += wrote;
+        std::fflush(file_);
+      }
+      Fail(d.status);
+      return;
+    }
+  }
+  const size_t wrote = std::fwrite(buffer_.data(), 1, n, file_);
+  env_->stats_.bytes_written += wrote;
+  if (wrote != n) {
+    Fail(Status::IOError("short write on " + name_));
+    return;
+  }
+  ++env_->stats_.block_writes;
 }
 
 void BlockWriter::Write(const void* data, size_t n) {
+  if (!status_.ok()) return;
   const char* src = static_cast<const char*>(data);
   size_t total = 0;
   while (total < n) {
@@ -76,7 +137,10 @@ void BlockWriter::Write(const void* data, size_t n) {
     std::memcpy(buffer_.data() + pos_, src + total, take);
     pos_ += take;
     total += take;
-    if (pos_ == buffer_.size()) FlushBlock();
+    if (pos_ == buffer_.size()) {
+      FlushBlock();
+      if (!status_.ok()) return;
+    }
   }
 }
 
@@ -84,7 +148,12 @@ Status BlockWriter::Close() {
   FlushBlock();
   const int rc = std::fclose(file_);
   file_ = nullptr;
-  if (rc != 0) return Status::IOError("fclose failed");
+  if (!status_.ok()) return status_;
+  if (rc != 0) {
+    Status st = Status::IOError("fclose failed on " + name_);
+    Fail(st);
+    return st;
+  }
   return Status::OK();
 }
 
@@ -100,28 +169,40 @@ Env::Env(std::string root_dir, size_t block_size)
 
 Env::~Env() = default;
 
+void Env::RecordStreamError(const Status& st) {
+  if (first_error_.ok()) first_error_ = st;
+}
+
 std::string Env::FullPath(const std::string& name) const {
   return (fs::path(root_) / name).string();
 }
 
-Result<std::unique_ptr<BlockReader>> Env::OpenReader(const std::string& name) {
+Result<std::unique_ptr<BlockReader>> Env::OpenReaderImpl(
+    const std::string& name, FaultInjector* injector) {
   std::FILE* f = std::fopen(FullPath(name).c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open for read: " + name);
   }
-  return std::unique_ptr<BlockReader>(
-      new BlockReader(f, block_size_, &stats_));
+  return std::unique_ptr<BlockReader>(new BlockReader(f, this, name, injector));
 }
 
-Result<std::unique_ptr<BlockWriter>> Env::OpenWriter(const std::string& name) {
+Result<std::unique_ptr<BlockWriter>> Env::OpenWriterImpl(
+    const std::string& name, FaultInjector* injector) {
   std::FILE* f = std::fopen(FullPath(name).c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot open for write: " + name);
   }
   ++stats_.files_created;
   created_.push_back(name);
-  return std::unique_ptr<BlockWriter>(
-      new BlockWriter(f, block_size_, &stats_));
+  return std::unique_ptr<BlockWriter>(new BlockWriter(f, this, name, injector));
+}
+
+Result<std::unique_ptr<BlockReader>> Env::OpenReader(const std::string& name) {
+  return OpenReaderImpl(name, nullptr);
+}
+
+Result<std::unique_ptr<BlockWriter>> Env::OpenWriter(const std::string& name) {
+  return OpenWriterImpl(name, nullptr);
 }
 
 bool Env::FileExists(const std::string& name) const {

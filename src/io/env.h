@@ -7,6 +7,16 @@
 // flush increments the shared IoStats. The design follows the RocksDB Env
 // idiom: algorithms receive an Env and never touch the filesystem directly,
 // which also centralizes temp-file management for tests.
+//
+// Failure model. The streams never abort on I/O failure: an error on any
+// block transfer (a real fread/fwrite failure, or one injected by a
+// FaultInjector — see io/fault_env.h) makes the stream *sticky-failed*.
+// A failed writer drops subsequent writes and reports the first error from
+// Close(); a failed reader returns short/false from Read()/ReadRecord() and
+// reports the first error from status(). Every stream error is also
+// recorded in the owning Env's health() so driver code can gate a whole
+// multi-stream stage with one check (see TRUSS_RETURN_IF_ERROR(env.health())
+// in the external decomposition drivers).
 
 #ifndef TRUSS_IO_ENV_H_
 #define TRUSS_IO_ENV_H_
@@ -57,34 +67,77 @@ inline IoStats DiffStats(const IoStats& end, const IoStats& start) {
 
 class Env;  // forward declaration for the stream constructors
 
+/// What a fault injector decides for one block transfer. Default
+/// constructed: the transfer proceeds normally.
+struct FaultDecision {
+  /// Non-OK fails the transfer with this status (after any partial write
+  /// requested below).
+  Status status;
+  /// Writes only: when < the block's byte count, that prefix is written
+  /// (and flushed) before the failure — a torn block, as a crash or a
+  /// short write would leave it. Ignored when status is OK.
+  size_t short_bytes = static_cast<size_t>(-1);
+  /// EINTR-style transient failure: the stream retries the transfer
+  /// (re-consulting the injector) up to kTransientRetryLimit times before
+  /// treating the error as hard.
+  bool transient = false;
+};
+
+/// Consulted by BlockReader/BlockWriter before every block transfer.
+/// Implemented by FaultInjectionEnv (io/fault_env.h); production streams
+/// carry no injector and skip the hook entirely.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultDecision OnWriteBlock(const std::string& file, size_t n) = 0;
+  virtual FaultDecision OnReadBlock(const std::string& file) = 0;
+};
+
+/// How many times a stream retries a transient (EINTR-style) injected
+/// failure before treating it as hard.
+inline constexpr int kTransientRetryLimit = 4;
+
 /// Sequential block-buffered reader. Obtain via Env::OpenReader.
 class BlockReader {
  public:
   ~BlockReader();
 
   /// Reads up to `n` bytes into `out`; returns the count actually read
-  /// (0 at end of file).
+  /// (0 at end of file or after an error — distinguish via status()).
   size_t Read(void* out, size_t n);
 
   /// Reads exactly sizeof(T) bytes into a trivially copyable record.
-  /// Returns false cleanly at end of file; aborts on a torn record.
+  /// Returns false at end of file, on a read error, and on a torn
+  /// (partial) record; the latter two leave a non-OK status().
   template <typename T>
   bool ReadRecord(T* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     const size_t got = Read(out, sizeof(T));
-    if (got == 0) return false;
-    TRUSS_CHECK_EQ(got, sizeof(T));
-    return true;
+    if (got == sizeof(T)) return true;
+    if (got != 0 && status_.ok()) {
+      Fail(Status::Corruption("torn record in " + name_));
+    }
+    return false;
   }
+
+  /// OK until the first read failure; then the first error, sticky. A
+  /// loop that drains a file via ReadRecord() must check this afterwards
+  /// to distinguish EOF from a failed or truncated read.
+  const Status& status() const { return status_; }
 
  private:
   friend class Env;
-  BlockReader(std::FILE* f, size_t block_size, IoStats* stats);
+  BlockReader(std::FILE* f, Env* env, std::string name,
+              FaultInjector* injector);
 
   bool Fill();
+  void Fail(Status st);
 
   std::FILE* file_;
-  IoStats* stats_;
+  Env* env_;
+  std::string name_;
+  FaultInjector* injector_;
+  Status status_;
   std::vector<char> buffer_;
   size_t pos_ = 0;
   size_t limit_ = 0;
@@ -96,6 +149,8 @@ class BlockWriter {
  public:
   ~BlockWriter();
 
+  /// Buffers `n` bytes. After a write failure the writer is sticky-failed:
+  /// further writes are dropped and Close() reports the first error.
   void Write(const void* data, size_t n);
 
   template <typename T>
@@ -104,30 +159,41 @@ class BlockWriter {
     Write(&rec, sizeof(T));
   }
 
-  /// Flushes the final partial block and closes the file, reporting any
-  /// error. The destructor also flushes and closes, but silently; call
-  /// Close() whenever write durability matters.
+  /// Flushes the final partial block and closes the file, reporting the
+  /// first error of the stream's lifetime. The destructor also flushes and
+  /// closes, but silently; call Close() whenever write durability matters.
   TRUSS_NODISCARD Status Close();
+
+  /// OK until the first write failure; then the first error, sticky.
+  const Status& status() const { return status_; }
 
  private:
   friend class Env;
-  BlockWriter(std::FILE* f, size_t block_size, IoStats* stats);
+  BlockWriter(std::FILE* f, Env* env, std::string name,
+              FaultInjector* injector);
 
   void FlushBlock();
+  void Fail(Status st);
 
   std::FILE* file_;
-  IoStats* stats_;
+  Env* env_;
+  std::string name_;
+  FaultInjector* injector_;
+  Status status_;
   std::vector<char> buffer_;
   size_t pos_ = 0;
 };
 
 /// File environment rooted at a directory, with a single block size B.
+/// The file-manipulating entry points are virtual so a decorator (the
+/// fault-injecting Env, a future read-only or in-memory Env) can intercept
+/// them while every algorithm keeps taking a plain `io::Env&`.
 class Env {
  public:
   /// Creates (or reuses) `root_dir` as the working directory.
   /// `block_size` is B of the I/O model.
   explicit Env(std::string root_dir, size_t block_size = 64 * 1024);
-  ~Env();
+  virtual ~Env();
 
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
@@ -136,16 +202,27 @@ class Env {
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
 
+  /// First error recorded by any stream of this Env (OK while healthy).
+  /// Stage drivers gate on this so a read loop that ended early on a
+  /// failed or truncated stream surfaces a typed Status instead of
+  /// silently computing on a prefix of the data.
+  const Status& health() const { return first_error_; }
+  void ResetHealth() { first_error_ = Status::OK(); }
+
   /// Opens `name` (relative to the root) for sequential reading.
-  TRUSS_NODISCARD Result<std::unique_ptr<BlockReader>> OpenReader(const std::string& name);
+  TRUSS_NODISCARD virtual Result<std::unique_ptr<BlockReader>> OpenReader(
+      const std::string& name);
 
   /// Opens `name` for writing (truncates).
-  TRUSS_NODISCARD Result<std::unique_ptr<BlockWriter>> OpenWriter(const std::string& name);
+  TRUSS_NODISCARD virtual Result<std::unique_ptr<BlockWriter>> OpenWriter(
+      const std::string& name);
 
-  bool FileExists(const std::string& name) const;
-  TRUSS_NODISCARD Result<uint64_t> FileSize(const std::string& name) const;
-  TRUSS_NODISCARD Status DeleteFile(const std::string& name);
-  TRUSS_NODISCARD Status RenameFile(const std::string& from, const std::string& to);
+  virtual bool FileExists(const std::string& name) const;
+  TRUSS_NODISCARD virtual Result<uint64_t> FileSize(
+      const std::string& name) const;
+  TRUSS_NODISCARD virtual Status DeleteFile(const std::string& name);
+  TRUSS_NODISCARD virtual Status RenameFile(const std::string& from,
+                                            const std::string& to);
 
   /// Returns a unique file name with the given prefix (not yet created).
   std::string TempName(const std::string& prefix);
@@ -156,10 +233,25 @@ class Env {
   /// Deletes every file under the root that was created via this Env.
   void CleanupAll();
 
+ protected:
+  /// Shared open paths for subclasses: identical to OpenReader/OpenWriter
+  /// but attach `injector` to the stream (nullptr = no fault hook).
+  TRUSS_NODISCARD Result<std::unique_ptr<BlockReader>> OpenReaderImpl(
+      const std::string& name, FaultInjector* injector);
+  TRUSS_NODISCARD Result<std::unique_ptr<BlockWriter>> OpenWriterImpl(
+      const std::string& name, FaultInjector* injector);
+
  private:
+  friend class BlockReader;
+  friend class BlockWriter;
+
+  /// First-error-wins sink the streams report into; see health().
+  void RecordStreamError(const Status& st);
+
   std::string root_;
   size_t block_size_;
   IoStats stats_;
+  Status first_error_;
   uint64_t temp_counter_ = 0;
   std::vector<std::string> created_;
 };

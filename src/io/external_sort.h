@@ -47,6 +47,9 @@ TRUSS_NODISCARD Status ExternalSort(Env& env, const std::string& input,
         }
         chunk.push_back(rec);
       }
+      // A false ReadRecord may be EOF or a failed read; only the stream's
+      // status distinguishes them.
+      TRUSS_RETURN_IF_ERROR(in.value()->status());
       if (chunk.empty()) break;
       std::sort(chunk.begin(), chunk.end(), less);
       const std::string run_name = env.TempName("sort_run");
@@ -85,6 +88,7 @@ TRUSS_NODISCARD Status ExternalSort(Env& env, const std::string& input,
     readers.push_back(r.MoveValue());
     Record rec;
     if (readers[i]->ReadRecord(&rec)) heap.push(Head{rec, i});
+    TRUSS_RETURN_IF_ERROR(readers[i]->status());
   }
 
   auto out = env.OpenWriter(output);
@@ -95,6 +99,7 @@ TRUSS_NODISCARD Status ExternalSort(Env& env, const std::string& input,
     out.value()->WriteRecord(head.rec);
     Record next;
     if (readers[head.run]->ReadRecord(&next)) heap.push(Head{next, head.run});
+    TRUSS_RETURN_IF_ERROR(readers[head.run]->status());
   }
   TRUSS_RETURN_IF_ERROR(out.value()->Close());
 

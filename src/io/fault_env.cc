@@ -1,0 +1,114 @@
+#include "io/fault_env.h"
+
+#include <algorithm>
+
+namespace truss::io {
+
+FaultInjectionEnv::FaultInjectionEnv(std::string root_dir,
+                                     FaultInjectionOptions fault_options,
+                                     size_t block_size)
+    : Env(std::move(root_dir), block_size),
+      options_(fault_options),
+      rng_(fault_options.seed) {}
+
+Status FaultInjectionEnv::CrashedStatus() const {
+  return Status::IOError("injected crash: env is down");
+}
+
+Result<std::unique_ptr<BlockReader>> FaultInjectionEnv::OpenReader(
+    const std::string& name) {
+  if (crashed_) return CrashedStatus();
+  return OpenReaderImpl(name, this);
+}
+
+Result<std::unique_ptr<BlockWriter>> FaultInjectionEnv::OpenWriter(
+    const std::string& name) {
+  if (crashed_) return CrashedStatus();
+  return OpenWriterImpl(name, this);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& name) {
+  if (crashed_) return CrashedStatus();
+  return Env::DeleteFile(name);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (crashed_) return CrashedStatus();
+  return Env::RenameFile(from, to);
+}
+
+FaultDecision FaultInjectionEnv::OnWriteBlock(const std::string& file,
+                                              size_t n) {
+  ++fault_stats_.write_blocks_seen;
+  FaultDecision d;
+  if (crashed_) {
+    d.status = CrashedStatus();
+    d.short_bytes = 0;
+    return d;
+  }
+  // Crash point fires on the exact submitted byte, tearing the in-flight
+  // block at the boundary; everything after is refused.
+  if (options_.crash_after_bytes > 0 &&
+      bytes_submitted_ + n >= options_.crash_after_bytes) {
+    d.short_bytes = static_cast<size_t>(std::min<uint64_t>(
+        n, options_.crash_after_bytes - bytes_submitted_));
+    crashed_ = true;
+    ++fault_stats_.crashes;
+    ++fault_stats_.injected_write_errors;
+    d.status = Status::IOError("injected crash during write of " + file);
+    return d;
+  }
+  if (options_.fail_after_block_writes > 0 &&
+      fault_stats_.write_blocks_seen > options_.fail_after_block_writes) {
+    ++fault_stats_.injected_write_errors;
+    d.short_bytes = 0;
+    d.status = Status::IOError(
+        "injected write error after " +
+        std::to_string(options_.fail_after_block_writes) + " blocks (" + file +
+        ")");
+    return d;
+  }
+  if (options_.transient_p > 0.0 && rng_.Bernoulli(options_.transient_p)) {
+    ++fault_stats_.injected_transients;
+    d.transient = true;
+    d.status = Status::IOError("injected transient write error (EINTR)");
+    return d;
+  }
+  if (options_.short_write_p > 0.0 && rng_.Bernoulli(options_.short_write_p)) {
+    ++fault_stats_.injected_short_writes;
+    ++fault_stats_.injected_write_errors;
+    d.short_bytes = n == 0 ? 0 : static_cast<size_t>(rng_.Uniform(n));
+    d.status = Status::IOError("injected short write on " + file);
+    return d;
+  }
+  bytes_submitted_ += n;
+  return d;
+}
+
+FaultDecision FaultInjectionEnv::OnReadBlock(const std::string& file) {
+  ++fault_stats_.read_blocks_seen;
+  FaultDecision d;
+  if (crashed_) {
+    d.status = CrashedStatus();
+    return d;
+  }
+  if (options_.fail_after_block_reads > 0 &&
+      fault_stats_.read_blocks_seen > options_.fail_after_block_reads) {
+    ++fault_stats_.injected_read_errors;
+    d.status = Status::IOError(
+        "injected read error after " +
+        std::to_string(options_.fail_after_block_reads) + " blocks (" + file +
+        ")");
+    return d;
+  }
+  if (options_.transient_p > 0.0 && rng_.Bernoulli(options_.transient_p)) {
+    ++fault_stats_.injected_transients;
+    d.transient = true;
+    d.status = Status::IOError("injected transient read error (EINTR)");
+    return d;
+  }
+  return d;
+}
+
+}  // namespace truss::io

@@ -1,0 +1,105 @@
+// Fault-injecting Env for chaos testing (tests/fault_test.cc).
+//
+// FaultInjectionEnv is an io::Env whose block transfers can fail on a
+// deterministic, seed-driven schedule: hard errors after N successful
+// blocks, short (torn) writes, EINTR-style transient errors that succeed
+// on retry, and a crash point that tears the file mid-block and then fails
+// every subsequent operation — simulating the machine dying mid-save.
+//
+// Every knob draws from common/rng.h seeded by FaultInjectionOptions::seed,
+// so a failing schedule reproduces exactly from its seed; there is no wall
+// clock or global RNG anywhere in the schedule. The decorator follows the
+// RocksDB FaultInjectionTestEnv idiom: algorithms take a plain `io::Env&`
+// and never know whether faults are armed.
+//
+// Like Env itself, a FaultInjectionEnv is not thread-safe; use one per
+// test thread.
+
+#ifndef TRUSS_IO_FAULT_ENV_H_
+#define TRUSS_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "io/env.h"
+
+namespace truss::io {
+
+/// Deterministic fault schedule. Default constructed: no faults — the env
+/// behaves exactly like a plain Env.
+struct FaultInjectionOptions {
+  /// Seed for every probabilistic knob below (common/rng.h SplitMix64 /
+  /// Xoshiro256**). Two envs with equal options inject identical faults.
+  uint64_t seed = 1;
+
+  /// After this many successful block writes (across all files of the env),
+  /// every further block write fails hard. 0 disables. Sweeping this knob
+  /// over 1..total_blocks exercises a failure at every write of a run.
+  uint64_t fail_after_block_writes = 0;
+
+  /// Same, for block reads. 0 disables.
+  uint64_t fail_after_block_reads = 0;
+
+  /// Probability that a block write is torn: a seed-chosen prefix of the
+  /// block reaches the file, then the stream fails hard. 0 disables.
+  double short_write_p = 0.0;
+
+  /// Probability that a block transfer (read or write) fails with an
+  /// EINTR-style transient error. The stream retries, re-consulting the
+  /// schedule, up to kTransientRetryLimit times — so with p well below 1
+  /// transients are invisible except in fault_stats(). 0 disables.
+  double transient_p = 0.0;
+
+  /// Crash point: once this many bytes have been submitted for writing
+  /// across the env, the block in flight is truncated exactly at the
+  /// boundary and the env goes down — every later open, write, read,
+  /// delete, and rename fails. 0 disables. Models kill -9 mid-save.
+  uint64_t crash_after_bytes = 0;
+};
+
+/// What the schedule actually injected (for asserting a fault fired).
+struct FaultInjectionStats {
+  uint64_t write_blocks_seen = 0;
+  uint64_t read_blocks_seen = 0;
+  uint64_t injected_write_errors = 0;
+  uint64_t injected_read_errors = 0;
+  uint64_t injected_short_writes = 0;
+  uint64_t injected_transients = 0;
+  uint64_t crashes = 0;
+};
+
+/// Env that injects the schedule above into every stream it opens.
+class FaultInjectionEnv : public Env, private FaultInjector {
+ public:
+  FaultInjectionEnv(std::string root_dir, FaultInjectionOptions fault_options,
+                    size_t block_size = 64 * 1024);
+
+  TRUSS_NODISCARD Result<std::unique_ptr<BlockReader>> OpenReader(
+      const std::string& name) override;
+  TRUSS_NODISCARD Result<std::unique_ptr<BlockWriter>> OpenWriter(
+      const std::string& name) override;
+  TRUSS_NODISCARD Status DeleteFile(const std::string& name) override;
+  TRUSS_NODISCARD Status RenameFile(const std::string& from,
+                                    const std::string& to) override;
+
+  const FaultInjectionStats& fault_stats() const { return fault_stats_; }
+
+  /// True once the crash point has fired; the env refuses all further work.
+  bool crashed() const { return crashed_; }
+
+ private:
+  FaultDecision OnWriteBlock(const std::string& file, size_t n) override;
+  FaultDecision OnReadBlock(const std::string& file) override;
+  TRUSS_NODISCARD Status CrashedStatus() const;
+
+  FaultInjectionOptions options_;
+  Rng rng_;
+  FaultInjectionStats fault_stats_;
+  uint64_t bytes_submitted_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace truss::io
+
+#endif  // TRUSS_IO_FAULT_ENV_H_

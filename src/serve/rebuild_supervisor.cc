@@ -1,0 +1,130 @@
+#include "serve/rebuild_supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+#include "serve/stats_util.h"
+
+namespace truss::serve {
+
+RebuildSupervisor::RebuildSupervisor(SnapshotRebuilder* rebuilder,
+                                     RetryPolicy policy)
+    : rebuilder_(rebuilder), policy_(policy), rng_(policy.seed) {
+  TRUSS_CHECK(rebuilder_ != nullptr);
+  TRUSS_CHECK_GE(policy_.max_attempts, 1u);
+}
+
+RebuildSupervisor::~RebuildSupervisor() { Stop(); }
+
+void RebuildSupervisor::ScheduleRetries(
+    const engine::DecomposeOptions& options, const Status& error) {
+  MutexLock lock(&mu_);
+  degraded_ = true;
+  last_error_ = error.ToString();
+  pending_options_ = options;
+  pending_ = true;
+  if (thread_ == nullptr) {
+    thread_ = std::make_unique<BackgroundThread>([this] { Run(); });
+  }
+  cv_.SignalAll();
+}
+
+void RebuildSupervisor::NoteSuccess() {
+  MutexLock lock(&mu_);
+  degraded_ = false;
+  pending_ = false;
+  last_error_.clear();
+  cv_.SignalAll();
+}
+
+void RebuildSupervisor::Stop() {
+  std::unique_ptr<BackgroundThread> thread;
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+    cv_.SignalAll();
+    thread = std::move(thread_);
+  }
+  thread.reset();  // joins, outside the lock
+}
+
+ServingHealth RebuildSupervisor::health() const {
+  MutexLock lock(&mu_);
+  return degraded_ ? ServingHealth::kDegraded : ServingHealth::kOk;
+}
+
+std::string RebuildSupervisor::last_error() const {
+  MutexLock lock(&mu_);
+  return last_error_;
+}
+
+uint64_t RebuildSupervisor::retries_attempted() const {
+  return ReadStat(retries_attempted_);
+}
+
+uint64_t RebuildSupervisor::retries_succeeded() const {
+  return ReadStat(retries_succeeded_);
+}
+
+void RebuildSupervisor::Run() {
+  while (true) {
+    engine::DecomposeOptions options;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && !pending_) cv_.Wait(&mu_);
+      if (stop_) return;
+      pending_ = false;
+      options = pending_options_;
+    }
+    if (!RunRetryLoop(options)) return;
+  }
+}
+
+uint64_t RebuildSupervisor::JitteredDelayMs(uint32_t attempt) {
+  const uint32_t shift = std::min(attempt - 1, 31u);
+  double base = static_cast<double>(policy_.initial_backoff_ms) *
+                static_cast<double>(uint64_t{1} << shift);
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  const double jitter =
+      1.0 + policy_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<uint64_t>(std::max(0.0, base * jitter));
+}
+
+bool RebuildSupervisor::RunRetryLoop(const engine::DecomposeOptions& options) {
+  for (uint32_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    const double delay_ms = static_cast<double>(JitteredDelayMs(attempt));
+    {
+      MutexLock lock(&mu_);
+      WallTimer waited;
+      while (!stop_ && !pending_ && degraded_ &&
+             waited.Seconds() * 1000.0 < delay_ms) {
+        const double remaining_ms = delay_ms - waited.Seconds() * 1000.0;
+        (void)cv_.WaitFor(&mu_,
+                          std::max<int64_t>(
+                              1, static_cast<int64_t>(remaining_ms) + 1));
+      }
+      if (stop_) return false;
+      if (pending_) return true;    // superseded by a newer schedule
+      if (!degraded_) return true;  // a direct REBUILD succeeded meanwhile
+    }
+
+    BumpStat(retries_attempted_);
+    auto outcome = rebuilder_->RebuildAndPublish(options);
+    if (outcome.ok()) {
+      BumpStat(retries_succeeded_);
+      MutexLock lock(&mu_);
+      degraded_ = false;
+      last_error_.clear();
+      return true;
+    }
+    MutexLock lock(&mu_);
+    if (stop_) return false;
+    last_error_ = outcome.status().ToString();
+  }
+  // Attempts exhausted: stay degraded; the server keeps answering from the
+  // last published snapshot, and a later REBUILD re-arms the supervisor.
+  return true;
+}
+
+}  // namespace truss::serve

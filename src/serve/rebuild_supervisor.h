@@ -1,0 +1,112 @@
+// Background rebuild retries with capped exponential backoff + jitter.
+//
+// When a REBUILD fails, the serving threads must not burn their time
+// re-running decompositions: the server keeps answering queries from the
+// last published snapshot (the registry guarantees it stays alive) and
+// hands the failed options to this supervisor. A single background thread
+// (common/parallel.h BackgroundThread — the sanctioned thread-creation
+// site) retries the rebuild with exponential backoff, each delay jittered
+// by a seeded common/rng.h generator so retry storms cannot synchronize
+// and every schedule is reproducible from its seed.
+//
+// Degradation contract: from the first failure until some rebuild succeeds
+// (a supervisor retry or a direct REBUILD), health() is kDegraded and
+// last_error() carries the most recent failure — the server surfaces both
+// in STATS as `state=DEGRADED last_rebuild_error=...`. Queries are never
+// affected; degradation only means the snapshot is staler than requested.
+
+#ifndef TRUSS_SERVE_REBUILD_SUPERVISOR_H_
+#define TRUSS_SERVE_REBUILD_SUPERVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "engine/options.h"
+#include "serve/snapshot.h"
+
+namespace truss::serve {
+
+/// Backoff schedule for rebuild retries. Attempt i (1-based) waits
+/// min(initial_backoff_ms << (i-1), max_backoff_ms), scaled by a uniform
+/// jitter in [1 - jitter_fraction, 1 + jitter_fraction].
+struct RetryPolicy {
+  uint32_t max_attempts = 8;
+  uint32_t initial_backoff_ms = 50;
+  uint32_t max_backoff_ms = 5000;
+  double jitter_fraction = 0.2;
+  /// Seed for the jitter Rng (reproducible schedules in tests).
+  uint64_t seed = 42;
+};
+
+enum class ServingHealth {
+  kOk,        // last rebuild (if any) succeeded
+  kDegraded,  // rebuilds failing; still serving the last good snapshot
+};
+
+/// Owns the retry loop for one SnapshotRebuilder. Thread-safe; the
+/// background thread starts lazily on the first ScheduleRetries and is
+/// joined by Stop()/the destructor.
+class RebuildSupervisor {
+ public:
+  /// `rebuilder` must outlive the supervisor.
+  RebuildSupervisor(SnapshotRebuilder* rebuilder, RetryPolicy policy);
+  ~RebuildSupervisor();
+
+  RebuildSupervisor(const RebuildSupervisor&) = delete;
+  RebuildSupervisor& operator=(const RebuildSupervisor&) = delete;
+
+  /// Records a failed rebuild (entering kDegraded) and schedules background
+  /// retries of `options`. A newer call replaces the pending options.
+  void ScheduleRetries(const engine::DecomposeOptions& options,
+                       const Status& error);
+
+  /// Records a rebuild that succeeded outside the supervisor (a direct
+  /// REBUILD): clears degradation and cancels pending retries.
+  void NoteSuccess();
+
+  /// Wakes and joins the background thread. Idempotent; called by the
+  /// destructor. In-flight backoff waits are interrupted.
+  void Stop();
+
+  ServingHealth health() const;
+  std::string last_error() const;
+
+  uint64_t retries_attempted() const;
+  uint64_t retries_succeeded() const;
+
+ private:
+  void Run();
+  /// Runs the backoff/retry loop for one scheduled request. Returns false
+  /// when asked to stop.
+  bool RunRetryLoop(const engine::DecomposeOptions& options);
+  uint64_t JitteredDelayMs(uint32_t attempt);
+
+  SnapshotRebuilder* const rebuilder_;
+  const RetryPolicy policy_;
+  /// Jitter source; touched only on the supervisor thread.
+  Rng rng_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ TRUSS_GUARDED_BY(mu_) = false;
+  bool pending_ TRUSS_GUARDED_BY(mu_) = false;
+  bool degraded_ TRUSS_GUARDED_BY(mu_) = false;
+  engine::DecomposeOptions pending_options_ TRUSS_GUARDED_BY(mu_);
+  std::string last_error_ TRUSS_GUARDED_BY(mu_);
+  std::unique_ptr<BackgroundThread> thread_ TRUSS_GUARDED_BY(mu_);
+
+  // Monotonic counters (see serve/stats_util.h for the ordering contract).
+  std::atomic<uint64_t> retries_attempted_{0};
+  std::atomic<uint64_t> retries_succeeded_{0};
+};
+
+}  // namespace truss::serve
+
+#endif  // TRUSS_SERVE_REBUILD_SUPERVISOR_H_

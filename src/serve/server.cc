@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
@@ -15,7 +16,9 @@
 
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "engine/engine.h"
+#include "serve/stats_util.h"
 
 namespace truss::serve {
 namespace {
@@ -63,8 +66,11 @@ void AppendCommunityEntry(std::string* out, CommunityId id,
 
 // Writes all of `data`, retrying short writes and EINTR. MSG_NOSIGNAL:
 // a peer that closed mid-response must produce an error return, not
-// SIGPIPE. Returns false once the connection is unusable.
-TRUSS_NODISCARD bool SendAll(int fd, std::string_view data) {
+// SIGPIPE. Returns false once the connection is unusable, or when the
+// whole response cannot be delivered within timeout_ms (a dead or
+// unreading peer must not pin a worker; <= 0 waits forever).
+TRUSS_NODISCARD bool SendAll(int fd, std::string_view data, int timeout_ms) {
+  WallTimer timer;
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n > 0) {
@@ -72,8 +78,15 @@ TRUSS_NODISCARD bool SendAll(int fd, std::string_view data) {
       continue;
     }
     if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = 250;
+      if (timeout_ms > 0) {
+        const double remaining =
+            static_cast<double>(timeout_ms) - timer.Seconds() * 1000.0;
+        if (remaining <= 0.0) return false;
+        wait_ms = std::min(wait_ms, static_cast<int>(remaining) + 1);
+      }
       pollfd pfd{fd, POLLOUT, 0};
-      ::poll(&pfd, 1, 250);
+      ::poll(&pfd, 1, wait_ms);
       continue;
     }
     return false;
@@ -81,19 +94,14 @@ TRUSS_NODISCARD bool SendAll(int fd, std::string_view data) {
   return true;
 }
 
-// One audited increment for the server's monotonic stat counters, so the
-// ordering contract lives in one place instead of at every ++ site.
-void BumpStat(std::atomic<uint64_t>& counter) {
-  // ordering: relaxed — counters carry no data dependencies; the live
-  // STATS reader tolerates an instantaneously stale view, and the final
-  // report reads them after the RunShards join in Serve() has already
-  // ordered every worker's updates.
-  counter.fetch_add(1, std::memory_order_relaxed);
-}
-
-uint64_t ReadStat(const std::atomic<uint64_t>& counter) {
-  // ordering: relaxed — same monotonic-stat-counter contract as BumpStat.
-  return counter.load(std::memory_order_relaxed);
+// Replaces newlines/spaces so a free-form error message can ride in a
+// single space-delimited STATS line without breaking its field grammar.
+std::string SanitizeStatsField(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') c = '_';
+  }
+  return out;
 }
 
 }  // namespace
@@ -103,7 +111,8 @@ TrussServer::TrussServer(std::shared_ptr<const Graph> graph,
     : graph_(std::move(graph)),
       registry_(registry),
       rebuilder_(graph_, registry),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      supervisor_(&rebuilder_, options_.rebuild_retry) {
   TRUSS_CHECK(graph_ != nullptr);
   TRUSS_CHECK(registry_ != nullptr);
   TRUSS_CHECK(options_.workers >= 1);
@@ -183,15 +192,39 @@ void TrussServer::ServeWorker() {
 void TrussServer::HandleConnection(int fd) {
   std::string buffer;
   char chunk[4096];
+  // Two clocks guard the connection: `activity` restarts on every received
+  // byte (idle reaping), `line_start` restarts whenever the buffer turns
+  // non-empty (per-request deadline — slow-loris protection).
+  WallTimer activity;
+  WallTimer line_start;
   // ordering: relaxed — same quit-flag contract as ServeWorker's loop.
   while (!stopping_.load(std::memory_order_relaxed)) {
+    if (buffer.empty()) {
+      if (options_.idle_timeout_ms > 0 &&
+          activity.Seconds() * 1000.0 >
+              static_cast<double>(options_.idle_timeout_ms)) {
+        BumpStat(idle_disconnects_);
+        return;
+      }
+    } else if (options_.request_deadline_ms > 0 &&
+               line_start.Seconds() * 1000.0 >
+                   static_cast<double>(options_.request_deadline_ms)) {
+      BumpStat(deadline_disconnects_);
+      // Best-effort notice; the connection is being reaped either way.
+      if (!SendAll(fd, "ERR DEADLINE request incomplete past deadline\n",
+                   options_.send_timeout_ms)) {
+        BumpStat(send_errors_);
+      }
+      return;
+    }
+
     pollfd pfd{fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       return;
     }
-    if (ready == 0) continue;  // timeout: recheck the stop flag
+    if (ready == 0) continue;  // timeout: recheck stop flag and deadlines
     if (pfd.revents & (POLLERR | POLLNVAL)) return;
 
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -200,8 +233,11 @@ void TrussServer::HandleConnection(int fd) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return;
     }
+    activity.Reset();
+    if (buffer.empty()) line_start.Reset();
     buffer.append(chunk, static_cast<size_t>(n));
 
+    bool finished_a_line = false;
     size_t newline;
     while ((newline = buffer.find('\n')) != std::string::npos) {
       std::string_view line(buffer.data(), newline);
@@ -210,16 +246,30 @@ void TrussServer::HandleConnection(int fd) {
       std::string response = HandleLine(line);
       if (!response.empty()) {
         response.push_back('\n');
-        if (!SendAll(fd, response)) return;
+        if (!SendAll(fd, response, options_.send_timeout_ms)) {
+          // The client never saw this answer — count the drop so operators
+          // can tell "no queries" apart from "answers going nowhere".
+          BumpStat(send_errors_);
+          return;
+        }
       }
       if (quit) return;
       buffer.erase(0, newline + 1);
+      finished_a_line = true;
     }
+    // A partial line left over after completed ones began with this recv;
+    // its deadline starts now. (A partial that merely grew keeps its
+    // original clock — that is the slow-loris protection.)
+    if (finished_a_line && !buffer.empty()) line_start.Reset();
     if (buffer.size() > options_.max_line_bytes) {
       BumpStat(errors_);
-      // Best-effort courtesy reply: the connection is being dropped either
-      // way, and the error was already counted above.
-      (void)SendAll(fd, "ERR BAD_REQUEST line exceeds limit\n");
+      // Courtesy reply: the connection is being dropped either way and the
+      // protocol error was already counted, but a failed delivery is still
+      // a send error worth counting.
+      if (!SendAll(fd, "ERR BAD_REQUEST line exceeds limit\n",
+                   options_.send_timeout_ms)) {
+        BumpStat(send_errors_);
+      }
       return;
     }
   }
@@ -268,11 +318,20 @@ std::string TrussServer::HandleLine(std::string_view line) {
     auto outcome = rebuilder_.RebuildAndPublish(options);
     if (!outcome.ok()) {
       if (outcome.status().code() == StatusCode::kFailedPrecondition) {
+        // Another rebuild is in flight — not a failure of the serving tier,
+        // so no degradation and no retries.
         return err("BUSY", outcome.status().message());
+      }
+      BumpStat(failed_rebuilds_);
+      if (outcome.status().code() != StatusCode::kInvalidArgument) {
+        // Retry off the serving threads; bad configuration is permanent and
+        // would fail identically every attempt, so it is not retried.
+        supervisor_.ScheduleRetries(options, outcome.status());
       }
       return err("INTERNAL", outcome.status().message());
     }
     BumpStat(rebuilds_);
+    supervisor_.NoteSuccess();
     return "OK REBUILD version=" + std::to_string(outcome.value().version) +
            " seconds=" + FormatDouble("%.3f", outcome.value().total_seconds);
   }
@@ -294,10 +353,22 @@ std::string TrussServer::HandleLine(std::string_view line) {
              " index_bytes=" + std::to_string(index.SizeBytes());
     }
     const ServerStats s = stats();
+    // New fields append only at the end: existing clients parse this line
+    // positionally up to `rebuilds`.
     out += " connections=" + std::to_string(s.connections) +
            " queries=" + std::to_string(s.queries) +
            " errors=" + std::to_string(s.errors) +
-           " rebuilds=" + std::to_string(s.rebuilds);
+           " rebuilds=" + std::to_string(s.rebuilds) +
+           " failed_rebuilds=" + std::to_string(s.failed_rebuilds) +
+           " rebuild_retries=" + std::to_string(s.rebuild_retries) +
+           " send_errors=" + std::to_string(s.send_errors) +
+           " idle_disconnects=" + std::to_string(s.idle_disconnects) +
+           " deadline_disconnects=" + std::to_string(s.deadline_disconnects) +
+           " state=";
+    out += s.degraded ? "DEGRADED" : "OK";
+    if (s.degraded && !s.last_rebuild_error.empty()) {
+      out += " last_rebuild_error=" + SanitizeStatsField(s.last_rebuild_error);
+    }
     return out;
   }
 
@@ -402,6 +473,13 @@ ServerStats TrussServer::stats() const {
   s.comm_queries = ReadStat(comm_queries_);
   s.top_queries = ReadStat(top_queries_);
   s.rebuilds = ReadStat(rebuilds_);
+  s.failed_rebuilds = ReadStat(failed_rebuilds_);
+  s.rebuild_retries = supervisor_.retries_attempted();
+  s.send_errors = ReadStat(send_errors_);
+  s.idle_disconnects = ReadStat(idle_disconnects_);
+  s.deadline_disconnects = ReadStat(deadline_disconnects_);
+  s.degraded = supervisor_.health() == ServingHealth::kDegraded;
+  s.last_rebuild_error = supervisor_.last_error();
   return s;
 }
 

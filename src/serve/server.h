@@ -29,7 +29,11 @@
 //
 // A REBUILD command runs synchronously on the worker that received it;
 // the other workers keep serving the old snapshot until the atomic
-// publish, which is the whole point of the snapshot layer.
+// publish, which is the whole point of the snapshot layer. A REBUILD that
+// *fails* is handed to the RebuildSupervisor, which retries it with capped
+// exponential backoff on its own background thread; until a rebuild
+// succeeds the server stays fully available on the last good snapshot and
+// STATS reports state=DEGRADED with the last rebuild error.
 
 #ifndef TRUSS_SERVE_SERVER_H_
 #define TRUSS_SERVE_SERVER_H_
@@ -42,6 +46,7 @@
 
 #include "common/status.h"
 #include "engine/options.h"
+#include "serve/rebuild_supervisor.h"
 #include "serve/snapshot.h"
 
 namespace truss::serve {
@@ -66,6 +71,20 @@ struct ServerOptions {
   uint32_t members_cap = 1024;
   /// Poll interval for the accept/read loops; bounds Stop() latency.
   int poll_interval_ms = 100;
+  /// A connection with a started-but-unfinished line is disconnected after
+  /// this long (slow-loris protection: a trickling client cannot pin a
+  /// worker's buffer forever). <= 0 disables.
+  int request_deadline_ms = 10'000;
+  /// A connection with no traffic at all is reaped after this long, freeing
+  /// the worker for fresh connections. <= 0 disables.
+  int idle_timeout_ms = 60'000;
+  /// A response write that cannot complete within this budget (dead or
+  /// unreading peer) is abandoned and counted in send_errors. <= 0 means
+  /// wait forever (not recommended).
+  int send_timeout_ms = 5'000;
+  /// Backoff policy for background REBUILD retries (see
+  /// serve/rebuild_supervisor.h).
+  RetryPolicy rebuild_retry;
 };
 
 /// Monotonic server counters (a consistent-enough snapshot of the atomic
@@ -78,7 +97,17 @@ struct ServerStats {
   uint64_t maxk_queries = 0;
   uint64_t comm_queries = 0;
   uint64_t top_queries = 0;
-  uint64_t rebuilds = 0;  // successful REBUILDs
+  uint64_t rebuilds = 0;         // successful REBUILDs
+  uint64_t failed_rebuilds = 0;  // REBUILDs answered ERR (excluding BUSY)
+  uint64_t rebuild_retries = 0;  // background retry attempts so far
+  uint64_t send_errors = 0;      // responses dropped on a dead/slow peer
+  uint64_t idle_disconnects = 0;      // connections reaped while idle
+  uint64_t deadline_disconnects = 0;  // partial lines past the deadline
+  /// True while rebuilds are failing; queries still answer from the last
+  /// published snapshot (see serve/rebuild_supervisor.h).
+  bool degraded = false;
+  /// Most recent rebuild failure while degraded; empty otherwise.
+  std::string last_rebuild_error;
 };
 
 class TrussServer {
@@ -132,6 +161,10 @@ class TrussServer {
   SnapshotRegistry* const registry_;
   SnapshotRebuilder rebuilder_;
   const ServerOptions options_;
+  /// Retries failed REBUILDs off the serving threads; also the source of
+  /// the DEGRADED flag in STATS. Declared after rebuilder_/options_ (it
+  /// borrows both) so construction and destruction order are safe.
+  RebuildSupervisor supervisor_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -151,6 +184,10 @@ class TrussServer {
   std::atomic<uint64_t> comm_queries_{0};
   std::atomic<uint64_t> top_queries_{0};
   std::atomic<uint64_t> rebuilds_{0};
+  std::atomic<uint64_t> failed_rebuilds_{0};
+  std::atomic<uint64_t> send_errors_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
+  std::atomic<uint64_t> deadline_disconnects_{0};
 };
 
 }  // namespace truss::serve

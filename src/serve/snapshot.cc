@@ -49,7 +49,12 @@ Result<RebuildOutcome> SnapshotRebuilder::RebuildAndPublish(
   WallTimer timer;
   auto built =
       TrussIndex::Build(graph_, IndexBuildPlan::WithOptions(options));
-  Result<RebuildOutcome> result = Status::Internal("unset");
+  // Both branches below assign; this default only surfaces if a future
+  // edit adds a path that exits without assigning, and then it must name
+  // the algorithm so the failure is attributable.
+  Result<RebuildOutcome> result = Status::Internal(
+      std::string("rebuild produced no result for algo=") +
+      engine::AlgorithmName(options.algorithm));
   if (built.ok()) {
     RebuildOutcome outcome;
     outcome.decompose_seconds = built.value().decompose_stats.wall_seconds;

@@ -1,0 +1,33 @@
+// Audited helpers for the serving tier's monotonic atomic stat counters.
+//
+// Every counter in serve/ is bumped and read through these two functions so
+// the memory-ordering contract lives in one place (and the atomics audit
+// pass sees exactly one ordering site per operation) instead of at every
+// ++/load in server.cc and rebuild_supervisor.cc.
+
+#ifndef TRUSS_SERVE_STATS_UTIL_H_
+#define TRUSS_SERVE_STATS_UTIL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace truss::serve {
+
+/// One audited increment for a monotonic stat counter.
+inline void BumpStat(std::atomic<uint64_t>& counter) {
+  // ordering: relaxed — counters carry no data dependencies; the live
+  // STATS reader tolerates an instantaneously stale view, and the final
+  // report reads them after the RunShards join in Serve() has already
+  // ordered every worker's updates.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One audited read for a monotonic stat counter.
+inline uint64_t ReadStat(const std::atomic<uint64_t>& counter) {
+  // ordering: relaxed — same monotonic-stat-counter contract as BumpStat.
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace truss::serve
+
+#endif  // TRUSS_SERVE_STATS_UTIL_H_

@@ -9,13 +9,16 @@
 #include <utility>
 
 #include "engine/engine.h"
+#include "io/checksum_file.h"
 
 namespace truss::serve {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x49535254;  // "TRSI" little-endian
-constexpr uint32_t kVersion = 1;
+// Version 2 appended the checksum footer and made saves atomic
+// (write-to-temp + rename, see io/checksum_file.h).
+constexpr uint32_t kVersion = 2;
 
 // The save format below writes raw arrays; keep the element sizes pinned
 // so a drifting struct layout cannot silently change the file format.
@@ -45,16 +48,6 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-template <typename T>
-Status WriteSpan(std::FILE* f, std::span<const T> data,
-                 const std::string& path) {
-  if (data.empty()) return Status::OK();
-  if (std::fwrite(data.data(), sizeof(T), data.size(), f) != data.size()) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
-}
 
 template <typename T>
 Status ReadArray(std::FILE* f, std::vector<T>* data, uint64_t count,
@@ -197,10 +190,8 @@ uint64_t TrussIndex::SizeBytes() const {
 }
 
 Status TrussIndex::Save(const std::string& path) const {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
+  io::AtomicFileWriter w(path);
+  TRUSS_RETURN_IF_ERROR(w.Open());
 
   std::vector<uint32_t> community_k(community_info_.size());
   std::vector<uint64_t> community_edges(community_info_.size());
@@ -217,34 +208,28 @@ Status TrussIndex::Save(const std::string& path) const {
   header.community_count = community_info_.size();
   header.community_vertices_count = community_vertices_.size();
   header.member_count = members_.size();
-  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
-    return Status::IOError("short write to " + path);
-  }
+  TRUSS_RETURN_IF_ERROR(w.Append(&header, sizeof(header)));
 
-  TRUSS_RETURN_IF_ERROR(WriteSpan(f.get(), graph_->offsets(), path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan(f.get(), graph_->adjacency(), path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan(f.get(), graph_->edges(), path));
-  TRUSS_RETURN_IF_ERROR(
-      WriteSpan<uint32_t>(f.get(), truss_number_, path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan<uint32_t>(f.get(), vertex_kmax_, path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan<uint32_t>(f.get(), community_k, path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan<uint64_t>(f.get(), community_edges, path));
-  TRUSS_RETURN_IF_ERROR(
-      WriteSpan<uint64_t>(f.get(), community_vertex_offsets_, path));
-  TRUSS_RETURN_IF_ERROR(
-      WriteSpan<VertexId>(f.get(), community_vertices_, path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan<uint64_t>(f.get(), member_offsets_, path));
-  TRUSS_RETURN_IF_ERROR(WriteSpan<CommunityId>(f.get(), members_, path));
-
-  std::FILE* raw = f.release();
-  if (std::fclose(raw) != 0) {
-    return Status::IOError("close failed for " + path);
-  }
-  return Status::OK();
+  TRUSS_RETURN_IF_ERROR(w.AppendSpan(graph_->offsets()));
+  TRUSS_RETURN_IF_ERROR(w.AppendSpan(graph_->adjacency()));
+  TRUSS_RETURN_IF_ERROR(w.AppendSpan(graph_->edges()));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(truss_number_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(vertex_kmax_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(community_k));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(community_edges));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(community_vertex_offsets_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(community_vertices_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(member_offsets_));
+  TRUSS_RETURN_IF_ERROR(w.AppendVector(members_));
+  return w.Commit();
 }
 
 Result<std::shared_ptr<const TrussIndex>> TrussIndex::Load(
     const std::string& path) {
+  // Whole-file integrity first: a torn or bit-flipped index must fail here
+  // with Corruption before any of its bytes are interpreted.
+  TRUSS_RETURN_IF_ERROR(io::VerifyChecksummedFile(path).status());
+
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return Status::IOError("cannot open " + path + " for reading");
@@ -289,7 +274,8 @@ Result<std::shared_ptr<const TrussIndex>> TrussIndex::Load(
       (header.community_count + 1) * sizeof(uint64_t) +
       header.community_vertices_count * sizeof(VertexId) +
       (static_cast<uint64_t>(vertex_count) + 1) * sizeof(uint64_t) +
-      header.member_count * sizeof(CommunityId);
+      header.member_count * sizeof(CommunityId) +
+      sizeof(io::ChecksumFooter);
   if (file_size != expected) {
     return Status::Corruption("file size does not match header in " + path);
   }

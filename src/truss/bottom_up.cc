@@ -126,6 +126,7 @@ Result<uint64_t> BottomUpProcedureExternal(
       }
       writer.value()->WriteRecord(rec);
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
     TRUSS_RETURN_IF_ERROR(writer.value()->Close());
     TRUSS_RETURN_IF_ERROR(env.DeleteFile(h_file));
     h_file = next;
@@ -175,6 +176,7 @@ Result<uint64_t> BottomUpProcedureExternal(
         writers[pa]->WriteRecord(rec);
         if (pb != pa) writers[pb]->WriteRecord(rec);
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
       for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
     }
 
@@ -267,13 +269,18 @@ Result<uint64_t> BottomUpProcedureExternal(
       io::GnewRecord hrec;
       io::GEdgeRecord srec;
       while (h_reader.value()->ReadRecord(&hrec)) {
-        TRUSS_CHECK(s_reader.value()->ReadRecord(&srec));
+        if (!s_reader.value()->ReadRecord(&srec)) {
+          TRUSS_RETURN_IF_ERROR(s_reader.value()->status());
+          return Status::Corruption("support file shorter than H: " +
+                                    sup_file);
+        }
         TRUSS_CHECK_EQ(srec.u, hrec.u);
         TRUSS_CHECK_EQ(srec.v, hrec.v);
         if (in_uk[hrec.u] != 0 && in_uk[hrec.v] != 0 && srec.sup_acc + 2 <= k) {
           certified_removals.push_back(Edge{hrec.u, hrec.v});
         }
       }
+      TRUSS_RETURN_IF_ERROR(h_reader.value()->status());
     }
     TRUSS_RETURN_IF_ERROR(env.DeleteFile(sup_file));
 
@@ -310,6 +317,8 @@ Status SubtractStage(io::Env& env, std::string* gnew_file,
     if (have_removed && removed.u == rec.u && removed.v == rec.v) continue;
     writer.value()->WriteRecord(rec);
   }
+  TRUSS_RETURN_IF_ERROR(g_reader.value()->status());
+  TRUSS_RETURN_IF_ERROR(s_reader.value()->status());
   TRUSS_RETURN_IF_ERROR(writer.value()->Close());
   TRUSS_RETURN_IF_ERROR(env.DeleteFile(*gnew_file));
   *gnew_file = next;
@@ -326,6 +335,7 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
   WallTimer timer;
   const io::IoStats start_io = env.stats();
   ExternalStats stats;
+  TRUSS_RETURN_IF_ERROR(env.health());
 
   auto class_writer_res = env.OpenWriter(classes_out);
   TRUSS_RETURN_IF_ERROR(class_writer_res.status());
@@ -371,6 +381,10 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
           any = true;
         }
       }
+      // A failed scan looks identical to an exhausted one (`any` stays
+      // false, min_label stays UINT32_MAX), which would jump k to UINT32_MAX
+      // and spin forever; surface the fault instead.
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
     }
     if (!any) {
       // All remaining lower bounds exceed k: Φ_k..Φ_{min_label - 1} are
@@ -388,6 +402,7 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
       while (reader.value()->ReadRecord(&rec)) {
         if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) ++h_edges;
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
     }
     ++stats.candidate_subgraphs;
 
@@ -407,6 +422,7 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
       while (reader.value()->ReadRecord(&rec)) {
         if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) h_records.push_back(rec);
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
       classified_now = BottomUpProcedureInMemory(h_records, in_uk, k,
                                                  config.threads,
                                                  class_writer.get(),
@@ -426,6 +442,7 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
             writer.value()->WriteRecord(rec);
           }
         }
+        TRUSS_RETURN_IF_ERROR(reader.value()->status());
         TRUSS_RETURN_IF_ERROR(writer.value()->Close());
       }
       auto classified_res =
@@ -453,6 +470,11 @@ Result<ExternalStats> BottomUpDecomposeFile(io::Env& env,
     TRUSS_RETURN_IF_ERROR(env.DeleteFile(stage_file));
     ++k;
   }
+
+  // Any stream failure the per-loop checks could not report (e.g. a scan
+  // closure that cannot return Status) surfaces here as a typed error
+  // instead of a silently partial decomposition.
+  TRUSS_RETURN_IF_ERROR(env.health());
 
   TRUSS_RETURN_IF_ERROR(env.DeleteFile(gnew));
   TRUSS_RETURN_IF_ERROR(class_writer->Close());

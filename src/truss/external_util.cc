@@ -42,6 +42,7 @@ Result<TrussDecompositionResult> LoadClassesAsDecomposition(
     result.truss_number[id] = rec.truss;
     ++count;
   }
+  TRUSS_RETURN_IF_ERROR(reader.value()->status());
   if (count != g.num_edges()) {
     return Status::Corruption(
         "decomposition incomplete: " + std::to_string(count) + " of " +

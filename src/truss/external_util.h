@@ -91,6 +91,8 @@ TRUSS_NODISCARD Result<std::vector<Record>> ReadAllRecords(io::Env& env,
   std::vector<Record> records;
   Record rec;
   while (reader.value()->ReadRecord(&rec)) records.push_back(rec);
+  // Distinguish EOF from a failed or truncated read.
+  TRUSS_RETURN_IF_ERROR(reader.value()->status());
   return records;
 }
 
@@ -121,10 +123,13 @@ TRUSS_NODISCARD Status ScanDegrees(io::Env& env, const std::string& file, Vertex
     ++(*degrees)[rec.v];
     ++(*num_edges);
   }
-  return Status::OK();
+  return reader.value()->status();
 }
 
 /// Adapts an edge-record file to the partitioners' EdgeScanFn interface.
+/// The scan callback cannot return a Status, so a failed read ends the
+/// scan early; the stream reports it into env.health(), which the external
+/// drivers gate on at their stage boundaries.
 template <typename Record>
 partition::EdgeScanFn MakeEdgeScanFn(io::Env& env, std::string file) {
   return [&env, file = std::move(file)](

@@ -23,7 +23,10 @@ using InternalEdgeSink = std::function<void(
 uint64_t CountInternalEdges(io::Env& env, const std::string& file,
                             const std::vector<uint32_t>& part_of) {
   auto reader = env.OpenReader(file);
-  TRUSS_CHECK(reader.ok());
+  // An open failure (e.g. a crashed fault env) is recorded in the env
+  // health; returning 0 lets the caller's health gate report it as a typed
+  // error instead of aborting the process.
+  if (!reader.ok()) return 0;
   uint64_t internal = 0;
   io::GEdgeRecord rec;
   while (reader.value()->ReadRecord(&rec)) {
@@ -47,11 +50,14 @@ partition::PartitionResult ForcedPartition(io::Env& env,
   in_first[vmax] = 1;
   {
     auto reader = env.OpenReader(file);
-    TRUSS_CHECK(reader.ok());
-    io::GEdgeRecord rec;
-    while (reader.value()->ReadRecord(&rec)) {
-      if (rec.u == vmax) in_first[rec.v] = 1;
-      if (rec.v == vmax) in_first[rec.u] = 1;
+    // Open failures surface through the env health at the caller; a partial
+    // neighborhood only weakens the forced part, never corrupts it.
+    if (reader.ok()) {
+      io::GEdgeRecord rec;
+      while (reader.value()->ReadRecord(&rec)) {
+        if (rec.u == vmax) in_first[rec.v] = 1;
+        if (rec.v == vmax) in_first[rec.u] = 1;
+      }
     }
   }
 
@@ -127,10 +133,15 @@ Status RunBoundingDriver(io::Env& env, std::string g_file, VertexId n,
       part = partition::PartitionVertices(
           degrees, MakeEdgeScanFn<io::GEdgeRecord>(env, g_file), opts);
       internal_edges = CountInternalEdges(env, g_file, part.part_of);
+      // The scan closures above return no status; a failed read surfaces
+      // through the env health instead, and must not be mistaken for an
+      // adversarial layout (zero internal edges).
+      TRUSS_RETURN_IF_ERROR(env.health());
       if (internal_edges > 0) break;
       if (attempt >= 8) {
         part = ForcedPartition(env, g_file, degrees, max_weight);
         internal_edges = CountInternalEdges(env, g_file, part.part_of);
+        TRUSS_RETURN_IF_ERROR(env.health());
         TRUSS_CHECK_GT(internal_edges, 0u);
         break;
       }
@@ -158,6 +169,7 @@ Status RunBoundingDriver(io::Env& env, std::string g_file, VertexId n,
         writers[pa]->WriteRecord(rec);
         if (pb != pa) writers[pb]->WriteRecord(rec);
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
       for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
     }
 
@@ -257,6 +269,10 @@ Status RunBoundingDriver(io::Env& env, std::string g_file, VertexId n,
         }
         out.value()->WriteRecord(rec);
       }
+      // A fault-truncated graph stream would leave deltas pending; report it
+      // as a stream error, not as a violated merge invariant.
+      TRUSS_RETURN_IF_ERROR(g_reader.value()->status());
+      TRUSS_RETURN_IF_ERROR(d_reader.value()->status());
       TRUSS_CHECK(!have_d);
       TRUSS_RETURN_IF_ERROR(out.value()->Close());
     }
@@ -335,6 +351,7 @@ Result<std::string> ComputeExactSupports(io::Env& env,
     while (reader.value()->ReadRecord(&in)) {
       writer.value()->WriteRecord(io::GEdgeRecord{in.u, in.v, 0, 2});
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
     TRUSS_RETURN_IF_ERROR(writer.value()->Close());
   }
 

@@ -46,6 +46,7 @@ Result<uint32_t> RunUpperBounding(io::Env& env, std::string* gnew_file,
       writer.value()->WriteRecord(io::IncidenceRecord{rec.u, rec.label});
       writer.value()->WriteRecord(io::IncidenceRecord{rec.v, rec.label});
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
     TRUSS_RETURN_IF_ERROR(writer.value()->Close());
   }
   const std::string inc_sorted = env.TempName("ub_inc_sorted");
@@ -92,6 +93,7 @@ Result<uint32_t> RunUpperBounding(io::Env& env, std::string* gnew_file,
       h_of[v] = h;
       c_of[v] = c;
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
   }
   TRUSS_RETURN_IF_ERROR(env.DeleteFile(inc_sorted));
 
@@ -112,6 +114,7 @@ Result<uint32_t> RunUpperBounding(io::Env& env, std::string* gnew_file,
       k1st = std::max(k1st, rec.aux);
       writer.value()->WriteRecord(rec);
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
     TRUSS_RETURN_IF_ERROR(writer.value()->Close());
   }
   TRUSS_RETURN_IF_ERROR(env.DeleteFile(*gnew_file));
@@ -269,6 +272,7 @@ Result<StageOutcome> TopDownProcedureExternal(
       }
       writer.value()->WriteRecord(rec);
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
     TRUSS_RETURN_IF_ERROR(writer.value()->Close());
     TRUSS_RETURN_IF_ERROR(env.DeleteFile(*file));
     *file = next;
@@ -313,6 +317,7 @@ Result<StageOutcome> TopDownProcedureExternal(
         writers[pa]->WriteRecord(rec);
         if (pb != pa) writers[pb]->WriteRecord(rec);
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
       for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
     }
 
@@ -398,13 +403,18 @@ Result<StageOutcome> TopDownProcedureExternal(
       io::GnewRecord hrec;
       io::GEdgeRecord srec;
       while (h_reader.value()->ReadRecord(&hrec)) {
-        TRUSS_CHECK(s_reader.value()->ReadRecord(&srec));
+        if (!s_reader.value()->ReadRecord(&srec)) {
+          TRUSS_RETURN_IF_ERROR(s_reader.value()->status());
+          return Status::Corruption("support file shorter than H: " +
+                                    sup_file);
+        }
         TRUSS_CHECK_EQ(srec.u, hrec.u);
         TRUSS_CHECK_EQ(srec.v, hrec.v);
         if (hrec.cls == 0 && srec.sup_acc + 2 < k) {
           certified_dead.push_back(Edge{hrec.u, hrec.v});
         }
       }
+      TRUSS_RETURN_IF_ERROR(h_reader.value()->status());
     }
     TRUSS_RETURN_IF_ERROR(env.DeleteFile(sup_file));
     if (certified_dead.empty()) break;
@@ -423,6 +433,7 @@ Result<StageOutcome> TopDownProcedureExternal(
         new_class_set.insert(Edge{rec.u, rec.v});
       }
     }
+    TRUSS_RETURN_IF_ERROR(reader.value()->status());
   }
   TRUSS_RETURN_IF_ERROR(env.DeleteFile(hq_file));
 
@@ -460,6 +471,7 @@ Result<StageOutcome> TopDownProcedureExternal(
           writers[pa]->WriteRecord(rec);
           if (pb != pa) writers[pb]->WriteRecord(rec);
         }
+        TRUSS_RETURN_IF_ERROR(reader.value()->status());
         for (auto& w : writers) TRUSS_RETURN_IF_ERROR(w->Close());
       }
       for (size_t i = 0; i < p; ++i) {
@@ -540,6 +552,7 @@ Status ApplyStageToGnew(io::Env& env, std::string* gnew_file,
     if (advance(outcome.pruned, &pi, rec)) continue;
     writer.value()->WriteRecord(rec);
   }
+  TRUSS_RETURN_IF_ERROR(reader.value()->status());
   TRUSS_RETURN_IF_ERROR(writer.value()->Close());
   TRUSS_RETURN_IF_ERROR(env.DeleteFile(*gnew_file));
   *gnew_file = next;
@@ -556,6 +569,7 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
   WallTimer timer;
   const io::IoStats start_io = env.stats();
   ExternalStats stats;
+  TRUSS_RETURN_IF_ERROR(env.health());
 
   auto class_writer_res = env.OpenWriter(classes_out);
   TRUSS_RETURN_IF_ERROR(class_writer_res.status());
@@ -614,6 +628,7 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
           any = true;
         }
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
     }
     if (!any) {
       if (max_psi < 3) break;  // nothing left to classify
@@ -630,6 +645,7 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
       while (reader.value()->ReadRecord(&rec)) {
         if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) ++h_edges;
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
     }
     ++stats.candidate_subgraphs;
 
@@ -643,6 +659,7 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
       while (reader.value()->ReadRecord(&rec)) {
         if (in_uk[rec.u] != 0 || in_uk[rec.v] != 0) h_records.push_back(rec);
       }
+      TRUSS_RETURN_IF_ERROR(reader.value()->status());
       outcome = TopDownProcedureInMemory(h_records, in_uk, k);
     } else {
       ++stats.candidate_overflows;
@@ -661,6 +678,7 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
           wf.value()->WriteRecord(rec);
           if (rec.cls > 0 || rec.aux >= k) wq.value()->WriteRecord(rec);
         }
+        TRUSS_RETURN_IF_ERROR(reader.value()->status());
         TRUSS_RETURN_IF_ERROR(wq.value()->Close());
         TRUSS_RETURN_IF_ERROR(wf.value()->Close());
       }
@@ -684,6 +702,12 @@ Result<ExternalStats> TopDownDecomposeFile(io::Env& env,
     }
     --k;
   }
+
+  // Any stream failure the per-loop checks could not report (e.g. a scan
+  // closure that cannot return Status) surfaces here as a typed error —
+  // in particular before the completeness invariant below can abort on
+  // partial data.
+  TRUSS_RETURN_IF_ERROR(env.health());
 
   if (config.top_t < 0) {
     // Full decomposition must account for every edge.

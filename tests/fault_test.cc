@@ -1,0 +1,855 @@
+// Chaos suite: deterministic fault injection against the external
+// algorithms, crash-safety of the TRSB/TRSI snapshot formats, and the
+// serving tier's degradation protocol.
+//
+// The battery asserts three invariants end to end:
+//   1. Every injected fault surfaces as a typed Status (kIOError or
+//      kCorruption) — never an abort, never a silently wrong answer.
+//   2. No torn snapshot is ever loadable: any strict prefix of a saved
+//      file fails Load with kCorruption, and a save interrupted before its
+//      atomic rename leaves the destination untouched.
+//   3. The server never stops serving: while rebuilds fail it answers
+//      every query from the last published snapshot and reports DEGRADED.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sched.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/parallel.h"
+#include "gen/fixtures.h"
+#include "graph/graph.h"
+#include "io/checksum_file.h"
+#include "io/fault_env.h"
+#include "serve/rebuild_supervisor.h"
+#include "serve/server.h"
+#include "serve/truss_index.h"
+#include "truss/bottom_up.h"
+#include "truss/improved.h"
+#include "truss/top_down.h"
+#include "truss/verify.h"
+
+namespace truss {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const char* name) {
+  const auto dir = fs::temp_directory_path() / "truss_fault_test" / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string TestFile(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / "truss_fault_test" / "files";
+  fs::create_directories(dir);
+  return (dir / name).string();
+}
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<char> bytes;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAllBytes(const std::string& path, const char* data, size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(data, 1, n, f), n);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Checksum64
+// ---------------------------------------------------------------------------
+
+TEST(Checksum64Test, StreamingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint64_t oneshot = Checksum64Of(data.data(), data.size());
+  // Feed the same bytes in awkward chunk sizes; the digest must not depend
+  // on chunking.
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                       size_t{13}}) {
+    Checksum64 sum;
+    for (size_t i = 0; i < data.size(); i += chunk) {
+      sum.Update(data.data() + i, std::min(chunk, data.size() - i));
+    }
+    EXPECT_EQ(sum.Digest(), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Checksum64Test, DetectsSingleBitFlips) {
+  std::vector<char> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const uint64_t base = Checksum64Of(data.data(), data.size());
+  for (size_t byte : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{500},
+                      size_t{999}}) {
+    std::vector<char> flipped = data;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 1);
+    EXPECT_NE(Checksum64Of(flipped.data(), flipped.size()), base)
+        << "flip at " << byte;
+  }
+  // Length extension: same prefix, one extra zero byte, different digest.
+  std::vector<char> extended = data;
+  extended.push_back(0);
+  EXPECT_NE(Checksum64Of(extended.data(), extended.size()), base);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvTest, NoFaultsBehavesLikePlainEnv) {
+  io::FaultInjectionEnv env(TestDir("plain"), {}, 1024);
+  {
+    auto w = env.OpenWriter("data");
+    ASSERT_TRUE(w.ok());
+    for (uint64_t i = 0; i < 1000; ++i) w.value()->WriteRecord(i);
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = env.OpenReader("data");
+  ASSERT_TRUE(r.ok());
+  uint64_t v = 0, count = 0;
+  while (r.value()->ReadRecord(&v)) {
+    EXPECT_EQ(v, count);
+    ++count;
+  }
+  EXPECT_TRUE(r.value()->status().ok());
+  EXPECT_EQ(count, 1000u);
+  EXPECT_TRUE(env.health().ok());
+  EXPECT_EQ(env.fault_stats().injected_write_errors, 0u);
+  EXPECT_EQ(env.fault_stats().injected_read_errors, 0u);
+}
+
+TEST(FaultEnvTest, FailAfterNWritesIsTypedAndSticky) {
+  io::FaultInjectionOptions opts;
+  opts.fail_after_block_writes = 2;
+  io::FaultInjectionEnv env(TestDir("failw"), opts, 1024);
+  auto w = env.OpenWriter("data");
+  ASSERT_TRUE(w.ok());
+  // 1024-byte blocks of 8-byte records: the third block write fails.
+  for (uint64_t i = 0; i < 4 * 128; ++i) w.value()->WriteRecord(i);
+  const Status st = w.value()->Close();
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+  EXPECT_EQ(env.health().code(), StatusCode::kIOError);
+  EXPECT_EQ(env.fault_stats().injected_write_errors, 1u);
+}
+
+TEST(FaultEnvTest, FailAfterNReadsIsTypedAndSticky) {
+  io::FaultInjectionOptions opts;
+  opts.fail_after_block_reads = 1;
+  io::FaultInjectionEnv env(TestDir("failr"), opts, 1024);
+  {
+    auto w = env.OpenWriter("data");
+    ASSERT_TRUE(w.ok());
+    for (uint64_t i = 0; i < 4 * 128; ++i) w.value()->WriteRecord(i);
+    ASSERT_TRUE(w.value()->Close().ok());
+  }
+  auto r = env.OpenReader("data");
+  ASSERT_TRUE(r.ok());
+  uint64_t v = 0, count = 0;
+  while (r.value()->ReadRecord(&v)) ++count;
+  EXPECT_EQ(count, 128u);  // exactly the one block that succeeded
+  EXPECT_EQ(r.value()->status().code(), StatusCode::kIOError);
+  EXPECT_EQ(env.health().code(), StatusCode::kIOError);
+  // Sticky: further reads keep failing without consuming more schedule.
+  EXPECT_FALSE(r.value()->ReadRecord(&v));
+  EXPECT_EQ(env.fault_stats().injected_read_errors, 1u);
+}
+
+TEST(FaultEnvTest, TransientErrorsAreRetriedInvisibly) {
+  io::FaultInjectionOptions opts;
+  opts.transient_p = 0.3;
+  opts.seed = 7;
+  io::FaultInjectionEnv env(TestDir("transient"), opts, 1024);
+  {
+    auto w = env.OpenWriter("data");
+    ASSERT_TRUE(w.ok());
+    for (uint64_t i = 0; i < 16 * 128; ++i) w.value()->WriteRecord(i);
+    ASSERT_TRUE(w.value()->Close().ok()) << env.health().ToString();
+  }
+  auto r = env.OpenReader("data");
+  ASSERT_TRUE(r.ok());
+  uint64_t v = 0, count = 0;
+  while (r.value()->ReadRecord(&v)) {
+    EXPECT_EQ(v, count);
+    ++count;
+  }
+  EXPECT_TRUE(r.value()->status().ok()) << r.value()->status().ToString();
+  EXPECT_EQ(count, 16u * 128u);
+  EXPECT_TRUE(env.health().ok());
+  EXPECT_GT(env.fault_stats().injected_transients, 0u);
+}
+
+TEST(FaultEnvTest, ShortWriteTearsBlockAndFailsStream) {
+  io::FaultInjectionOptions opts;
+  opts.short_write_p = 1.0;  // first block write is torn
+  io::FaultInjectionEnv env(TestDir("shortw"), opts, 1024);
+  auto w = env.OpenWriter("data");
+  ASSERT_TRUE(w.ok());
+  for (uint64_t i = 0; i < 2 * 128; ++i) w.value()->WriteRecord(i);
+  EXPECT_EQ(w.value()->Close().code(), StatusCode::kIOError);
+  EXPECT_EQ(env.fault_stats().injected_short_writes, 1u);
+  // The torn file is strictly shorter than one block.
+  std::error_code ec;
+  const auto size = fs::file_size(env.FullPath("data"), ec);
+  ASSERT_FALSE(ec);
+  EXPECT_LT(size, 1024u);
+}
+
+TEST(FaultEnvTest, CrashPointTakesEnvDown) {
+  io::FaultInjectionOptions opts;
+  opts.crash_after_bytes = 3000;
+  io::FaultInjectionEnv env(TestDir("crash"), opts, 1024);
+  auto w = env.OpenWriter("data");
+  ASSERT_TRUE(w.ok());
+  for (uint64_t i = 0; i < 8 * 128; ++i) w.value()->WriteRecord(i);
+  EXPECT_EQ(w.value()->Close().code(), StatusCode::kIOError);
+  EXPECT_TRUE(env.crashed());
+  EXPECT_EQ(env.fault_stats().crashes, 1u);
+  // The file is torn exactly at the crash point: <= 3000 bytes reached it.
+  std::error_code ec;
+  const auto size = fs::file_size(env.FullPath("data"), ec);
+  ASSERT_FALSE(ec);
+  EXPECT_LE(size, 3000u);
+  // Everything after the crash fails: open, read, delete, rename.
+  EXPECT_FALSE(env.OpenWriter("other").ok());
+  EXPECT_FALSE(env.OpenReader("data").ok());
+  EXPECT_EQ(env.DeleteFile("data").code(), StatusCode::kIOError);
+  EXPECT_EQ(env.RenameFile("data", "elsewhere").code(), StatusCode::kIOError);
+}
+
+TEST(FaultEnvTest, SameSeedSameSchedule) {
+  auto run = [](const char* dir) {
+    io::FaultInjectionOptions opts;
+    opts.seed = 99;
+    opts.transient_p = 0.2;
+    opts.short_write_p = 0.05;
+    io::FaultInjectionEnv env(TestDir(dir), opts, 1024);
+    auto w = env.OpenWriter("data");
+    EXPECT_TRUE(w.ok());
+    for (uint64_t i = 0; i < 32 * 128; ++i) w.value()->WriteRecord(i);
+    (void)w.value()->Close();
+    return env.fault_stats();
+  };
+  const io::FaultInjectionStats a = run("seed_a");
+  const io::FaultInjectionStats b = run("seed_b");
+  EXPECT_EQ(a.write_blocks_seen, b.write_blocks_seen);
+  EXPECT_EQ(a.injected_short_writes, b.injected_short_writes);
+  EXPECT_EQ(a.injected_transients, b.injected_transients);
+  EXPECT_EQ(a.injected_write_errors, b.injected_write_errors);
+}
+
+// ---------------------------------------------------------------------------
+// Fault sweeps over the external algorithms: a hard failure at every Nth
+// block must surface as a typed error, never an abort or a wrong answer.
+// ---------------------------------------------------------------------------
+
+class ExternalFaultSweep : public ::testing::Test {
+ protected:
+  ExternalFaultSweep() : graph_(gen::Figure2Graph().graph) {
+    expected_ = ImprovedTrussDecomposition(graph_);
+  }
+
+  // Runs `algo` under fail-after-N schedules chosen to straddle the run's
+  // actual block volume (learned from a fault-free probe). Asserts the
+  // dichotomy: either the run succeeded with the exact in-memory answer, or
+  // it failed with a typed Status AND an injected fault explains it.
+  template <typename AlgoFn>
+  void Sweep(AlgoFn algo, bool sweep_reads, const char* tag) {
+    // Calibrate: learn how many blocks a clean run moves, so the sweep
+    // covers early, middle, and past-the-end faults regardless of the
+    // algorithm's I/O volume.
+    uint64_t total_blocks = 0;
+    {
+      const std::string dir = TestDir(tag) + "_probe";
+      io::FaultInjectionEnv env(dir, io::FaultInjectionOptions{}, 1024);
+      ExternalConfig cfg;
+      cfg.memory_budget_bytes = 64 * 1024;
+      auto result = algo(env, graph_, cfg);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      total_blocks = sweep_reads ? env.fault_stats().read_blocks_seen
+                                 : env.fault_stats().write_blocks_seen;
+      ASSERT_GT(total_blocks, 0u) << tag;
+    }
+    std::vector<uint64_t> points;
+    for (uint64_t n = 1; n <= 24 && n <= total_blocks; ++n) {
+      points.push_back(n);
+    }
+    for (uint64_t i = 1; i <= 8; ++i) {
+      points.push_back(std::max<uint64_t>(1, total_blocks * i / 8));
+    }
+    points.push_back(total_blocks + 1);  // outlives the run: must succeed
+
+    uint64_t ok_runs = 0, failed_runs = 0;
+    for (const uint64_t n : points) {
+      io::FaultInjectionOptions opts;
+      if (sweep_reads) {
+        opts.fail_after_block_reads = n;
+      } else {
+        opts.fail_after_block_writes = n;
+      }
+      const std::string dir = TestDir(tag) + "_" + std::to_string(n);
+      io::FaultInjectionEnv env(dir, opts, 1024);
+      ExternalConfig cfg;
+      cfg.memory_budget_bytes = 64 * 1024;
+      auto result = algo(env, graph_, cfg);
+      const uint64_t injected = env.fault_stats().injected_write_errors +
+                                env.fault_stats().injected_read_errors;
+      if (result.ok()) {
+        ++ok_runs;
+        // A hard injected fault can never produce a "successful" run.
+        EXPECT_EQ(injected, 0u) << tag << " n=" << n;
+        EXPECT_TRUE(SameDecomposition(expected_, result.value()))
+            << tag << " n=" << n;
+      } else {
+        ++failed_runs;
+        EXPECT_GT(injected, 0u) << tag << " n=" << n;
+        EXPECT_TRUE(result.status().code() == StatusCode::kIOError ||
+                    result.status().code() == StatusCode::kCorruption)
+            << tag << " n=" << n << ": " << result.status().ToString();
+      }
+    }
+    // The sweep must actually exercise both outcomes: small N hits early
+    // transfers (failure), large N outlives the run (success).
+    EXPECT_GT(failed_runs, 0u) << tag;
+    EXPECT_GT(ok_runs, 0u) << tag;
+  }
+
+  Graph graph_;
+  TrussDecompositionResult expected_;
+};
+
+TEST_F(ExternalFaultSweep, BottomUpSurvivesWriteFaults) {
+  Sweep(
+      [](io::Env& env, const Graph& g, const ExternalConfig& cfg) {
+        return BottomUpDecompose(env, g, cfg);
+      },
+      /*sweep_reads=*/false, "bu_w");
+}
+
+TEST_F(ExternalFaultSweep, BottomUpSurvivesReadFaults) {
+  Sweep(
+      [](io::Env& env, const Graph& g, const ExternalConfig& cfg) {
+        return BottomUpDecompose(env, g, cfg);
+      },
+      /*sweep_reads=*/true, "bu_r");
+}
+
+TEST_F(ExternalFaultSweep, TopDownSurvivesWriteFaults) {
+  Sweep(
+      [](io::Env& env, const Graph& g, const ExternalConfig& cfg) {
+        return TopDownDecompose(env, g, cfg);
+      },
+      /*sweep_reads=*/false, "td_w");
+}
+
+TEST_F(ExternalFaultSweep, TopDownSurvivesReadFaults) {
+  Sweep(
+      [](io::Env& env, const Graph& g, const ExternalConfig& cfg) {
+        return TopDownDecompose(env, g, cfg);
+      },
+      /*sweep_reads=*/true, "td_r");
+}
+
+TEST_F(ExternalFaultSweep, CrashMidRunIsTypedError) {
+  for (uint64_t crash_at : {uint64_t{500}, uint64_t{5'000}, uint64_t{20'000},
+                            uint64_t{100'000}}) {
+    io::FaultInjectionOptions opts;
+    opts.crash_after_bytes = crash_at;
+    const std::string dir =
+        TestDir("crash_mid") + "_" + std::to_string(crash_at);
+    io::FaultInjectionEnv env(dir, opts, 1024);
+    ExternalConfig cfg;
+    cfg.memory_budget_bytes = 64 * 1024;
+    auto result = BottomUpDecompose(env, graph_, cfg);
+    if (env.crashed()) {
+      ASSERT_FALSE(result.ok()) << "crash_at=" << crash_at;
+      EXPECT_EQ(result.status().code(), StatusCode::kIOError)
+          << result.status().ToString();
+    } else {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(SameDecomposition(expected_, result.value()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe snapshots: kill-mid-save atomicity and corruption rejection
+// for both on-disk formats (TRSB graph snapshots, TRSI truss indexes).
+// ---------------------------------------------------------------------------
+
+struct SnapshotFormat {
+  const char* name;
+  std::function<Status(const std::string& path)> save;
+  std::function<Status(const std::string& path)> load;
+};
+
+std::vector<SnapshotFormat> Formats() {
+  static const auto graph =
+      std::make_shared<const Graph>(gen::Figure2Graph().graph);
+  static const auto index =
+      serve::TrussIndex::Build(graph, ImprovedTrussDecomposition(*graph));
+  return {
+      {"trsb",
+       [](const std::string& p) { return graph->SaveBinary(p); },
+       [](const std::string& p) { return Graph::LoadBinary(p).status(); }},
+      {"trsi",
+       [](const std::string& p) { return index->Save(p); },
+       [](const std::string& p) {
+         return serve::TrussIndex::Load(p).status();
+       }},
+  };
+}
+
+TEST(CrashSafeSnapshotTest, NoPrefixOfASnapshotIsLoadable) {
+  for (const SnapshotFormat& format : Formats()) {
+    const std::string path = TestFile(std::string("prefix_") + format.name);
+    ASSERT_TRUE(format.save(path).ok()) << format.name;
+    const std::vector<char> bytes = ReadAllBytes(path);
+    ASSERT_GT(bytes.size(), 64u);
+    // A save killed at any byte leaves a strict prefix; none may load.
+    // Every boundary in the first/last 100 bytes plus a stride through the
+    // middle covers header, payload, and footer tears.
+    std::vector<size_t> cuts;
+    for (size_t i = 0; i < std::min<size_t>(100, bytes.size()); ++i) {
+      cuts.push_back(i);
+    }
+    for (size_t i = 100; i + 100 < bytes.size(); i += 97) cuts.push_back(i);
+    for (size_t i = bytes.size() - std::min<size_t>(100, bytes.size());
+         i < bytes.size(); ++i) {
+      cuts.push_back(i);
+    }
+    for (size_t cut : cuts) {
+      WriteAllBytes(path, bytes.data(), cut);
+      const Status st = format.load(path);
+      ASSERT_FALSE(st.ok()) << format.name << " cut=" << cut;
+      EXPECT_TRUE(st.code() == StatusCode::kCorruption ||
+                  st.code() == StatusCode::kIOError)
+          << format.name << " cut=" << cut << ": " << st.ToString();
+    }
+    // The untruncated file still loads.
+    WriteAllBytes(path, bytes.data(), bytes.size());
+    EXPECT_TRUE(format.load(path).ok()) << format.name;
+    fs::remove(path);
+  }
+}
+
+TEST(CrashSafeSnapshotTest, BitFlipsAreCorruption) {
+  for (const SnapshotFormat& format : Formats()) {
+    const std::string path = TestFile(std::string("flip_") + format.name);
+    ASSERT_TRUE(format.save(path).ok()) << format.name;
+    const std::vector<char> bytes = ReadAllBytes(path);
+    for (size_t pos :
+         {size_t{0}, size_t{8}, bytes.size() / 2, bytes.size() - 1}) {
+      std::vector<char> flipped = bytes;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+      WriteAllBytes(path, flipped.data(), flipped.size());
+      const Status st = format.load(path);
+      ASSERT_FALSE(st.ok()) << format.name << " pos=" << pos;
+      EXPECT_EQ(st.code(), StatusCode::kCorruption)
+          << format.name << " pos=" << pos << ": " << st.ToString();
+    }
+    fs::remove(path);
+  }
+}
+
+TEST(CrashSafeSnapshotTest, SaveLeavesNoTempDroppings) {
+  for (const SnapshotFormat& format : Formats()) {
+    const std::string path = TestFile(std::string("atomic_") + format.name);
+    ASSERT_TRUE(format.save(path).ok());
+    // Re-save over the existing file; the destination must stay loadable
+    // and no temp files may remain.
+    ASSERT_TRUE(format.save(path).ok());
+    EXPECT_TRUE(format.load(path).ok());
+    uint64_t temps = 0;
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(path).parent_path())) {
+      if (entry.path().filename().string().find(".tmp.") !=
+          std::string::npos) {
+        ++temps;
+      }
+    }
+    EXPECT_EQ(temps, 0u) << format.name;
+    fs::remove(path);
+  }
+}
+
+TEST(CrashSafeSnapshotTest, SaveToUnwritableDirFailsCleanly) {
+  for (const SnapshotFormat& format : Formats()) {
+    const Status st = format.save("/nonexistent_dir_truss/file.bin");
+    EXPECT_EQ(st.code(), StatusCode::kIOError) << format.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RebuildSupervisor
+// ---------------------------------------------------------------------------
+
+serve::RetryPolicy FastRetries(uint32_t max_attempts) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+  policy.jitter_fraction = 0.2;
+  return policy;
+}
+
+engine::DecomposeOptions FailingOptions(std::atomic<bool>* fail) {
+  engine::DecomposeOptions options;
+  options.hooks.cancel = [fail] {
+    // ordering: relaxed — independent test flag, no data published through
+    // it; the hook tolerates a stale read for one poll.
+    return fail->load(std::memory_order_relaxed);
+  };
+  return options;
+}
+
+TEST(RebuildSupervisorTest, RetriesUntilSuccessAndClearsDegradation) {
+  auto graph = std::make_shared<Graph>(gen::Figure2Graph().graph);
+  serve::SnapshotRegistry registry;
+  serve::SnapshotRebuilder rebuilder(graph, &registry);
+  std::atomic<bool> fail{true};  // outlives the supervisor's retry thread
+  serve::RebuildSupervisor supervisor(&rebuilder, FastRetries(1000));
+
+  supervisor.ScheduleRetries(FailingOptions(&fail),
+                             Status::Internal("seed failure"));
+  EXPECT_EQ(supervisor.health(), serve::ServingHealth::kDegraded);
+  EXPECT_FALSE(supervisor.last_error().empty());
+
+  // Let a few failing attempts happen, then allow success.
+  while (supervisor.retries_attempted() < 3) sched_yield();
+  // ordering: relaxed — same test-flag contract as the cancel hook above.
+  fail.store(false, std::memory_order_relaxed);
+  while (supervisor.health() == serve::ServingHealth::kDegraded) {
+    sched_yield();
+  }
+  EXPECT_GE(supervisor.retries_attempted(), 3u);
+  EXPECT_GE(supervisor.retries_succeeded(), 1u);
+  EXPECT_TRUE(supervisor.last_error().empty());
+  EXPECT_EQ(registry.current_version(), 1u);  // the retry published
+}
+
+TEST(RebuildSupervisorTest, ExhaustedAttemptsStayDegraded) {
+  auto graph = std::make_shared<Graph>(gen::Figure2Graph().graph);
+  serve::SnapshotRegistry registry;
+  serve::SnapshotRebuilder rebuilder(graph, &registry);
+  std::atomic<bool> fail{true};  // outlives the supervisor's retry thread
+  serve::RebuildSupervisor supervisor(&rebuilder, FastRetries(3));
+
+  supervisor.ScheduleRetries(FailingOptions(&fail),
+                             Status::Internal("seed failure"));
+  while (supervisor.retries_attempted() < 3) sched_yield();
+  supervisor.Stop();
+  EXPECT_EQ(supervisor.retries_attempted(), 3u);
+  EXPECT_EQ(supervisor.retries_succeeded(), 0u);
+  EXPECT_EQ(supervisor.health(), serve::ServingHealth::kDegraded);
+  EXPECT_NE(supervisor.last_error().find("Cancelled"), std::string::npos)
+      << supervisor.last_error();
+  EXPECT_EQ(registry.current_version(), 0u);
+}
+
+TEST(RebuildSupervisorTest, NoteSuccessCancelsPendingRetries) {
+  auto graph = std::make_shared<Graph>(gen::Figure2Graph().graph);
+  serve::SnapshotRegistry registry;
+  serve::SnapshotRebuilder rebuilder(graph, &registry);
+  serve::RetryPolicy slow = FastRetries(1000);
+  slow.initial_backoff_ms = 60'000;  // the first retry would wait a minute
+  slow.max_backoff_ms = 60'000;
+  std::atomic<bool> fail{true};  // outlives the supervisor's retry thread
+  serve::RebuildSupervisor supervisor(&rebuilder, slow);
+
+  supervisor.ScheduleRetries(FailingOptions(&fail),
+                             Status::Internal("seed failure"));
+  EXPECT_EQ(supervisor.health(), serve::ServingHealth::kDegraded);
+  supervisor.NoteSuccess();  // a direct REBUILD succeeded meanwhile
+  EXPECT_EQ(supervisor.health(), serve::ServingHealth::kOk);
+  supervisor.Stop();  // must return promptly, not after the minute backoff
+  EXPECT_EQ(supervisor.retries_attempted(), 0u);
+}
+
+TEST(RebuildSupervisorTest, StopInterruptsBackoffPromptly) {
+  auto graph = std::make_shared<Graph>(gen::Figure2Graph().graph);
+  serve::SnapshotRegistry registry;
+  serve::SnapshotRebuilder rebuilder(graph, &registry);
+  serve::RetryPolicy slow = FastRetries(1000);
+  slow.initial_backoff_ms = 60'000;
+  slow.max_backoff_ms = 60'000;
+  {
+    std::atomic<bool> fail{true};
+    serve::RebuildSupervisor supervisor(&rebuilder, slow);
+    supervisor.ScheduleRetries(FailingOptions(&fail),
+                               Status::Internal("seed failure"));
+    // Destructor Stop() must interrupt the 60 s backoff wait; the test
+    // itself hanging here is the failure mode.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded serving: the server keeps answering from the last published
+// snapshot while rebuilds fail, reports DEGRADED, and recovers.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Graph> Figure2() {
+  return std::make_shared<Graph>(gen::Figure2Graph().graph);
+}
+
+std::shared_ptr<const serve::TrussIndex> BuildIndex(
+    std::shared_ptr<const Graph> graph) {
+  const TrussDecompositionResult r = ImprovedTrussDecomposition(*graph);
+  return serve::TrussIndex::Build(std::move(graph), r);
+}
+
+TEST(DegradedServingTest, ServerKeepsServingThroughFailingRebuilds) {
+  auto graph = Figure2();
+  serve::SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  std::atomic<bool> fail{true};
+  serve::ServerOptions options;
+  options.rebuild_options = FailingOptions(&fail);
+  options.rebuild_retry = FastRetries(1000);
+  serve::TrussServer server(graph, &registry, options);
+
+  // A failing REBUILD answers ERR INTERNAL and flips the server DEGRADED.
+  const std::string rebuild = server.HandleLine("REBUILD");
+  EXPECT_TRUE(rebuild.rfind("ERR INTERNAL ", 0) == 0) << rebuild;
+
+  // Queries keep answering from the v1 snapshot the whole time.
+  EXPECT_EQ(server.HandleLine("TRUSS 0 1"), "OK TRUSS 5");
+  EXPECT_EQ(server.HandleLine("VERSION"), "OK VERSION 1");
+
+  const std::string stats = server.HandleLine("STATS");
+  EXPECT_TRUE(stats.rfind("OK STATS version=1 ", 0) == 0) << stats;
+  EXPECT_NE(stats.find(" state=DEGRADED"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" last_rebuild_error="), std::string::npos) << stats;
+  // The error rides in one space-delimited field (no embedded spaces).
+  const size_t err_pos = stats.find("last_rebuild_error=");
+  EXPECT_EQ(stats.find(' ', err_pos), std::string::npos) << stats;
+
+  const serve::ServerStats s1 = server.stats();
+  EXPECT_TRUE(s1.degraded);
+  EXPECT_EQ(s1.failed_rebuilds, 1u);
+  EXPECT_FALSE(s1.last_rebuild_error.empty());
+
+  // Let background retries fail a few times, still serving throughout.
+  while (server.stats().rebuild_retries < 2) {
+    EXPECT_EQ(server.HandleLine("TRUSS 0 1"), "OK TRUSS 5");
+    sched_yield();
+  }
+
+  // Recovery: the next retry succeeds, publishes v2, clears DEGRADED.
+  // ordering: relaxed — test flag, same contract as the cancel hook.
+  fail.store(false, std::memory_order_relaxed);
+  while (server.stats().degraded) sched_yield();
+  EXPECT_EQ(server.HandleLine("VERSION"), "OK VERSION 2");
+  const std::string recovered = server.HandleLine("STATS");
+  EXPECT_NE(recovered.find(" state=OK"), std::string::npos) << recovered;
+  EXPECT_EQ(recovered.find("last_rebuild_error="), std::string::npos)
+      << recovered;
+}
+
+TEST(DegradedServingTest, DirectRebuildSuccessClearsDegradation) {
+  auto graph = Figure2();
+  serve::SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  std::atomic<bool> fail{true};
+  serve::ServerOptions options;
+  options.rebuild_options = FailingOptions(&fail);
+  serve::RetryPolicy slow;
+  slow.initial_backoff_ms = 60'000;  // keep the supervisor out of the way
+  slow.max_backoff_ms = 60'000;
+  options.rebuild_retry = slow;
+  serve::TrussServer server(graph, &registry, options);
+
+  EXPECT_TRUE(server.HandleLine("REBUILD").rfind("ERR INTERNAL ", 0) == 0);
+  EXPECT_TRUE(server.stats().degraded);
+
+  // ordering: relaxed — test flag, same contract as the cancel hook.
+  fail.store(false, std::memory_order_relaxed);
+  EXPECT_TRUE(server.HandleLine("REBUILD").rfind("OK REBUILD ", 0) == 0);
+  EXPECT_FALSE(server.stats().degraded);
+  EXPECT_TRUE(server.stats().last_rebuild_error.empty());
+}
+
+TEST(DegradedServingTest, InvalidArgumentIsNotRetried) {
+  auto graph = Figure2();
+  serve::SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  serve::ServerOptions options;
+  options.rebuild_options.memory_budget_bytes = 0;  // permanent config error
+  options.rebuild_retry = FastRetries(1000);
+  serve::TrussServer server(graph, &registry, options);
+
+  EXPECT_TRUE(server.HandleLine("REBUILD").rfind("ERR INTERNAL ", 0) == 0);
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.failed_rebuilds, 1u);
+  // No retries are scheduled for a config error that would fail forever.
+  EXPECT_EQ(s.rebuild_retries, 0u);
+  EXPECT_FALSE(s.degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Slow and idle clients are reaped; the worker returns to accept().
+// ---------------------------------------------------------------------------
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAllFd(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads until the peer closes; returns everything received.
+std::string RecvUntilClose(int fd) {
+  std::string out;
+  char chunk[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    out.append(chunk, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+TEST(SlowClientTest, PartialLinePastDeadlineIsDisconnected) {
+  auto graph = Figure2();
+  serve::SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.poll_interval_ms = 10;
+  options.request_deadline_ms = 150;
+  options.idle_timeout_ms = 60'000;
+  serve::TrussServer server(graph, &registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RunShards(2, [&](uint32_t shard) {
+    if (shard == 0) {
+      server.Serve();
+      return;
+    }
+    const int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    // A started-but-never-finished line: the server must reap us instead
+    // of letting the trickle pin its single worker forever.
+    ASSERT_TRUE(SendAllFd(fd, "TRUSS 0"));
+    const std::string reply = RecvUntilClose(fd);  // until server closes
+    EXPECT_NE(reply.find("ERR DEADLINE"), std::string::npos) << reply;
+    ::close(fd);
+
+    // The worker is free again: a well-behaved connection gets answered.
+    const int fd2 = ConnectLoopback(server.port());
+    ASSERT_GE(fd2, 0);
+    ASSERT_TRUE(SendAllFd(fd2, "PING\n"));
+    std::string buffer;
+    char chunk[64];
+    ssize_t n;
+    while (buffer.find('\n') == std::string::npos &&
+           (n = ::recv(fd2, chunk, sizeof(chunk), 0)) > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    EXPECT_NE(buffer.find("OK PONG"), std::string::npos) << buffer;
+    ::close(fd2);
+    server.Stop();
+  });
+
+  EXPECT_EQ(server.stats().deadline_disconnects, 1u);
+}
+
+TEST(SlowClientTest, IdleConnectionIsReaped) {
+  auto graph = Figure2();
+  serve::SnapshotRegistry registry;
+  registry.Publish(BuildIndex(graph), "seed", 0.0);
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 120;
+  serve::TrussServer server(graph, &registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RunShards(2, [&](uint32_t shard) {
+    if (shard == 0) {
+      server.Serve();
+      return;
+    }
+    const int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    // Send nothing. The server must close the connection on its own.
+    EXPECT_EQ(RecvUntilClose(fd), "");
+    ::close(fd);
+    server.Stop();
+  });
+
+  EXPECT_EQ(server.stats().idle_disconnects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a cancelled rebuild surfaces kCancelled (not a placeholder
+// Internal status), and the rebuilder is reusable afterwards.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRebuilderTest, CancelledRebuildPropagatesTypedStatus) {
+  auto graph = Figure2();
+  serve::SnapshotRegistry registry;
+  serve::SnapshotRebuilder rebuilder(graph, &registry);
+
+  std::atomic<bool> fail{true};
+  auto outcome = rebuilder.RebuildAndPublish(FailingOptions(&fail));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled)
+      << outcome.status().ToString();
+  EXPECT_EQ(registry.current_version(), 0u);
+  EXPECT_FALSE(rebuilder.InFlight());
+
+  // The failure left no residue: the same rebuilder completes a clean run.
+  // ordering: relaxed — test flag, same contract as the cancel hook.
+  fail.store(false, std::memory_order_relaxed);
+  auto retry = rebuilder.RebuildAndPublish(FailingOptions(&fail));
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry.value().version, 1u);
+}
+
+}  // namespace
+}  // namespace truss

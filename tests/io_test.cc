@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
+#include <system_error>
 
 #include "common/rng.h"
+#include "graph/graph.h"
 #include "io/edge_records.h"
 #include "io/external_sort.h"
 #include "io/file_buffer.h"
@@ -267,6 +271,54 @@ TEST_F(FileBufferTest, MoveTransfersOwnership) {
   assigned = std::move(stolen);
   EXPECT_EQ(assigned.view(), "moved bytes");
   EXPECT_EQ(stolen.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+// ---------------------------------------------------------------------------
+// TRSB graph snapshots: table-driven corruption sweep. Every truncation and
+// single bit flip must load as kCorruption — never a wrong graph or a crash.
+// ---------------------------------------------------------------------------
+
+TEST(BinarySnapshotCorruptionTest, TruncationAndBitFlipTableIsCorruption) {
+  const truss::Graph g = truss::Graph::FromEdges(
+      {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}}, 0);
+  const std::string dir = TestDir("trsb_corruption");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/graph.trsb";
+  ASSERT_TRUE(g.SaveBinary(path).ok());
+  std::error_code ec;
+  const long size = static_cast<long>(std::filesystem::file_size(path, ec));
+  ASSERT_FALSE(ec);
+  ASSERT_GT(size, 32);
+
+  struct Case {
+    const char* kind;
+    long offset;  // truncate: new length; bitflip: byte position
+  };
+  const Case cases[] = {
+      {"truncate", 1},        {"truncate", size / 4},
+      {"truncate", size / 2}, {"truncate", size - 1},
+      {"bitflip", 0},         {"bitflip", 8},
+      {"bitflip", size / 3},  {"bitflip", size / 2},
+      {"bitflip", size - 1},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(g.SaveBinary(path).ok());
+    if (std::string_view(c.kind) == "truncate") {
+      ASSERT_EQ(::truncate(path.c_str(), c.offset), 0);
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "r+b");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fseek(f, c.offset, SEEK_SET), 0);
+      const int byte = std::fgetc(f);
+      ASSERT_NE(byte, EOF);
+      ASSERT_EQ(std::fseek(f, c.offset, SEEK_SET), 0);
+      ASSERT_NE(std::fputc(byte ^ 0x40, f), EOF);
+      ASSERT_EQ(std::fclose(f), 0);
+    }
+    const truss::Status status = truss::Graph::LoadBinary(path).status();
+    EXPECT_EQ(status.code(), truss::StatusCode::kCorruption)
+        << c.kind << " at " << c.offset << ": " << status.ToString();
+  }
 }
 
 }  // namespace

@@ -15,8 +15,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <system_error>
 #include <vector>
 
 #include "common/parallel.h"
@@ -270,6 +273,50 @@ TEST(TrussIndexPersistenceTest, LoadRejectsMissingAndCorruptFiles) {
     ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
     EXPECT_EQ(TrussIndex::Load(path).status().code(),
               StatusCode::kCorruption);
+  }
+}
+
+// Table-driven corruption sweep over the TRSI format: truncations at every
+// region boundary and single bit flips anywhere must load as kCorruption —
+// never a wrong index, never a crash.
+TEST(TrussIndexPersistenceTest, TruncationAndBitFlipTableIsCorruption) {
+  auto index = BuildIndex(Figure2());
+  const std::string path = TempPath("corruption_table.trsi");
+  ASSERT_TRUE(index->Save(path).ok());
+  std::error_code ec;
+  const long size =
+      static_cast<long>(std::filesystem::file_size(path, ec));
+  ASSERT_FALSE(ec);
+  ASSERT_GT(size, 32);
+
+  struct Case {
+    const char* kind;
+    long offset;  // truncate: new length; bitflip: byte position
+  };
+  const Case cases[] = {
+      {"truncate", 1},        {"truncate", size / 4},
+      {"truncate", size / 2}, {"truncate", size - 1},
+      {"bitflip", 0},         {"bitflip", 8},
+      {"bitflip", size / 3},  {"bitflip", size / 2},
+      {"bitflip", size - 1},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(index->Save(path).ok());
+    if (std::string_view(c.kind) == "truncate") {
+      ASSERT_EQ(::truncate(path.c_str(), c.offset), 0);
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "r+b");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fseek(f, c.offset, SEEK_SET), 0);
+      const int byte = std::fgetc(f);
+      ASSERT_NE(byte, EOF);
+      ASSERT_EQ(std::fseek(f, c.offset, SEEK_SET), 0);
+      ASSERT_NE(std::fputc(byte ^ 0x40, f), EOF);
+      ASSERT_EQ(std::fclose(f), 0);
+    }
+    const Status status = TrussIndex::Load(path).status();
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << c.kind << " at " << c.offset << ": " << status.ToString();
   }
 }
 

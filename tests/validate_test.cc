@@ -16,6 +16,7 @@
 #include "engine/validate.h"
 #include "graph/graph.h"
 #include "graph/validate.h"
+#include "io/checksum_file.h"
 #include "truss/improved.h"
 
 namespace truss {
@@ -204,6 +205,9 @@ TEST(ValidateCsrTest, LoadBinaryRejectsUnsortedAdjacency) {
   ASSERT_EQ(std::fwrite(&second, sizeof(second), 1, f), 1u);
   ASSERT_EQ(std::fwrite(&first, sizeof(first), 1, f), 1u);
   ASSERT_EQ(std::fclose(f), 0);
+  // Make the checksum match the edited payload again: this test targets the
+  // structural validation behind the checksum, not the checksum itself.
+  ASSERT_TRUE(truss::io::RewriteChecksumFooter(path).ok());
 
   const auto loaded = Graph::LoadBinary(path);
   ASSERT_FALSE(loaded.ok());
